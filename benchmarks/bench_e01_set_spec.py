@@ -1,0 +1,50 @@
+"""E1 — §2.1: the SET(nat) specification behaves as finite sets.
+
+Workload: random finite sets of numerals; MEM queries answered by term
+rewriting over the paper's equations must agree with Python-set truth.
+The benchmark times MEM evaluation as the set size grows.
+"""
+
+import random
+
+import pytest
+
+from repro.specs import RewriteSystem
+from repro.specs.builtins import FALSE, TRUE, mem, nat_term, set_of_nat_spec, set_term
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "E01-set-spec",
+    "SET(nat) equations compute membership of finite sets (Section 2.1)",
+    ["set-size", "queries", "agree-with-python-sets", "mem-terms-rewritten"],
+)
+
+REWRITER = RewriteSystem(set_of_nat_spec().equations)
+
+
+def _mem_queries(size: int, seed: int):
+    rng = random.Random(seed)
+    members = sorted(rng.sample(range(size * 3), size))
+    collection = set_term(*(nat_term(m) for m in members))
+    queries = []
+    for value in range(size * 3):
+        queries.append((value, value in members, mem(nat_term(value), collection)))
+    return queries
+
+
+def _run(size: int, seed: int) -> int:
+    queries = _mem_queries(size, seed)
+    agree = 0
+    for _value, expected, query in queries:
+        answer = REWRITER.normalize(query, max_steps=200_000)
+        if answer == (TRUE if expected else FALSE):
+            agree += 1
+    return agree, len(queries)
+
+
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_mem_by_rewriting(benchmark, size):
+    agree, total = benchmark.pedantic(_run, args=(size, size), rounds=1, iterations=1)
+    table.add(size, total, f"{agree}/{total}", total)
+    assert agree == total

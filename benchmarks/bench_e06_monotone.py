@@ -1,0 +1,60 @@
+"""E6 — Proposition 3.4: for monotone exp, S = exp(S) ≡ IFP_exp.
+
+Workload: the monotone body family (TC join, guarded growth, union with
+constants) on chains/cycles/random graphs of growing size; rows compare
+the fixpoint-equation route (native valid evaluation) with the direct
+inflationary iteration, member for member.
+"""
+
+import pytest
+
+from repro.core import Definition, AlgebraProgram, Dialect, evaluate, ifp, valid_evaluate
+from repro.core.expressions import substitute, call
+from repro.corpus import chain, cycle, edges_to_relation, random_graph
+from repro.relations import standard_registry
+
+from support import ExperimentTable
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests" / "paper"))
+from test_prop_3_4_monotone import MONOTONE_BODIES  # noqa: E402
+
+table = ExperimentTable(
+    "E06-monotone",
+    "Monotone exp: the S = exp(S) fixpoint equals IFP_exp (Prop 3.4)",
+    ["body", "graph", "members", "fixpoint==ifp"],
+)
+
+REGISTRY = standard_registry()
+
+GRAPHS = {
+    "chain-12": chain(12),
+    "cycle-10": cycle(10),
+    "random-10": random_graph(10, 0.2, seed=6),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("body_name", sorted(MONOTONE_BODIES))
+def test_fixpoint_vs_ifp(benchmark, body_name, graph_name):
+    body = MONOTONE_BODIES[body_name]
+    env = {"MOVE": edges_to_relation(GRAPHS[graph_name], "MOVE")}
+    program = AlgebraProgram.of(
+        Definition("S", (), substitute(body, {"x": call("S")})),
+        database_relations=["MOVE"],
+        dialect=Dialect.ALGEBRA_EQ,
+    )
+
+    def both():
+        fixpoint = valid_evaluate(program, env, registry=REGISTRY)
+        inflationary = evaluate(ifp("x", body), env, registry=REGISTRY)
+        return fixpoint, inflationary
+
+    fixpoint, inflationary = benchmark.pedantic(both, rounds=1, iterations=1)
+    agrees = fixpoint.is_well_defined() and set(fixpoint.true["S"]) == set(
+        inflationary.items
+    )
+    table.add(body_name, graph_name, len(inflationary), agrees)
+    assert agrees

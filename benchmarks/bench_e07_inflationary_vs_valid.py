@@ -1,0 +1,71 @@
+"""E7 — Example 4: the naive translation under the two semantics.
+
+``Q = IFP_{{a}−x}`` translates to the non-stratified program
+``{R(a); R(x) ∧ ¬Q(x) → Q(x)}``.  Rows record, per non-positive IFP
+query of a generated family, the three answers: direct algebra value,
+translation under inflationary semantics (must match), translation under
+valid semantics (must leave the contested members undefined).
+"""
+
+import pytest
+
+from repro.core import diff, evaluate, ifp, rel, setconst, union
+from repro.core.algebra_to_datalog import translate_expression, translation_registry
+from repro.core.encoding import environment_to_database
+from repro.datalog import Database, run
+from repro.relations import Atom, Relation
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "E07-inflationary-vs-valid",
+    "Naive IFP translation: inflationary = algebra, valid leaves undefined (Ex. 4)",
+    ["query", "algebra-members", "inflationary-members", "valid-true", "valid-undefined"],
+)
+
+REGISTRY = translation_registry()
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+
+QUERIES = {
+    "paper-example4": (ifp("x", diff(setconst(a), rel("x"))), {}),
+    "two-constants": (ifp("x", diff(setconst(a, b), rel("x"))), {}),
+    "with-relation": (
+        ifp("x", diff(union(setconst(a), rel("B")), rel("x"))),
+        {"B": Relation.of(b, c, name="B")},
+    ),
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_nonpositive_ifp(benchmark, query_name):
+    query, env = QUERIES[query_name]
+    translation = translate_expression(query)
+    database = environment_to_database(env, {})
+
+    def all_routes():
+        direct = evaluate(query, env, registry=REGISTRY)
+        inflat = run(
+            translation.program, database, semantics="inflationary", registry=REGISTRY
+        )
+        valid = run(
+            translation.program, database, semantics="valid", registry=REGISTRY
+        )
+        return direct, inflat, valid
+
+    direct, inflat, valid = benchmark.pedantic(all_routes, rounds=1, iterations=1)
+    predicate = translation.result_predicate
+    inflat_members = {r[0] for r in inflat.true_rows(predicate)}
+    valid_true = {r[0] for r in valid.true_rows(predicate)}
+    valid_undef = {r[0] for r in valid.undefined_rows(predicate)}
+    table.add(
+        query_name,
+        len(direct),
+        len(inflat_members),
+        len(valid_true),
+        len(valid_undef),
+    )
+    # Prop 5.1: inflationary matches the algebra exactly.
+    assert inflat_members == set(direct.items)
+    # Example 4: the valid reading must NOT (the contested members are
+    # undefined, true side strictly smaller).
+    assert valid_true < inflat_members or valid_undef

@@ -1,0 +1,88 @@
+"""E13 — Theorem 4.3: stratified deduction ≡ positive IFP-algebra.
+
+Workload, both directions: (→) stratified corpus programs translate to
+algebra= programs whose valid models are total; (←) a positive IFP query
+translates to a stratified deductive program on which all four engines
+agree.  Rows record totality/stratification plus engine agreement.
+"""
+
+import pytest
+
+from repro.core import evaluate
+from repro.core.algebra_to_datalog import translate_expression, translation_registry
+from repro.core.datalog_to_algebra import datalog_to_algebra
+from repro.core.encoding import database_to_environment, environment_to_database
+from repro.core.valid_eval import valid_evaluate
+from repro.corpus import DEDUCTIVE_CORPUS, chain, cycle, edges_to_database, edges_to_relation
+from repro.datalog import run
+from repro.datalog.stratification import is_stratified
+from repro.relations import Relation
+
+from support import ExperimentTable
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+from bench_e08_algebra_to_datalog import tc_query  # noqa: E402
+
+table = ExperimentTable(
+    "E13-stratified",
+    "stratified deduction ≡ positive IFP-algebra (Thm 4.3)",
+    ["direction", "case", "stratified", "total-valid-model", "agree"],
+)
+
+REGISTRY = translation_registry()
+STRATIFIED = [
+    name
+    for name, case in DEDUCTIVE_CORPUS.items()
+    if case.stratified and not case.uses_functions
+]
+
+
+@pytest.mark.parametrize("case_name", STRATIFIED)
+def test_stratified_to_algebra(benchmark, case_name):
+    case = DEDUCTIVE_CORPUS[case_name]
+    database = edges_to_database(cycle(5))
+    translation = datalog_to_algebra(case.program)
+    env = database_to_environment(database)
+    for name in translation.program.database_relations:
+        env.setdefault(name, Relation([], name=name))
+
+    def native():
+        return valid_evaluate(translation.program, env, registry=REGISTRY)
+
+    result = benchmark.pedantic(native, rounds=1, iterations=1)
+    direct = run(case.program, database, semantics="stratified", registry=REGISTRY)
+    agree = all(
+        translation.decode_rows(result.relation(p)) == direct.true_rows(p)
+        for p in case.predicates
+    )
+    table.add("deduction→algebra", case_name, True, result.is_well_defined(), agree)
+    assert result.is_well_defined() and agree
+
+
+def test_positive_ifp_to_stratified(benchmark):
+    query = tc_query()
+    move = edges_to_relation(chain(8), "MOVE")
+    translation = translate_expression(query)
+    database = environment_to_database({"MOVE": move}, {})
+    expected = set(evaluate(query, {"MOVE": move}, registry=REGISTRY).items)
+
+    def stratified_route():
+        return run(
+            translation.program, database, semantics="stratified", registry=REGISTRY
+        )
+
+    outcome = benchmark.pedantic(stratified_route, rounds=1, iterations=1)
+    stratified_flag = is_stratified(translation.program)
+    rows = {r[0] for r in outcome.true_rows(translation.result_predicate)}
+    agree = rows == expected
+    # Cross-check every engine.
+    for semantics in ("inflationary", "wellfounded", "valid"):
+        other = run(
+            translation.program, database, semantics=semantics, registry=REGISTRY
+        )
+        agree &= {r[0] for r in other.true_rows(translation.result_predicate)} == expected
+    table.add("algebra→deduction", "positive-ifp-tc", stratified_flag, True, agree)
+    assert stratified_flag and agree

@@ -1,0 +1,81 @@
+"""E14 — Proposition 4.2: making domain-independent queries safe.
+
+Workload: unsafe-but-d.i. programs guarded by `make_safe` over windows of
+growing size.  Rows record: the guarded program is safe, stratification
+is preserved, and (the d.i. criterion) answers are window-invariant once
+the window covers the query's active domain.
+"""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translation_registry
+from repro.datalog import Database, run
+from repro.datalog.parser import parse_program
+from repro.datalog.safety import is_safe_program, make_safe
+from repro.datalog.stratification import is_stratified
+from repro.relations import Atom, Universe
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "E14-make-safe",
+    "Every d.i. query has an equivalent safe (and stratification-preserving) query (Prop 4.2)",
+    ["query", "window", "safe", "stratified", "window-invariant"],
+)
+
+REGISTRY = translation_registry()
+
+UNSAFE_DI = {
+    "neg-join": "p(X) :- e(X, Y), not f(Y, X).\nf(Y, X) :- e(X, Y), marked(Y).",
+    "double-guarded": (
+        "q(X) :- not dead(X), alive(X).\n"
+        "dead(X) :- corpse(X).\n"
+        "alive(X) :- person(X), not dead(X)."
+    ),
+}
+
+
+def _database():
+    db = Database()
+    atoms = [Atom(f"v{i}") for i in range(6)]
+    for i in range(5):
+        db.add("e", atoms[i], atoms[i + 1])
+    db.add("marked", atoms[2]).add("marked", atoms[4])
+    for atom in atoms[:4]:
+        db.add("person", atom)
+    db.add("corpse", atoms[1])
+    return db
+
+
+@pytest.mark.parametrize("extra", [0, 4, 16])
+@pytest.mark.parametrize("query_name", sorted(UNSAFE_DI))
+def test_make_safe(benchmark, query_name, extra):
+    program = parse_program(UNSAFE_DI[query_name])
+    database = _database()
+    base_window = list(database.active_domain())
+    window = Universe(base_window + [Atom(f"pad{i}") for i in range(extra)])
+    safe = make_safe(program, window)
+
+    def evaluate():
+        return run(safe, database, semantics="wellfounded", registry=REGISTRY)
+
+    outcome = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    reference = run(
+        make_safe(program, Universe(base_window)),
+        database,
+        semantics="wellfounded",
+        registry=REGISTRY,
+    )
+    invariant = all(
+        outcome.true_rows(predicate) == reference.true_rows(predicate)
+        for predicate in program.idb_predicates()
+    )
+    table.add(
+        query_name,
+        f"+{extra}",
+        is_safe_program(safe),
+        is_stratified(safe),
+        invariant,
+    )
+    assert is_safe_program(safe)
+    assert invariant

@@ -1,0 +1,75 @@
+"""E15 — §2.2: the deductive version of specifications.
+
+Workload: the recursive-constant miniature of Example 1 (``Sc = INS(0,
+Sc)``) and growing finite-set windows.  Rows record membership totality
+with and without the completion disequation, and timing tracks how the
+eq/2 grounding scales with the window.
+"""
+
+import pytest
+
+from repro.specs import valid_interpretation
+from repro.specs.builtins import FALSE, TRUE, mem, nat_term, set_of_nat_spec, set_term
+from repro.specs.terms import sapp
+
+from support import ExperimentTable
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests" / "paper"))
+from test_section_2_2_spec_semantics import (  # noqa: E402
+    SC,
+    finite_universe,
+    recursive_spec,
+    recursive_universe,
+)
+
+table = ExperimentTable(
+    "E15-spec-deduction",
+    "Valid interpretation of specs: completion totalises MEM (§2.2)",
+    ["spec", "universe-terms", "completion", "mem-queries", "decided"],
+)
+
+
+@pytest.mark.parametrize("max_nat", [1, 2])
+def test_finite_sets(benchmark, max_nat):
+    universe = finite_universe(max_nat=max_nat)
+    spec = set_of_nat_spec(with_completion=False)
+
+    def interpret():
+        return valid_interpretation(spec, universe=universe, max_atoms=5_000_000)
+
+    vi = benchmark.pedantic(interpret, rounds=1, iterations=1)
+    queries = decided = 0
+    for i in range(max_nat + 1):
+        for collection in (sapp("EMPTY"), set_term(nat_term(0))):
+            queries += 1
+            answers = {
+                vi.truth_equal(mem(nat_term(i), collection), TRUE).name,
+                vi.truth_equal(mem(nat_term(i), collection), FALSE).name,
+            }
+            if answers == {"TRUE", "FALSE"}:
+                decided += 1
+    size = sum(len(terms) for terms in universe.values())
+    table.add("SET(nat) finite", size, False, queries, decided)
+    assert decided == queries  # finite sets are total even without completion
+
+
+@pytest.mark.parametrize("with_completion", [False, True])
+def test_recursive_constant(benchmark, with_completion):
+    spec = recursive_spec(with_completion=with_completion)
+    universe = recursive_universe()
+
+    def interpret():
+        return valid_interpretation(spec, universe=universe, max_atoms=5_000_000)
+
+    vi = benchmark.pedantic(interpret, rounds=1, iterations=1)
+    # Is MEM(1, Sc) decided (derivably TRUE or derivably FALSE)?
+    decided = int(
+        vi.certainly_equal(mem(nat_term(1), SC), TRUE)
+        or vi.certainly_equal(mem(nat_term(1), SC), FALSE)
+    )
+    size = sum(len(terms) for terms in universe.values())
+    table.add("SET(nat)+Sc", size, with_completion, 1, decided)
+    assert decided == (1 if with_completion else 0)

@@ -1,0 +1,58 @@
+"""P1 — performance: the semantics engines across workloads and scales.
+
+Times grounding + solving for each engine on TC and WIN workloads over
+chains, cycles and random graphs (n = 8 … 64).  The headline shapes:
+stratified/WFS/valid cost the same order on these workloads (valid *is*
+an alternating fixpoint), inflationary is round-bound, and everything is
+polynomial in the ground-program size.
+"""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translation_registry
+from repro.corpus import DEDUCTIVE_CORPUS, chain, cycle, edges_to_database, random_graph
+from repro.datalog import run
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "P01-semantics-scaling",
+    "engine wall-clock across workloads (performance)",
+    ["workload", "graph", "semantics", "true-atoms", "seconds"],
+)
+
+REGISTRY = translation_registry()
+
+WORKLOADS = {
+    "tc": DEDUCTIVE_CORPUS["transitive-closure"],
+    "win": DEDUCTIVE_CORPUS["win-move"],
+}
+
+GRAPHS = {
+    "chain-16": chain(16),
+    "chain-32": chain(32),
+    "chain-64": chain(64),
+    "cycle-24": cycle(24),
+    "random-16": random_graph(16, 0.12, seed=21),
+    "random-24": random_graph(24, 0.08, seed=21),
+}
+
+SEMANTICS = ("stratified", "inflationary", "wellfounded", "valid")
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("semantics", SEMANTICS)
+def test_engine(benchmark, workload, graph_name, semantics):
+    case = WORKLOADS[workload]
+    if semantics == "stratified" and not case.stratified:
+        pytest.skip("not stratified")
+    database = edges_to_database(GRAPHS[graph_name])
+
+    def solve():
+        return run(case.program, database, semantics=semantics, registry=REGISTRY)
+
+    outcome = benchmark.pedantic(solve, rounds=1, iterations=1)
+    true_atoms = sum(len(outcome.true_rows(p)) for p in case.predicates)
+    table.add(workload, graph_name, semantics, true_atoms,
+              f"{benchmark.stats.stats.mean:.4f}")

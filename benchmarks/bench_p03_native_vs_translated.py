@@ -1,0 +1,64 @@
+"""P3 — performance/ablation: native three-valued evaluation vs
+translate-to-deduction.
+
+The same algebra= programs answered by (a) the native alternating
+fixpoint on set equations and (b) Proposition 5.4 translation plus the
+ground valid engine.  Both are correct (E10); this measures their
+relative cost as the database grows — the design-decision ablation from
+DESIGN.md §3.
+"""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translation_registry
+from repro.core.equivalence import (
+    algebra_answers_native,
+    algebra_answers_translated,
+)
+from repro.corpus import ALGEBRA_CORPUS, chain, cycle, edges_to_relation, random_graph
+
+from support import ExperimentTable, timed
+
+table = ExperimentTable(
+    "P03-native-vs-translated",
+    "native 3-valued evaluation vs translate+solve (ablation)",
+    ["program", "graph", "native-sec", "translated-sec", "agree"],
+)
+
+REGISTRY = translation_registry()
+
+CASES = [
+    ("win-game", "chain-16", chain(16)),
+    ("win-game", "cycle-12", cycle(12)),
+    ("win-game", "random-12", random_graph(12, 0.15, seed=23)),
+    ("transitive-closure", "chain-10", chain(10)),
+    ("transitive-closure", "random-10", random_graph(10, 0.15, seed=23)),
+]
+
+
+@pytest.mark.parametrize(
+    "case_name,graph_name,edges", CASES, ids=[f"{c}-{g}" for c, g, _e in CASES]
+)
+def test_routes(benchmark, case_name, graph_name, edges):
+    case = ALGEBRA_CORPUS[case_name]
+    env = {"MOVE": edges_to_relation(edges, "MOVE")}
+
+    native = benchmark.pedantic(
+        algebra_answers_native,
+        args=(case.program, env),
+        kwargs={"registry": REGISTRY},
+        rounds=1,
+        iterations=1,
+    )
+    native_sec = benchmark.stats.stats.mean
+    translated, translated_sec = timed(
+        algebra_answers_translated, case.program, env, registry=REGISTRY
+    )
+    table.add(
+        case_name,
+        graph_name,
+        f"{native_sec:.4f}",
+        f"{translated_sec:.4f}",
+        native == translated,
+    )
+    assert native == translated

@@ -1,0 +1,72 @@
+"""P4 — performance: translation blowup (static program sizes).
+
+How much bigger do programs get crossing the paradigm bridge?  Rows
+record rule/definition/node counts before and after each direction, and
+for the composed round trip — the syntactic cost of Theorem 6.2.
+"""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translate_program
+from repro.core.datalog_to_algebra import datalog_to_algebra
+from repro.core.expressions import walk
+from repro.corpus import ALGEBRA_CORPUS, DEDUCTIVE_CORPUS
+
+from support import ExperimentTable
+
+table = ExperimentTable(
+    "P04-translation-size",
+    "static size across translations (blowup)",
+    ["direction", "program", "size-in", "size-out", "ratio"],
+)
+
+
+def _algebra_size(program) -> int:
+    return sum(len(list(walk(d.body))) for d in program.definitions)
+
+
+def _datalog_size(program) -> int:
+    return sum(1 + len(rule.body) for rule in program.rules)
+
+
+@pytest.mark.parametrize("case_name", sorted(ALGEBRA_CORPUS))
+def test_algebra_to_datalog_size(benchmark, case_name):
+    case = ALGEBRA_CORPUS[case_name]
+
+    translation = benchmark.pedantic(
+        translate_program, args=(case.program,), rounds=1, iterations=1
+    )
+    size_in = _algebra_size(case.program)
+    size_out = _datalog_size(translation.program)
+    table.add("algebra=→deduction", case_name, size_in, size_out,
+              f"{size_out / max(size_in, 1):.2f}")
+    assert size_out > 0
+
+
+@pytest.mark.parametrize("case_name", sorted(DEDUCTIVE_CORPUS))
+def test_datalog_to_algebra_size(benchmark, case_name):
+    case = DEDUCTIVE_CORPUS[case_name]
+
+    translation = benchmark.pedantic(
+        datalog_to_algebra, args=(case.program,), rounds=1, iterations=1
+    )
+    size_in = _datalog_size(case.program)
+    size_out = _algebra_size(translation.program)
+    table.add("deduction→algebra=", case_name, size_in, size_out,
+              f"{size_out / max(size_in, 1):.2f}")
+    assert size_out > 0
+
+
+@pytest.mark.parametrize("case_name", ["win-move", "transitive-closure", "choice"])
+def test_roundtrip_size(benchmark, case_name):
+    case = DEDUCTIVE_CORPUS[case_name]
+
+    def roundtrip():
+        middle = datalog_to_algebra(case.program)
+        return translate_program(middle.program)
+
+    final = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    size_in = _datalog_size(case.program)
+    size_out = _datalog_size(final.program)
+    table.add("round trip", case_name, size_in, size_out,
+              f"{size_out / max(size_in, 1):.2f}")

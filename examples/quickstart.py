@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: the two paradigms and the bridge between them.
+
+This walks the paper's headline result end to end on a small database:
+
+1. define a database (a named set of MOVE pairs);
+2. write the WIN query as an ``algebra=`` program (Section 3.2) and
+   evaluate it natively under the valid semantics;
+3. write the same query as a deductive program (Section 4) and run it
+   under the valid model semantics;
+4. translate each into the other (Sections 5 and 6) and confirm all four
+   answers coincide — Theorem 6.2 in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Atom,
+    Database,
+    Dialect,
+    parse_algebra_program,
+    parse_program,
+    run,
+    translation_registry,
+    valid_evaluate,
+)
+from repro.core import (
+    database_to_environment,
+    datalog_to_algebra,
+    environment_to_database,
+    translate_program,
+)
+from repro.relations import Relation, tup
+
+registry = translation_registry()
+
+# ---------------------------------------------------------------------------
+# 1. The database: a game graph.  b and d are sinks (no moves).
+# ---------------------------------------------------------------------------
+a, b, c, d = (Atom(x) for x in "abcd")
+move = Relation([tup(a, b), tup(a, c), tup(c, d)], name="MOVE")
+print("MOVE =", move)
+
+# ---------------------------------------------------------------------------
+# 2. The algebra= side: WIN = π1(MOVE − (π1(MOVE) × WIN))
+# ---------------------------------------------------------------------------
+algebra_program = parse_algebra_program(
+    """
+    relations MOVE;
+    WIN = pi1(MOVE - (pi1(MOVE) * WIN));
+    """,
+    dialect=Dialect.ALGEBRA_EQ,
+    name="win-game",
+)
+native = valid_evaluate(algebra_program, {"MOVE": move}, registry=registry)
+print("\n[algebra=, native 3-valued evaluation]")
+print("  WIN true      :", sorted(v.name for v in native.true["WIN"]))
+print("  WIN undefined :", sorted(v.name for v in native.undefined["WIN"]))
+print("  well-defined  :", native.is_well_defined())
+
+# ---------------------------------------------------------------------------
+# 3. The deductive side: win(X) :- move(X, Y), not win(Y).
+# ---------------------------------------------------------------------------
+deductive_program = parse_program("win(X) :- move(X, Y), not win(Y).", name="win")
+database = Database()
+for pair in move.items:
+    database.add("move", pair.component(1), pair.component(2))
+deductive = run(deductive_program, database, semantics="valid", registry=registry)
+print("\n[deduction, valid model semantics]")
+print("  win true      :", sorted(r[0].name for r in deductive.true_rows("win")))
+
+# ---------------------------------------------------------------------------
+# 4a. algebra= → deduction (Proposition 5.4)
+# ---------------------------------------------------------------------------
+to_datalog = translate_program(algebra_program)
+translated_db = environment_to_database({"MOVE": move}, {})
+via_datalog = run(to_datalog.program, translated_db, semantics="valid", registry=registry)
+win_pred = to_datalog.predicate_of["WIN"]
+print("\n[algebra= translated to deduction]")
+print("  rules:")
+for rule in to_datalog.program.rules:
+    print("   ", rule)
+print("  WIN true      :", sorted(r[0].name for r in via_datalog.true_rows(win_pred)))
+
+# ---------------------------------------------------------------------------
+# 4b. deduction → algebra= (Proposition 6.1)
+# ---------------------------------------------------------------------------
+to_algebra = datalog_to_algebra(deductive_program)
+environment = database_to_environment(database)
+via_algebra = valid_evaluate(to_algebra.program, environment, registry=registry)
+print("\n[deduction translated to algebra=]")
+print("  simulation equation:")
+for definition in to_algebra.program.definitions:
+    print("   ", definition)
+print("  win true      :", sorted(v.name for v in via_algebra.true["win"]))
+
+# ---------------------------------------------------------------------------
+# The four answers agree.
+# ---------------------------------------------------------------------------
+answers = {
+    "algebra= native": frozenset(native.true["WIN"]),
+    "deduction": frozenset(r[0] for r in deductive.true_rows("win")),
+    "algebra=→deduction": frozenset(r[0] for r in via_datalog.true_rows(win_pred)),
+    "deduction→algebra=": frozenset(via_algebra.true["win"]),
+}
+assert len(set(answers.values())) == 1, answers
+print("\nAll four routes agree:", sorted(v.name for v in next(iter(answers.values()))))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Section 2: algebraic specifications, rewriting, and valid models.
+
+Four scenes:
+
+1. the SET(nat) specification of Section 2.1, with MEM evaluated by term
+   rewriting;
+2. the same specification read as a deductive program over ``eq/2``
+   (Section 2.2) — the valid interpretation on a finite window;
+3. Example 2: the three-constant specification with NO initial valid
+   model, decided by the Proposition 2.3(2) procedure;
+4. a repaired variant where negation *does* determine a unique initial
+   valid model.
+
+Run:  python examples/spec_playground.py
+"""
+
+from repro.specs import (
+    CongruenceClosure,
+    Operation,
+    RewriteSystem,
+    Specification,
+    analyze_constant_spec,
+    equation,
+    sapp,
+    valid_interpretation,
+)
+from repro.specs.builtins import (
+    FALSE,
+    TRUE,
+    example2_spec,
+    mem,
+    nat_term,
+    set_of_nat_spec,
+    set_term,
+)
+from repro.specs.equations import NeqPremise
+
+# ---------------------------------------------------------------------------
+# Scene 1: SET(nat) and rewriting.
+# ---------------------------------------------------------------------------
+spec = set_of_nat_spec()
+print("== the SET(nat) specification (Section 2.1)")
+print(spec.pretty())
+
+rewriter = RewriteSystem(spec.equations)
+two, three, five = nat_term(2), nat_term(3), nat_term(5)
+collection = set_term(two, three)
+print("\nrewriting MEM queries:")
+for query in (mem(two, collection), mem(five, collection)):
+    print(f"   {query!r}  ~~>  {rewriter.normalize(query)!r}")
+
+# ---------------------------------------------------------------------------
+# Scene 2: the deductive version of a tiny spec (Section 2.2).
+# ---------------------------------------------------------------------------
+print("\n== a tiny spec as a deductive program over eq/2")
+tiny = Specification.build(
+    "tiny",
+    ["s"],
+    [Operation(n, (), "s") for n in "abcd"],
+    [
+        equation(sapp("a"), sapp("b")),
+        # c = d provided a ≠ d — negation via the valid semantics.
+        equation(sapp("c"), sapp("d"), NeqPremise(sapp("a"), sapp("d"))),
+    ],
+)
+interp = valid_interpretation(tiny)
+for left, right in [("a", "b"), ("c", "d"), ("a", "c")]:
+    print(f"   {left} = {right}:  {interp.truth_equal(sapp(left), sapp(right)).name}")
+
+# ---------------------------------------------------------------------------
+# Scene 3: Example 2 — no initial valid model.
+# ---------------------------------------------------------------------------
+print("\n== Example 2: a ≠ b → a = c;  a ≠ c → a = b")
+analysis = analyze_constant_spec(example2_spec())
+print(f"   models: {len(analysis.model_partitions)}, all valid")
+for partition in analysis.valid_partitions:
+    blocks = " | ".join("".join(sorted(block)) for block in sorted(partition, key=min))
+    print(f"     valid algebra: {blocks}")
+print(f"   initial valid model exists: {analysis.has_initial_valid_model()}")
+print("   (the two 2-block algebras are incomparable — the paper's point)")
+
+# ---------------------------------------------------------------------------
+# Scene 4: breaking the symmetry restores initiality.
+# ---------------------------------------------------------------------------
+print("\n== the repaired variant: only a ≠ b → a = c")
+repaired = Specification.build(
+    "repaired",
+    ["s"],
+    [Operation(n, (), "s") for n in "abc"],
+    [equation(sapp("a"), sapp("c"), NeqPremise(sapp("a"), sapp("b")))],
+)
+analysis2 = analyze_constant_spec(repaired)
+print(f"   certainly equal: {sorted(analysis2.certainly_equal)}")
+print(f"   initial valid model: "
+      f"{' | '.join(''.join(sorted(b)) for b in sorted(analysis2.initial, key=min))}")
+
+# ---------------------------------------------------------------------------
+# Bonus: congruence closure = the invariance relation of Section 2.1.
+# ---------------------------------------------------------------------------
+print("\n== congruence closure on ground equations")
+closure = CongruenceClosure.from_ground_equations(
+    [equation(sapp("f", sapp("a")), sapp("b")), equation(sapp("a"), sapp("c"))],
+    extra_terms=[sapp("f", sapp("c"))],
+)
+print("   from f(a) = b and a = c, infer f(c) = b:",
+      closure.are_equal(sapp("f", sapp("c")), sapp("b")))

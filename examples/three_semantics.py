@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""One program, four semantics (Sections 5 and 7).
+
+The WIN game on a graph with a drawn cycle, an escape, and a decided
+tail, evaluated under every semantics in the reproduction:
+
+* inflationary — negation as "not derived so far" (Proposition 5.1's
+  target); over-eager on cycles;
+* well-founded — the alternating fixpoint;
+* valid — the paper's Section 2.2 computation (agrees with WFS here);
+* stable — the Section 7 adjustment: each stable model resolves the
+  drawn cycle one way or the other; cautious/brave answers bracket the
+  valid model.
+
+Run:  python examples/three_semantics.py
+"""
+
+from repro import Dialect, parse_algebra_program, run, translation_registry
+from repro.core import (
+    algebra_answers_stable,
+    environment_to_database,
+    stable_set_models,
+    translate_program,
+    valid_evaluate,
+)
+from repro.relations import Atom, Relation, tup
+
+registry = translation_registry()
+
+# The game graph:
+#   cycle:  a ↔ b          (a drawn sub-game on its own)
+#   escape: b → c → d      (c wins: d is a sink)
+a, b, c, d = (Atom(x) for x in "abcd")
+edges = [(a, b), (b, a), (b, c), (c, d)]
+move = Relation([tup(s, t) for s, t in edges], name="MOVE")
+print("MOVE:", ", ".join(f"{s.name}→{t.name}" for s, t in edges))
+
+program = parse_algebra_program(
+    "relations MOVE;\nWIN = pi1(MOVE - (pi1(MOVE) * WIN));",
+    dialect=Dialect.ALGEBRA_EQ,
+)
+
+# ---------------------------------------------------------------------------
+# Valid (native three-valued evaluation).
+# ---------------------------------------------------------------------------
+valid = valid_evaluate(program, {"MOVE": move}, registry=registry)
+print("\nvalid:")
+print("  true      :", sorted(v.name for v in valid.true["WIN"]))
+print("  undefined :", sorted(v.name for v in valid.undefined["WIN"]))
+
+# ---------------------------------------------------------------------------
+# Well-founded and inflationary, through the translation.
+# ---------------------------------------------------------------------------
+translation = translate_program(program)
+database = environment_to_database({"MOVE": move}, {})
+predicate = translation.predicate_of["WIN"]
+for semantics in ("wellfounded", "inflationary"):
+    outcome = run(translation.program, database, semantics=semantics, registry=registry)
+    true_names = sorted(r[0].name for r in outcome.true_rows(predicate))
+    undef_names = sorted(r[0].name for r in outcome.undefined_rows(predicate))
+    print(f"\n{semantics}:")
+    print("  true      :", true_names)
+    if undef_names:
+        print("  undefined :", undef_names)
+
+# ---------------------------------------------------------------------------
+# Stable models (the Section 7 adjustment).
+# ---------------------------------------------------------------------------
+models = stable_set_models(program, {"MOVE": move}, registry=registry)
+answers = algebra_answers_stable(program, {"MOVE": move}, registry=registry)
+print(f"\nstable ({len(models)} models):")
+for index, model in enumerate(models, 1):
+    print(f"  model {index}: WIN =", sorted(v.name for v in model.members["WIN"]))
+print("  cautious  :", sorted(v.name for v in answers.cautious["WIN"]))
+print("  brave     :", sorted(v.name for v in answers.brave["WIN"]))
+
+print(
+    "\nReading: c wins outright (d is a sink), so b's escape to c is no"
+    "\nhelp, and the a ↔ b cycle is a genuine draw.  The valid and"
+    "\nwell-founded models leave a and b undefined; each stable model"
+    "\nresolves the cycle one way (cautious ∩ = the valid truths, brave ∪ ="
+    "\neverything some resolution makes true); the inflationary reading"
+    "\nover-derives and calls everyone a winner except the sink."
+)

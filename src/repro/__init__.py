@@ -1,0 +1,92 @@
+"""repro — a reproduction of Beeri & Milo,
+*On the Power of Algebras with Recursion* (SIGMOD 1993).
+
+The package implements both query-language paradigms the paper relates
+and the translations between them:
+
+* :mod:`repro.relations` — complex-object values, relations, bounded
+  universes (the data substrate);
+* :mod:`repro.specs` — algebraic specifications with negation, valid
+  interpretations, initial-valid-model analysis (Section 2);
+* :mod:`repro.datalog` — the deductive engine: safety, stratification,
+  grounding, and the minimal / stratified / inflationary / well-founded /
+  valid / stable semantics (Section 4);
+* :mod:`repro.core` — the algebras (``algebra``, ``IFP-algebra``,
+  ``algebra=``, ``IFP-algebra=``), the native three-valued evaluator, and
+  the translations of Sections 5 and 6;
+* :mod:`repro.lang` — a concrete syntax for ``algebra=`` programs;
+* :mod:`repro.corpus` — shared workloads for tests and benchmarks.
+
+Quickstart::
+
+    from repro import (
+        parse_algebra_program, parse_program, Dialect,
+        valid_evaluate, run, check_algebra_roundtrip,
+    )
+
+See ``examples/quickstart.py`` for a complete tour.
+"""
+
+from .core import (
+    AlgebraProgram,
+    Definition,
+    Dialect,
+    EvalLimits,
+    ValidEvalResult,
+    check_algebra_roundtrip,
+    check_datalog_roundtrip,
+    datalog_to_algebra,
+    evaluate,
+    run_staged,
+    translate_expression,
+    translate_program,
+    translation_registry,
+    valid_evaluate,
+)
+from .datalog import Database, Program, run
+from .datalog.parser import parse_program
+from .lang import parse_algebra_expr, parse_algebra_program
+from .relations import Atom, FSet, Relation, Tup, Universe, fset, standard_registry, tup
+from .specs import Specification, analyze_constant_spec, valid_interpretation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relations
+    "Atom",
+    "Tup",
+    "FSet",
+    "tup",
+    "fset",
+    "Relation",
+    "Universe",
+    "standard_registry",
+    # datalog
+    "Program",
+    "Database",
+    "run",
+    "parse_program",
+    # core
+    "Dialect",
+    "Definition",
+    "AlgebraProgram",
+    "evaluate",
+    "valid_evaluate",
+    "ValidEvalResult",
+    "EvalLimits",
+    "translate_expression",
+    "translate_program",
+    "datalog_to_algebra",
+    "run_staged",
+    "translation_registry",
+    "check_algebra_roundtrip",
+    "check_datalog_roundtrip",
+    # lang
+    "parse_algebra_program",
+    "parse_algebra_expr",
+    # specs
+    "Specification",
+    "valid_interpretation",
+    "analyze_constant_spec",
+]

@@ -1,0 +1,261 @@
+"""Command-line interface.
+
+::
+
+    repro datalog  PROGRAM.dl [--facts FACTS.dl] [--semantics valid] ...
+    repro algebra  PROGRAM.alg [--facts FACTS.dl] [--dialect algebra=] ...
+    repro translate --to datalog PROGRAM.alg
+    repro translate --to algebra PROGRAM.dl
+    repro check    PROGRAM.dl            (safety + stratification report)
+
+Programs are text files in the package's concrete syntaxes
+(:mod:`repro.datalog.parser`, :mod:`repro.lang.parser`).  Facts files are
+Datalog fact lists (``move(a, b).``); for the algebra side each predicate
+becomes a database relation via the standard encoding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.algebra_to_datalog import translate_program, translation_registry
+from .core.datalog_to_algebra import datalog_to_algebra
+from .core.encoding import database_to_environment
+from .core.programs import Dialect
+from .core.valid_eval import valid_evaluate
+from .core.well_defined import check_well_defined
+from .datalog.ast import Program
+from .datalog.database import Database
+from .datalog.engine import SEMANTICS, run
+from .datalog.parser import parse_program
+from .datalog.pretty import pretty_program
+from .datalog.safety import is_safe_rule
+from .datalog.stratification import is_stratified, stratify
+from .lang.parser import parse_algebra_program
+from .lang.pretty import pretty_algebra_program
+from .relations.relation import Relation
+from .relations.values import format_value, sorted_values
+
+__all__ = ["main"]
+
+_DIALECTS = {
+    "algebra": Dialect.ALGEBRA,
+    "ifp-algebra": Dialect.IFP_ALGEBRA,
+    "algebra=": Dialect.ALGEBRA_EQ,
+    "ifp-algebra=": Dialect.IFP_ALGEBRA_EQ,
+}
+
+
+def _load_facts(path: Optional[str]) -> Database:
+    database = Database()
+    if path is None:
+        return database
+    program = parse_program(Path(path).read_text())
+    for rule in program.rules:
+        if not rule.is_fact():
+            raise SystemExit(f"facts file {path} contains a non-fact rule: {rule!r}")
+        database.add(rule.head.predicate, *(arg.value for arg in rule.head.args))
+    return database
+
+
+def _split_program_and_facts(program: Program) -> tuple:
+    """Ground facts written inside a program file become database facts."""
+    rules = []
+    database = Database()
+    for rule in program.rules:
+        if rule.is_fact():
+            database.add(rule.head.predicate, *(arg.value for arg in rule.head.args))
+        else:
+            rules.append(rule)
+    return Program(tuple(rules), name=program.name), database
+
+
+def _merge(left: Database, right: Database) -> Database:
+    merged = left.copy()
+    for predicate, row in right:
+        merged.add(predicate, *row)
+    return merged
+
+
+def _print_rows(label: str, rows) -> None:
+    rendered = sorted(
+        "(" + ", ".join(format_value(v) for v in row) + ")" for row in rows
+    )
+    print(f"  {label}: {' '.join(rendered) if rendered else '-'}")
+
+
+def _cmd_datalog(args: argparse.Namespace) -> int:
+    source = Path(args.program).read_text()
+    program, inline_facts = _split_program_and_facts(
+        parse_program(source, name=args.program)
+    )
+    database = _merge(inline_facts, _load_facts(args.facts))
+    result = run(
+        program,
+        database,
+        semantics=args.semantics,
+        registry=translation_registry(),
+        max_rounds=args.max_rounds,
+        max_atoms=args.max_atoms,
+    )
+    predicates = args.query or sorted(program.idb_predicates())
+    for predicate in predicates:
+        print(f"{predicate}:")
+        _print_rows("true", result.true_rows(predicate))
+        undefined = result.undefined_rows(predicate)
+        if undefined:
+            _print_rows("undefined", undefined)
+    if not result.is_total():
+        print("note: the model is three-valued (some atoms undefined)")
+    return 0
+
+
+def _load_relations(path: Optional[str]) -> dict:
+    """An algebra-side facts file: ground set definitions in the algebra
+    syntax, e.g. ``MOVE = {[a, b], [b, c]};``."""
+    if path is None:
+        return {}
+    from .core.evaluator import evaluate
+
+    facts_program = parse_algebra_program(Path(path).read_text())
+    environment = {}
+    for definition in facts_program.definitions:
+        if definition.params:
+            raise SystemExit(
+                f"relations file {path}: {definition.name} is not a ground set"
+            )
+        value = evaluate(
+            definition.body, environment, registry=translation_registry(),
+            program=facts_program,
+        )
+        environment[definition.name] = value.renamed(definition.name)
+    return environment
+
+
+def _cmd_algebra(args: argparse.Namespace) -> int:
+    source = Path(args.program).read_text()
+    program = parse_algebra_program(
+        source, dialect=_DIALECTS[args.dialect], name=args.program
+    )
+    environment = _load_relations(args.facts)
+    for name in program.database_relations:
+        environment.setdefault(name, Relation([], name=name))
+    report = check_well_defined(
+        program, environment, registry=translation_registry()
+    )
+    result = report.result
+    for definition in program.to_constant_system().definitions:
+        name = definition.name
+        members = " ".join(
+            format_value(v) for v in sorted_values(result.true[name])
+        )
+        print(f"{name} = {{{members}}}")
+        if result.undefined[name]:
+            undef = " ".join(
+                format_value(v) for v in sorted_values(result.undefined[name])
+            )
+            print(f"  undefined members: {undef}")
+    print(f"well-definedness: {report.verdict.value}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    source = Path(args.program).read_text()
+    if args.to == "datalog":
+        program = parse_algebra_program(
+            source, dialect=_DIALECTS[args.dialect], name=args.program
+        )
+        translation = translate_program(program)
+        print(pretty_program(translation.program))
+        print()
+        for name, predicate in sorted(translation.predicate_of.items()):
+            print(f"% {name} -> {predicate}")
+    else:
+        program, facts = _split_program_and_facts(
+            parse_program(source, name=args.program)
+        )
+        if facts.fact_count():
+            print(
+                "% note: ground facts in the input belong to the database "
+                "and are not translated",
+                file=sys.stderr,
+            )
+        translation = datalog_to_algebra(program)
+        print(pretty_algebra_program(translation.program))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    source = Path(args.program).read_text()
+    program, _facts = _split_program_and_facts(
+        parse_program(source, name=args.program)
+    )
+    exit_code = 0
+    for rule in program.rules:
+        if not is_safe_rule(rule):
+            print(f"UNSAFE: {rule!r}")
+            exit_code = 1
+    if is_stratified(program):
+        strata = stratify(program)
+        height = max(strata.values(), default=0)
+        print(f"stratified: yes ({height + 1} strata)")
+        for level in range(height + 1):
+            members = sorted(p for p, s in strata.items() if s == level)
+            print(f"  stratum {level}: {' '.join(members)}")
+    else:
+        print("stratified: no (evaluate under wellfounded/valid semantics)")
+    if exit_code == 0:
+        print("safety: all rules safe (Definition 4.1)")
+    return exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Algebras with recursion vs deduction — the Beeri–Milo SIGMOD'93 "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dl = sub.add_parser("datalog", help="run a deductive program")
+    p_dl.add_argument("program")
+    p_dl.add_argument("--facts", help="extra facts file")
+    p_dl.add_argument("--semantics", choices=SEMANTICS, default="valid")
+    p_dl.add_argument("--query", action="append", help="predicate(s) to print")
+    p_dl.add_argument("--max-rounds", type=int, default=10_000)
+    p_dl.add_argument("--max-atoms", type=int, default=1_000_000)
+    p_dl.set_defaults(func=_cmd_datalog)
+
+    p_alg = sub.add_parser("algebra", help="run an algebra= program")
+    p_alg.add_argument("program")
+    p_alg.add_argument("--facts", help="facts file defining the database relations")
+    p_alg.add_argument("--dialect", choices=sorted(_DIALECTS), default="ifp-algebra=")
+    p_alg.set_defaults(func=_cmd_algebra)
+
+    p_tr = sub.add_parser("translate", help="translate between the paradigms")
+    p_tr.add_argument("program")
+    p_tr.add_argument("--to", choices=["datalog", "algebra"], required=True)
+    p_tr.add_argument("--dialect", choices=sorted(_DIALECTS), default="ifp-algebra=")
+    p_tr.set_defaults(func=_cmd_translate)
+
+    p_chk = sub.add_parser("check", help="safety and stratification report")
+    p_chk.add_argument("program")
+    p_chk.set_defaults(func=_cmd_check)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

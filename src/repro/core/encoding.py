@@ -1,0 +1,94 @@
+"""The relation ↔ predicate encoding shared by both translations.
+
+The paper's databases are named *sets*; deductive databases are
+*predicates*.  The translations of Sections 5 and 6 identify the two:
+
+* a predicate of arity 1 corresponds to the set of its member values;
+* a predicate of arity n ≥ 2 corresponds to the set of width-n tuples;
+* a propositional (arity-0) predicate corresponds to a set that contains
+  the marker :data:`UNIT` exactly when the proposition holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from ..datalog.database import Database
+from ..relations.relation import Relation
+from ..relations.values import Atom, Tup, Value
+
+__all__ = [
+    "UNIT",
+    "row_to_value",
+    "value_to_row",
+    "database_to_environment",
+    "environment_to_database",
+    "rows_to_relation",
+    "relation_rows",
+]
+
+UNIT = Atom("unit")
+"""Marker member encoding a true arity-0 predicate as a non-empty set."""
+
+
+def row_to_value(row: Tuple[Value, ...]) -> Value:
+    """Encode a fact's argument tuple as a single set member."""
+    if len(row) == 0:
+        return UNIT
+    if len(row) == 1:
+        return row[0]
+    return Tup(tuple(row))
+
+
+def value_to_row(value: Value, arity: int) -> Tuple[Value, ...]:
+    """Decode a set member back into a fact's argument tuple.
+
+    Raises ``ValueError`` when the member does not fit the arity (e.g. a
+    non-tuple member of a binary predicate's set).
+    """
+    if arity == 0:
+        if value != UNIT:
+            raise ValueError(f"arity-0 encoding expects {UNIT!r}, got {value!r}")
+        return ()
+    if arity == 1:
+        return (value,)
+    if not isinstance(value, Tup) or len(value) != arity:
+        raise ValueError(f"expected a width-{arity} tuple, got {value!r}")
+    return tuple(value.items)
+
+
+def rows_to_relation(
+    rows: FrozenSet[Tuple[Value, ...]], name: str
+) -> Relation:
+    """Encode predicate rows as a named set."""
+    return Relation((row_to_value(row) for row in rows), name=name)
+
+
+def relation_rows(relation: Relation, arity: int) -> FrozenSet[Tuple[Value, ...]]:
+    """Decode a named set back into predicate rows."""
+    return frozenset(value_to_row(member, arity) for member in relation.items)
+
+
+def database_to_environment(database: Database) -> Dict[str, Relation]:
+    """View every database predicate as a named set (Section 6 direction)."""
+    environment: Dict[str, Relation] = {}
+    for predicate in database.predicates():
+        environment[predicate] = rows_to_relation(database.rows(predicate), predicate)
+    return environment
+
+
+def environment_to_database(
+    environment: Mapping[str, Relation], arities: Mapping[str, int]
+) -> Database:
+    """View named sets as database predicates (Section 5 direction).
+
+    ``arities`` says how to decode each relation's members; relations not
+    listed are taken as unary.
+    """
+    database = Database()
+    for name, relation in environment.items():
+        arity = arities.get(name, 1)
+        database.declare(name)  # keep empty relations visible
+        for member in relation.items:
+            database.add(name, *value_to_row(member, arity))
+    return database

@@ -1,0 +1,480 @@
+"""Native three-valued evaluation of ``algebra=`` programs.
+
+The semantics of a recursive program ``{S_i = exp_i(...)}`` is the valid
+model of its specification (Section 3.2): membership facts are derived by
+the Section 2.2 valid computation, where the subtraction operator "performs
+inversion of membership" — a membership may be used *negatively* (inside
+the right operand of a ``−``) only once it is certainly false.
+
+This module realises that computation directly on the set equations,
+without translating to a deductive program:
+
+1. **Candidate universe** — an inflationary over-approximation of every
+   (sub)expression's possible members, obtained by ignoring subtraction.
+   Everything outside it is certainly false in every reading.
+2. **Polarity-split derivation** — ``holds(v, exp, sign)`` evaluates
+   membership where system-set references at *positive* polarity read the
+   current derivation state and references at *negative* polarity (under
+   an odd number of ``−``-right nestings) are answered by a negation
+   oracle.  Double subtraction therefore flips polarity back, exactly as
+   the membership-inversion equations of [5] do.
+3. **Alternating fixpoint** — the paper's valid loop: an overestimate pass
+   (negatives allowed unless already true), certainly-false harvesting,
+   then an underestimate pass (negatives allowed only on certainly-false
+   facts), repeated until stable.
+
+The result is three-valued per defined set; a program is *well-defined on
+the given database* when no membership is left undefined (``S = {a} − S``
+and the cyclic WIN game of Section 3.2 come out undefined, as the paper
+requires).
+
+``IFP`` nodes are pre-eliminated when their bodies do not reach a
+recursive name (they are then ordinary IFP-algebra subqueries, total by
+Theorem 3.1); programs that recurse *through* an IFP are evaluated via the
+translation route (Corollary 3.6), and this evaluator refuses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from ..relations.relation import Relation
+from ..relations.universe import FunctionRegistry, Universe
+from ..relations.values import Tup, Value
+from ..datalog.semantics.interpretations import Truth
+from .evaluator import NonTerminating, evaluate
+from .expressions import (
+    Call,
+    Diff,
+    Expr,
+    Ifp,
+    Map,
+    Product,
+    RelVar,
+    Select,
+    SetConst,
+    Union,
+    called_names,
+    walk,
+)
+from .funcs import eval_scalar, eval_test
+from .programs import AlgebraProgram, ProgramError
+
+__all__ = ["EvalLimits", "ValidEvalResult", "valid_evaluate", "IfpThroughRecursion"]
+
+
+class IfpThroughRecursion(ProgramError):
+    """An IFP body reaches a recursive name; use the translation route."""
+
+
+@dataclass(frozen=True)
+class EvalLimits:
+    """Bounds for the candidate-universe closure."""
+
+    max_rounds: int = 500
+    max_values: int = 200_000
+
+
+@dataclass
+class ValidEvalResult:
+    """Three-valued memberships of every defined set constant."""
+
+    true: Dict[str, FrozenSet[Value]]
+    undefined: Dict[str, FrozenSet[Value]]
+    candidates: Dict[str, FrozenSet[Value]]
+    rounds: int
+
+    def names(self) -> FrozenSet[str]:
+        """Names of the defined set constants."""
+        return frozenset(self.true)
+
+    def truth_of(self, name: str, value: Value) -> Truth:
+        """MEM(value, name) in the valid interpretation.
+
+        Values outside the candidate universe are certainly false: they
+        have no possible derivation.
+        """
+        if value in self.true[name]:
+            return Truth.TRUE
+        if value in self.undefined[name]:
+            return Truth.UNDEFINED
+        return Truth.FALSE
+
+    def relation(self, name: str) -> Relation:
+        """The certainly-true members of a defined set, as a relation."""
+        return Relation(self.true[name], name=name)
+
+    def undefined_members(self, name: str) -> FrozenSet[Value]:
+        """Members whose status the valid model leaves open."""
+        return self.undefined[name]
+
+    def is_well_defined(self) -> bool:
+        """No membership undefined: the program has an initial valid model
+        on this database (the executable reading of Section 3.2's
+        well-definedness)."""
+        return not any(self.undefined.values())
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{name}: {len(self.true[name])} true"
+            + (f", {len(self.undefined[name])} undefined" if self.undefined[name] else "")
+            for name in sorted(self.true)
+        ]
+        return f"<ValidEvalResult {'; '.join(parts)}>"
+
+
+# ---------------------------------------------------------------------------
+# IFP pre-elimination
+# ---------------------------------------------------------------------------
+
+
+def _eliminate_ifp(
+    expr: Expr,
+    recursive: FrozenSet[str],
+    environment: Mapping[str, Relation],
+    program: AlgebraProgram,
+    registry: Optional[FunctionRegistry],
+    max_iterations: int,
+) -> Expr:
+    """Replace IFP nodes that do not reach a recursive name by their
+    (two-valued, total — Theorem 3.1) value."""
+    if isinstance(expr, Ifp):
+        reached = called_names(expr.body)
+        if reached & recursive:
+            raise IfpThroughRecursion(
+                f"IFP over {sorted(reached & recursive)} recursive names; "
+                f"evaluate via algebra_to_datalog instead (Corollary 3.6)"
+            )
+        body = _eliminate_ifp(
+            expr.body, recursive, environment, program, registry, max_iterations
+        )
+        value = evaluate(
+            Ifp(expr.param, body),
+            environment,
+            registry=registry,
+            program=program,
+            max_iterations=max_iterations,
+        )
+        return SetConst(value.items)
+    if isinstance(expr, Union):
+        return Union(
+            _eliminate_ifp(expr.left, recursive, environment, program, registry, max_iterations),
+            _eliminate_ifp(expr.right, recursive, environment, program, registry, max_iterations),
+        )
+    if isinstance(expr, Diff):
+        return Diff(
+            _eliminate_ifp(expr.left, recursive, environment, program, registry, max_iterations),
+            _eliminate_ifp(expr.right, recursive, environment, program, registry, max_iterations),
+        )
+    if isinstance(expr, Product):
+        return Product(
+            _eliminate_ifp(expr.left, recursive, environment, program, registry, max_iterations),
+            _eliminate_ifp(expr.right, recursive, environment, program, registry, max_iterations),
+        )
+    if isinstance(expr, Select):
+        return Select(
+            _eliminate_ifp(expr.child, recursive, environment, program, registry, max_iterations),
+            expr.test,
+        )
+    if isinstance(expr, Map):
+        return Map(
+            _eliminate_ifp(expr.child, recursive, environment, program, registry, max_iterations),
+            expr.func,
+        )
+    if isinstance(expr, Call):
+        return Call(
+            expr.name,
+            tuple(
+                _eliminate_ifp(a, recursive, environment, program, registry, max_iterations)
+                for a in expr.args
+            ),
+        )
+    return expr
+
+
+def _positive_call_names(expr: Expr, positive: bool = True) -> FrozenSet[str]:
+    """System names occurring at positive polarity (even subtraction
+    nesting) in an expression."""
+    if isinstance(expr, Call):
+        return frozenset((expr.name,)) if positive else frozenset()
+    if isinstance(expr, (RelVar, SetConst)):
+        return frozenset()
+    if isinstance(expr, (Union, Product)):
+        return _positive_call_names(expr.left, positive) | _positive_call_names(
+            expr.right, positive
+        )
+    if isinstance(expr, Diff):
+        return _positive_call_names(expr.left, positive) | _positive_call_names(
+            expr.right, not positive
+        )
+    if isinstance(expr, (Select, Map)):
+        return _positive_call_names(expr.child, positive)
+    if isinstance(expr, Ifp):  # pragma: no cover — eliminated before use
+        return _positive_call_names(expr.body, positive)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# The equation system
+# ---------------------------------------------------------------------------
+
+
+class _System:
+    """A normalised system of 0-ary set equations, plus its candidate
+    universe and per-node evaluation indexes."""
+
+    def __init__(
+        self,
+        equations: Dict[str, Expr],
+        environment: Mapping[str, Relation],
+        registry: Optional[FunctionRegistry],
+        limits: EvalLimits,
+        universe: Optional[Universe],
+    ):
+        self.equations = equations
+        self.environment = environment
+        self.registry = registry
+        self.limits = limits
+        self.universe = universe
+        self.cand_sys: Dict[str, FrozenSet[Value]] = {}
+        self.node_cand: Dict[int, FrozenSet[Value]] = {}
+        self._node_index: Dict[int, Expr] = {}
+        self.map_preimages: Dict[int, Dict[Value, List[Value]]] = {}
+        self._compute_candidates()
+        self._index_maps()
+        # Positive dependencies: S depends on T when T occurs at positive
+        # polarity in S's equation (negative occurrences read the static
+        # oracle, so they cannot trigger re-derivation within a pass).
+        self._positive_deps: Dict[str, FrozenSet[str]] = {
+            name: _positive_call_names(body) for name, body in equations.items()
+        }
+
+    # -- candidate universe -------------------------------------------------
+
+    def _over_eval(self, node: Expr, cand: Mapping[str, FrozenSet[Value]]) -> FrozenSet[Value]:
+        """Over-approximate members, ignoring subtraction."""
+        if isinstance(node, RelVar):
+            return self.environment[node.name].items
+        if isinstance(node, SetConst):
+            return node.values
+        if isinstance(node, Union):
+            return self._over_eval(node.left, cand) | self._over_eval(node.right, cand)
+        if isinstance(node, Diff):
+            return self._over_eval(node.left, cand)
+        if isinstance(node, Product):
+            left = self._over_eval(node.left, cand)
+            right = self._over_eval(node.right, cand)
+            return frozenset(Tup((a, b)) for a in left for b in right)
+        if isinstance(node, Select):
+            child = self._over_eval(node.child, cand)
+            return frozenset(
+                v for v in child if eval_test(node.test, v, self.registry)
+            )
+        if isinstance(node, Map):
+            child = self._over_eval(node.child, cand)
+            images = set()
+            for member in child:
+                image = eval_scalar(node.func, member, self.registry)
+                if image is not None and (self.universe is None or image in self.universe):
+                    images.add(image)
+            return frozenset(images)
+        if isinstance(node, Call):
+            return cand.get(node.name, frozenset())
+        raise TypeError(f"unexpected node in normalised system: {node!r}")
+
+    def _compute_candidates(self) -> None:
+        cand: Dict[str, FrozenSet[Value]] = {name: frozenset() for name in self.equations}
+        for round_index in range(self.limits.max_rounds):
+            new_cand = {
+                name: self._over_eval(body, cand)
+                for name, body in self.equations.items()
+            }
+            total = sum(len(v) for v in new_cand.values())
+            if total > self.limits.max_values:
+                raise NonTerminating(
+                    f"candidate universe exceeded {self.limits.max_values} values"
+                    " — the program may define an infinite set; restrict it with"
+                    " a selection or pass a bounding Universe"
+                )
+            # Candidates grow monotonically: keep the union to be safe
+            # against non-monotone tests (there are none, but cheap).
+            new_cand = {
+                name: cand[name] | members for name, members in new_cand.items()
+            }
+            if new_cand == cand:
+                self.cand_sys = cand
+                break
+            cand = new_cand
+        else:
+            raise NonTerminating(
+                f"candidate universe did not converge within "
+                f"{self.limits.max_rounds} rounds — the program may define an "
+                f"infinite set; restrict it or pass a bounding Universe"
+            )
+        # Final per-node candidate pass.
+        for body in self.equations.values():
+            self._node_candidates(body)
+
+    def _node_candidates(self, node: Expr) -> FrozenSet[Value]:
+        key = id(node)
+        if key in self.node_cand:
+            return self.node_cand[key]
+        if isinstance(node, (Union, Diff, Product)):
+            self._node_candidates(node.left)
+            self._node_candidates(node.right)
+        elif isinstance(node, (Select, Map)):
+            self._node_candidates(node.child)
+        result = self._over_eval(node, self.cand_sys)
+        self.node_cand[key] = result
+        self._node_index[key] = node
+        return result
+
+    def _index_maps(self) -> None:
+        """Precompute image → preimages for every MAP node."""
+        for key, node in self._node_index.items():
+            if not isinstance(node, Map):
+                continue
+            preimages: Dict[Value, List[Value]] = {}
+            for member in self.node_cand[id(node.child)]:
+                image = eval_scalar(node.func, member, self.registry)
+                if image is None:
+                    continue
+                if self.universe is not None and image not in self.universe:
+                    continue
+                preimages.setdefault(image, []).append(member)
+            self.map_preimages[key] = preimages
+
+    # -- polarity-split membership -----------------------------------------------
+
+    def holds(
+        self,
+        value: Value,
+        node: Expr,
+        state: Mapping[str, Set[Value]],
+        oracle: Callable[[str, Value], bool],
+        positive: bool,
+    ) -> bool:
+        """Membership of ``value`` in ``node``.
+
+        System-set references read ``state`` at positive polarity; at
+        negative polarity ``value ∈ S`` is *false* exactly when the oracle
+        licenses the assumption ``value ∉ S`` (and true otherwise, i.e.
+        possibly-true memberships block subtraction).
+        """
+        if isinstance(node, RelVar):
+            return value in self.environment[node.name].items
+        if isinstance(node, SetConst):
+            return value in node.values
+        if isinstance(node, Union):
+            return self.holds(value, node.left, state, oracle, positive) or self.holds(
+                value, node.right, state, oracle, positive
+            )
+        if isinstance(node, Diff):
+            if not self.holds(value, node.left, state, oracle, positive):
+                return False
+            return not self.holds(value, node.right, state, oracle, not positive)
+        if isinstance(node, Product):
+            if not isinstance(value, Tup) or len(value) != 2:
+                return False
+            return self.holds(
+                value.component(1), node.left, state, oracle, positive
+            ) and self.holds(value.component(2), node.right, state, oracle, positive)
+        if isinstance(node, Select):
+            if not eval_test(node.test, value, self.registry):
+                return False
+            return self.holds(value, node.child, state, oracle, positive)
+        if isinstance(node, Map):
+            for preimage in self.map_preimages.get(id(node), {}).get(value, ()):
+                if self.holds(preimage, node.child, state, oracle, positive):
+                    return True
+            return False
+        if isinstance(node, Call):
+            if positive:
+                return value in state[node.name]
+            return not oracle(node.name, value)
+        raise TypeError(f"unexpected node: {node!r}")
+
+    # -- derivation passes ----------------------------------------------------------
+
+    def derive(self, oracle: Callable[[str, Value], bool]) -> Dict[str, FrozenSet[Value]]:
+        """Least fixpoint of simultaneous derivation under a negation
+        oracle, with dependency-aware re-evaluation: after the first
+        sweep, an equation is revisited only when a set it reads at
+        positive polarity gained members."""
+        state: Dict[str, Set[Value]] = {name: set() for name in self.equations}
+        dirty: Set[str] = set(self.equations)
+        while dirty:
+            grew: Set[str] = set()
+            for name in sorted(dirty):
+                body = self.equations[name]
+                for value in self.cand_sys[name]:
+                    if value in state[name]:
+                        continue
+                    if self.holds(value, body, state, oracle, True):
+                        state[name].add(value)
+                        grew.add(name)
+            dirty = {
+                name
+                for name in self.equations
+                if self._positive_deps[name] & grew or name in grew
+            }
+        return {name: frozenset(members) for name, members in state.items()}
+
+
+def valid_evaluate(
+    program: AlgebraProgram,
+    environment: Mapping[str, Relation],
+    registry: Optional[FunctionRegistry] = None,
+    limits: EvalLimits = EvalLimits(),
+    universe: Optional[Universe] = None,
+    max_ifp_iterations: int = 10_000,
+) -> ValidEvalResult:
+    """Compute the valid interpretation of an ``algebra=`` program.
+
+    ``environment`` binds the database relations.  ``universe``, when
+    given, bounds value creation by MAP (the window of the bounded-universe
+    discipline); without it, programs that generate unboundedly raise
+    :class:`~repro.core.evaluator.NonTerminating`.
+    """
+    system_program = program.to_constant_system()
+    recursive = system_program.recursive_names()
+
+    equations: Dict[str, Expr] = {}
+    for definition in system_program.definitions:
+        body = _eliminate_ifp(
+            definition.body,
+            recursive,
+            environment,
+            system_program,
+            registry,
+            max_ifp_iterations,
+        )
+        equations[definition.name] = body
+
+    system = _System(equations, environment, registry, limits, universe)
+
+    # The paper's Section 2.2 loop, on set equations.
+    true_state: Dict[str, FrozenSet[Value]] = {
+        name: frozenset() for name in equations
+    }
+    rounds = 0
+    while True:
+        rounds += 1
+        over = system.derive(
+            lambda name, value: value not in true_state[name]
+        )
+        next_true = system.derive(lambda name, value: value not in over[name])
+        if next_true == true_state:
+            break
+        true_state = next_true
+
+    undefined = {
+        name: over[name] - true_state[name] for name in equations
+    }
+    return ValidEvalResult(
+        true=true_state,
+        undefined=undefined,
+        candidates=dict(system.cand_sys),
+        rounds=rounds,
+    )

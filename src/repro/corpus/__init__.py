@@ -1,0 +1,43 @@
+"""Shared workloads: graph generators and the program corpus."""
+
+from .graphs import (
+    binary_tree,
+    chain,
+    complete,
+    cycle,
+    edges_to_database,
+    edges_to_relation,
+    grid,
+    node,
+    nodes_of,
+    random_graph,
+    star,
+)
+from .programs import (
+    ALGEBRA_CORPUS,
+    DEDUCTIVE_CORPUS,
+    AlgebraCase,
+    DeductiveCase,
+    algebra_case,
+    deductive_case,
+)
+
+__all__ = [
+    "node",
+    "chain",
+    "cycle",
+    "grid",
+    "complete",
+    "binary_tree",
+    "random_graph",
+    "star",
+    "edges_to_relation",
+    "edges_to_database",
+    "nodes_of",
+    "DeductiveCase",
+    "AlgebraCase",
+    "DEDUCTIVE_CORPUS",
+    "ALGEBRA_CORPUS",
+    "deductive_case",
+    "algebra_case",
+]

@@ -1,0 +1,122 @@
+"""Graph workload generators.
+
+The paper's running example (the WIN game) and the classical recursive
+queries (transitive closure, same generation) are graph workloads; these
+generators produce the MOVE/edge relations the tests and benchmarks sweep
+over.  All generators are deterministic (seeded).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..datalog.database import Database
+from ..relations.relation import Relation
+from ..relations.values import Atom, tup
+
+__all__ = [
+    "node",
+    "chain",
+    "cycle",
+    "grid",
+    "complete",
+    "binary_tree",
+    "random_graph",
+    "star",
+    "edges_to_relation",
+    "edges_to_database",
+    "nodes_of",
+]
+
+Edge = Tuple[Atom, Atom]
+
+
+def node(index: int) -> Atom:
+    """The canonical node atom ``n<index>``."""
+    return Atom(f"n{index}")
+
+
+def chain(length: int) -> List[Edge]:
+    """``n0 → n1 → ... → n(length-1)``."""
+    return [(node(i), node(i + 1)) for i in range(length - 1)]
+
+
+def cycle(length: int) -> List[Edge]:
+    """A directed cycle of ``length`` nodes."""
+    return [(node(i), node((i + 1) % length)) for i in range(length)]
+
+
+def grid(width: int, height: int) -> List[Edge]:
+    """Right/down moves on a ``width × height`` grid (acyclic)."""
+    edges: List[Edge] = []
+
+    def cell(x: int, y: int) -> Atom:
+        return Atom(f"g{x}_{y}")
+
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append((cell(x, y), cell(x + 1, y)))
+            if y + 1 < height:
+                edges.append((cell(x, y), cell(x, y + 1)))
+    return edges
+
+
+def complete(size: int) -> List[Edge]:
+    """All ordered pairs of distinct nodes."""
+    return [
+        (node(i), node(j)) for i in range(size) for j in range(size) if i != j
+    ]
+
+
+def binary_tree(depth: int) -> List[Edge]:
+    """A complete binary tree, edges parent → child."""
+    edges: List[Edge] = []
+    for index in range(2 ** depth - 1):
+        for child in (2 * index + 1, 2 * index + 2):
+            if child < 2 ** (depth + 1) - 1:
+                edges.append((node(index), node(child)))
+    return edges
+
+
+def random_graph(size: int, edge_probability: float, seed: int = 0) -> List[Edge]:
+    """A seeded Erdős–Rényi-style directed graph (self-loops allowed —
+    they matter for the WIN game's undefined positions)."""
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    for i in range(size):
+        for j in range(size):
+            if rng.random() < edge_probability:
+                edges.append((node(i), node(j)))
+    return edges
+
+
+def star(size: int) -> List[Edge]:
+    """Hub ``n0`` pointing at ``size - 1`` leaves."""
+    return [(node(0), node(i)) for i in range(1, size)]
+
+
+def edges_to_relation(edges: List[Edge], name: str = "MOVE") -> Relation:
+    """Edges as a set of pairs (the algebra-side encoding)."""
+    return Relation((tup(source, target) for source, target in edges), name=name)
+
+
+def edges_to_database(edges: List[Edge], predicate: str = "move") -> Database:
+    """Edges as a binary predicate (the deduction-side encoding)."""
+    database = Database().declare(predicate)
+    for source, target in edges:
+        database.add(predicate, source, target)
+    return database
+
+
+def nodes_of(edges: List[Edge]) -> List[Atom]:
+    """All endpoints of an edge list, first-seen order."""
+    seen = []
+    noted = set()
+    for source, target in edges:
+        for endpoint in (source, target):
+            if endpoint not in noted:
+                noted.add(endpoint)
+                seen.append(endpoint)
+    return seen

@@ -1,0 +1,161 @@
+"""Extensional databases (EDB) for the deductive engine.
+
+A :class:`Database` maps predicate names to finite sets of ground value
+tuples.  Conversion helpers connect it to the algebraic side: a database
+*relation* (a named set, Section 3) corresponds to a *unary* predicate
+holding its members — this is exactly the correspondence the translations
+of Sections 5 and 6 rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from ..relations.relation import Relation
+from ..relations.values import FSet, Tup, Value, is_value, sorted_values
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A finite collection of ground facts, grouped by predicate."""
+
+    def __init__(self, facts: Optional[Mapping[str, Iterable[Tuple[Value, ...]]]] = None):
+        self._facts: Dict[str, Set[Tuple[Value, ...]]] = {}
+        if facts:
+            for predicate, rows in facts.items():
+                for row in rows:
+                    self.add(predicate, *row)
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, predicate: str, *args: Value) -> "Database":
+        """Add a ground fact ``predicate(args...)`` (mutating; returns self)."""
+        for arg in args:
+            if not is_value(arg):
+                raise TypeError(f"fact argument is not a value: {arg!r}")
+        rows = self._facts.setdefault(predicate, set())
+        if rows and len(next(iter(rows))) != len(args):
+            raise ValueError(
+                f"predicate {predicate} used with inconsistent arities"
+            )
+        rows.add(tuple(args))
+        return self
+
+    def declare(self, predicate: str) -> "Database":
+        """Register a predicate with no facts yet (an empty relation is
+        still part of the schema)."""
+        self._facts.setdefault(predicate, set())
+        return self
+
+    @classmethod
+    def from_relations(cls, *relations: Relation) -> "Database":
+        """Each named relation becomes a unary predicate of its members."""
+        database = cls()
+        for relation in relations:
+            if relation.name is None:
+                raise ValueError("relations stored in a database must be named")
+            database.declare(relation.name)
+            for member in relation.items:
+                database.add(relation.name, member)
+        return database
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A copy with ``relation`` added as a unary predicate."""
+        clone = self.copy()
+        if relation.name is None:
+            raise ValueError("relation must be named")
+        clone._facts.setdefault(relation.name, set())
+        for member in relation.items:
+            clone.add(relation.name, member)
+        return clone
+
+    def copy(self) -> "Database":
+        """An independent copy."""
+        clone = Database()
+        clone._facts = {pred: set(rows) for pred, rows in self._facts.items()}
+        return clone
+
+    # -- access ---------------------------------------------------------------
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicates with facts (or declared)."""
+        return frozenset(self._facts)
+
+    def arity(self, predicate: str) -> Optional[int]:
+        """Arity of a predicate, or None when empty."""
+        rows = self._facts.get(predicate)
+        if not rows:
+            return None
+        return len(next(iter(rows)))
+
+    def rows(self, predicate: str) -> FrozenSet[Tuple[Value, ...]]:
+        """The fact rows of a predicate."""
+        return frozenset(self._facts.get(predicate, ()))
+
+    def holds(self, predicate: str, *args: Value) -> bool:
+        """Is the ground fact present?"""
+        return tuple(args) in self._facts.get(predicate, ())
+
+    def unary_relation(self, predicate: str) -> Relation:
+        """Read a unary predicate back as a named algebraic relation."""
+        members = []
+        for row in self._facts.get(predicate, ()):
+            if len(row) != 1:
+                raise ValueError(f"predicate {predicate} is not unary")
+            members.append(row[0])
+        return Relation(members, name=predicate)
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._facts
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple[Value, ...]]]:
+        for predicate in sorted(self._facts):
+            for row in sorted(self._facts[predicate], key=lambda r: tuple(map(repr, r))):
+                yield predicate, row
+
+    def fact_count(self) -> int:
+        """Total number of facts."""
+        return sum(len(rows) for rows in self._facts.values())
+
+    # -- the active domain -----------------------------------------------------
+
+    def active_domain(self, deep: bool = True) -> FrozenSet[Value]:
+        """All values appearing in facts.
+
+        With ``deep=True`` (default) the components of tuples and members
+        of set values are included too — the paper's range formulas allow
+        variables to range over "components of database members".
+        """
+        domain: Set[Value] = set()
+
+        def visit(value: Value) -> None:
+            domain.add(value)
+            if not deep:
+                return
+            if isinstance(value, Tup):
+                for item in value.items:
+                    visit(item)
+            elif isinstance(value, FSet):
+                for item in value.items:
+                    visit(item)
+
+        for rows in self._facts.values():
+            for row in rows:
+                for value in row:
+                    visit(value)
+        return frozenset(domain)
+
+    def __repr__(self) -> str:
+        parts = []
+        for predicate in sorted(self._facts):
+            parts.append(f"{predicate}/{self.arity(predicate)}:{len(self._facts[predicate])}")
+        return f"<Database {' '.join(parts)}>"
+
+    def pretty(self) -> str:
+        """Render the facts in Datalog syntax."""
+        lines = []
+        for predicate, row in self:
+            inner = ", ".join(str(v) for v in row)
+            lines.append(f"{predicate}({inner}).")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Domain (in)dependence of deductive queries (Section 4).
+
+"Intuitively, domain independent queries use in the computation only a
+part, a 'window', of the initial model, and are insensitive to the
+properties of elements outside this window."
+
+Domain independence is a *semantic* property and undecidable in general;
+the paper handles it via the syntactic safety restriction (Definition
+4.1, Proposition 4.2).  This module supplies both sides for the
+executable setting:
+
+* :func:`is_safe_hence_di` — the syntactic sufficient condition (safety);
+* :func:`appears_domain_independent` — an empirical oracle: evaluate the
+  (guarded) query over a chain of growing windows and report whether the
+  answers stabilise.  Used by the test-suite to validate the safety
+  checker in both directions on small universes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..relations.universe import FunctionRegistry, Universe
+from ..relations.values import Atom, Value
+from .ast import Program
+from .database import Database
+from .engine import run
+from .safety import is_safe_program, make_safe
+
+__all__ = [
+    "is_safe_hence_di",
+    "DomainIndependenceProbe",
+    "appears_domain_independent",
+]
+
+
+def is_safe_hence_di(program: Program) -> bool:
+    """Safety (Definition 4.1) implies domain independence."""
+    return is_safe_program(program)
+
+
+@dataclass
+class DomainIndependenceProbe:
+    """Evidence from the empirical oracle."""
+
+    stable: bool
+    windows: Tuple[int, ...]
+    answers: Tuple[Dict[str, FrozenSet], ...]
+
+    def first_divergence(self) -> Optional[Tuple[int, str]]:
+        """(window-size, predicate) of the first observed change."""
+        for earlier, later, size in zip(
+            self.answers, self.answers[1:], self.windows[1:]
+        ):
+            for predicate in later:
+                if earlier.get(predicate) != later[predicate]:
+                    return size, predicate
+        return None
+
+
+def appears_domain_independent(
+    program: Program,
+    database: Database,
+    paddings: Sequence[int] = (0, 2, 5),
+    semantics: str = "wellfounded",
+    registry: Optional[FunctionRegistry] = None,
+    pad_prefix: str = "_di_pad",
+) -> DomainIndependenceProbe:
+    """Empirically probe domain independence.
+
+    Evaluates the query guarded over windows of growing padding (active
+    domain + n fresh atoms) and compares the answers.  Stability across
+    all probed windows is *evidence of* — not proof of — domain
+    independence; a divergence is a proof of domain *dependence*.
+    """
+    base = sorted(database.active_domain(), key=repr)
+    answers: List[Dict[str, FrozenSet]] = []
+    sizes: List[int] = []
+    for padding in paddings:
+        window = Universe(base + [Atom(f"{pad_prefix}{i}") for i in range(padding)])
+        guarded = make_safe(program, window)
+        outcome = run(guarded, database, semantics=semantics, registry=registry)
+        answers.append(
+            {
+                predicate: outcome.true_rows(predicate)
+                for predicate in program.idb_predicates()
+            }
+        )
+        sizes.append(len(window))
+    stable = all(answer == answers[0] for answer in answers[1:])
+    return DomainIndependenceProbe(stable, tuple(sizes), tuple(answers))

@@ -1,0 +1,103 @@
+"""Front door for running deductive queries.
+
+``run(program, database, semantics=...)`` grounds the program and applies
+the requested semantics, returning a :class:`QueryResult` that exposes
+per-predicate true/false/undefined rows — the answer format of a
+deductive query "R(x)?" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from ..relations.relation import Relation
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Value
+from .ast import Program
+from .database import Database
+from .grounding import GroundProgram, ground
+from .semantics.inflationary import inflationary_model
+from .semantics.interpretations import Interpretation, Truth
+from .semantics.stratified import stratified_model
+from .semantics.valid import valid_model
+from .semantics.wellfounded import well_founded_model
+
+__all__ = ["SEMANTICS", "QueryResult", "run"]
+
+SEMANTICS = ("stratified", "inflationary", "wellfounded", "valid")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The (possibly three-valued) outcome of a deductive query."""
+
+    program: Program
+    ground_program: GroundProgram
+    interpretation: Interpretation
+    semantics: str
+
+    def true_rows(self, predicate: str) -> FrozenSet[Tuple[Value, ...]]:
+        """Rows of a predicate that are certainly true."""
+        return self.interpretation.true_rows(self.ground_program, predicate)
+
+    def undefined_rows(self, predicate: str) -> FrozenSet[Tuple[Value, ...]]:
+        """Rows of a predicate with undefined status."""
+        return self.interpretation.undefined_rows(self.ground_program, predicate)
+
+    def truth_of(self, predicate: str, *args: Value) -> Truth:
+        """Truth value of a ground atom.
+
+        Atoms the grounder proved irrelevant are FALSE (they have no
+        possible derivation).
+        """
+        atom_id = self.ground_program.atom_id(predicate, tuple(args))
+        if atom_id is None:
+            return Truth.FALSE
+        return self.interpretation.value_of(atom_id)
+
+    def is_total(self) -> bool:
+        """Is the model two-valued on every relevant atom?"""
+        return self.interpretation.is_total_for(self.ground_program)
+
+    def unary_relation(self, predicate: str) -> Relation:
+        """Read a unary predicate's true rows back as a relation."""
+        return Relation(
+            (row[0] for row in self.true_rows(predicate)), name=predicate
+        )
+
+
+def run(
+    program: Program,
+    database: Optional[Database] = None,
+    semantics: str = "valid",
+    registry: Optional[FunctionRegistry] = None,
+    max_rounds: int = 10_000,
+    max_atoms: int = 1_000_000,
+    require_complete: bool = True,
+) -> QueryResult:
+    """Ground ``program`` over ``database`` and evaluate it.
+
+    ``semantics`` is one of :data:`SEMANTICS`.  The stratified engine
+    raises for non-stratified programs; the others accept any program.
+    """
+    if semantics not in SEMANTICS:
+        raise ValueError(f"unknown semantics {semantics!r}; pick from {SEMANTICS}")
+    database = database or Database()
+    ground_program = ground(
+        program,
+        database,
+        registry=registry,
+        max_rounds=max_rounds,
+        max_atoms=max_atoms,
+        require_complete=require_complete,
+    )
+    if semantics == "stratified":
+        interpretation = stratified_model(program, ground_program)
+    elif semantics == "inflationary":
+        interpretation = inflationary_model(ground_program)
+    elif semantics == "wellfounded":
+        interpretation = well_founded_model(ground_program)
+    else:
+        interpretation = valid_model(ground_program)
+    return QueryResult(program, ground_program, interpretation, semantics)

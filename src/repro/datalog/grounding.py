@@ -1,0 +1,633 @@
+"""Grounding: from rule programs to propositional ground programs.
+
+All the non-stratified semantics of this reproduction (inflationary,
+well-founded, valid, stable) are computed over an interned propositional
+*ground program*, in the ground-then-solve style of modern ASP systems.
+
+Soundness of the relevant-atom grounding: in every semantics implemented
+here, the true atoms are a subset of the least fixpoint of the *positive
+projection* of the program (dropping negative literals only makes rules
+easier to fire).  The grounder therefore derives exactly the atoms in that
+over-approximation, instantiates rules whose positive bodies lie inside
+it, and post-processes negative literals: a negative literal over an atom
+outside the over-approximation is certainly true and is dropped.
+
+Because the paper allows function symbols (``succ``, ``+2``, ...), the
+over-approximation may be infinite.  The grounder takes explicit bounds
+(``max_rounds``, ``max_atoms``) and reports whether it reached a genuine
+fixpoint via :attr:`GroundProgram.complete`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Value, value_key
+from .ast import (
+    Comparison,
+    Const,
+    FuncTerm,
+    Literal,
+    PredAtom,
+    Program,
+    Rule,
+    Term,
+    Var,
+    eval_term,
+    term_vars,
+)
+from .database import Database
+
+__all__ = [
+    "GroundAtom",
+    "GroundRule",
+    "GroundProgram",
+    "GroundingError",
+    "UnsafeRuleError",
+    "GroundingBudgetExceeded",
+    "ground",
+]
+
+
+GroundAtom = Tuple[str, Tuple[Value, ...]]
+
+
+class GroundingError(Exception):
+    """Base class for grounding failures."""
+
+
+class UnsafeRuleError(GroundingError):
+    """A rule has no evaluable binding order (it is not range-restricted)."""
+
+
+class GroundingBudgetExceeded(GroundingError):
+    """The relevant-atom closure exceeded the configured bounds.
+
+    Raised only when ``ground`` is called with ``require_complete=True``;
+    otherwise an incomplete :class:`GroundProgram` is returned with
+    ``complete=False``.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class GroundRule:
+    """``head :- pos..., not neg...`` over interned atom ids."""
+
+    head: int
+    pos: Tuple[int, ...] = ()
+    neg: Tuple[int, ...] = ()
+
+    def is_fact(self) -> bool:
+        """True when the body is empty."""
+        return not self.pos and not self.neg
+
+
+class _AtomTable:
+    """Bidirectional interning of ground atoms."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[GroundAtom, int] = {}
+        self._atoms: List[GroundAtom] = []
+
+    def intern(self, atom: GroundAtom) -> int:
+        """Intern an atom, returning its id."""
+        found = self._ids.get(atom)
+        if found is not None:
+            return found
+        new_id = len(self._atoms)
+        self._ids[atom] = new_id
+        self._atoms.append(atom)
+        return new_id
+
+    def lookup(self, atom: GroundAtom) -> Optional[int]:
+        """The id of an atom, or None if never interned."""
+        return self._ids.get(atom)
+
+    def decode(self, atom_id: int) -> GroundAtom:
+        """The (predicate, args) of an atom id."""
+        return self._atoms[atom_id]
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self):
+        return iter(self._atoms)
+
+
+@dataclass
+class GroundProgram:
+    """The propositional program the semantics engines consume."""
+
+    rules: List[GroundRule]
+    complete: bool
+    idb_predicates: FrozenSet[str]
+    _table: _AtomTable = field(repr=False)
+
+    @property
+    def atom_count(self) -> int:
+        """Number of interned atoms."""
+        return len(self._table)
+
+    def decode(self, atom_id: int) -> GroundAtom:
+        """The (predicate, args) of an atom id."""
+        return self._table.decode(atom_id)
+
+    def atom_id(self, predicate: str, args: Tuple[Value, ...]) -> Optional[int]:
+        """The id of a ground atom, or None if it is not relevant
+        (equivalently: it is false in every semantics)."""
+        return self._table.lookup((predicate, tuple(args)))
+
+    def atoms(self):
+        """Iterate (atom_id, predicate, args)."""
+        for atom_id in range(len(self._table)):
+            predicate, args = self._table.decode(atom_id)
+            yield atom_id, predicate, args
+
+    def atoms_of(self, predicate: str) -> List[Tuple[int, Tuple[Value, ...]]]:
+        """(id, args) pairs of a predicate's atoms."""
+        return [
+            (atom_id, args)
+            for atom_id, pred, args in self.atoms()
+            if pred == predicate
+        ]
+
+    def rows_where(self, truth, predicate: str) -> FrozenSet[Tuple[Value, ...]]:
+        """Rows of ``predicate`` whose atom id satisfies ``truth(atom_id)``."""
+        rows = set()
+        for atom_id, pred, args in self.atoms():
+            if pred == predicate and truth(atom_id):
+                rows.add(args)
+        return frozenset(rows)
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """Render the ground rules (optionally truncated)."""
+        lines = []
+        for ground_rule in self.rules[: limit or len(self.rules)]:
+            head = _format_atom(self.decode(ground_rule.head))
+            body = [_format_atom(self.decode(a)) for a in ground_rule.pos]
+            body += ["not " + _format_atom(self.decode(a)) for a in ground_rule.neg]
+            lines.append(f"{head} :- {', '.join(body)}." if body else f"{head}.")
+        if limit and len(self.rules) > limit:
+            lines.append(f"... ({len(self.rules) - limit} more)")
+        return "\n".join(lines)
+
+
+def _format_atom(atom: GroundAtom) -> str:
+    predicate, args = atom
+    if not args:
+        return predicate
+    return f"{predicate}({', '.join(str(a) for a in args)})"
+
+
+# ---------------------------------------------------------------------------
+# Binding orders
+# ---------------------------------------------------------------------------
+
+
+def _literal_processable(literal: Literal, bound: Set[Var]) -> bool:
+    """A positive literal is matchable when every non-variable argument's
+    variables are either already bound or bound by variable arguments of
+    this same literal."""
+    newly_bound = set(bound)
+    for arg in literal.atom.args:
+        if isinstance(arg, Var):
+            newly_bound.add(arg)
+    for arg in literal.atom.args:
+        if isinstance(arg, FuncTerm) and not term_vars(arg) <= newly_bound:
+            return False
+    return True
+
+
+def _comparison_mode(comparison: Comparison, bound: Set[Var]) -> Optional[str]:
+    """'assign-left' / 'assign-right' / 'test' / None (not processable)."""
+    left_free = term_vars(comparison.left) - bound
+    right_free = term_vars(comparison.right) - bound
+    if not left_free and not right_free:
+        return "test"
+    if comparison.op != "=":
+        return None
+    if (
+        isinstance(comparison.left, Var)
+        and comparison.left in left_free
+        and not right_free
+    ):
+        return "assign-left"
+    if (
+        isinstance(comparison.right, Var)
+        and comparison.right in right_free
+        and not left_free
+    ):
+        return "assign-right"
+    return None
+
+
+def binding_order(rule: Rule) -> List[Tuple[str, object]]:
+    """Compute an evaluable processing order for a rule body.
+
+    Returns a list of ``(kind, item)`` with kind in ``{'match', 'assign',
+    'test', 'negtest'}``.  Raises :class:`UnsafeRuleError` when no order
+    exists — which, by Definition 4.1, means the rule is not safe.
+    """
+    pending: List[object] = list(rule.body)
+    order: List[Tuple[str, object]] = []
+    bound: Set[Var] = set()
+
+    while pending:
+        progress = False
+        for item in list(pending):
+            if isinstance(item, Literal) and item.positive:
+                if _literal_processable(item, bound):
+                    order.append(("match", item))
+                    bound |= item.vars()
+                    pending.remove(item)
+                    progress = True
+                    break
+            elif isinstance(item, Comparison):
+                mode = _comparison_mode(item, bound)
+                if mode == "test":
+                    order.append(("test", item))
+                    pending.remove(item)
+                    progress = True
+                    break
+                if mode in ("assign-left", "assign-right"):
+                    order.append(("assign", (mode, item)))
+                    bound |= item.vars()
+                    pending.remove(item)
+                    progress = True
+                    break
+            elif isinstance(item, Literal) and not item.positive:
+                if item.vars() <= bound:
+                    order.append(("negtest", item))
+                    pending.remove(item)
+                    progress = True
+                    break
+        if not progress:
+            raise UnsafeRuleError(
+                f"rule has no evaluable binding order (unsafe): {rule!r}"
+            )
+
+    head_free = rule.head.vars() - bound
+    if head_free:
+        raise UnsafeRuleError(
+            f"head variables {sorted(v.name for v in head_free)} are not "
+            f"restricted by the body: {rule!r}"
+        )
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Comparison evaluation
+# ---------------------------------------------------------------------------
+
+
+def _compare(op: str, left: Value, right: Value) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    comparable = (
+        isinstance(left, int)
+        and isinstance(right, int)
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    ) or (isinstance(left, str) and isinstance(right, str))
+    if not comparable:
+        return False
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unknown comparison {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# The grounder
+# ---------------------------------------------------------------------------
+
+
+class _Grounder:
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        registry: Optional[FunctionRegistry],
+        max_rounds: int,
+        max_atoms: int,
+    ):
+        self.program = program
+        self.database = database
+        self.registry = registry
+        self.max_rounds = max_rounds
+        self.max_atoms = max_atoms
+        self.table = _AtomTable()
+        self.possible: Dict[str, Set[Tuple[Value, ...]]] = {}
+        # Per-predicate, per-argument-position index: (position, value) →
+        # rows.  Makes bound-argument literal matching sub-linear.
+        self.index: Dict[str, Dict[Tuple[int, Value], Set[Tuple[Value, ...]]]] = {}
+        self.ground_rules: Set[Tuple] = set()
+        self.ordered_rules = [(rule, binding_order(rule)) for rule in program.rules]
+        self.idb = program.idb_predicates()
+
+    # -- possible-atom bookkeeping -------------------------------------------
+
+    def _rows(self, predicate: str) -> Set[Tuple[Value, ...]]:
+        return self.possible.setdefault(predicate, set())
+
+    def _add_possible(self, predicate: str, args: Tuple[Value, ...]) -> bool:
+        rows = self._rows(predicate)
+        if args in rows:
+            return False
+        rows.add(args)
+        index = self.index.setdefault(predicate, {})
+        for position, value in enumerate(args):
+            index.setdefault((position, value), set()).add(args)
+        return True
+
+    def _candidate_rows(
+        self,
+        literal: Literal,
+        binding: Dict[Var, Value],
+        rows: Set[Tuple[Value, ...]],
+        use_index: bool,
+    ):
+        """Rows worth matching against ``literal``: the smallest index
+        bucket over its already-bound argument positions, else all rows."""
+        if not use_index:
+            return rows
+        index = self.index.get(literal.atom.predicate)
+        if not index:
+            return rows
+        best = rows
+        for position, arg in enumerate(literal.atom.args):
+            value: Optional[Value] = None
+            if isinstance(arg, Const):
+                value = arg.value
+            elif isinstance(arg, Var) and arg in binding:
+                value = binding[arg]
+            if value is None:
+                continue
+            bucket = index.get((position, value))
+            if bucket is None:
+                return ()
+            if len(bucket) < len(best):
+                best = bucket
+        return best
+
+    def _total_atoms(self) -> int:
+        return sum(len(rows) for rows in self.possible.values())
+
+    # -- matching -------------------------------------------------------------
+
+    def _match_literal(
+        self,
+        literal: Literal,
+        binding: Dict[Var, Value],
+        rows: Sequence[Tuple[Value, ...]],
+    ):
+        """Yield extended bindings matching ``literal`` against ``rows``."""
+        args = literal.atom.args
+        for row in rows:
+            if len(row) != len(args):
+                continue
+            extended = dict(binding)
+            ok = True
+            deferred: List[Tuple[Term, Value]] = []
+            for arg, value in zip(args, row):
+                if isinstance(arg, Var):
+                    if arg in extended:
+                        if extended[arg] != value:
+                            ok = False
+                            break
+                    else:
+                        extended[arg] = value
+                elif isinstance(arg, Const):
+                    if arg.value != value:
+                        ok = False
+                        break
+                else:
+                    deferred.append((arg, value))
+            if not ok:
+                continue
+            for term, value in deferred:
+                evaluated = eval_term(term, extended, self.registry)
+                if evaluated != value:
+                    ok = False
+                    break
+            if ok:
+                yield extended
+
+    def _instantiate(
+        self,
+        rule: Rule,
+        order: List[Tuple[str, object]],
+        delta_literal: Optional[int],
+        delta: Dict[str, Set[Tuple[Value, ...]]],
+    ):
+        """Backtracking instantiation.  ``delta_literal`` selects which
+        positive-match step must bind against the delta (semi-naive)."""
+        results: List[Tuple[Dict[Var, Value], List[GroundAtom], List[GroundAtom]]] = []
+
+        def walk(step: int, binding: Dict[Var, Value], pos_atoms, neg_atoms, match_seen):
+            if step == len(order):
+                results.append((binding, list(pos_atoms), list(neg_atoms)))
+                return
+            kind, payload = order[step]
+            if kind == "match":
+                literal: Literal = payload
+                predicate = literal.atom.predicate
+                use_delta = match_seen == delta_literal
+                if use_delta:
+                    rows = delta.get(predicate, set())
+                else:
+                    rows = self._candidate_rows(
+                        literal, binding, self._rows(predicate), True
+                    )
+                for extended in self._match_literal(literal, binding, list(rows)):
+                    ground_args = tuple(
+                        eval_term(arg, extended, self.registry)
+                        for arg in literal.atom.args
+                    )
+                    walk(
+                        step + 1,
+                        extended,
+                        pos_atoms + [(predicate, ground_args)],
+                        neg_atoms,
+                        match_seen + 1,
+                    )
+                return
+            if kind == "assign":
+                mode, comparison = payload
+                if mode == "assign-left":
+                    variable, expr = comparison.left, comparison.right
+                else:
+                    variable, expr = comparison.right, comparison.left
+                value = eval_term(expr, binding, self.registry)
+                if value is None:
+                    return
+                extended = dict(binding)
+                extended[variable] = value
+                walk(step + 1, extended, pos_atoms, neg_atoms, match_seen)
+                return
+            if kind == "test":
+                comparison = payload
+                left = eval_term(comparison.left, binding, self.registry)
+                right = eval_term(comparison.right, binding, self.registry)
+                if left is None or right is None:
+                    return
+                if _compare(comparison.op, left, right):
+                    walk(step + 1, binding, pos_atoms, neg_atoms, match_seen)
+                return
+            if kind == "negtest":
+                literal = payload
+                ground_args = tuple(
+                    eval_term(arg, binding, self.registry)
+                    for arg in literal.atom.args
+                )
+                if any(value is None for value in ground_args):
+                    return
+                walk(
+                    step + 1,
+                    binding,
+                    pos_atoms,
+                    neg_atoms + [(literal.atom.predicate, ground_args)],
+                    match_seen,
+                )
+                return
+            raise AssertionError(kind)
+
+        walk(0, {}, [], [], 0)
+        return results
+
+    # -- the main loop ----------------------------------------------------------
+
+    def run(self) -> Tuple[bool, List[Tuple[GroundAtom, Tuple[GroundAtom, ...], Tuple[GroundAtom, ...]]]]:
+        """Run the closure; returns (complete?, collected rule instances)."""
+        for predicate in self.database.predicates():
+            for row in self.database.rows(predicate):
+                self._add_possible(predicate, row)
+
+        collected: Set[Tuple] = set()
+        delta: Dict[str, Set[Tuple[Value, ...]]] = {
+            predicate: set(rows) for predicate, rows in self.possible.items()
+        }
+        first_round = True
+        complete = False
+
+        for _round in range(self.max_rounds):
+            new_delta: Dict[str, Set[Tuple[Value, ...]]] = {}
+            produced_any = False
+            for rule, order in self.ordered_rules:
+                match_count = sum(1 for kind, _p in order if kind == "match")
+                if first_round:
+                    # Naive first pass: every match joins against the full
+                    # possible-atom sets (delta_literal=None).
+                    variants: List[Optional[int]] = [None]
+                elif match_count == 0:
+                    # Body has no positive literals; nothing new can fire it.
+                    continue
+                else:
+                    # Semi-naive: one variant per choice of which positive
+                    # literal must bind against last round's delta.
+                    variants = list(range(match_count))
+                for delta_literal in variants:
+                    for binding, pos_atoms, neg_atoms in self._instantiate(
+                        rule, order, delta_literal, delta
+                    ):
+                        head_args = tuple(
+                            eval_term(arg, binding, self.registry)
+                            for arg in rule.head.args
+                        )
+                        if any(value is None for value in head_args):
+                            continue
+                        head_atom = (rule.head.predicate, head_args)
+                        key = (head_atom, tuple(pos_atoms), tuple(sorted(neg_atoms, key=_atom_sort_key)))
+                        if key not in collected:
+                            collected.add(key)
+                        if self._add_possible(*head_atom):
+                            produced_any = True
+                            new_delta.setdefault(head_atom[0], set()).add(head_atom[1])
+            if self._total_atoms() > self.max_atoms:
+                complete = False
+                break
+            first_round = False
+            if not produced_any:
+                complete = True
+                break
+            delta = new_delta
+        else:
+            complete = False
+
+        return complete, [
+            (head, pos_atoms, neg_atoms) for head, pos_atoms, neg_atoms in collected
+        ]
+
+
+def _atom_sort_key(atom: GroundAtom):
+    predicate, args = atom
+    return (predicate, tuple(value_key(arg) for arg in args))
+
+
+def ground(
+    program: Program,
+    database: Database,
+    registry: Optional[FunctionRegistry] = None,
+    max_rounds: int = 10_000,
+    max_atoms: int = 1_000_000,
+    require_complete: bool = True,
+) -> GroundProgram:
+    """Ground ``program`` against ``database``.
+
+    The result contains the EDB facts as bodiless ground rules, every
+    relevant rule instance, and negative literals filtered down to atoms
+    that are possibly true (others are certainly false, hence satisfied).
+    """
+    grounder = _Grounder(program, database, registry, max_rounds, max_atoms)
+    complete, raw_rules = grounder.run()
+    if require_complete and not complete:
+        raise GroundingBudgetExceeded(
+            f"grounding did not converge within max_rounds={max_rounds}, "
+            f"max_atoms={max_atoms}; pass require_complete=False to accept "
+            f"a bounded approximation"
+        )
+
+    table = grounder.table
+    possible = grounder.possible
+    ground_rules: List[GroundRule] = []
+    seen: Set[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = set()
+
+    # EDB facts.
+    for predicate in database.predicates():
+        for row in database.rows(predicate):
+            atom_id = table.intern((predicate, row))
+            key = (atom_id, (), ())
+            if key not in seen:
+                seen.add(key)
+                ground_rules.append(GroundRule(atom_id))
+
+    for head, pos_atoms, neg_atoms in raw_rules:
+        head_id = table.intern(head)
+        pos_ids = tuple(table.intern(atom) for atom in pos_atoms)
+        kept_neg: List[int] = []
+        for atom in neg_atoms:
+            predicate, args = atom
+            if args in possible.get(predicate, ()):  # possibly true: keep
+                kept_neg.append(table.intern(atom))
+            # otherwise: certainly false, negative literal certainly holds.
+        key = (head_id, pos_ids, tuple(sorted(kept_neg)))
+        if key not in seen:
+            seen.add(key)
+            ground_rules.append(GroundRule(head_id, pos_ids, tuple(sorted(kept_neg))))
+
+    return GroundProgram(
+        rules=ground_rules,
+        complete=complete,
+        idb_predicates=program.idb_predicates(),
+        _table=table,
+    )

@@ -1,0 +1,260 @@
+"""A concrete syntax for deductive programs.
+
+Grammar (Prolog-flavoured)::
+
+    program     := (rule | comment)*
+    rule        := atom [ ':-' body ] '.'
+    body        := bodyitem (',' bodyitem)*
+    bodyitem    := 'not' atom | atom | term OP term
+    atom        := name [ '(' term (',' term)* ')' ]
+    term        := VARIABLE | INTEGER | STRING | name [ '(' args ')' ]
+                 | '[' args ']'          (tuple value / tuple term)
+    OP          := '=' | '!=' | '<' | '<=' | '>' | '>='
+    comment     := '%' ... end of line
+
+Lower-case names in term position denote symbolic :class:`Atom` constants
+unless applied to arguments, in which case they are function terms
+(resolved against a registry at evaluation time).  Upper-case names are
+variables.  ``[a, b]`` builds a tuple — ground brackets make a ``Tup``
+value, brackets with variables make a ``tuple(...)`` function term.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..relations.values import Atom, Tup, Value
+from .ast import (
+    Comparison,
+    Const,
+    FuncTerm,
+    Literal,
+    PredAtom,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+
+__all__ = ["ParseError", "parse_program", "parse_rule", "parse_term"]
+
+
+class ParseError(ValueError):
+    """Syntax error in a deductive program text."""
+
+    def __init__(self, message: str, position: Optional[Tuple[int, int]] = None):
+        if position:
+            line, column = position
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<arrow>:-)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),.\[\]])
+  | (?P<int>-?\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<name>[a-zA-Z_][a-zA-Z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, line_start = 1, 0
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if not match:
+            column = index - line_start + 1
+            raise ParseError(f"unexpected character {source[index]!r}", (line, column))
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, index - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = index + text.rfind("\n") + 1
+        index = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}", (token.line, token.column)
+            )
+        return token
+
+    def at_end(self) -> bool:
+        """Have all tokens been consumed?"""
+        return self._index >= len(self._tokens)
+
+    # -- terms ---------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        """Parse one term."""
+        token = self._next()
+        if token.kind == "int":
+            return Const(int(token.text))
+        if token.kind == "string":
+            inner = token.text[1:-1]
+            return Const(inner.replace("\\'", "'").replace("\\\\", "\\"))
+        if token.text == "[":
+            items: List[Term] = []
+            if self._peek() and self._peek().text != "]":
+                items.append(self.parse_term())
+                while self._peek() and self._peek().text == ",":
+                    self._next()
+                    items.append(self.parse_term())
+            self._expect("]")
+            if all(isinstance(item, Const) for item in items):
+                return Const(Tup(tuple(item.value for item in items)))
+            return FuncTerm("tuple", tuple(items))
+        if token.kind == "name":
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Var(token.text)
+            nxt = self._peek()
+            if nxt and nxt.text == "(":
+                self._next()
+                args: List[Term] = []
+                if self._peek() and self._peek().text != ")":
+                    args.append(self.parse_term())
+                    while self._peek() and self._peek().text == ",":
+                        self._next()
+                        args.append(self.parse_term())
+                self._expect(")")
+                return FuncTerm(token.text, tuple(args))
+            if token.text == "true":
+                return Const(True)
+            if token.text == "false":
+                return Const(False)
+            return Const(Atom(token.text))
+        raise ParseError(
+            f"expected a term, found {token.text!r}", (token.line, token.column)
+        )
+
+    # -- atoms and body items --------------------------------------------------
+
+    def parse_atom(self) -> PredAtom:
+        """Parse one predicate atom."""
+        token = self._next()
+        if token.kind != "name" or token.text[0].isupper():
+            raise ParseError(
+                f"expected a predicate name, found {token.text!r}",
+                (token.line, token.column),
+            )
+        args: List[Term] = []
+        nxt = self._peek()
+        if nxt and nxt.text == "(":
+            self._next()
+            if self._peek() and self._peek().text != ")":
+                args.append(self.parse_term())
+                while self._peek() and self._peek().text == ",":
+                    self._next()
+                    args.append(self.parse_term())
+            self._expect(")")
+        return PredAtom(token.text, tuple(args))
+
+    def parse_body_item(self):
+        """Parse one body item (literal or comparison)."""
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind == "name" and token.text == "not":
+            self._next()
+            return Literal(self.parse_atom(), False)
+        # Could be an atom or a comparison; parse a term and look ahead.
+        saved = self._index
+        try:
+            left = self.parse_term()
+        except ParseError:
+            left = None
+        nxt = self._peek()
+        if left is not None and nxt is not None and nxt.kind == "op":
+            operator = self._next().text
+            right = self.parse_term()
+            return Comparison(operator, left, right)
+        # Not a comparison — rewind and parse as a positive atom.
+        self._index = saved
+        return Literal(self.parse_atom(), True)
+
+    # -- rules ------------------------------------------------------------------
+
+    def parse_rule(self) -> Rule:
+        """Parse one rule."""
+        head = self.parse_atom()
+        token = self._peek()
+        body: List = []
+        if token and token.text == ":-":
+            self._next()
+            body.append(self.parse_body_item())
+            while self._peek() and self._peek().text == ",":
+                self._next()
+                body.append(self.parse_body_item())
+        self._expect(".")
+        return Rule(head, tuple(body))
+
+    def parse_program(self, name: Optional[str] = None) -> Program:
+        """Parse rules until end of input."""
+        rules: List[Rule] = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return Program(tuple(rules), name=name)
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term, e.g. ``parse_term('succ(X)')``."""
+    parser = _Parser(_tokenize(source))
+    term = parser.parse_term()
+    if not parser.at_end():
+        raise ParseError("trailing input after term")
+    return term
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule, e.g. ``parse_rule('win(X) :- move(X,Y), not win(Y).')``."""
+    parser = _Parser(_tokenize(source))
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise ParseError("trailing input after rule")
+    return rule
+
+
+def parse_program(source: str, name: Optional[str] = None) -> Program:
+    """Parse a whole program (``%`` comments allowed)."""
+    return _Parser(_tokenize(source)).parse_program(name)

@@ -1,0 +1,160 @@
+"""Safety: range formulas and the Proposition 4.2 transformation.
+
+Definition 4.1 of the paper restricts variables so that "all the elements
+used in the computation either appear in the database, are components of
+database members, or are obtained from them by function applications".
+A Horn clause ``φ → R(x̄)`` is *safe* when ``φ`` is a range formula
+restricting ``x̄``, and a program is safe when all its clauses are.
+
+:func:`restricted_vars` computes the restricted-variable set of a body by
+the fixpoint reading of Definition 4.1's construction rules;
+:func:`is_safe_rule` / :func:`is_safe_program` apply it.
+
+:func:`make_safe` implements Proposition 4.2 for the executable setting:
+every domain-independent query has an equivalent safe query obtained by
+guarding each rule's variables with a domain predicate generated from
+constants and function applications.  The paper's domain predicates range
+over the (possibly infinite) initial model; here the caller supplies an
+explicit bounded :class:`~repro.relations.universe.Universe`, in line with
+the bounded-universe discipline of this reproduction (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..relations.universe import FunctionRegistry, Universe
+from ..relations.values import Value
+from .ast import (
+    Comparison,
+    Const,
+    FuncTerm,
+    Literal,
+    PredAtom,
+    Program,
+    Rule,
+    Term,
+    Var,
+    term_vars,
+)
+from .database import Database
+
+__all__ = [
+    "restricted_vars",
+    "is_safe_rule",
+    "is_safe_program",
+    "unsafe_rules",
+    "DOMAIN_PREDICATE",
+    "make_safe",
+    "domain_program",
+]
+
+DOMAIN_PREDICATE = "dom"
+
+
+def restricted_vars(body: Sequence) -> FrozenSet[Var]:
+    """The variables restricted by a rule body (Definition 4.1).
+
+    Fixpoint of the construction rules:
+
+    * a positive literal restricts its variable arguments, provided the
+      variables inside any function-term argument are already restricted
+      (basis a / construction 1);
+    * ``y = exp`` restricts ``y`` when all variables of ``exp`` are
+      restricted — including the ground-``exp`` basis case b
+      (construction 4);
+    * negative literals and pure tests restrict nothing (constructions
+      2 and 3 only *permit* them once their variables are restricted).
+    """
+    restricted: Set[Var] = set()
+    changed = True
+    while changed:
+        changed = False
+        for item in body:
+            if isinstance(item, Literal) and item.positive:
+                func_args_ok = all(
+                    term_vars(arg) <= restricted
+                    for arg in item.atom.args
+                    if isinstance(arg, FuncTerm)
+                )
+                if func_args_ok:
+                    for arg in item.atom.args:
+                        if isinstance(arg, Var) and arg not in restricted:
+                            restricted.add(arg)
+                            changed = True
+            elif isinstance(item, Comparison) and item.op == "=":
+                for variable, expr in (
+                    (item.left, item.right),
+                    (item.right, item.left),
+                ):
+                    if (
+                        isinstance(variable, Var)
+                        and variable not in restricted
+                        and term_vars(expr) <= restricted
+                    ):
+                        restricted.add(variable)
+                        changed = True
+    return frozenset(restricted)
+
+
+def is_safe_rule(rule: Rule) -> bool:
+    """Safe (Definition 4.1): every variable of the rule is restricted,
+    so in particular negative literals, tests and the head are covered."""
+    restricted = restricted_vars(rule.body)
+    return rule.vars() <= restricted
+
+
+def is_safe_program(program: Program) -> bool:
+    """Are all rules safe (Definition 4.1)?"""
+    return all(is_safe_rule(rule) for rule in program.rules)
+
+
+def unsafe_rules(program: Program) -> List[Rule]:
+    """The rules failing Definition 4.1."""
+    return [rule for rule in program.rules if not is_safe_rule(rule)]
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4.2: making domain-independent queries safe
+# ---------------------------------------------------------------------------
+
+
+def domain_program(
+    universe: Universe, predicate: str = DOMAIN_PREDICATE
+) -> Program:
+    """A program defining the domain predicate as explicit facts.
+
+    Stands in for the paper's safe recursive definition of the type
+    predicates ``S_i`` ("since the elements are constructed from
+    constants, by applying functions, we can write safe rules defining
+    S_i"): the caller materialises the bounded universe first (e.g. with
+    :meth:`Universe.closure`), and each element becomes a fact.
+    """
+    facts = [Rule(PredAtom(predicate, (Const(value),))) for value in universe]
+    return Program(tuple(facts), name=f"{predicate}-facts")
+
+
+def make_safe(
+    program: Program,
+    universe: Universe,
+    predicate: str = DOMAIN_PREDICATE,
+) -> Program:
+    """Guard every rule so it becomes safe (Proposition 4.2).
+
+    Each rule ``φ → R(x̄)`` with variables ``x_1 ... x_n`` becomes
+    ``dom(x_1) ∧ ... ∧ dom(x_k) ∧ φ → R(x̄)``, guarding exactly the
+    variables Definition 4.1 leaves unrestricted; the domain facts for the
+    supplied universe are appended.  For a domain-independent query the
+    result is equivalent on every universe containing the query's window.
+    """
+    guarded: List[Rule] = []
+    for rule in program.rules:
+        restricted = restricted_vars(rule.body)
+        unrestricted = sorted(rule.vars() - restricted, key=lambda v: v.name)
+        guards = tuple(
+            Literal(PredAtom(predicate, (variable,)), True)
+            for variable in unrestricted
+        )
+        guarded.append(Rule(rule.head, guards + rule.body))
+    guarded.extend(domain_program(universe, predicate).rules)
+    return Program(tuple(guarded), name=(program.name or "program") + "-safe")

@@ -1,0 +1,118 @@
+"""Least fixpoints of ground programs.
+
+The workhorse primitive is :func:`least_model_with_oracle`: the least set
+of atoms closed under the rules, where a negative literal ``not q`` is
+satisfied iff the supplied *negation oracle* admits ``q``.  Every other
+semantics in this package is built from calls to this primitive with
+different oracles:
+
+* minimal model of a positive program — no negative literals at all;
+* stratified semantics — oracle reads the completed lower strata;
+* well-founded / valid — alternating oracles (Sections 2.2 / 5 of the
+  paper);
+* stable models — oracle reads the candidate model (the Gelfond–Lifschitz
+  reduct).
+
+Both a naive and a dependency-counting semi-naive implementation are
+provided; they are cross-checked in tests and compared in benchmark P2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, FrozenSet, List, Sequence, Set
+
+from ..grounding import GroundProgram, GroundRule
+
+__all__ = [
+    "least_model_with_oracle",
+    "least_model_naive",
+    "minimal_model",
+    "PositiveProgramRequired",
+]
+
+
+class PositiveProgramRequired(ValueError):
+    """Raised when a minimal model is requested for a program with negation."""
+
+
+def least_model_with_oracle(
+    rules: Sequence[GroundRule],
+    negation_oracle: Callable[[int], bool],
+) -> FrozenSet[int]:
+    """Dependency-counting (semi-naive) least model.
+
+    A rule contributes its head once all positive body atoms are derived
+    and every negative body atom ``q`` satisfies ``negation_oracle(q)``
+    (read: "``not q`` holds").  The oracle must be static for the duration
+    of the call.  Runs in time linear in total rule size.
+    """
+    watchers: Dict[int, List[int]] = defaultdict(list)
+    missing: List[int] = []
+    queue: List[int] = []
+    derived: Set[int] = set()
+
+    active_rules: List[GroundRule] = []
+    for rule in rules:
+        if all(negation_oracle(atom) for atom in rule.neg):
+            active_rules.append(rule)
+
+    for index, rule in enumerate(active_rules):
+        missing.append(len(rule.pos))
+        if not rule.pos:
+            if rule.head not in derived:
+                derived.add(rule.head)
+                queue.append(rule.head)
+        else:
+            for atom in rule.pos:
+                watchers[atom].append(index)
+
+    # A rule mentioning the same atom twice in pos gets multiple watcher
+    # entries and its counter decremented per occurrence; counters start at
+    # len(pos) so this stays consistent.
+    while queue:
+        atom = queue.pop()
+        for rule_index in watchers.get(atom, ()):
+            missing[rule_index] -= 1
+            if missing[rule_index] == 0:
+                head = active_rules[rule_index].head
+                if head not in derived:
+                    derived.add(head)
+                    queue.append(head)
+    return frozenset(derived)
+
+
+def least_model_naive(
+    rules: Sequence[GroundRule],
+    negation_oracle: Callable[[int], bool],
+) -> FrozenSet[int]:
+    """Naive iterate-to-fixpoint least model (reference implementation)."""
+    derived: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.head in derived:
+                continue
+            if all(atom in derived for atom in rule.pos) and all(
+                negation_oracle(atom) for atom in rule.neg
+            ):
+                derived.add(rule.head)
+                changed = True
+    return frozenset(derived)
+
+
+def minimal_model(program: GroundProgram) -> FrozenSet[int]:
+    """The minimal model of a *positive* ground program.
+
+    This is the classical Horn-program semantics ("the tuples in the
+    relations are those derived from the program", Section 2.1).  Raises
+    :class:`PositiveProgramRequired` if any rule has a negative literal.
+    """
+    for rule in program.rules:
+        if rule.neg:
+            raise PositiveProgramRequired(
+                "program has negative literals; use stratified/well-founded/"
+                "valid semantics instead"
+            )
+    return least_model_with_oracle(program.rules, lambda _atom: True)

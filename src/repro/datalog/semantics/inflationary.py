@@ -1,0 +1,57 @@
+"""Inflationary fixpoint semantics.
+
+Negation is read as "was not derived *so far*" (paper, Section 5): at each
+round, every rule whose positive body is already derived and whose negative
+body atoms are *not yet* derived fires, and the results accumulate.  The
+process is inflationary, so it converges in at most ``atom_count`` rounds
+on a finite ground program.
+
+This is the semantics under which the naive algebra→deduction translation
+of Proposition 5.1 is exact (Example 4: ``IFP_{{a}−x}`` translates to the
+non-stratified program ``{R(a);  R(x) ∧ ¬Q(x) → Q(x)}`` whose inflationary
+result is ``{a}`` while its valid model leaves ``Q(a)`` undefined).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from ..grounding import GroundProgram
+from .interpretations import Interpretation
+
+__all__ = ["inflationary_fixpoint", "inflationary_model", "inflationary_stages"]
+
+
+def inflationary_stages(program: GroundProgram) -> List[FrozenSet[int]]:
+    """The chain ``T_0 ⊆ T_1 ⊆ ...`` of round results (``T_0 = ∅``).
+
+    Each round evaluates negation against the *start-of-round* set, as in
+    the standard definition ``T_{i+1} = T_i ∪ Γ_P(T_i)``.
+    """
+    stages: List[FrozenSet[int]] = [frozenset()]
+    current: Set[int] = set()
+    while True:
+        snapshot = frozenset(current)
+        new_atoms: Set[int] = set()
+        for rule in program.rules:
+            if rule.head in current or rule.head in new_atoms:
+                continue
+            if all(atom in snapshot for atom in rule.pos) and all(
+                atom not in snapshot for atom in rule.neg
+            ):
+                new_atoms.add(rule.head)
+        if not new_atoms:
+            break
+        current |= new_atoms
+        stages.append(frozenset(current))
+    return stages
+
+
+def inflationary_fixpoint(program: GroundProgram) -> FrozenSet[int]:
+    """The set of atoms true in the inflationary fixpoint."""
+    return inflationary_stages(program)[-1]
+
+
+def inflationary_model(program: GroundProgram) -> Interpretation:
+    """The inflationary result as a total (two-valued) interpretation."""
+    return Interpretation.total(inflationary_fixpoint(program), program.atom_count)

@@ -1,0 +1,199 @@
+"""Stratification analysis.
+
+The paper's earlier equivalence result (Theorem 4.3) concerns *stratified*
+programs: programs whose predicate dependency graph has no cycle through a
+negative edge.  This module builds the dependency graph, tests
+stratification, computes strata, and additionally tests *local*
+stratification on ground programs (used in the Theorem 3.1 discussion:
+IFP-algebra specifications are well-defined by a "local stratification"
+argument, while Example 3's WIN equation is locally stratified exactly
+when MOVE is acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .ast import Program
+from .grounding import GroundProgram
+
+__all__ = [
+    "NotStratifiedError",
+    "dependency_graph",
+    "negative_edges",
+    "is_stratified",
+    "stratify",
+    "strata_partition",
+    "ground_dependency_graph",
+    "is_locally_stratified",
+    "explain_undefined",
+]
+
+
+class NotStratifiedError(ValueError):
+    """Raised when strata are requested for a non-stratified program."""
+
+
+def dependency_graph(program: Program) -> nx.DiGraph:
+    """Predicate dependency graph: edge ``q → p`` when ``q`` occurs in the
+    body of a rule for ``p``; the edge attribute ``negative`` records
+    whether any such occurrence is negated."""
+    graph = nx.DiGraph()
+    for rule in program.rules:
+        graph.add_node(rule.head.predicate)
+        for literal in rule.positive_literals():
+            _add_edge(graph, literal.atom.predicate, rule.head.predicate, False)
+        for literal in rule.negative_literals():
+            _add_edge(graph, literal.atom.predicate, rule.head.predicate, True)
+    return graph
+
+
+def _add_edge(graph: nx.DiGraph, source: str, target: str, negative: bool) -> None:
+    if graph.has_edge(source, target):
+        graph[source][target]["negative"] = graph[source][target]["negative"] or negative
+    else:
+        graph.add_edge(source, target, negative=negative)
+
+
+def negative_edges(graph: nx.DiGraph) -> List[Tuple[str, str]]:
+    """Edges carrying a negated dependency."""
+    return [
+        (source, target)
+        for source, target, data in graph.edges(data=True)
+        if data.get("negative")
+    ]
+
+
+def is_stratified(program: Program) -> bool:
+    """True iff no cycle of the dependency graph passes through negation."""
+    graph = dependency_graph(program)
+    component_of: Dict[str, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for source, target in negative_edges(graph):
+        if component_of[source] == component_of[target]:
+            return False
+    return True
+
+
+def stratify(program: Program) -> Dict[str, int]:
+    """Assign each predicate a stratum (0-based).
+
+    Positive dependencies may stay level; negative dependencies must strictly
+    increase.  Raises :class:`NotStratifiedError` when impossible.
+    """
+    if not is_stratified(program):
+        raise NotStratifiedError(f"program {program.name or ''} is not stratified")
+    graph = dependency_graph(program)
+    condensation = nx.condensation(graph)
+    level: Dict[int, int] = {}
+    for component_id in nx.topological_sort(condensation):
+        best = 0
+        for predecessor in condensation.predecessors(component_id):
+            members_pred = condensation.nodes[predecessor]["members"]
+            members_this = condensation.nodes[component_id]["members"]
+            negative = any(
+                graph.has_edge(source, target) and graph[source][target]["negative"]
+                for source in members_pred
+                for target in members_this
+            )
+            bump = 1 if negative else 0
+            best = max(best, level[predecessor] + bump)
+        level[component_id] = best
+    strata: Dict[str, int] = {}
+    for component_id, data in condensation.nodes(data=True):
+        for predicate in data["members"]:
+            strata[predicate] = level[component_id]
+    # EDB predicates never at a positive level unless forced by the graph.
+    for predicate in program.edb_predicates():
+        strata.setdefault(predicate, 0)
+    return strata
+
+
+def strata_partition(program: Program) -> List[FrozenSet[str]]:
+    """Predicates grouped by stratum, lowest first."""
+    strata = stratify(program)
+    height = max(strata.values(), default=0)
+    return [
+        frozenset(p for p, s in strata.items() if s == level)
+        for level in range(height + 1)
+    ]
+
+
+def ground_dependency_graph(program: GroundProgram) -> nx.DiGraph:
+    """Atom-level dependency graph of a ground program."""
+    graph = nx.DiGraph()
+    for rule in program.rules:
+        graph.add_node(rule.head)
+        for atom in rule.pos:
+            _add_ground_edge(graph, atom, rule.head, False)
+        for atom in rule.neg:
+            _add_ground_edge(graph, atom, rule.head, True)
+    return graph
+
+
+def _add_ground_edge(graph: nx.DiGraph, source: int, target: int, negative: bool) -> None:
+    if graph.has_edge(source, target):
+        graph[source][target]["negative"] = graph[source][target]["negative"] or negative
+    else:
+        graph.add_edge(source, target, negative=negative)
+
+
+def explain_undefined(program: GroundProgram, atom_id: int) -> Optional[List[str]]:
+    """A negative cycle through ``atom_id`` in the ground dependency
+    graph, rendered as atom strings — the structural reason a membership
+    can come out undefined under the valid/well-founded semantics.
+
+    Returns None when the atom lies on no cycle through negation (its
+    truth value, whatever it is, has a stratified explanation).
+    """
+    graph = ground_dependency_graph(program)
+    if atom_id not in graph:
+        return None
+    for component in nx.strongly_connected_components(graph):
+        if atom_id not in component:
+            continue
+        negative_inside = [
+            (source, target)
+            for source, target, data in graph.edges(data=True)
+            if data.get("negative") and source in component and target in component
+        ]
+        if not negative_inside:
+            return None
+        # Build a cycle through atom_id and one negative edge.
+        source, target = negative_inside[0]
+        try:
+            to_source = nx.shortest_path(graph.subgraph(component), atom_id, source)
+            back_home = nx.shortest_path(graph.subgraph(component), target, atom_id)
+        except nx.NetworkXNoPath:  # pragma: no cover — SCC guarantees paths
+            return None
+        cycle_ids = to_source + back_home
+        rendered = []
+        for node in cycle_ids:
+            predicate, args = program.decode(node)
+            inner = ", ".join(str(a) for a in args)
+            rendered.append(f"{predicate}({inner})" if args else predicate)
+        return rendered
+    return None
+
+
+def is_locally_stratified(program: GroundProgram) -> bool:
+    """True iff the *ground* dependency graph has no negative cycle.
+
+    Local stratification is the argument behind Theorem 3.1 (IFP-algebra
+    operations are well-defined) and explains Example 3: the WIN equation
+    is locally stratified iff the MOVE graph is acyclic.  On locally
+    stratified ground programs the well-founded/valid model is total.
+    """
+    graph = ground_dependency_graph(program)
+    component_of: Dict[int, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for source, target, data in graph.edges(data=True):
+        if data.get("negative") and component_of[source] == component_of[target]:
+            return False
+    return True

@@ -1,0 +1,12 @@
+"""Concrete syntax for ``algebra=`` programs."""
+
+from .parser import AlgebraParseError, parse_algebra_expr, parse_algebra_program
+from .pretty import pretty_algebra_expr, pretty_algebra_program
+
+__all__ = [
+    "AlgebraParseError",
+    "parse_algebra_expr",
+    "parse_algebra_program",
+    "pretty_algebra_expr",
+    "pretty_algebra_program",
+]

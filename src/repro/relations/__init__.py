@@ -1,0 +1,40 @@
+"""Complex-object values, relations, and bounded universes.
+
+This is the data substrate under everything else: the paper's databases
+are "collections of named sets" of complex-object values (Section 3).
+"""
+
+from .relation import Relation
+from .universe import DomainFunction, FunctionRegistry, Universe, standard_registry
+from .values import (
+    Atom,
+    FSet,
+    Tup,
+    Value,
+    format_value,
+    fset,
+    is_value,
+    sort_of,
+    sorted_values,
+    tup,
+    value_key,
+)
+
+__all__ = [
+    "Atom",
+    "FSet",
+    "Tup",
+    "Value",
+    "Relation",
+    "Universe",
+    "DomainFunction",
+    "FunctionRegistry",
+    "standard_registry",
+    "format_value",
+    "fset",
+    "is_value",
+    "sort_of",
+    "sorted_values",
+    "tup",
+    "value_key",
+]

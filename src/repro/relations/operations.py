@@ -1,0 +1,112 @@
+"""Free-function forms of the algebra operators.
+
+These mirror the methods on :class:`~repro.relations.relation.Relation`
+but accept plain iterables too, and add the derived operators of
+Example 3 under their paper names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .relation import Relation
+from .values import Tup, Value
+
+__all__ = [
+    "union",
+    "difference",
+    "product",
+    "select",
+    "map_",
+    "project",
+    "intersection",
+    "exclusive_or",
+    "big_union",
+    "join",
+]
+
+
+def _as_relation(value) -> Relation:
+    if isinstance(value, Relation):
+        return value
+    return Relation(value)
+
+
+def union(left, right) -> Relation:
+    """``∪`` — set union."""
+    return _as_relation(left).union(_as_relation(right))
+
+
+def difference(left, right) -> Relation:
+    """``−`` — set difference (the paper's only negative operator)."""
+    return _as_relation(left).difference(_as_relation(right))
+
+
+def product(left, right) -> Relation:
+    """``×`` — cartesian product producing pairs."""
+    return _as_relation(left).product(_as_relation(right))
+
+
+def select(relation, test: Callable[[Value], bool]) -> Relation:
+    """``σ_test`` — selection by a boolean-valued function."""
+    return _as_relation(relation).select(test)
+
+
+def map_(relation, func: Callable[[Value], Value]) -> Relation:
+    """``MAP_f`` — restructure every member."""
+    return _as_relation(relation).map(func)
+
+
+def project(relation, index: int) -> Relation:
+    """``π_i`` — shorthand for ``MAP_{x.i}``."""
+    return _as_relation(relation).project(index)
+
+
+def intersection(left, right) -> Relation:
+    """``∩`` — Example 3: ``x ∩ y = x − (x − y)``."""
+    return _as_relation(left).intersection(_as_relation(right))
+
+
+def exclusive_or(left, right) -> Relation:
+    """``⊗`` — Example 3: ``(x − y) ∪ (y − x)``."""
+    return _as_relation(left).exclusive_or(_as_relation(right))
+
+
+def big_union(relations: Iterable) -> Relation:
+    """Union of a family of relations (used to spell out IFP)."""
+    result = Relation.empty()
+    for relation in relations:
+        result = result.union(_as_relation(relation))
+    return result
+
+
+def join(left, right, on: "tuple[int, int]" = (2, 1)) -> Relation:
+    """Relational join of two relations of tuples, derived from the
+    paper's primitives: ``π(σ(left × right))``.
+
+    ``on = (i, j)`` equates component ``i`` of the left member with
+    component ``j`` of the right member; the result concatenates the two
+    tuples with the right-hand join component dropped.  The default joins
+    binary relations in the transitive-closure pattern.
+
+    >>> tc_step = join(move, tc)           # [x,y] ⋈ [y,z] → [x,y,z]
+    """
+    left_index, right_index = on
+    left_relation, right_relation = _as_relation(left), _as_relation(right)
+    members = []
+    for left_member in left_relation.items:
+        if not isinstance(left_member, Tup) or len(left_member) < left_index:
+            continue
+        key = left_member.component(left_index)
+        for right_member in right_relation.items:
+            if not isinstance(right_member, Tup) or len(right_member) < right_index:
+                continue
+            if right_member.component(right_index) != key:
+                continue
+            combined = left_member.items + tuple(
+                item
+                for position, item in enumerate(right_member.items, start=1)
+                if position != right_index
+            )
+            members.append(Tup(combined))
+    return Relation(members)

@@ -1,0 +1,156 @@
+"""The ``Relation`` class: an immutable named set of values.
+
+A database in the paper (Section 3) is "a collection of named sets (every
+set is a database 'relation')".  ``Relation`` wraps a frozenset of values
+with a name and offers the generic operations of the paper's algebra as
+methods.  All operations return new relations; nothing is mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from .values import FSet, Tup, Value, format_value, is_value, sorted_values, tup
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable set of complex-object values, optionally named.
+
+    >>> move = Relation.of(tup(Atom('a'), Atom('b')), name='MOVE')
+    >>> len(move)
+    1
+    """
+
+    __slots__ = ("_items", "_name")
+
+    def __init__(self, items: Iterable[Value] = (), name: Optional[str] = None):
+        frozen = frozenset(items)
+        for item in frozen:
+            if not is_value(item):
+                raise TypeError(f"not a valid value: {item!r}")
+        self._items = frozen
+        self._name = name
+
+    @classmethod
+    def of(cls, *items: Value, name: Optional[str] = None) -> "Relation":
+        """Build a relation from its members: ``Relation.of(a, b, c)``."""
+        return cls(items, name=name)
+
+    @classmethod
+    def empty(cls, name: Optional[str] = None) -> "Relation":
+        """The EMPTY set of the paper's specification."""
+        return cls((), name=name)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple], name: Optional[str] = None) -> "Relation":
+        """Build a binary relation from Python pairs (convenience)."""
+        return cls((tup(first, second) for first, second in pairs), name=name)
+
+    @property
+    def name(self) -> Optional[str]:
+        """The relation's name, if any."""
+        return self._name
+
+    @property
+    def items(self) -> frozenset:
+        """The members, as a frozenset."""
+        return self._items
+
+    def renamed(self, name: str) -> "Relation":
+        """The same members under a new name."""
+        return Relation(self._items, name=name)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(sorted_values(self._items))
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._items
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self._items == other._items
+        if isinstance(other, (set, frozenset)):
+            return self._items == frozenset(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    # -- the paper's algebra operators --------------------------------------
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union (``∪``)."""
+        return Relation(self._items | _items_of(other))
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference (``−``)."""
+        return Relation(self._items - _items_of(other))
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Derived operator of Example 3: ``x ∩ y = x − (x − y)``."""
+        return Relation(self._items & _items_of(other))
+
+    def exclusive_or(self, other: "Relation") -> "Relation":
+        """Derived operator of Example 3: ``(x − y) ∪ (y − x)``."""
+        return Relation(self._items ^ _items_of(other))
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product; members become pairs ``[x, y]``."""
+        return Relation(
+            tup(left, right) for left in self._items for right in _items_of(other)
+        )
+
+    def select(self, test: Callable[[Value], bool]) -> "Relation":
+        """Selection by a boolean-valued test function (``σ_test``)."""
+        return Relation(item for item in self._items if test(item))
+
+    def map(self, func: Callable[[Value], Value]) -> "Relation":
+        """Restructure every member (``MAP_f``)."""
+        return Relation(func(item) for item in self._items)
+
+    def project(self, index: int) -> "Relation":
+        """``π_i``: a shorthand for ``MAP_{x.i}`` (paper, Example 3)."""
+        return Relation(
+            item.component(index) for item in self._items if isinstance(item, Tup)
+        )
+
+    def insert(self, value: Value) -> "Relation":
+        """INS of the SET specification."""
+        return Relation(self._items | {value})
+
+    # -- operator sugar ------------------------------------------------------
+
+    __or__ = union
+    __sub__ = difference
+    __and__ = intersection
+    __xor__ = exclusive_or
+    __mul__ = product
+
+    # -- conversions ---------------------------------------------------------
+
+    def as_fset(self) -> FSet:
+        """The relation as a first-class set *value* (for nesting)."""
+        return FSet(self._items)
+
+    def __repr__(self) -> str:
+        body = ", ".join(format_value(item) for item in self)
+        label = f"{self._name} = " if self._name else ""
+        return f"{label}{{{body}}}"
+
+
+def _items_of(other: object) -> frozenset:
+    if isinstance(other, Relation):
+        return other._items
+    if isinstance(other, (set, frozenset)):
+        return frozenset(other)
+    raise TypeError(f"expected a Relation or set, got {type(other).__name__}")

@@ -1,0 +1,206 @@
+"""The paper's own specifications.
+
+* ``bool_spec`` / ``nat_spec`` — the imported atomic types of Section 2.1,
+  with an equationally-defined equality test ``EQ`` and ``ITE``
+  (if-then-else), which the SET specification's MEM equation uses.
+* ``set_spec`` — the SET(data) specification of Section 2.1: EMPTY, INS,
+  MEM, with INS-idempotence/commutativity and the MEM equations.
+* ``mem_completion`` — the Section 2.2 disequation
+  ``MEM(x, y) ≠ T → MEM(x, y) = F`` that totalises membership (negation!).
+* ``example2_spec`` — the three-constant specification of Example 2 with
+  no initial valid model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .equations import ConditionalEquation, EqPremise, NeqPremise, equation
+from .sorts import Operation, Signature
+from .specification import Specification
+from .terms import SApp, SVar, sapp, svar
+
+__all__ = [
+    "bool_spec",
+    "nat_spec",
+    "set_spec",
+    "set_of_nat_spec",
+    "mem_completion",
+    "example2_spec",
+    "TRUE",
+    "FALSE",
+    "ZERO",
+    "succ",
+    "nat_term",
+    "EMPTY",
+    "ins",
+    "mem",
+    "set_term",
+]
+
+TRUE = sapp("TRUE")
+FALSE = sapp("FALSE")
+ZERO = sapp("0")
+EMPTY = sapp("EMPTY")
+
+
+def succ(term) -> SApp:
+    """``SUCC(term)``."""
+    return sapp("SUCC", term)
+
+
+def nat_term(n: int) -> SApp:
+    """The numeral ``SUCC^n(0)``."""
+    term = ZERO
+    for _ in range(n):
+        term = succ(term)
+    return term
+
+
+def ins(element, rest) -> SApp:
+    """``INS(element, rest)``."""
+    return sapp("INS", element, rest)
+
+
+def mem(element, collection) -> SApp:
+    """``MEM(element, collection)``."""
+    return sapp("MEM", element, collection)
+
+
+def set_term(*elements) -> SApp:
+    """The paper's ``{x1, ..., xn}`` shorthand for nested INS."""
+    term = EMPTY
+    for element in reversed(elements):
+        term = ins(element, term)
+    return term
+
+
+def bool_spec() -> Specification:
+    """Booleans with NOT and if-then-else (ITE) over bool."""
+    b = "bool"
+    x, y = svar("x", b), svar("y", b)
+    return Specification.build(
+        "bool",
+        sorts=[b],
+        operations=[
+            Operation("TRUE", (), b),
+            Operation("FALSE", (), b),
+            Operation("NOT", (b,), b),
+            Operation("ITEB", (b, b, b), b),
+        ],
+        equations=[
+            equation(sapp("NOT", TRUE), FALSE),
+            equation(sapp("NOT", FALSE), TRUE),
+            equation(sapp("ITEB", TRUE, x, y), x),
+            equation(sapp("ITEB", FALSE, x, y), y),
+        ],
+    )
+
+
+def nat_spec() -> Specification:
+    """Naturals with an equationally-defined equality test EQ (the paper
+    notes a set's element type must have definable equality [21])."""
+    n, b = "nat", "bool"
+    x, y = svar("x", n), svar("y", n)
+    base = bool_spec()
+    mine = Specification.build(
+        "nat",
+        sorts=[n, b],
+        operations=[
+            Operation("0", (), n),
+            Operation("SUCC", (n,), n),
+            Operation("EQ", (n, n), b),
+            Operation("TRUE", (), b),
+            Operation("FALSE", (), b),
+        ],
+        equations=[
+            equation(sapp("EQ", ZERO, ZERO), TRUE),
+            equation(sapp("EQ", sapp("SUCC", x), sapp("SUCC", y)), sapp("EQ", x, y)),
+            equation(sapp("EQ", ZERO, sapp("SUCC", x)), FALSE),
+            equation(sapp("EQ", sapp("SUCC", x), ZERO), FALSE),
+        ],
+    )
+    return base.combine(mine, name="nat")
+
+
+def mem_completion(data_sort: str = "nat") -> ConditionalEquation:
+    """Section 2.2's totalising disequation:
+    ``MEM(x, y) ≠ T → MEM(x, y) = F``."""
+    x = svar("x", data_sort)
+    s = svar("s", f"set({data_sort})")
+    return equation(
+        mem(x, s), FALSE, NeqPremise(mem(x, s), TRUE)
+    )
+
+
+def set_spec(data_sort: str = "nat", with_completion: bool = False) -> Specification:
+    """SET(data): the Section 2.1 specification, verbatim.
+
+    ``with_completion=True`` appends the Section 2.2 MEM-totalising
+    disequation, making the spec use negation.
+    """
+    set_sort = f"set({data_sort})"
+    b = "bool"
+    d, d2 = svar("d", data_sort), svar("d2", data_sort)
+    s = svar("s", set_sort)
+    equations = [
+        # INS(d, INS(d, s)) = INS(d, s)
+        equation(ins(d, ins(d, s)), ins(d, s)),
+        # INS(d, INS(d', s)) = INS(d', INS(d, s))
+        equation(ins(d, ins(d2, s)), ins(d2, ins(d, s))),
+        # MEM(d, EMPTY) = FALSE
+        equation(mem(d, EMPTY), FALSE),
+        # MEM(d, INS(d', s)) = IF EQ(d, d') THEN TRUE ELSE MEM(d, s)
+        equation(
+            mem(d, ins(d2, s)),
+            sapp("ITEB", sapp("EQ", d, d2), TRUE, mem(d, s)),
+        ),
+    ]
+    if with_completion:
+        equations.append(mem_completion(data_sort))
+    mine = Specification.build(
+        f"SET({data_sort})",
+        sorts=[set_sort, data_sort, b],
+        operations=[
+            Operation("EMPTY", (), set_sort),
+            Operation("INS", (data_sort, set_sort), set_sort),
+            Operation("MEM", (data_sort, set_sort), b),
+            Operation("TRUE", (), b),
+            Operation("FALSE", (), b),
+            # Imported from nat + bool (identical declarations merge).
+            Operation("EQ", (data_sort, data_sort), b),
+            Operation("ITEB", (b, b, b), b),
+        ],
+        equations=equations,
+    )
+    return mine
+
+
+def set_of_nat_spec(with_completion: bool = False) -> Specification:
+    """``SET(nat) = nat + bool + ...`` exactly as printed in Section 2.1."""
+    return nat_spec().combine(
+        set_spec("nat", with_completion=with_completion), name="SET(nat)"
+    )
+
+
+def example2_spec() -> Specification:
+    """Example 2: three constants with
+
+        ``a ≠ b → a = c``  and  ``a ≠ c → a = b``
+
+    — three valid models, none initial."""
+    s = "s"
+    a, b, c = sapp("a"), sapp("b"), sapp("c")
+    return Specification.build(
+        "example2",
+        sorts=[s],
+        operations=[
+            Operation("a", (), s),
+            Operation("b", (), s),
+            Operation("c", (), s),
+        ],
+        equations=[
+            equation(a, c, NeqPremise(a, b)),
+            equation(a, b, NeqPremise(a, c)),
+        ],
+    )

@@ -1,0 +1,132 @@
+"""Congruence closure: the invariance relation on ground terms.
+
+"The Herbrand universe ... and its quotient modulo the invariance
+relation defined by E, the quotient term algebra, is an initial algebra"
+(Section 2.1).  For ground (conditional, negation-free) equations over a
+finite term universe, the invariance relation is computed by congruence
+closure with a semi-naive conditional loop on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .equations import ConditionalEquation, EqPremise
+from .terms import SApp, STerm, is_ground, subterms
+
+__all__ = ["CongruenceClosure"]
+
+
+class CongruenceClosure:
+    """Union-find with congruence propagation over ground terms."""
+
+    def __init__(self, terms: Iterable[STerm] = ()):
+        self._parent: Dict[STerm, STerm] = {}
+        for term in terms:
+            self.add_term(term)
+
+    # -- union-find ----------------------------------------------------------
+
+    def add_term(self, term: STerm) -> None:
+        """Register a ground term and its subterms."""
+        if not is_ground(term):
+            raise ValueError(f"congruence closure needs ground terms: {term!r}")
+        for _position, sub in subterms(term):
+            self._parent.setdefault(sub, sub)
+
+    def find(self, term: STerm) -> STerm:
+        """Canonical class root of a term (path-compressing)."""
+        self.add_term(term)
+        root = term
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[term] != root:  # path compression
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def _union(self, left: STerm, right: STerm) -> bool:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return False
+        self._parent[left_root] = right_root
+        return True
+
+    # -- congruence ----------------------------------------------------------
+
+    def merge(self, left: STerm, right: STerm) -> None:
+        """Assert ``left = right`` and restore congruence."""
+        if self._union(left, right):
+            self._propagate()
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            by_signature: Dict[Tuple, STerm] = {}
+            for term in list(self._parent):
+                if not isinstance(term, SApp):
+                    continue
+                signature = (term.op, tuple(self.find(arg) for arg in term.args))
+                other = by_signature.get(signature)
+                if other is None:
+                    by_signature[signature] = term
+                elif self.find(other) != self.find(term):
+                    self._union(other, term)
+                    changed = True
+
+    def are_equal(self, left: STerm, right: STerm) -> bool:
+        """Are two terms in the same class?"""
+        return self.find(left) == self.find(right)
+
+    def classes(self) -> List[List[STerm]]:
+        """The equivalence classes, each sorted."""
+        groups: Dict[STerm, List[STerm]] = {}
+        for term in self._parent:
+            groups.setdefault(self.find(term), []).append(term)
+        return [sorted(group, key=repr) for group in groups.values()]
+
+    # -- conditional saturation ----------------------------------------------
+
+    @classmethod
+    def from_ground_equations(
+        cls,
+        equations: Sequence[ConditionalEquation],
+        extra_terms: Iterable[STerm] = (),
+        max_rounds: int = 10_000,
+    ) -> "CongruenceClosure":
+        """Saturate ground conditional equations (no negation) to a fixpoint.
+
+        A conditional equation fires once all its equality premises hold in
+        the current closure — the minimal-model reading of Horn equations.
+        """
+        closure = cls(extra_terms)
+        pending: List[ConditionalEquation] = []
+        for eq in equations:
+            if eq.uses_negation():
+                raise ValueError(
+                    "congruence closure handles negation-free equations only; "
+                    "use repro.specs.deductive for the valid semantics"
+                )
+            if not eq.is_ground():
+                raise ValueError(f"equation must be ground: {eq!r}")
+            closure.add_term(eq.left)
+            closure.add_term(eq.right)
+            for premise in eq.premises:
+                closure.add_term(premise.left)
+                closure.add_term(premise.right)
+            pending.append(eq)
+
+        for _round in range(max_rounds):
+            fired = False
+            for eq in pending:
+                if closure.are_equal(eq.left, eq.right):
+                    continue
+                if all(
+                    closure.are_equal(premise.left, premise.right)
+                    for premise in eq.premises
+                ):
+                    closure.merge(eq.left, eq.right)
+                    fired = True
+            if not fired:
+                return closure
+        raise RuntimeError("conditional congruence closure did not converge")

@@ -1,0 +1,263 @@
+"""The deductive version of a specification (Section 2.2).
+
+    "A specification SPEC can be viewed as a deductive program with '='
+    being the only predicate.  The rules in the 'deductive version' of
+    SPEC are the conditional equations of SPEC, and the standard equality
+    axioms (transitivity, symmetry, reflexivity, and substitution)."
+
+Ground terms are encoded as complex-object values (a constant ``c``
+becomes the atom ``c``; an application ``f(t̄)`` becomes the tuple
+``[f, t̄...]``), the term universe is materialised to a depth bound
+(the Herbrand universe is infinite as soon as one operation is
+non-constant), and the valid model of the resulting ``eq/2`` program is
+the **valid interpretation** of the specification: certainly-equal pairs,
+certainly-unequal pairs, and undefined equalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..datalog.ast import (
+    Comparison,
+    Const,
+    FuncTerm,
+    Literal,
+    PredAtom,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+from ..datalog.database import Database
+from ..datalog.engine import QueryResult, run
+from ..datalog.semantics.interpretations import Truth
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Atom, Tup, Value
+from .equations import EqPremise, NeqPremise
+from .specification import Specification
+from .terms import SApp, STerm, SVar, ground_terms, is_ground, term_variables
+
+__all__ = [
+    "encode_term",
+    "decode_value",
+    "spec_registry",
+    "SpecDeduction",
+    "spec_to_deduction",
+    "SpecInterpretation",
+    "valid_interpretation",
+]
+
+EQ = "eq"
+UTERM = "uterm"
+
+
+def encode_term(term: SApp) -> Value:
+    """Encode a ground term as a value: ``c ↦ Atom(c)``,
+    ``f(t̄) ↦ [f, t̄...]``."""
+    if not is_ground(term):
+        raise ValueError(f"only ground terms encode to values: {term!r}")
+    if not term.args:
+        return Atom(term.op)
+    return Tup((Atom(term.op),) + tuple(encode_term(arg) for arg in term.args))
+
+
+def decode_value(value: Value) -> SApp:
+    """Inverse of :func:`encode_term`."""
+    if isinstance(value, Atom):
+        return SApp(value.name, ())
+    if isinstance(value, Tup) and value.items and isinstance(value.items[0], Atom):
+        return SApp(
+            value.items[0].name, tuple(decode_value(item) for item in value.items[1:])
+        )
+    raise ValueError(f"not an encoded term: {value!r}")
+
+
+def spec_registry(spec: Specification) -> FunctionRegistry:
+    """A registry with one constructor function per non-constant operation."""
+    registry = FunctionRegistry()
+    for operation in spec.signature.operations():
+        if operation.is_constant():
+            continue
+
+        def build(*args: Value, _name=operation.name) -> Value:
+            return Tup((Atom(_name),) + tuple(args))
+
+        registry.register(operation.name, operation.arity, build)
+    return registry
+
+
+def _term_to_datalog(term: STerm, var_of: Mapping[SVar, Var]) -> Term:
+    if isinstance(term, SVar):
+        return var_of[term]
+    if not term.args:
+        return Const(encode_term(term))
+    return FuncTerm(term.op, tuple(_term_to_datalog(arg, var_of) for arg in term.args))
+
+
+def _sort_pred(sort: str) -> str:
+    return f"{UTERM}_{sort}"
+
+
+@dataclass
+class SpecDeduction:
+    """The deductive version of a specification over a finite universe."""
+
+    spec: Specification
+    program: Program
+    database: Database
+    registry: FunctionRegistry
+    universe: Dict[str, List[SApp]]
+
+    def universe_terms(self) -> List[SApp]:
+        """Every term of the window, flattened."""
+        return [term for terms in self.universe.values() for term in terms]
+
+
+def spec_to_deduction(
+    spec: Specification,
+    universe: Optional[Dict[str, List[SApp]]] = None,
+    depth: int = 3,
+) -> SpecDeduction:
+    """Build the ``eq/2`` program and its database.
+
+    ``universe`` defaults to all ground terms of depth ≤ ``depth``.  All
+    rule firings are guarded to stay inside the universe, so the result is
+    the valid interpretation *restricted to the window* — deep enough
+    windows decide all the equalities the examples need.
+    """
+    universe = universe or ground_terms(spec.signature, depth)
+    database = Database()
+    for sort, terms in universe.items():
+        database.declare(_sort_pred(sort))
+        for term in terms:
+            encoded = encode_term(term)
+            database.add(UTERM, encoded)
+            database.add(_sort_pred(sort), encoded)
+    database.declare(UTERM)
+
+    # Application facts: app_f(f(t̄), t̄) for every universe term.  The
+    # substitution axiom joins over these (small) tables rather than over
+    # the quadratic eq relation, keeping grounding tractable.
+    app_preds: set = set()
+    for terms in universe.values():
+        for term in terms:
+            if term.args:
+                app_preds.add(term.op)
+                database.add(
+                    f"app_{term.op}",
+                    encode_term(term),
+                    *(encode_term(arg) for arg in term.args),
+                )
+
+    rules: List[Rule] = []
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+    # Equality axioms.
+    rules.append(Rule(PredAtom(EQ, (x, x)), (Literal(PredAtom(UTERM, (x,)), True),)))
+    rules.append(Rule(PredAtom(EQ, (x, y)), (Literal(PredAtom(EQ, (y, x)), True),)))
+    rules.append(
+        Rule(
+            PredAtom(EQ, (x, z)),
+            (
+                Literal(PredAtom(EQ, (x, y)), True),
+                Literal(PredAtom(EQ, (y, z)), True),
+            ),
+        )
+    )
+    # Substitution (congruence), one rule per non-constant operation that
+    # actually occurs in the universe: join the two application tables
+    # first (binding both whole terms and all arguments), then check the
+    # componentwise equalities.
+    for operation in spec.signature.operations():
+        if operation.is_constant() or operation.name not in app_preds:
+            continue
+        xs = tuple(Var(f"A{i}") for i in range(operation.arity))
+        ys = tuple(Var(f"B{i}") for i in range(operation.arity))
+        left_var, right_var = Var("L"), Var("R")
+        body: List = [
+            Literal(PredAtom(f"app_{operation.name}", (left_var,) + xs), True),
+            Literal(PredAtom(f"app_{operation.name}", (right_var,) + ys), True),
+        ]
+        for xi, yi in zip(xs, ys):
+            body.append(Literal(PredAtom(EQ, (xi, yi)), True))
+        rules.append(Rule(PredAtom(EQ, (left_var, right_var)), tuple(body)))
+
+    # The specification's equations.
+    for index, eq in enumerate(spec.equations):
+        var_of = {v: Var(f"V_{v.name}") for v in eq.variables()}
+        body = []
+        for variable, datalog_var in var_of.items():
+            body.append(Literal(PredAtom(_sort_pred(variable.sort), (datalog_var,)), True))
+        left_var, right_var = Var(f"L{index}"), Var(f"R{index}")
+        body.append(Comparison("=", left_var, _term_to_datalog(eq.left, var_of)))
+        body.append(Comparison("=", right_var, _term_to_datalog(eq.right, var_of)))
+        body.append(Literal(PredAtom(UTERM, (left_var,)), True))
+        body.append(Literal(PredAtom(UTERM, (right_var,)), True))
+        for p_index, premise in enumerate(eq.premises):
+            pl, pr = Var(f"PL{index}_{p_index}"), Var(f"PR{index}_{p_index}")
+            body.append(Comparison("=", pl, _term_to_datalog(premise.left, var_of)))
+            body.append(Comparison("=", pr, _term_to_datalog(premise.right, var_of)))
+            body.append(Literal(PredAtom(UTERM, (pl,)), True))
+            body.append(Literal(PredAtom(UTERM, (pr,)), True))
+            if isinstance(premise, EqPremise):
+                body.append(Literal(PredAtom(EQ, (pl, pr)), True))
+            elif isinstance(premise, NeqPremise):
+                body.append(Literal(PredAtom(EQ, (pl, pr)), False))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown premise {premise!r}")
+        rules.append(Rule(PredAtom(EQ, (left_var, right_var)), tuple(body)))
+
+    program = Program(tuple(rules), name=f"deductive:{spec.name}")
+    return SpecDeduction(spec, program, database, spec_registry(spec), universe)
+
+
+@dataclass
+class SpecInterpretation:
+    """The valid interpretation of a specification (three-valued ``=``)."""
+
+    deduction: SpecDeduction
+    result: QueryResult
+
+    def truth_equal(self, left: SApp, right: SApp) -> Truth:
+        """Is ``left = right`` true / false / undefined in the valid
+        interpretation (within the window)?"""
+        return self.result.truth_of(EQ, encode_term(left), encode_term(right))
+
+    def certainly_equal(self, left: SApp, right: SApp) -> bool:
+        """Is ``left = right`` certainly true?"""
+        return self.truth_equal(left, right) is Truth.TRUE
+
+    def certainly_unequal(self, left: SApp, right: SApp) -> bool:
+        """Is ``left = right`` certainly false?"""
+        return self.truth_equal(left, right) is Truth.FALSE
+
+    def undefined_pairs(self) -> List[Tuple[SApp, SApp]]:
+        """Term pairs whose equality is undefined."""
+        pairs = []
+        for row in self.result.undefined_rows(EQ):
+            pairs.append((decode_value(row[0]), decode_value(row[1])))
+        return pairs
+
+    def is_total(self) -> bool:
+        """No equality left undefined?"""
+        return not self.result.undefined_rows(EQ)
+
+
+def valid_interpretation(
+    spec: Specification,
+    universe: Optional[Dict[str, List[SApp]]] = None,
+    depth: int = 3,
+    semantics: str = "valid",
+    max_atoms: int = 2_000_000,
+) -> SpecInterpretation:
+    """Compute the valid interpretation of ``spec`` over a finite window."""
+    deduction = spec_to_deduction(spec, universe=universe, depth=depth)
+    result = run(
+        deduction.program,
+        deduction.database,
+        semantics=semantics,
+        registry=deduction.registry,
+        max_atoms=max_atoms,
+    )
+    return SpecInterpretation(deduction, result)

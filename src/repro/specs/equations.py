@@ -1,0 +1,114 @@
+"""(Generalized conditional) equations.
+
+A plain equation is ``l = r``; a conditional equation is
+``p_1 ∧ ... ∧ p_k → l = r`` with equality premises.  The paper's
+extension ("Negation", Section 2.2) allows *disequation* premises such as
+
+    ``MEM(x, y) ≠ T → MEM(x, y) = F``
+
+which is what makes the initial-model semantics break down and the valid
+semantics necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Tuple
+
+from .sorts import Signature
+from .terms import STerm, SVar, is_ground, substitute, term_sort, term_variables
+
+__all__ = ["Premise", "EqPremise", "NeqPremise", "ConditionalEquation", "equation"]
+
+
+class Premise:
+    """Base class for equation premises."""
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EqPremise(Premise):
+    """``left = right`` must already hold."""
+
+    left: STerm
+    right: STerm
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class NeqPremise(Premise):
+    """``left ≠ right``: the equality must be *certainly false* (valid
+    semantics) before the equation applies — this is negation."""
+
+    left: STerm
+    right: STerm
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} ≠ {self.right!r}"
+
+
+@dataclass(frozen=True)
+class ConditionalEquation:
+    """``premises → left = right``; empty premises give a plain equation."""
+
+    left: STerm
+    right: STerm
+    premises: Tuple[Premise, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "premises", tuple(self.premises))
+
+    def uses_negation(self) -> bool:
+        """Does any premise require a disequation?"""
+        return any(isinstance(premise, NeqPremise) for premise in self.premises)
+
+    def variables(self) -> FrozenSet[SVar]:
+        """Variables of the equation, premises included."""
+        result = term_variables(self.left) | term_variables(self.right)
+        for premise in self.premises:
+            result |= term_variables(premise.left) | term_variables(premise.right)
+        return result
+
+    def is_ground(self) -> bool:
+        """True when no variables occur."""
+        return not self.variables()
+
+    def instantiate(self, mapping: Mapping[SVar, STerm]) -> "ConditionalEquation":
+        """Apply a variable substitution throughout."""
+        new_premises = tuple(
+            type(premise)(
+                substitute(premise.left, mapping), substitute(premise.right, mapping)
+            )
+            for premise in self.premises
+        )
+        return ConditionalEquation(
+            substitute(self.left, mapping), substitute(self.right, mapping), new_premises
+        )
+
+    def check_sorts(self, signature: Signature) -> None:
+        """Both sides of every (dis)equation must have equal sorts."""
+        pairs = [(self.left, self.right)] + [
+            (premise.left, premise.right) for premise in self.premises
+        ]
+        for left, right in pairs:
+            left_sort = term_sort(left, signature)
+            right_sort = term_sort(right, signature)
+            if left_sort != right_sort:
+                raise ValueError(
+                    f"ill-sorted equation {left!r} = {right!r}: "
+                    f"{left_sort} vs {right_sort}"
+                )
+
+    def __repr__(self) -> str:
+        conclusion = f"{self.left!r} = {self.right!r}"
+        if not self.premises:
+            return conclusion
+        premise_text = " ∧ ".join(repr(premise) for premise in self.premises)
+        return f"{premise_text} → {conclusion}"
+
+
+def equation(left: STerm, right: STerm, *premises: Premise) -> ConditionalEquation:
+    """Build a (conditional) equation."""
+    return ConditionalEquation(left, right, tuple(premises))

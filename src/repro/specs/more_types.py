@@ -1,0 +1,118 @@
+"""More of Section 2.1's data types: lists and stacks.
+
+"Essentially all known data types, including atomic types like the
+characters, the integers, the booleans, and structured types like sets,
+lists, stacks, and so on, can be so defined."
+
+These specifications follow the SET(nat) template: constructors, an
+observer defined equationally, and (for lists) an equality test —
+demonstrating that the framework really is generic in the structured
+type, not special to sets.
+"""
+
+from __future__ import annotations
+
+from .equations import equation
+from .sorts import Operation
+from .specification import Specification
+from .terms import SApp, sapp, svar
+
+__all__ = [
+    "list_spec",
+    "stack_spec",
+    "list_term",
+    "push_all",
+    "NIL",
+    "EMPTYSTACK",
+]
+
+NIL = sapp("NIL")
+EMPTYSTACK = sapp("EMPTYSTACK")
+
+
+def list_term(*elements) -> SApp:
+    """``CONS(x1, CONS(..., NIL))``."""
+    term = NIL
+    for element in reversed(elements):
+        term = sapp("CONS", element, term)
+    return term
+
+
+def push_all(*elements) -> SApp:
+    """``PUSH(x1, PUSH(..., EMPTYSTACK))`` — x1 ends up on top."""
+    term = EMPTYSTACK
+    for element in reversed(elements):
+        term = sapp("PUSH", element, term)
+    return term
+
+
+def list_spec(data_sort: str = "nat") -> Specification:
+    """LIST(data): NIL/CONS constructors with HEAD, TAIL, APPEND, and an
+    equationally-defined membership OCCURS (the list analogue of MEM).
+
+    HEAD/TAIL of NIL are deliberately left unspecified — the paper's
+    framework has no error values, and underspecified observers simply
+    denote fresh classes in the initial algebra.
+    """
+    list_sort = f"list({data_sort})"
+    b = "bool"
+    d, d2 = svar("d", data_sort), svar("d2", data_sort)
+    rest, other = svar("l", list_sort), svar("m", list_sort)
+    return Specification.build(
+        f"LIST({data_sort})",
+        sorts=[list_sort, data_sort, b],
+        operations=[
+            Operation("NIL", (), list_sort),
+            Operation("CONS", (data_sort, list_sort), list_sort),
+            Operation("HEAD", (list_sort,), data_sort),
+            Operation("TAIL", (list_sort,), list_sort),
+            Operation("APPEND", (list_sort, list_sort), list_sort),
+            Operation("OCCURS", (data_sort, list_sort), b),
+            Operation("TRUE", (), b),
+            Operation("FALSE", (), b),
+            Operation("EQ", (data_sort, data_sort), b),
+            Operation("ITEB", (b, b, b), b),
+        ],
+        equations=[
+            equation(sapp("HEAD", sapp("CONS", d, rest)), d),
+            equation(sapp("TAIL", sapp("CONS", d, rest)), rest),
+            equation(sapp("APPEND", NIL, other), other),
+            equation(
+                sapp("APPEND", sapp("CONS", d, rest), other),
+                sapp("CONS", d, sapp("APPEND", rest, other)),
+            ),
+            equation(sapp("OCCURS", d, NIL), sapp("FALSE")),
+            equation(
+                sapp("OCCURS", d, sapp("CONS", d2, rest)),
+                sapp("ITEB", sapp("EQ", d, d2), sapp("TRUE"), sapp("OCCURS", d, rest)),
+            ),
+        ],
+    )
+
+
+def stack_spec(data_sort: str = "nat") -> Specification:
+    """STACK(data): PUSH/POP/TOP with the classical equations
+    ``POP(PUSH(d, s)) = s`` and ``TOP(PUSH(d, s)) = d``, plus ISEMPTY."""
+    stack_sort = f"stack({data_sort})"
+    b = "bool"
+    d = svar("d", data_sort)
+    s = svar("s", stack_sort)
+    return Specification.build(
+        f"STACK({data_sort})",
+        sorts=[stack_sort, data_sort, b],
+        operations=[
+            Operation("EMPTYSTACK", (), stack_sort),
+            Operation("PUSH", (data_sort, stack_sort), stack_sort),
+            Operation("POP", (stack_sort,), stack_sort),
+            Operation("TOP", (stack_sort,), data_sort),
+            Operation("ISEMPTY", (stack_sort,), b),
+            Operation("TRUE", (), b),
+            Operation("FALSE", (), b),
+        ],
+        equations=[
+            equation(sapp("POP", sapp("PUSH", d, s)), s),
+            equation(sapp("TOP", sapp("PUSH", d, s)), d),
+            equation(sapp("ISEMPTY", EMPTYSTACK), sapp("TRUE")),
+            equation(sapp("ISEMPTY", sapp("PUSH", d, s)), sapp("FALSE")),
+        ],
+    )

@@ -1,0 +1,110 @@
+"""Parameterized specifications (Section 2.1).
+
+"By replacing nat with a type variable data, we obtain a parameterized
+specification, which can be instantiated by substituting a concrete type
+for data."
+
+Executably: a parameterized specification is an ordinary specification
+whose *parameter sorts* are placeholders, and instantiation renames a
+sort throughout (sort set, operation arities, nothing in the equations'
+terms needs touching since terms carry sorts only via variables).
+``instantiate`` combines the renamed body with the actual-parameter
+specification and checks the requirement the paper's footnote 1 states:
+the actual type must define whatever operations the body imports on the
+parameter sort (e.g. ``EQ`` for SET's MEM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from .equations import ConditionalEquation, EqPremise, NeqPremise
+from .sorts import Operation, Signature
+from .specification import Specification
+from .terms import SApp, STerm, SVar
+
+__all__ = ["rename_sort", "instantiate"]
+
+
+def _rename_in_term(term: STerm, mapping: Mapping[str, str]) -> STerm:
+    if isinstance(term, SVar):
+        return SVar(term.name, mapping.get(term.sort, term.sort))
+    return SApp(term.op, tuple(_rename_in_term(arg, mapping) for arg in term.args))
+
+
+def _rename_in_equation(
+    equation: ConditionalEquation, mapping: Mapping[str, str]
+) -> ConditionalEquation:
+    premises = tuple(
+        type(premise)(
+            _rename_in_term(premise.left, mapping),
+            _rename_in_term(premise.right, mapping),
+        )
+        for premise in equation.premises
+    )
+    return ConditionalEquation(
+        _rename_in_term(equation.left, mapping),
+        _rename_in_term(equation.right, mapping),
+        premises,
+    )
+
+
+def rename_sort(
+    spec: Specification, mapping: Mapping[str, str], name: Optional[str] = None
+) -> Specification:
+    """Rename sorts throughout a specification.
+
+    ``set(data)``-style compound sort names have their embedded parameter
+    rewritten too: renaming ``data → nat`` takes ``set(data)`` to
+    ``set(nat)``.
+    """
+
+    def rename(sort: str) -> str:
+        if sort in mapping:
+            return mapping[sort]
+        renamed = sort
+        for old, new in mapping.items():
+            renamed = renamed.replace(f"({old})", f"({new})")
+        return renamed
+
+    sorts = {rename(sort) for sort in spec.signature.sorts}
+    operations = [
+        Operation(
+            operation.name,
+            tuple(rename(sort) for sort in operation.arg_sorts),
+            rename(operation.result_sort),
+        )
+        for operation in spec.signature.operations()
+    ]
+    full_map = {sort: rename(sort) for sort in spec.signature.sorts}
+    equations = tuple(
+        _rename_in_equation(equation, full_map) for equation in spec.equations
+    )
+    return Specification(
+        name or spec.name, Signature(sorts, operations), equations
+    )
+
+
+def instantiate(
+    parameterized: Specification,
+    parameter_sort: str,
+    actual: Specification,
+    actual_sort: str,
+    name: Optional[str] = None,
+) -> Specification:
+    """Instantiate a parameterized specification with an actual type.
+
+    Renames ``parameter_sort`` to ``actual_sort`` in the body and combines
+    with ``actual``.  ``Signature.combine`` raises when the body's
+    imported operations (e.g. ``EQ`` on the parameter sort — footnote 1's
+    requirement that equality be definable on the element type) clash
+    with the actual type's declarations; the *semantic* adequacy of the
+    actual operations (EQ total, etc.) is checked by evaluating the
+    combined spec, e.g. with :func:`repro.specs.valid_interpretation`.
+    """
+    if parameter_sort not in parameterized.signature.sorts:
+        raise ValueError(f"{parameter_sort!r} is not a sort of {parameterized.name}")
+    renamed = rename_sort(parameterized, {parameter_sort: actual_sort}, name=name)
+    return actual.combine(
+        renamed, name=name or f"{parameterized.name}[{actual.name}]"
+    )

@@ -1,0 +1,143 @@
+"""The quotient term algebra (Section 2.1).
+
+"The Herbrand universe, the collection of ground terms over OP, can be
+made an (S, OP)-algebra, and its quotient modulo the invariance relation
+defined by E, the quotient term algebra, is an initial algebra."
+
+For a finite window into the Herbrand universe and negation-free ground
+equation instances, this module materialises that quotient: carriers are
+congruence classes, operations map representative-wise, and term
+evaluation lands in a class.  It is the concrete initial algebra the
+rest of Section 2 quietly stands on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .congruence import CongruenceClosure
+from .equations import ConditionalEquation
+from .specification import Specification
+from .terms import SApp, STerm, ground_terms, is_ground, substitute, term_sort
+
+__all__ = ["QuotientAlgebra", "quotient_term_algebra"]
+
+
+@dataclass(frozen=True)
+class _ClassRef:
+    """A congruence class, identified by its canonical representative."""
+
+    representative: SApp
+
+    def __repr__(self) -> str:
+        return f"[{self.representative!r}]"
+
+
+class QuotientAlgebra:
+    """The quotient of a ground-term window by a congruence closure."""
+
+    def __init__(self, spec: Specification, closure: CongruenceClosure,
+                 universe: Dict[str, List[SApp]]):
+        self._spec = spec
+        self._closure = closure
+        self._universe = universe
+        self._rep_cache: Dict[SApp, SApp] = {}
+        self._carrier: Dict[str, List[_ClassRef]] = {}
+        for sort, terms in universe.items():
+            seen: Dict[SApp, _ClassRef] = {}
+            for term in terms:
+                root = self._canonical(term)
+                seen.setdefault(root, _ClassRef(root))
+            self._carrier[sort] = sorted(seen.values(), key=repr)
+
+    def _canonical(self, term: SApp) -> SApp:
+        root = self._closure.find(term)
+        found = self._rep_cache.get(root)
+        if found is not None:
+            return found
+        # Deterministic representative: the repr-least member of the class.
+        members = [
+            candidate
+            for group in self._closure.classes()
+            for candidate in group
+            if self._closure.find(candidate) == root
+        ]
+        representative = min(members, key=repr) if members else term
+        self._rep_cache[root] = representative
+        return representative
+
+    # -- the algebra ----------------------------------------------------------
+
+    def carrier(self, sort: str) -> Tuple[_ClassRef, ...]:
+        """The carrier of a sort: its congruence classes."""
+        return tuple(self._carrier.get(sort, ()))
+
+    def evaluate(self, term: SApp) -> _ClassRef:
+        """Interpret a ground term: its congruence class."""
+        if not is_ground(term):
+            raise ValueError(f"only ground terms evaluate: {term!r}")
+        return _ClassRef(self._canonical(term))
+
+    def apply(self, op: str, *arg_classes: _ClassRef) -> _ClassRef:
+        """Apply an operation to classes (representative-wise, which is
+        well-defined exactly because the relation is a congruence)."""
+        operation = self._spec.signature.operation(op)
+        if len(arg_classes) != operation.arity:
+            raise ValueError(f"{op} expects {operation.arity} arguments")
+        term = SApp(op, tuple(ref.representative for ref in arg_classes))
+        return self.evaluate(term)
+
+    def equal(self, left: SApp, right: SApp) -> bool:
+        """Truth of ``left = right`` in the algebra."""
+        return self._closure.are_equal(left, right)
+
+    def size(self, sort: str) -> int:
+        """Number of classes in a sort's carrier."""
+        return len(self._carrier.get(sort, ()))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{sort}:{len(classes)}" for sort, classes in sorted(self._carrier.items())
+        )
+        return f"<QuotientAlgebra {self._spec.name} carriers {sizes}>"
+
+
+def quotient_term_algebra(
+    spec: Specification,
+    depth: int = 2,
+    universe: Optional[Dict[str, List[SApp]]] = None,
+    max_instances: int = 200_000,
+) -> QuotientAlgebra:
+    """Build the quotient term algebra of a negation-free specification
+    over the depth-bounded Herbrand window.
+
+    Equations are instantiated over the window (Horn reading, saturated
+    to a fixpoint by the conditional congruence closure).  Raises
+    ``ValueError`` for specifications with disequation premises — those
+    need the valid semantics (:mod:`repro.specs.deductive`).
+    """
+    if spec.uses_negation():
+        raise ValueError(
+            "the classical quotient construction needs a negation-free "
+            "specification; use repro.specs.deductive for the valid semantics"
+        )
+    universe = universe or ground_terms(spec.signature, depth)
+
+    import itertools
+
+    instances: List[ConditionalEquation] = []
+    for equation in spec.equations:
+        variables = sorted(equation.variables(), key=lambda v: v.name)
+        pools = [universe.get(v.sort, []) for v in variables]
+        for combo in itertools.product(*pools):
+            instance = equation.instantiate(dict(zip(variables, combo)))
+            # Guard: all terms of the instance must stay inside the window
+            # (otherwise the closure would silently extend it).
+            instances.append(instance)
+            if len(instances) > max_instances:
+                raise RuntimeError("equation instantiation exceeded the budget")
+
+    all_terms = [term for terms in universe.values() for term in terms]
+    closure = CongruenceClosure.from_ground_equations(instances, extra_terms=all_terms)
+    return QuotientAlgebra(spec, closure, universe)

@@ -1,0 +1,122 @@
+"""Term rewriting for specifications.
+
+"It is easy to see (using term rewriting) that ..." — Section 2.2 uses
+rewriting as the operational reading of equations.  This module orients
+(conditional) equations left-to-right and normalises terms; conditional
+rules fire when their equality premises are joinable (both sides
+normalise to the same term), a bounded recursive check.
+
+Rules with disequation premises are *not* rewrite rules (negation needs
+the valid semantics; see :mod:`repro.specs.deductive`) and are skipped
+with a warning flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .equations import ConditionalEquation, EqPremise
+from .terms import SApp, STerm, SVar, match, substitute, subterms, term_variables
+
+__all__ = ["RewriteSystem", "RewriteLimit"]
+
+
+class RewriteLimit(RuntimeError):
+    """Normalisation exceeded its step budget (possibly non-terminating,
+    e.g. the commutativity equation of INS)."""
+
+
+@dataclass(frozen=True)
+class _Rule:
+    left: STerm
+    right: STerm
+    premises: Tuple[EqPremise, ...]
+
+
+class RewriteSystem:
+    """Equations oriented left → right."""
+
+    def __init__(self, equations: Iterable[ConditionalEquation]):
+        self._rules: List[_Rule] = []
+        self.skipped_negative: List[ConditionalEquation] = []
+        for eq in equations:
+            if eq.uses_negation():
+                self.skipped_negative.append(eq)
+                continue
+            extra = term_variables(eq.right) - term_variables(eq.left)
+            for premise in eq.premises:
+                extra |= (
+                    term_variables(premise.left) | term_variables(premise.right)
+                ) - term_variables(eq.left)
+            if extra:
+                # Not orientable as a rewrite rule; skip (it still counts
+                # for the deductive reading).
+                self.skipped_negative.append(eq)
+                continue
+            self._rules.append(
+                _Rule(eq.left, eq.right, tuple(eq.premises))  # type: ignore[arg-type]
+            )
+
+    @property
+    def rules(self) -> Tuple[_Rule, ...]:
+        """The oriented rewrite rules."""
+        return tuple(self._rules)
+
+    def _replace(self, term: STerm, position: Tuple[int, ...], new: STerm) -> STerm:
+        if not position:
+            return new
+        assert isinstance(term, SApp)
+        index = position[0]
+        args = list(term.args)
+        args[index] = self._replace(args[index], position[1:], new)
+        return SApp(term.op, tuple(args))
+
+    def rewrite_once(
+        self, term: STerm, budget: List[int]
+    ) -> Optional[STerm]:
+        """One outermost-leftmost rewrite step, or None if in normal form."""
+        for position, sub in subterms(term):
+            for rule in self._rules:
+                binding = match(rule.left, sub)
+                if binding is None:
+                    continue
+                if not self._premises_hold(rule.premises, binding, budget):
+                    continue
+                replacement = substitute(rule.right, binding)
+                return self._replace(term, position, replacement)
+        return None
+
+    def _premises_hold(self, premises, binding, budget: List[int]) -> bool:
+        for premise in premises:
+            left = self.normalize(substitute(premise.left, binding), budget=budget)
+            right = self.normalize(substitute(premise.right, binding), budget=budget)
+            if left != right:
+                return False
+        return True
+
+    def normalize(
+        self, term: STerm, max_steps: int = 10_000, budget: Optional[List[int]] = None
+    ) -> STerm:
+        """Rewrite to normal form; raises :class:`RewriteLimit` on budget
+        exhaustion."""
+        if budget is None:
+            budget = [max_steps]
+        current = term
+        while True:
+            if budget[0] <= 0:
+                raise RewriteLimit(
+                    f"rewriting exceeded its step budget at {current!r}"
+                )
+            budget[0] -= 1
+            next_term = self.rewrite_once(current, budget)
+            if next_term is None:
+                return current
+            current = next_term
+
+    def joinable(self, left: STerm, right: STerm, max_steps: int = 10_000) -> bool:
+        """Do both terms normalise to the same normal form?"""
+        budget = [max_steps]
+        return self.normalize(left, budget=budget) == self.normalize(
+            right, budget=budget
+        )

@@ -1,0 +1,103 @@
+"""Many-sorted signatures (Section 2.1).
+
+A signature is the ``(S, OP)`` part of a specification: sort names and
+operation symbols with arities in ``S* → S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["Operation", "Signature"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An operation symbol ``name : arg_sorts → result_sort``."""
+
+    name: str
+    arg_sorts: Tuple[str, ...]
+    result_sort: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arg_sorts", tuple(self.arg_sorts))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument sorts."""
+        return len(self.arg_sorts)
+
+    def is_constant(self) -> bool:
+        """Arity zero?"""
+        return not self.arg_sorts
+
+    def __repr__(self) -> str:
+        if not self.arg_sorts:
+            return f"{self.name}: → {self.result_sort}"
+        args = ", ".join(self.arg_sorts)
+        return f"{self.name}: {args} → {self.result_sort}"
+
+
+class Signature:
+    """Sort names plus operation symbols over them."""
+
+    def __init__(self, sorts: Iterable[str] = (), operations: Iterable[Operation] = ()):
+        self._sorts: FrozenSet[str] = frozenset(sorts)
+        self._operations: Dict[str, Operation] = {}
+        for operation in operations:
+            self.check_operation_sorts(operation)
+            if operation.name in self._operations:
+                raise ValueError(f"duplicate operation {operation.name!r}")
+            self._operations[operation.name] = operation
+
+    def check_operation_sorts(self, operation: Operation) -> None:
+        """Validate an operation's sorts against this signature."""
+        unknown = (set(operation.arg_sorts) | {operation.result_sort}) - self._sorts
+        if unknown:
+            raise ValueError(
+                f"operation {operation.name} mentions unknown sorts {sorted(unknown)}"
+            )
+
+    @property
+    def sorts(self) -> FrozenSet[str]:
+        """The sort names."""
+        return self._sorts
+
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations, name-sorted."""
+        return tuple(self._operations[name] for name in sorted(self._operations))
+
+    def operation(self, name: str) -> Operation:
+        """Look up an operation by name."""
+        try:
+            return self._operations[name]
+        except KeyError:
+            raise KeyError(f"unknown operation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._operations
+
+    def constants(self, sort: Optional[str] = None) -> Tuple[Operation, ...]:
+        """The 0-ary operations (optionally of one sort)."""
+        return tuple(
+            op
+            for op in self.operations()
+            if op.is_constant() and (sort is None or op.result_sort == sort)
+        )
+
+    def combine(self, other: "Signature") -> "Signature":
+        """The ``nat + bool + ...`` import notation: union of signatures.
+        A shared operation name must have an identical declaration."""
+        operations: Dict[str, Operation] = dict(self._operations)
+        for name, operation in other._operations.items():
+            if name in operations and operations[name] != operation:
+                raise ValueError(f"conflicting declarations for {name!r}")
+            operations[name] = operation
+        return Signature(self._sorts | other._sorts, operations.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Signature sorts={sorted(self._sorts)} "
+            f"ops={sorted(self._operations)}>"
+        )

@@ -1,0 +1,80 @@
+"""Abstract data type specifications (Definition 2.1).
+
+``SPEC = (S, OP, E)``: sorts, operations, and (generalized conditional)
+equations.  ``combine`` realises the paper's import notation
+``SET(nat) = nat + bool + ...``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from .equations import ConditionalEquation
+from .sorts import Operation, Signature
+
+__all__ = ["Specification"]
+
+
+@dataclass(frozen=True)
+class Specification:
+    """An abstract data type specification."""
+
+    name: str
+    signature: Signature
+    equations: Tuple[ConditionalEquation, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "equations", tuple(self.equations))
+        for eq in self.equations:
+            eq.check_sorts(self.signature)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        sorts: Iterable[str],
+        operations: Iterable[Operation],
+        equations: Iterable[ConditionalEquation] = (),
+    ) -> "Specification":
+        """Construct a specification from parts."""
+        return cls(name, Signature(sorts, operations), tuple(equations))
+
+    def uses_negation(self) -> bool:
+        """Does any equation have a disequation premise (Section 2.2)?"""
+        return any(eq.uses_negation() for eq in self.equations)
+
+    def is_constant_only(self) -> bool:
+        """Only 0-ary operations — the decidable case of Proposition 2.3."""
+        return all(op.is_constant() for op in self.signature.operations())
+
+    def combine(self, other: "Specification", name: Optional[str] = None) -> "Specification":
+        """The ``A + B`` import: union of signatures and equations."""
+        return Specification(
+            name or f"{self.name}+{other.name}",
+            self.signature.combine(other.signature),
+            self.equations + other.equations,
+        )
+
+    def __add__(self, other: "Specification") -> "Specification":
+        return self.combine(other)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Specification {self.name}: {len(self.signature.sorts)} sorts, "
+            f"{len(self.signature.operations())} ops, "
+            f"{len(self.equations)} equations"
+            f"{', with negation' if self.uses_negation() else ''}>"
+        )
+
+    def pretty(self) -> str:
+        """Render in the paper's spec layout."""
+        lines = [f"spec {self.name}"]
+        lines.append("sorts: " + ", ".join(sorted(self.signature.sorts)))
+        lines.append("opns:")
+        for operation in self.signature.operations():
+            lines.append(f"  {operation!r}")
+        lines.append("eqns:")
+        for eq in self.equations:
+            lines.append(f"  {eq!r}")
+        return "\n".join(lines)

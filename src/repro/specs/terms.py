@@ -1,0 +1,196 @@
+"""Terms over a many-sorted signature.
+
+Ground terms form the Herbrand universe whose quotient modulo the
+invariance relation is the initial algebra (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .sorts import Signature
+
+__all__ = [
+    "SVar",
+    "SApp",
+    "STerm",
+    "svar",
+    "sapp",
+    "const",
+    "term_sort",
+    "term_variables",
+    "is_ground",
+    "substitute",
+    "match",
+    "subterms",
+    "term_size",
+    "ground_terms",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SVar:
+    """A sorted variable, e.g. ``d ∈ nat``."""
+
+    name: str
+    sort: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SApp:
+    """An operation application; constants are 0-ary applications."""
+
+    op: str
+    args: Tuple["STerm", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.op
+        inner = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.op}({inner})"
+
+
+STerm = object  # Union[SVar, SApp] — kept loose for typing simplicity.
+
+
+def svar(name: str, sort: str) -> SVar:
+    """A sorted variable."""
+    return SVar(name, sort)
+
+
+def sapp(op: str, *args: STerm) -> SApp:
+    """An operation application term."""
+    return SApp(op, tuple(args))
+
+
+def const(name: str) -> SApp:
+    """A constant term (0-ary application)."""
+    return SApp(name, ())
+
+
+def term_sort(term: STerm, signature: Signature) -> str:
+    """Infer (and check) the sort of a term."""
+    if isinstance(term, SVar):
+        return term.sort
+    if isinstance(term, SApp):
+        operation = signature.operation(term.op)
+        if len(term.args) != operation.arity:
+            raise ValueError(
+                f"{term.op} applied to {len(term.args)} args, arity {operation.arity}"
+            )
+        for arg, expected in zip(term.args, operation.arg_sorts):
+            actual = term_sort(arg, signature)
+            if actual != expected:
+                raise ValueError(
+                    f"in {term!r}: argument {arg!r} has sort {actual}, "
+                    f"expected {expected}"
+                )
+        return operation.result_sort
+    raise TypeError(f"not a term: {term!r}")
+
+
+def term_variables(term: STerm) -> FrozenSet[SVar]:
+    """Variables occurring in a term."""
+    if isinstance(term, SVar):
+        return frozenset((term,))
+    result: FrozenSet[SVar] = frozenset()
+    for arg in term.args:
+        result |= term_variables(arg)
+    return result
+
+
+def is_ground(term: STerm) -> bool:
+    """True when no variables occur."""
+    return not term_variables(term)
+
+
+def substitute(term: STerm, mapping: Mapping[SVar, STerm]) -> STerm:
+    """Apply a variable substitution."""
+    if isinstance(term, SVar):
+        return mapping.get(term, term)
+    return SApp(term.op, tuple(substitute(arg, mapping) for arg in term.args))
+
+
+def match(pattern: STerm, subject: STerm) -> Optional[Dict[SVar, STerm]]:
+    """One-way syntactic matching: a substitution σ with σ(pattern) ==
+    subject, or None."""
+    binding: Dict[SVar, STerm] = {}
+
+    def walk(pat: STerm, sub: STerm) -> bool:
+        if isinstance(pat, SVar):
+            if pat in binding:
+                return binding[pat] == sub
+            binding[pat] = sub
+            return True
+        if not isinstance(sub, SApp) or pat.op != sub.op or len(pat.args) != len(sub.args):
+            return False
+        return all(walk(p, s) for p, s in zip(pat.args, sub.args))
+
+    if walk(pattern, subject):
+        return binding
+    return None
+
+
+def subterms(term: STerm) -> Iterator[Tuple[Tuple[int, ...], STerm]]:
+    """Yield (position, subterm) pairs, pre-order; positions are paths of
+    0-based argument indexes."""
+    yield (), term
+    if isinstance(term, SApp):
+        for index, arg in enumerate(term.args):
+            for position, sub in subterms(arg):
+                yield (index,) + position, sub
+
+
+def term_size(term: STerm) -> int:
+    """Number of nodes in the term."""
+    if isinstance(term, SVar):
+        return 1
+    return 1 + sum(term_size(arg) for arg in term.args)
+
+
+def ground_terms(
+    signature: Signature, depth: int, max_terms: int = 50_000
+) -> Dict[str, List[SApp]]:
+    """All ground terms of depth ≤ ``depth``, grouped by sort.
+
+    The executable window into the Herbrand universe — for signatures with
+    non-constant operations the full universe is infinite.
+    """
+    by_sort: Dict[str, List[SApp]] = {sort: [] for sort in signature.sorts}
+    seen: set = set()
+
+    def note(term: SApp, sort: str) -> None:
+        if term not in seen:
+            seen.add(term)
+            by_sort[sort].append(term)
+
+    for operation in signature.constants():
+        note(SApp(operation.name, ()), operation.result_sort)
+
+    for _round in range(depth):
+        additions: List[Tuple[SApp, str]] = []
+        for operation in signature.operations():
+            if operation.is_constant():
+                continue
+            pools = [by_sort[sort] for sort in operation.arg_sorts]
+            for combo in itertools.product(*pools):
+                term = SApp(operation.name, tuple(combo))
+                if term not in seen:
+                    additions.append((term, operation.result_sort))
+            if len(seen) + len(additions) > max_terms:
+                raise RuntimeError(
+                    f"ground-term enumeration exceeded {max_terms} terms"
+                )
+        if not additions:
+            break
+        for term, sort in additions:
+            note(term, sort)
+    return by_sort

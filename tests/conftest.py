@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translation_registry
+from repro.corpus import chain, cycle, edges_to_database, edges_to_relation, random_graph
+from repro.relations import Atom, Relation, standard_registry, tup
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The standard registry extended with translation helpers."""
+    return translation_registry()
+
+
+@pytest.fixture()
+def abcd():
+    return tuple(Atom(name) for name in "abcd")
+
+
+@pytest.fixture()
+def chain_edges():
+    return chain(6)
+
+
+@pytest.fixture()
+def cycle_edges():
+    return cycle(4)
+
+
+@pytest.fixture()
+def chain_db(chain_edges):
+    return edges_to_database(chain_edges)
+
+
+@pytest.fixture()
+def chain_move(chain_edges):
+    return edges_to_relation(chain_edges, "MOVE")
+
+
+@pytest.fixture()
+def numbers_relation():
+    return Relation([1, 2, 3, 4, 5], name="A")

@@ -1,0 +1,156 @@
+"""Unit tests for the algebra → deduction translation (Propositions 5.1, 5.4)."""
+
+import pytest
+
+from repro.core.algebra_to_datalog import (
+    scalar_to_term,
+    compile_test,
+    translate_expression,
+    translate_program,
+    translation_registry,
+)
+from repro.core.expressions import (
+    call,
+    diff,
+    ifp,
+    map_,
+    product,
+    project,
+    rel,
+    select,
+    setconst,
+    union,
+)
+from repro.core.funcs import Apply, Arg, Comp, CompareTest, Lit, MkTup, NotTest
+from repro.core.programs import AlgebraProgram, Definition, Dialect
+from repro.core.valid_eval import IfpThroughRecursion
+from repro.core.encoding import environment_to_database
+from repro.datalog import Database, run
+from repro.datalog.ast import Const, FuncTerm, Var
+from repro.datalog.safety import is_safe_program
+from repro.relations import Atom, Relation, Tup, tup
+
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+X = Var("X")
+
+
+class TestScalarCompilation:
+    def test_arg(self):
+        assert scalar_to_term(Arg(), X) == X
+
+    def test_component(self):
+        assert scalar_to_term(Comp(Arg(), 2), X) == FuncTerm("comp2", (X,))
+
+    def test_component_bound(self):
+        with pytest.raises(ValueError):
+            scalar_to_term(Comp(Arg(), 99), X)
+
+    def test_mktup(self):
+        term = scalar_to_term(MkTup((Arg(), Lit(1))), X)
+        assert term == FuncTerm("tuple", (X, Const(1)))
+
+    def test_apply(self):
+        term = scalar_to_term(Apply("add2", (Arg(),)), X)
+        assert term == FuncTerm("add2", (X,))
+
+    def test_registry_has_components(self):
+        registry = translation_registry()
+        assert registry.get("comp1").apply((tup(a, b),)) == a
+        assert registry.get("comp2").apply((tup(a, b),)) == b
+        assert registry.get("comp1").apply((a,)) is None
+
+
+class TestExpressionTranslation:
+    def _value(self, expr, env, semantics="valid"):
+        registry = translation_registry()
+        translation = translate_expression(expr)
+        database = environment_to_database(env, {})
+        result = run(translation.program, database, semantics=semantics, registry=registry)
+        return frozenset(row[0] for row in result.true_rows(translation.result_predicate))
+
+    def test_union(self):
+        env = {"A": Relation.of(a, name="A"), "B": Relation.of(b, name="B")}
+        assert self._value(union(rel("A"), rel("B")), env) == {a, b}
+
+    def test_diff(self):
+        env = {"A": Relation.of(a, b, name="A"), "B": Relation.of(b, name="B")}
+        assert self._value(diff(rel("A"), rel("B")), env) == {a}
+
+    def test_product(self):
+        env = {"A": Relation.of(a, name="A"), "B": Relation.of(b, name="B")}
+        assert self._value(product(rel("A"), rel("B")), env) == {tup(a, b)}
+
+    def test_select_with_negated_test(self):
+        env = {"A": Relation.of(1, 2, 3, name="A")}
+        expr = select(rel("A"), NotTest(CompareTest("<", Arg(), Lit(3))))
+        assert self._value(expr, env) == {3}
+
+    def test_map(self):
+        env = {"A": Relation.of(1, 2, name="A")}
+        expr = map_(rel("A"), Apply("add2", (Arg(),)))
+        assert self._value(expr, env) == {3, 4}
+
+    def test_setconst(self):
+        assert self._value(setconst(a, 1), {}) == {a, 1}
+
+    def test_safe_output(self):
+        expr = project(diff(rel("A"), product(rel("B"), rel("C"))), 1)
+        translation = translate_expression(expr)
+        assert is_safe_program(translation.program)
+
+    def test_ifp_inflationary(self):
+        """Proposition 5.1: evaluate the translation inflationarily."""
+        expr = ifp("x", diff(setconst(a), rel("x")))
+        assert self._value(expr, {}, semantics="inflationary") == {a}
+
+    def test_positive_ifp_all_semantics(self):
+        move = Relation.of(tup(a, b), tup(b, c), name="MOVE")
+        grow = map_(
+            select(
+                product(rel("MOVE"), rel("x")),
+                CompareTest("=", Comp(Comp(Arg(), 1), 2), Comp(Comp(Arg(), 2), 1)),
+            ),
+            MkTup((Comp(Comp(Arg(), 1), 1), Comp(Comp(Arg(), 2), 2))),
+        )
+        expr = ifp("x", union(rel("MOVE"), grow))
+        env = {"MOVE": move}
+        for semantics in ("inflationary", "wellfounded", "valid"):
+            assert self._value(expr, env, semantics=semantics) == {
+                tup(a, b),
+                tup(b, c),
+                tup(a, c),
+            }
+
+
+class TestProgramTranslation:
+    def test_predicates_per_definition(self):
+        program = AlgebraProgram.of(
+            Definition("S", (), setconst(a)),
+            Definition("T", (), union(call("S"), setconst(b))),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        translation = translate_program(program)
+        assert set(translation.predicate_of) == {"S", "T"}
+
+    def test_nonpositive_ifp_rejected(self):
+        program = AlgebraProgram.of(
+            Definition("Q", (), ifp("x", diff(setconst(a), rel("x")))),
+            dialect=Dialect.IFP_ALGEBRA_EQ,
+        )
+        with pytest.raises(IfpThroughRecursion):
+            translate_program(program)
+
+    def test_ifp_through_recursion_rejected(self):
+        program = AlgebraProgram.of(
+            Definition("S", (), ifp("x", union(rel("x"), call("S")))),
+            dialect=Dialect.IFP_ALGEBRA_EQ,
+        )
+        with pytest.raises(IfpThroughRecursion):
+            translate_program(program)
+
+    def test_translated_program_is_safe(self):
+        from repro.corpus import ALGEBRA_CORPUS
+
+        for case in ALGEBRA_CORPUS.values():
+            translation = translate_program(case.program)
+            assert is_safe_program(translation.program), case.name

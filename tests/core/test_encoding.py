@@ -1,0 +1,77 @@
+"""Unit tests for the relation ↔ predicate encoding."""
+
+import pytest
+
+from repro.core.encoding import (
+    UNIT,
+    database_to_environment,
+    environment_to_database,
+    relation_rows,
+    row_to_value,
+    rows_to_relation,
+    value_to_row,
+)
+from repro.datalog.database import Database
+from repro.relations import Atom, Relation, Tup, tup
+
+a, b = Atom("a"), Atom("b")
+
+
+class TestRows:
+    def test_arity_zero(self):
+        assert row_to_value(()) == UNIT
+        assert value_to_row(UNIT, 0) == ()
+
+    def test_arity_one(self):
+        assert row_to_value((a,)) == a
+        assert value_to_row(a, 1) == (a,)
+
+    def test_arity_two(self):
+        assert row_to_value((a, b)) == tup(a, b)
+        assert value_to_row(tup(a, b), 2) == (a, b)
+
+    def test_round_trip(self):
+        for row in [(), (a,), (a, b), (1, 2, 3)]:
+            assert value_to_row(row_to_value(row), len(row)) == row
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            value_to_row(a, 2)
+        with pytest.raises(ValueError):
+            value_to_row(tup(a, b), 3)
+        with pytest.raises(ValueError):
+            value_to_row(a, 0)
+
+
+class TestConversions:
+    def test_database_to_environment(self):
+        db = Database().add("move", a, b).add("mark", a)
+        env = database_to_environment(db)
+        assert env["move"] == Relation.of(tup(a, b))
+        assert env["mark"] == Relation.of(a)
+
+    def test_environment_to_database(self):
+        env = {"move": Relation.of(tup(a, b), name="move")}
+        db = environment_to_database(env, {"move": 2})
+        assert db.holds("move", a, b)
+
+    def test_empty_relations_declared(self):
+        env = {"move": Relation.empty("move")}
+        db = environment_to_database(env, {"move": 2})
+        assert "move" in db
+
+    def test_rows_to_relation(self):
+        relation = rows_to_relation(frozenset({(a, b)}), "R")
+        assert relation.name == "R"
+        assert tup(a, b) in relation
+
+    def test_relation_rows(self):
+        relation = Relation.of(tup(a, b), name="R")
+        assert relation_rows(relation, 2) == {(a, b)}
+
+    def test_full_round_trip(self):
+        db = Database().add("p", a).add("q", a, b).add("q", b, a)
+        env = database_to_environment(db)
+        back = environment_to_database(env, {"p": 1, "q": 2})
+        assert back.rows("p") == db.rows("p")
+        assert back.rows("q") == db.rows("q")

@@ -1,0 +1,117 @@
+"""Unit tests for algebra expression syntax."""
+
+import pytest
+
+from repro.core.expressions import (
+    Call,
+    Diff,
+    Ifp,
+    Map,
+    Product,
+    RelVar,
+    Select,
+    SetConst,
+    Union,
+    call,
+    diff,
+    empty,
+    free_rel_vars,
+    ifp,
+    intersect,
+    map_,
+    product,
+    project,
+    rel,
+    select,
+    setconst,
+    substitute,
+    union,
+    walk,
+)
+from repro.core.funcs import Arg, Comp, TrueTest
+from repro.relations import Atom
+
+a = Atom("a")
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        expr = rel("A") | rel("B")
+        assert isinstance(expr, Union)
+        assert isinstance(rel("A") - rel("B"), Diff)
+        assert isinstance(rel("A") * rel("B"), Product)
+
+    def test_setconst(self):
+        assert setconst(a, 1).values == frozenset({a, 1})
+        assert empty().values == frozenset()
+
+    def test_project_is_map_of_component(self):
+        expr = project(rel("R"), 2)
+        assert isinstance(expr, Map)
+        assert expr.func == Comp(Arg(), 2)
+
+    def test_intersect_is_double_diff(self):
+        expr = intersect(rel("A"), rel("B"))
+        assert expr == diff(rel("A"), diff(rel("A"), rel("B")))
+
+    def test_relvar_needs_name(self):
+        with pytest.raises(ValueError):
+            RelVar("")
+
+    def test_setconst_values_checked(self):
+        with pytest.raises(TypeError):
+            SetConst(frozenset({object()}))
+
+
+class TestStructure:
+    def test_walk_preorder(self):
+        expr = union(rel("A"), diff(rel("B"), rel("C")))
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds == ["Union", "RelVar", "Diff", "RelVar", "RelVar"]
+
+    def test_free_rel_vars(self):
+        expr = union(rel("A"), select(rel("B"), TrueTest()))
+        assert free_rel_vars(expr) == {"A", "B"}
+
+    def test_ifp_binds_param(self):
+        expr = ifp("x", union(rel("x"), rel("A")))
+        assert free_rel_vars(expr) == {"A"}
+
+    def test_call_args_contribute(self):
+        expr = call("f", rel("A"), rel("B"))
+        assert free_rel_vars(expr) == {"A", "B"}
+
+    def test_called_names(self):
+        from repro.core.expressions import called_names
+
+        expr = union(call("f"), call("g", call("h")))
+        assert called_names(expr) == {"f", "g", "h"}
+
+
+class TestSubstitution:
+    def test_basic(self):
+        expr = union(rel("A"), rel("B"))
+        replaced = substitute(expr, {"A": setconst(a)})
+        assert replaced == union(setconst(a), rel("B"))
+
+    def test_ifp_param_shadowing(self):
+        expr = ifp("x", union(rel("x"), rel("A")))
+        replaced = substitute(expr, {"x": setconst(a), "A": setconst(1)})
+        # The bound x must NOT be replaced; the free A must.
+        assert replaced == ifp("x", union(rel("x"), setconst(1)))
+
+    def test_substitution_inside_call_args(self):
+        expr = call("f", rel("A"))
+        assert substitute(expr, {"A": rel("B")}) == call("f", rel("B"))
+
+    def test_structure_preserved(self):
+        inner = select(map_(rel("A"), Arg()), TrueTest())
+        out = substitute(inner, {"A": rel("Z")})
+        assert isinstance(out, Select)
+        assert isinstance(out.child, Map)
+
+
+def test_repr_smoke():
+    expr = ifp("w", diff(setconst(a), rel("w")))
+    assert "IFP" in repr(expr)
+    assert "−" in repr(expr)

@@ -1,0 +1,128 @@
+"""Unit tests for the calculus layer (formulas, NNF, rule emission)."""
+
+import pytest
+
+from repro.core.formula import (
+    Cmp,
+    DnfBlowup,
+    FAnd,
+    FExists,
+    FNot,
+    FOr,
+    FreshNames,
+    MemAtom,
+    TRUE_FORMULA,
+    FALSE_FORMULA,
+    formula_to_rules,
+    free_vars,
+    substitute_formula,
+    to_nnf,
+)
+from repro.datalog.ast import Comparison, Const, Literal, PredAtom, Var
+from repro.relations import Atom
+
+X, Y = Var("X"), Var("Y")
+a = Atom("a")
+
+
+class TestNnf:
+    def test_double_negation_eliminated(self):
+        atom = MemAtom("S", X)
+        assert to_nnf(FNot(FNot(atom))) == atom
+
+    def test_de_morgan(self):
+        left, right = MemAtom("A", X), MemAtom("B", X)
+        nnf = to_nnf(FNot(FAnd((left, right))))
+        assert nnf == FOr((FNot(left), FNot(right)))
+
+    def test_comparison_complemented(self):
+        cmp_ = Cmp("<", X, Y)
+        assert to_nnf(FNot(cmp_)) == Cmp(">=", X, Y)
+        assert to_nnf(FNot(Cmp("=", X, Y))) == Cmp("!=", X, Y)
+
+    def test_negated_exists_kept_as_block(self):
+        inner = FExists((Y,), MemAtom("S", Y))
+        nnf = to_nnf(FNot(inner))
+        assert isinstance(nnf, FNot)
+        assert isinstance(nnf.child, FExists)
+
+    def test_nnf_inside_negated_exists(self):
+        inner = FExists((Y,), FNot(FNot(MemAtom("S", Y))))
+        nnf = to_nnf(FNot(inner))
+        assert nnf.child.child == MemAtom("S", Y)
+
+
+class TestStructure:
+    def test_free_vars(self):
+        formula = FExists((Y,), FAnd((MemAtom("S", Y), Cmp("=", X, Y))))
+        assert free_vars(formula) == {X}
+
+    def test_substitute_respects_binding(self):
+        formula = FExists((Y,), Cmp("=", X, Y))
+        replaced = substitute_formula(formula, {X: Const(a), Y: Const(1)})
+        assert replaced == FExists((Y,), Cmp("=", Const(a), Y))
+
+
+class TestRuleEmission:
+    def test_disjunction_splits_rules(self):
+        head = PredAtom("q", (X,))
+        formula = FOr((MemAtom("A", X), MemAtom("B", X)))
+        rules = formula_to_rules(head, formula, {}, FreshNames())
+        assert len(rules) == 2
+
+    def test_negated_atom_becomes_negative_literal(self):
+        head = PredAtom("q", (X,))
+        formula = FAnd((MemAtom("A", X), FNot(MemAtom("B", X))))
+        (rule,) = formula_to_rules(head, formula, {}, FreshNames())
+        assert rule.negative_literals()[0].atom.predicate == "B"
+
+    def test_negated_exists_becomes_aux_predicate(self):
+        head = PredAtom("q", (X,))
+        inner = FExists((Y,), FAnd((MemAtom("E", Y), Cmp("=", X, Y))))
+        formula = FAnd((MemAtom("A", X), FNot(inner)))
+        rules = formula_to_rules(head, formula, {}, FreshNames())
+        assert len(rules) == 2  # one aux definition + the main rule
+        aux_rules = [r for r in rules if r.head.predicate.startswith("aux")]
+        assert len(aux_rules) == 1
+
+    def test_positive_exists_flattened(self):
+        head = PredAtom("q", (X,))
+        formula = FExists((Y,), FAnd((MemAtom("E", Y), Cmp("=", X, Y))))
+        (rule,) = formula_to_rules(head, formula, {}, FreshNames())
+        # The bound variable was renamed fresh, no aux predicates.
+        assert rule.head.predicate == "q"
+        assert len(rule.positive_literals()) == 1
+
+    def test_true_conjunct_dropped(self):
+        head = PredAtom("q", (X,))
+        formula = FAnd((MemAtom("A", X), TRUE_FORMULA))
+        (rule,) = formula_to_rules(head, formula, {}, FreshNames())
+        assert len(rule.body) == 1
+
+    def test_false_disjunct_dropped(self):
+        head = PredAtom("q", (X,))
+        formula = FOr((MemAtom("A", X), FALSE_FORMULA))
+        rules = formula_to_rules(head, formula, {}, FreshNames())
+        assert len(rules) == 1
+
+    def test_predicate_mapping_applied(self):
+        head = PredAtom("q", (X,))
+        formula = MemAtom("S", X)
+        (rule,) = formula_to_rules(head, formula, {"S": "s_pred"}, FreshNames())
+        assert rule.positive_literals()[0].atom.predicate == "s_pred"
+
+    def test_dnf_blowup_guard(self):
+        head = PredAtom("q", (X,))
+        pairs = [
+            FOr((MemAtom(f"A{i}", X), MemAtom(f"B{i}", X))) for i in range(12)
+        ]
+        formula = FAnd(tuple(pairs))
+        with pytest.raises(DnfBlowup):
+            formula_to_rules(head, formula, {}, FreshNames(), dnf_limit=100)
+
+
+class TestFreshNames:
+    def test_unique(self):
+        fresh = FreshNames()
+        assert fresh.var("X") != fresh.var("X")
+        assert fresh.pred() != fresh.pred()

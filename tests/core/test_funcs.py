@@ -1,0 +1,110 @@
+"""Unit tests for the MAP/σ function languages."""
+
+import pytest
+
+from repro.core.funcs import (
+    AndTest,
+    Apply,
+    Arg,
+    Comp,
+    CompareTest,
+    Lit,
+    MkTup,
+    NotTest,
+    OrTest,
+    TrueTest,
+    component,
+    eval_scalar,
+    eval_test,
+    pair,
+)
+from repro.relations import Atom, Tup, standard_registry, tup
+
+a, b = Atom("a"), Atom("b")
+
+
+class TestScalars:
+    def test_arg_is_identity(self):
+        assert eval_scalar(Arg(), a) == a
+
+    def test_lit(self):
+        assert eval_scalar(Lit(7), a) == 7
+
+    def test_component(self):
+        assert eval_scalar(component(2), tup(a, b)) == b
+
+    def test_nested_components(self):
+        member = tup(tup(1, 2), 3)
+        assert eval_scalar(Comp(component(1), 2), member) == 2
+
+    def test_component_off_tuple_is_undefined(self):
+        assert eval_scalar(component(1), a) is None
+
+    def test_component_out_of_range_is_undefined(self):
+        assert eval_scalar(component(3), tup(a, b)) is None
+
+    def test_component_index_validated(self):
+        with pytest.raises(ValueError):
+            Comp(Arg(), 0)
+
+    def test_mktup(self):
+        expr = MkTup((component(2), component(1)))
+        assert eval_scalar(expr, tup(a, b)) == tup(b, a)
+
+    def test_mktup_undefined_propagates(self):
+        expr = MkTup((component(3), component(1)))
+        assert eval_scalar(expr, tup(a, b)) is None
+
+    def test_apply(self):
+        registry = standard_registry()
+        assert eval_scalar(Apply("add2", (Arg(),)), 5, registry) == 7
+
+    def test_apply_partial(self):
+        registry = standard_registry()
+        assert eval_scalar(Apply("pred", (Arg(),)), 0, registry) is None
+
+    def test_apply_needs_registry(self):
+        with pytest.raises(KeyError):
+            eval_scalar(Apply("add2", (Arg(),)), 5, None)
+
+    def test_pair_helper(self):
+        assert eval_scalar(pair(Arg(), Lit(1)), a) == tup(a, 1)
+
+    def test_lit_must_be_value(self):
+        with pytest.raises(TypeError):
+            Lit(object())
+
+
+class TestTests:
+    def test_true_test(self):
+        assert eval_test(TrueTest(), a)
+
+    def test_equality(self):
+        test = CompareTest("=", component(1), component(2))
+        assert eval_test(test, tup(a, a))
+        assert not eval_test(test, tup(a, b))
+
+    def test_order(self):
+        test = CompareTest("<", Arg(), Lit(5))
+        assert eval_test(test, 3)
+        assert not eval_test(test, 7)
+
+    def test_order_incomparable_is_false(self):
+        test = CompareTest("<", Arg(), Lit(5))
+        assert not eval_test(test, a)
+
+    def test_undefined_operand_is_false(self):
+        test = CompareTest("=", component(1), Lit(1))
+        assert not eval_test(test, 42)  # not a tuple
+
+    def test_connectives(self):
+        gt1 = CompareTest(">", Arg(), Lit(1))
+        lt5 = CompareTest("<", Arg(), Lit(5))
+        assert eval_test(AndTest(gt1, lt5), 3)
+        assert not eval_test(AndTest(gt1, lt5), 7)
+        assert eval_test(OrTest(gt1, lt5), 7)
+        assert eval_test(NotTest(gt1), 0)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            CompareTest("~", Arg(), Arg())

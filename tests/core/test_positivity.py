@@ -1,0 +1,92 @@
+"""Unit tests for polarity/monotonicity analysis (Definition 3.3, Section 4)."""
+
+from repro.core.expressions import call, diff, ifp, map_, product, rel, select, setconst, union
+from repro.core.funcs import Apply, Arg, CompareTest, Lit, TrueTest
+from repro.core.positivity import (
+    is_monotone_semantically,
+    is_positive_ifp_expr,
+    is_positive_in,
+    occurs_negatively,
+    polarity_of_names,
+    subtracted_names,
+)
+from repro.relations import Atom, Relation, standard_registry
+
+a = Atom("a")
+
+
+class TestSubtractedNames:
+    def test_plain_union_positive(self):
+        assert subtracted_names(union(rel("A"), rel("B"))) == frozenset()
+
+    def test_diff_right_negative(self):
+        assert subtracted_names(diff(rel("A"), rel("B"))) == {"B"}
+
+    def test_nested_subtraction_everything_under_diff_right(self):
+        # The paper's criterion: "does not appear in a sub-expression being
+        # subtracted" — double nesting still counts as subtracted.
+        expr = diff(rel("A"), diff(rel("A"), rel("X")))
+        assert subtracted_names(expr) == {"A", "X"}
+
+    def test_ifp_param_not_free(self):
+        expr = ifp("x", diff(rel("A"), rel("x")))
+        assert subtracted_names(expr) == frozenset()
+
+    def test_call_args_conservative(self):
+        assert subtracted_names(call("f", rel("A"))) == {"A"}
+
+
+class TestPositiveIfp:
+    def test_positive_tc(self):
+        body = union(rel("E"), map_(rel("x"), Arg()))
+        assert is_positive_in(body, "x")
+        assert is_positive_ifp_expr(ifp("x", body))
+
+    def test_nonpositive_example4(self):
+        body = diff(setconst(a), rel("x"))
+        assert occurs_negatively(body, "x")
+        assert not is_positive_ifp_expr(ifp("x", body))
+
+    def test_inner_ifp_checked(self):
+        inner = ifp("y", diff(rel("A"), rel("y")))
+        outer = ifp("x", union(rel("x"), inner))
+        assert not is_positive_ifp_expr(outer)
+
+
+class TestPolarityMap:
+    def test_mixed(self):
+        expr = union(rel("A"), diff(rel("B"), rel("A")))
+        polarity = polarity_of_names(expr)
+        assert polarity == {"A": "mixed", "B": "positive"}
+
+    def test_negative_only(self):
+        expr = diff(setconst(a), rel("S"))
+        assert polarity_of_names(expr)["S"] == "negative"
+
+
+class TestSemanticOracle:
+    def test_positive_body_is_monotone(self):
+        body = union(rel("E"), rel("x"))
+        assert is_monotone_semantically(
+            body, "x", {"E": Relation.of(a)}, [a, Atom("b"), 1]
+        )
+
+    def test_subtracting_param_not_monotone(self):
+        body = diff(setconst(a), rel("x"))
+        assert not is_monotone_semantically(body, "x", {}, [a])
+
+    def test_double_subtraction_is_monotone_despite_syntax(self):
+        """A − (A − x) is semantically monotone even though x is
+        syntactically 'subtracted' — the criterion is sufficient only."""
+        A = Relation.of(a, Atom("b"))
+        body = diff(rel("A"), diff(rel("A"), rel("x")))
+        assert occurs_negatively(body, "x")
+        assert is_monotone_semantically(body, "x", {"A": A}, list(A.items))
+
+    def test_select_and_map_preserve_monotonicity(self):
+        registry = standard_registry()
+        body = map_(
+            select(rel("x"), CompareTest("<", Arg(), Lit(10))),
+            Apply("add2", (Arg(),)),
+        )
+        assert is_monotone_semantically(body, "x", {}, [1, 2, 3], registry)

@@ -1,0 +1,162 @@
+"""Unit tests for algebra programs and dialect validation (Section 3.2)."""
+
+import pytest
+
+from repro.core.expressions import Call, call, diff, ifp, rel, setconst, union
+from repro.core.programs import (
+    AlgebraProgram,
+    AlgebraQuery,
+    Definition,
+    Dialect,
+    ExpansionLimitExceeded,
+    ProgramError,
+)
+from repro.relations import Atom
+
+a = Atom("a")
+
+
+def _win_definition():
+    from repro.core.expressions import product, project
+
+    return Definition(
+        "WIN",
+        (),
+        project(diff(rel("MOVE"), product(project(rel("MOVE"), 1), call("WIN"))), 1),
+    )
+
+
+class TestDefinition:
+    def test_arity(self):
+        definition = Definition("f", ("x", "y"), union(rel("x"), rel("y")))
+        assert definition.arity == 2
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ProgramError):
+            Definition("f", ("x", "x"), rel("x"))
+
+    def test_name_shadowing_param_rejected(self):
+        with pytest.raises(ProgramError):
+            Definition("f", ("f",), rel("f"))
+
+
+class TestValidation:
+    def test_free_variables_checked(self):
+        with pytest.raises(ProgramError, match="free relation variables"):
+            AlgebraProgram.of(Definition("S", (), rel("MYSTERY")))
+
+    def test_database_relations_allowed(self):
+        program = AlgebraProgram.of(
+            Definition("S", (), rel("R")), database_relations=["R"]
+        )
+        assert program.database_relations == {"R"}
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ProgramError, match="undefined operation"):
+            AlgebraProgram.of(Definition("S", (), call("nope")))
+
+    def test_call_arity_checked(self):
+        f = Definition("f", ("x",), rel("x"))
+        with pytest.raises(ProgramError, match="called with"):
+            AlgebraProgram.of(f, Definition("S", (), call("f")))
+
+    def test_duplicate_definitions_rejected(self):
+        with pytest.raises(ProgramError, match="multiple equations"):
+            AlgebraProgram.of(
+                Definition("S", (), setconst(a)), Definition("S", (), setconst(a))
+            )
+
+    def test_name_clash_with_relation_rejected(self):
+        with pytest.raises(ProgramError):
+            AlgebraProgram.of(
+                Definition("R", (), setconst(a)), database_relations=["R"]
+            )
+
+    def test_dialect_ifp_restriction(self):
+        definition = Definition("S", (), ifp("x", union(rel("x"), setconst(a))))
+        with pytest.raises(ProgramError, match="IFP"):
+            AlgebraProgram.of(definition, dialect=Dialect.ALGEBRA_EQ)
+        AlgebraProgram.of(definition, dialect=Dialect.IFP_ALGEBRA_EQ)  # fine
+
+    def test_dialect_recursion_restriction(self):
+        with pytest.raises(ProgramError, match="recursive"):
+            AlgebraProgram.of(_win_definition(), database_relations=["MOVE"],
+                              dialect=Dialect.ALGEBRA)
+        AlgebraProgram.of(_win_definition(), database_relations=["MOVE"],
+                          dialect=Dialect.ALGEBRA_EQ)  # fine
+
+
+class TestCallGraph:
+    def test_recursion_detected(self):
+        program = AlgebraProgram.of(
+            _win_definition(), database_relations=["MOVE"]
+        )
+        assert program.is_recursive()
+        assert program.recursive_names() == {"WIN"}
+
+    def test_mutual_recursion(self):
+        program = AlgebraProgram.of(
+            Definition("P", (), union(setconst(a), call("Q"))),
+            Definition("Q", (), diff(call("P"), setconst(a))),
+        )
+        assert program.recursive_names() == {"P", "Q"}
+
+    def test_nonrecursive(self):
+        program = AlgebraProgram.of(
+            Definition("f", ("x",), diff(rel("x"), setconst(a))),
+            Definition("S", (), call("f", setconst(a, 1))),
+        )
+        assert not program.is_recursive()
+
+    def test_uses_ifp(self):
+        program = AlgebraProgram.of(
+            Definition("S", (), ifp("x", union(rel("x"), setconst(a))))
+        )
+        assert program.uses_ifp()
+
+
+class TestInlining:
+    def test_nonrecursive_calls_are_sugar(self):
+        """Non-recursive definitions expand away completely (Section 3.2:
+        'the extension is then just a convenience')."""
+        inter = Definition("inter", ("s", "t"), diff(rel("s"), diff(rel("s"), rel("t"))))
+        program = AlgebraProgram.of(inter, database_relations=["A", "B"])
+        expanded = program.inline_nonrecursive(call("inter", rel("A"), rel("B")))
+        assert expanded == diff(rel("A"), diff(rel("A"), rel("B")))
+        from repro.core.expressions import called_names
+
+        assert not called_names(expanded)
+
+    def test_nested_calls_expand(self):
+        f = Definition("f", ("x",), union(rel("x"), setconst(a)))
+        g = Definition("g", ("y",), call("f", rel("y")))
+        program = AlgebraProgram.of(f, g, database_relations=["R"])
+        expanded = program.inline_nonrecursive(call("g", rel("R")))
+        assert expanded == union(rel("R"), setconst(a))
+
+    def test_to_constant_system(self):
+        inter = Definition("inter", ("s", "t"), diff(rel("s"), diff(rel("s"), rel("t"))))
+        win = _win_definition()
+        program = AlgebraProgram.of(
+            inter,
+            win,
+            Definition("BOTH", (), call("inter", call("WIN"), setconst(a))),
+            database_relations=["MOVE"],
+        )
+        system = program.to_constant_system()
+        assert {d.name for d in system.definitions} == {"WIN", "BOTH"}
+        assert all(d.arity == 0 for d in system.definitions)
+
+    def test_parameter_recursion_rejected(self):
+        f = Definition("f", ("x",), union(rel("x"), call("f", rel("x"))))
+        program = AlgebraProgram.of(f, Definition("S", (), call("f", setconst(a))))
+        with pytest.raises(ExpansionLimitExceeded):
+            program.to_constant_system()
+
+
+class TestQuery:
+    def test_result_must_exist(self):
+        program = AlgebraProgram.of(Definition("S", (), setconst(a)))
+        AlgebraQuery(program, "S")
+        with pytest.raises(KeyError):
+            AlgebraQuery(program, "T")

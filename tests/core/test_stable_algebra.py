@@ -1,0 +1,92 @@
+"""Unit tests: the Section 7 adjustment — algebra= under stable models."""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translation_registry
+from repro.core.stable_algebra import algebra_answers_stable, stable_set_models
+from repro.corpus import ALGEBRA_CORPUS, chain, cycle, edges_to_relation, random_graph
+from repro.core.valid_eval import valid_evaluate
+from repro.datalog.semantics.stable import TooManyChoiceAtoms
+from repro.lang import parse_algebra_program
+from repro.core.programs import Dialect
+from repro.relations import Atom, Relation
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return translation_registry()
+
+
+WIN = ALGEBRA_CORPUS["win-game"].program
+
+
+class TestNativeStableModels:
+    def test_even_cycle_two_models(self, registry):
+        env = {"MOVE": edges_to_relation(cycle(4), "MOVE")}
+        models = stable_set_models(WIN, env, registry=registry)
+        assert len(models) == 2
+        wins = sorted(sorted(v.name for v in m.members["WIN"]) for m in models)
+        assert wins == [["n0", "n2"], ["n1", "n3"]]
+
+    def test_odd_cycle_no_models(self, registry):
+        env = {"MOVE": edges_to_relation(cycle(3), "MOVE")}
+        assert stable_set_models(WIN, env, registry=registry) == []
+
+    def test_total_valid_model_is_unique_stable(self, registry):
+        env = {"MOVE": edges_to_relation(chain(6), "MOVE")}
+        models = stable_set_models(WIN, env, registry=registry)
+        valid = valid_evaluate(WIN, env, registry=registry)
+        assert len(models) == 1
+        assert models[0].members["WIN"] == valid.true["WIN"]
+
+    def test_valid_truths_hold_in_every_model(self, registry):
+        env = {"MOVE": edges_to_relation(random_graph(6, 0.35, seed=31), "MOVE")}
+        valid = valid_evaluate(WIN, env, registry=registry)
+        for model in stable_set_models(WIN, env, registry=registry):
+            assert valid.true["WIN"] <= model.members["WIN"]
+            false_members = (
+                valid.candidates["WIN"] - valid.true["WIN"] - valid.undefined["WIN"]
+            )
+            assert not (false_members & model.members["WIN"])
+
+    def test_paradox_has_no_stable_model(self, registry):
+        program = parse_algebra_program(
+            "relations A;\nS = A - S;", dialect=Dialect.ALGEBRA_EQ
+        )
+        env = {"A": Relation.of(Atom("a"), name="A")}
+        assert stable_set_models(program, env, registry=registry) == []
+
+    def test_choice_budget(self, registry):
+        env = {"MOVE": edges_to_relation(cycle(8), "MOVE")}
+        with pytest.raises(TooManyChoiceAtoms):
+            stable_set_models(WIN, env, registry=registry, max_choice_memberships=4)
+
+
+class TestTranslatedRoute:
+    @pytest.mark.parametrize(
+        "edges_factory",
+        [lambda: chain(5), lambda: cycle(4), lambda: cycle(3),
+         lambda: random_graph(5, 0.3, seed=33)],
+    )
+    def test_agrees_with_native(self, registry, edges_factory):
+        env = {"MOVE": edges_to_relation(edges_factory(), "MOVE")}
+        native = stable_set_models(WIN, env, registry=registry)
+        translated = algebra_answers_stable(WIN, env, registry=registry)
+        assert translated.models == len(native)
+        if native:
+            native_sets = {frozenset(m.members["WIN"]) for m in native}
+            assert frozenset.intersection(*native_sets) == translated.cautious["WIN"]
+            assert frozenset.union(*native_sets) == translated.brave["WIN"]
+
+    def test_cautious_brave_shape(self, registry):
+        env = {"MOVE": edges_to_relation(cycle(4), "MOVE")}
+        answers = algebra_answers_stable(WIN, env, registry=registry)
+        assert answers.models == 2
+        assert answers.cautious["WIN"] == frozenset()
+        assert len(answers.brave["WIN"]) == 4
+
+    def test_empty_when_no_models(self, registry):
+        env = {"MOVE": edges_to_relation(cycle(3), "MOVE")}
+        answers = algebra_answers_stable(WIN, env, registry=registry)
+        assert answers.models == 0
+        assert answers.cautious["WIN"] == frozenset()

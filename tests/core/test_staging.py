@@ -1,0 +1,101 @@
+"""Unit tests for the Proposition 5.2 staging transformation."""
+
+import pytest
+
+from repro.core.algebra_to_datalog import translation_registry
+from repro.core.staging import STAGE_PREDICATE, run_staged, stage_program
+from repro.corpus import DEDUCTIVE_CORPUS, chain, cycle, edges_to_database
+from repro.datalog import Database, ground, run
+from repro.datalog.parser import parse_program
+from repro.datalog.semantics import inflationary_fixpoint
+from repro.datalog.stratification import is_locally_stratified
+from repro.relations import Atom
+
+a = Atom("a")
+
+
+class TestStageProgram:
+    def test_shape(self):
+        program = parse_program("q(X) :- r(X), not q(X).\nr(a).")
+        staged = stage_program(program, stage_bound=3)
+        heads = {rule.head.predicate for rule in staged.rules}
+        assert {"q__s", "r__s", "q", "r", STAGE_PREDICATE} <= heads
+
+    def test_program_facts_enter_at_stage_zero(self):
+        program = parse_program("r(a).")
+        staged = stage_program(program, stage_bound=1)
+        fact_rules = [r for r in staged.rules if r.head.predicate == "r__s" and r.is_fact()]
+        assert len(fact_rules) == 1
+        assert fact_rules[0].head.args[0].value == 0
+
+    def test_stage_facts_materialised(self):
+        program = parse_program("r(a).")
+        staged = stage_program(program, stage_bound=5)
+        stage_facts = [r for r in staged.rules if r.head.predicate == STAGE_PREDICATE]
+        assert len(stage_facts) == 6  # 0..5
+
+    def test_edb_literals_unstaged(self):
+        program = parse_program("q(X) :- e(X), not q(X).")
+        staged = stage_program(program, stage_bound=2)
+        q_rules = [r for r in staged.rules if r.head.predicate == "q__s" and not r.is_fact()]
+        main = q_rules[0]
+        predicates = [lit.atom.predicate for lit in main.positive_literals()]
+        assert "e" in predicates  # not e__s
+
+    def test_staged_ground_program_locally_stratified(self):
+        """The construction's point: 'new facts can only be derived using
+        facts with smaller indexes' — no negative cycles remain."""
+        program = DEDUCTIVE_CORPUS["win-move"].program
+        staged = stage_program(program, stage_bound=6)
+        gp = ground(
+            staged,
+            edges_to_database(cycle(3)),
+            registry=translation_registry(),
+        )
+        assert is_locally_stratified(gp)
+
+
+class TestRunStaged:
+    @pytest.mark.parametrize("edges", [chain(5), cycle(3), cycle(4)])
+    def test_valid_of_staged_equals_inflationary(self, edges):
+        """Proposition 5.2: R(a) holds inflationarily in P iff R(a) holds
+        validly in P'."""
+        program = DEDUCTIVE_CORPUS["win-move"].program
+        database = edges_to_database(edges)
+        registry = translation_registry()
+
+        inflationary = run(program, database, semantics="inflationary", registry=registry)
+        staged = run_staged(program, database, semantics="valid", registry=registry)
+        assert staged.converged
+        assert staged.result.true_rows("win") == inflationary.true_rows("win")
+
+    def test_example4(self):
+        """Example 4's program: the staged valid answer is {a}."""
+        program = parse_program("r(a).\nq(X) :- r(X), not q(X).")
+        registry = translation_registry()
+        direct = run(program, Database(), semantics="valid", registry=registry)
+        assert direct.undefined_rows("q") == {(a,)}
+        staged = run_staged(program, Database(), semantics="valid", registry=registry)
+        assert staged.result.true_rows("q") == {(a,)}
+        assert staged.result.undefined_rows("q") == frozenset()
+
+    def test_bound_doubles_until_convergence(self):
+        # A chain of n dependent steps needs ~n stages; start tiny.
+        program = parse_program(
+            "p0(a).\n" + "\n".join(f"p{i}(X) :- p{i-1}(X), not q{i}(X)." for i in range(1, 9))
+        )
+        registry = translation_registry()
+        staged = run_staged(
+            program, Database(), semantics="valid", registry=registry, initial_bound=2
+        )
+        assert staged.converged
+        assert staged.stage_bound >= 8
+        assert staged.result.true_rows("p8") == {(a,)}
+
+    def test_positive_program_unchanged(self):
+        program = DEDUCTIVE_CORPUS["transitive-closure"].program
+        database = edges_to_database(chain(4))
+        registry = translation_registry()
+        plain = run(program, database, semantics="valid", registry=registry)
+        staged = run_staged(program, database, semantics="valid", registry=registry)
+        assert staged.result.true_rows("tc") == plain.true_rows("tc")

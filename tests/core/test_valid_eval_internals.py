@@ -1,0 +1,156 @@
+"""White-box tests for the native evaluator's machinery.
+
+The behaviours here — candidate over-approximation, universe filtering of
+MAP images, evaluation limits, the positive-dependency analysis behind the
+derivation loop — are load-bearing for every result in the test suite but
+are otherwise only exercised indirectly.
+"""
+
+import pytest
+
+from repro.core.evaluator import NonTerminating
+from repro.core.expressions import call, diff, map_, product, rel, select, setconst, union
+from repro.core.funcs import Apply, Arg, CompareTest, Lit
+from repro.core.programs import AlgebraProgram, Definition, Dialect
+from repro.core.valid_eval import EvalLimits, _positive_call_names, valid_evaluate
+from repro.relations import Atom, Relation, Universe, standard_registry, tup
+
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+
+
+class TestPositiveCallNames:
+    def test_plain_positive(self):
+        assert _positive_call_names(union(call("S"), rel("A"))) == {"S"}
+
+    def test_subtracted_is_not_positive(self):
+        assert _positive_call_names(diff(rel("A"), call("S"))) == frozenset()
+
+    def test_double_subtraction_flips_back(self):
+        expr = diff(rel("A"), diff(rel("A"), call("S")))
+        assert _positive_call_names(expr) == {"S"}
+
+    def test_mixed_occurrences(self):
+        expr = union(call("S"), diff(rel("A"), call("T")))
+        assert _positive_call_names(expr) == {"S"}
+
+
+class TestCandidates:
+    def test_candidates_ignore_subtraction(self):
+        """The over-approximation treats Diff as its left side, so the
+        candidate pool of S = A − S is all of A."""
+        program = AlgebraProgram.of(
+            Definition("S", (), diff(rel("A"), call("S"))),
+            database_relations=["A"],
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        result = valid_evaluate(program, {"A": Relation.of(a, b, name="A")})
+        assert result.candidates["S"] == frozenset({a, b})
+
+    def test_product_candidates_are_pairs(self):
+        program = AlgebraProgram.of(
+            Definition("S", (), product(rel("A"), rel("B"))),
+            database_relations=["A", "B"],
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        env = {"A": Relation.of(a, name="A"), "B": Relation.of(b, name="B")}
+        result = valid_evaluate(program, env)
+        assert result.candidates["S"] == frozenset({tup(a, b)})
+
+    def test_select_prunes_candidates(self):
+        program = AlgebraProgram.of(
+            Definition(
+                "S", (), select(rel("A"), CompareTest("<", Arg(), Lit(3)))
+            ),
+            database_relations=["A"],
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        result = valid_evaluate(program, {"A": Relation.of(1, 2, 3, 4, name="A")})
+        assert result.candidates["S"] == frozenset({1, 2})
+
+
+class TestLimitsAndUniverse:
+    def test_max_values_guard(self):
+        program = AlgebraProgram.of(
+            Definition(
+                "S",
+                (),
+                union(setconst(0), map_(call("S"), Apply("succ", (Arg(),)))),
+            ),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        with pytest.raises(NonTerminating, match="exceeded"):
+            valid_evaluate(
+                program,
+                {},
+                registry=standard_registry(),
+                limits=EvalLimits(max_rounds=10_000, max_values=50),
+            )
+
+    def test_max_rounds_guard(self):
+        program = AlgebraProgram.of(
+            Definition(
+                "S",
+                (),
+                union(setconst(0), map_(call("S"), Apply("succ", (Arg(),)))),
+            ),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        with pytest.raises(NonTerminating, match="converge"):
+            valid_evaluate(
+                program,
+                {},
+                registry=standard_registry(),
+                limits=EvalLimits(max_rounds=5, max_values=10_000),
+            )
+
+    def test_universe_filters_map_images(self):
+        """MAP images outside the window never become candidates."""
+        program = AlgebraProgram.of(
+            Definition(
+                "S",
+                (),
+                union(setconst(0), map_(call("S"), Apply("succ", (Arg(),)))),
+            ),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        result = valid_evaluate(
+            program, {}, registry=standard_registry(), universe=Universe(range(4))
+        )
+        assert result.candidates["S"] == frozenset({0, 1, 2, 3})
+        assert set(result.true["S"]) == {0, 1, 2, 3}
+
+    def test_rounds_reported(self):
+        program = AlgebraProgram.of(
+            Definition("S", (), setconst(a)), dialect=Dialect.ALGEBRA_EQ
+        )
+        result = valid_evaluate(program, {})
+        assert result.rounds >= 1
+
+
+class TestMultiEquationInteraction:
+    def test_chain_of_dependencies(self):
+        """T reads S positively; U subtracts T: three strata in one
+        system, everything decided."""
+        program = AlgebraProgram.of(
+            Definition("S", (), setconst(a, b)),
+            Definition("T", (), union(call("S"), setconst(c))),
+            Definition("U", (), diff(call("T"), call("S"))),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        result = valid_evaluate(program, {})
+        assert result.is_well_defined()
+        assert set(result.true["U"]) == {c}
+
+    def test_undefinedness_propagates_but_only_where_needed(self):
+        """P depends on the paradoxical S; Q does not and stays decided."""
+        program = AlgebraProgram.of(
+            Definition("S", (), diff(setconst(a), call("S"))),
+            Definition("P", (), union(call("S"), setconst(b))),
+            Definition("Q", (), setconst(c)),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        result = valid_evaluate(program, {})
+        assert a in result.undefined["S"]
+        assert a in result.undefined["P"]  # inherited
+        assert b in result.true["P"]       # the decided part survives
+        assert result.undefined["Q"] == frozenset()

@@ -1,0 +1,103 @@
+"""Unit tests for the well-definedness analyzer (around Prop 3.2)."""
+
+import pytest
+
+from repro.core.well_defined import (
+    Verdict,
+    check_well_defined,
+    is_call_stratified,
+    recursion_polarity,
+)
+from repro.corpus import ALGEBRA_CORPUS, chain, cycle, edges_to_relation
+from repro.core.algebra_to_datalog import translation_registry
+from repro.lang import parse_algebra_program
+from repro.core.programs import Dialect
+from repro.relations import Atom, Relation
+
+
+def _program(source):
+    return parse_algebra_program(source, dialect=Dialect.ALGEBRA_EQ)
+
+
+class TestPolarityGraph:
+    def test_positive_self_loop(self):
+        program = ALGEBRA_CORPUS["transitive-closure"].program
+        graph = recursion_polarity(program)
+        assert graph.has_edge("TC", "TC")
+        assert not graph["TC"]["TC"]["negative"]
+
+    def test_negative_self_loop(self):
+        program = ALGEBRA_CORPUS["win-game"].program
+        graph = recursion_polarity(program)
+        assert graph["WIN"]["WIN"]["negative"]
+
+    def test_cross_definition_edges(self):
+        program = _program(
+            """
+            relations A;
+            P = A u Q;
+            Q = A - P;
+            """
+        )
+        graph = recursion_polarity(program)
+        assert not graph["P"]["Q"]["negative"]
+        assert graph["Q"]["P"]["negative"]
+
+
+class TestCallStratified:
+    def test_monotone_recursion_is_stratified(self):
+        assert is_call_stratified(ALGEBRA_CORPUS["transitive-closure"].program)
+
+    def test_win_is_not(self):
+        assert not is_call_stratified(ALGEBRA_CORPUS["win-game"].program)
+
+    def test_negation_below_recursion_is_stratified(self):
+        program = _program(
+            """
+            relations MOVE;
+            TC = MOVE u map[[it.1.1, it.2.2]](sigma[it.1.2 = it.2.1](MOVE * TC));
+            NOTC = (pi1(MOVE) * pi2(MOVE)) - TC;
+            """
+        )
+        assert is_call_stratified(program)
+
+    def test_mutual_negative_cycle_is_not(self):
+        program = _program("relations A;\nP = A - Q;\nQ = A - P;")
+        assert not is_call_stratified(program)
+
+
+class TestCheckWellDefined:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return translation_registry()
+
+    def test_total_always(self, registry):
+        program = ALGEBRA_CORPUS["transitive-closure"].program
+        env = {"MOVE": edges_to_relation(cycle(4), "MOVE")}
+        report = check_well_defined(program, env, registry=registry)
+        assert report.verdict is Verdict.TOTAL_ALWAYS
+        assert report.is_well_defined()
+
+    def test_total_here(self, registry):
+        program = ALGEBRA_CORPUS["win-game"].program
+        env = {"MOVE": edges_to_relation(chain(5), "MOVE")}
+        report = check_well_defined(program, env, registry=registry)
+        assert report.verdict is Verdict.TOTAL_HERE  # not call-stratified
+        assert not report.call_stratified
+
+    def test_undefined_here_with_witness(self, registry):
+        program = _program("relations A;\nS = A - S;")
+        env = {"A": Relation.of(Atom("a"), name="A")}
+        report = check_well_defined(program, env, registry=registry)
+        assert report.verdict is Verdict.UNDEFINED_HERE
+        assert not report.is_well_defined()
+        assert report.witnesses == (("S", Atom("a")),)
+
+    def test_double_subtraction_semantically_fine(self, registry):
+        """Syntactically non-stratified (conservative) but total here —
+        the sufficient condition is not necessary."""
+        program = _program("relations A;\nS = A - (A - S);")
+        env = {"A": Relation.of(Atom("a"), Atom("b"), name="A")}
+        report = check_well_defined(program, env, registry=registry)
+        assert not report.call_stratified
+        assert report.verdict is Verdict.TOTAL_HERE

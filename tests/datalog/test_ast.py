@@ -1,0 +1,153 @@
+"""Unit tests for the deductive AST."""
+
+import pytest
+
+from repro.datalog.ast import (
+    Comparison,
+    Const,
+    FuncTerm,
+    Literal,
+    PredAtom,
+    Program,
+    Rule,
+    Var,
+    eq,
+    eval_term,
+    fact,
+    neg,
+    neq,
+    pos,
+    rule,
+    substitute_term,
+    term_vars,
+)
+from repro.relations import Atom, FSet, Tup, standard_registry
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+class TestTerms:
+    def test_term_vars(self):
+        term = FuncTerm("add", (X, FuncTerm("succ", (Y,))))
+        assert term_vars(term) == {X, Y}
+        assert term_vars(Const(1)) == frozenset()
+
+    def test_substitute(self):
+        term = FuncTerm("succ", (X,))
+        assert substitute_term(term, {X: Const(1)}) == FuncTerm("succ", (Const(1),))
+
+    def test_eval_const(self):
+        assert eval_term(Const(5), {}) == 5
+
+    def test_eval_var(self):
+        assert eval_term(X, {X: Atom("a")}) == Atom("a")
+
+    def test_eval_unbound_var_raises(self):
+        with pytest.raises(KeyError):
+            eval_term(X, {})
+
+    def test_eval_function(self):
+        registry = standard_registry()
+        term = FuncTerm("add", (X, Const(3)))
+        assert eval_term(term, {X: 4}, registry) == 7
+
+    def test_eval_partial_function_is_none(self):
+        registry = standard_registry()
+        assert eval_term(FuncTerm("pred", (Const(0),)), {}, registry) is None
+
+    def test_eval_structural_tuple(self):
+        term = FuncTerm("tuple", (Const(1), X))
+        assert eval_term(term, {X: 2}) == Tup((1, 2))
+
+    def test_eval_structural_set(self):
+        term = FuncTerm("set", (Const(1), Const(2)))
+        assert eval_term(term, {}) == FSet(frozenset({1, 2}))
+
+    def test_eval_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            eval_term(FuncTerm("mystery", ()), {}, standard_registry())
+
+    def test_var_name_required(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+
+class TestAtomsAndLiterals:
+    def test_atom_vars(self):
+        atom = PredAtom("p", (X, FuncTerm("succ", (Y,))))
+        assert atom.vars() == {X, Y}
+
+    def test_atom_ground(self):
+        assert PredAtom("p", (Const(1),)).is_ground()
+        assert not PredAtom("p", (X,)).is_ground()
+
+    def test_literal_negation(self):
+        literal = pos("p", X)
+        assert literal.negated() == neg("p", X)
+
+    def test_comparison_ops_validated(self):
+        with pytest.raises(ValueError):
+            Comparison("~", X, Y)
+
+    def test_helper_coercion(self):
+        literal = pos("p", Atom("a"), 3)
+        assert literal.atom.args == (Const(Atom("a")), Const(3))
+
+
+class TestRules:
+    def test_fact(self):
+        ground = fact("p", Atom("a"))
+        assert ground.is_fact()
+        assert not ground.vars()
+
+    def test_fact_must_be_ground(self):
+        with pytest.raises(ValueError):
+            fact("p", X)
+
+    def test_partitioned_body(self):
+        r = rule("h", [X], [pos("p", X), neg("q", X), eq(X, 1), neq(X, 2)])
+        assert len(r.positive_literals()) == 1
+        assert len(r.negative_literals()) == 1
+        assert len(r.comparisons()) == 2
+
+    def test_rule_vars(self):
+        r = rule("h", [X], [pos("p", X, Y)])
+        assert r.vars() == {X, Y}
+
+    def test_substitute(self):
+        r = rule("h", [X], [pos("p", X)])
+        ground = r.substitute({X: Const(1)})
+        assert ground.head.args == (Const(1),)
+
+
+class TestProgram:
+    def test_idb_edb_split(self):
+        program = Program.of(
+            rule("tc", [X, Y], [pos("edge", X, Y)]),
+            rule("tc", [X, Z], [pos("edge", X, Y), pos("tc", Y, Z)]),
+        )
+        assert program.idb_predicates() == {"tc"}
+        assert program.edb_predicates() == {"edge"}
+        assert program.predicates() == {"tc", "edge"}
+
+    def test_rules_for(self):
+        program = Program.of(
+            rule("a", [], []),
+            rule("b", [], []),
+            rule("a", [], [pos("b")]),
+        )
+        assert len(program.rules_for("a")) == 2
+
+    def test_arities(self):
+        program = Program.of(rule("p", [X, Y], [pos("q", X), pos("q", Y)]))
+        assert program.arities() == {"p": 2, "q": 1}
+
+    def test_inconsistent_arity_rejected(self):
+        program = Program.of(rule("p", [X], [pos("p", X, Y), pos("q", Y)]))
+        with pytest.raises(ValueError):
+            program.arities()
+
+    def test_extend(self):
+        program = Program.of(rule("a", [], []))
+        extended = program.extend([rule("b", [], [])])
+        assert len(extended) == 2

@@ -1,0 +1,96 @@
+"""Unit tests for the extensional database."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.relations import Atom, Relation, fset, tup
+
+a, b = Atom("a"), Atom("b")
+
+
+class TestFacts:
+    def test_add_and_holds(self):
+        db = Database().add("p", a, b)
+        assert db.holds("p", a, b)
+        assert not db.holds("p", b, a)
+
+    def test_arity_consistency(self):
+        db = Database().add("p", a)
+        with pytest.raises(ValueError):
+            db.add("p", a, b)
+
+    def test_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            Database().add("p", object())
+
+    def test_rows(self):
+        db = Database().add("p", a).add("p", b)
+        assert db.rows("p") == {(a,), (b,)}
+        assert db.rows("missing") == frozenset()
+
+    def test_fact_count(self):
+        db = Database().add("p", a).add("q", a, b)
+        assert db.fact_count() == 2
+
+    def test_mapping_constructor(self):
+        db = Database({"p": [(a,), (b,)]})
+        assert db.rows("p") == {(a,), (b,)}
+
+    def test_copy_independent(self):
+        db = Database().add("p", a)
+        clone = db.copy().add("p", b)
+        assert len(db.rows("p")) == 1
+        assert len(clone.rows("p")) == 2
+
+    def test_declare_empty_predicate(self):
+        db = Database().declare("empty_pred")
+        assert "empty_pred" in db
+        assert db.arity("empty_pred") is None
+
+
+class TestRelations:
+    def test_from_relations(self):
+        rel = Relation.of(a, b, name="R")
+        db = Database.from_relations(rel)
+        assert db.holds("R", a)
+        assert db.arity("R") == 1
+
+    def test_from_relations_requires_name(self):
+        with pytest.raises(ValueError):
+            Database.from_relations(Relation.of(a))
+
+    def test_unary_relation_round_trip(self):
+        rel = Relation.of(a, b, name="R")
+        db = Database.from_relations(rel)
+        assert db.unary_relation("R") == rel
+
+    def test_unary_relation_rejects_wider(self):
+        db = Database().add("p", a, b)
+        with pytest.raises(ValueError):
+            db.unary_relation("p")
+
+    def test_with_relation(self):
+        db = Database().with_relation(Relation.of(a, name="R"))
+        assert db.holds("R", a)
+
+
+class TestActiveDomain:
+    def test_flat(self):
+        db = Database().add("p", a).add("q", 1, 2)
+        assert db.active_domain() == {a, 1, 2}
+
+    def test_deep_opens_tuples_and_sets(self):
+        db = Database().add("p", tup(a, fset(1)))
+        domain = db.active_domain(deep=True)
+        assert {a, 1, fset(1), tup(a, fset(1))} <= domain
+
+    def test_shallow(self):
+        db = Database().add("p", tup(a, b))
+        assert db.active_domain(deep=False) == {tup(a, b)}
+
+
+def test_iteration_and_pretty():
+    db = Database().add("p", a).add("q", b)
+    listed = list(db)
+    assert ("p", (a,)) in listed and ("q", (b,)) in listed
+    assert "p(a)." in db.pretty()

@@ -1,0 +1,66 @@
+"""Unit tests for the domain-independence module (Section 4)."""
+
+import pytest
+
+from repro.corpus import DEDUCTIVE_CORPUS, chain, edges_to_database
+from repro.datalog.domain_independence import (
+    appears_domain_independent,
+    is_safe_hence_di,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog import Database
+from repro.relations import Atom
+
+
+class TestSyntacticSide:
+    def test_corpus_is_safe_hence_di(self):
+        for case in DEDUCTIVE_CORPUS.values():
+            assert is_safe_hence_di(case.program), case.name
+
+    def test_unsafe_flagged(self):
+        assert not is_safe_hence_di(parse_program("q(X) :- not p(X)."))
+
+
+class TestEmpiricalOracle:
+    def test_safe_query_stable_across_windows(self):
+        program = DEDUCTIVE_CORPUS["win-move"].program
+        probe = appears_domain_independent(
+            program, edges_to_database(chain(4)), paddings=(0, 3, 7)
+        )
+        assert probe.stable
+        assert probe.first_divergence() is None
+
+    def test_domain_dependent_query_diverges(self):
+        """The paper's own example: Q(x) ← ¬R(x) 'changes if the domain
+        of x is changed'."""
+        program = parse_program("q(X) :- not r(X).")
+        database = Database().add("r", Atom("a"))
+        probe = appears_domain_independent(program, database, paddings=(0, 2, 5))
+        assert not probe.stable
+        divergence = probe.first_divergence()
+        assert divergence is not None
+        assert divergence[1] == "q"
+
+    def test_windows_recorded(self):
+        program = parse_program("p(X) :- e(X).")
+        database = Database().add("e", Atom("a"))
+        probe = appears_domain_independent(program, database, paddings=(0, 2))
+        assert probe.windows == (1, 3)
+        assert len(probe.answers) == 2
+
+    def test_stratified_negation_is_di(self):
+        program = DEDUCTIVE_CORPUS["unreachable"].program
+        probe = appears_domain_independent(
+            program, edges_to_database(chain(4)), paddings=(0, 4)
+        )
+        assert probe.stable
+
+    def test_three_valued_semantics_supported(self):
+        program = DEDUCTIVE_CORPUS["win-move"].program
+        probe = appears_domain_independent(
+            program,
+            edges_to_database(chain(3)),
+            paddings=(0, 2),
+            semantics="valid",
+        )
+        assert probe.stable

@@ -1,0 +1,62 @@
+"""Unit tests for the engine front door."""
+
+import pytest
+
+from repro.corpus import chain, edges_to_database
+from repro.datalog import Database, run
+from repro.datalog.parser import parse_program
+from repro.datalog.semantics import Truth
+from repro.relations import Atom, standard_registry
+
+a, b = Atom("a"), Atom("b")
+
+
+def test_semantics_validated():
+    with pytest.raises(ValueError, match="unknown semantics"):
+        run(parse_program("p."), semantics="mystery")
+
+
+def test_all_semantics_run_on_stratified():
+    program = parse_program("p(X) :- e(X), not q(X).\nq(X) :- f(X).")
+    db = Database().add("e", a).add("e", b).add("f", b)
+    answers = {
+        semantics: run(program, db, semantics=semantics).true_rows("p")
+        for semantics in ("stratified", "inflationary", "wellfounded", "valid")
+    }
+    for semantics in ("stratified", "wellfounded", "valid"):
+        assert answers[semantics] == {(a,)}
+    # Inflationary reads ¬q(b) as "q(b) not derived so far" and fires the
+    # p rule in round one, before q(b) appears — a genuine divergence.
+    assert answers["inflationary"] == {(a,), (b,)}
+
+
+def test_truth_of_irrelevant_atom_is_false():
+    result = run(parse_program("p(X) :- e(X)."), Database().add("e", a))
+    assert result.truth_of("p", Atom("zzz")) is Truth.FALSE
+
+
+def test_truth_of_three_values():
+    result = run(parse_program("p :- not q.\nq :- not p.\nt."), Database())
+    assert result.truth_of("t") is Truth.TRUE
+    assert result.truth_of("p") is Truth.UNDEFINED
+
+
+def test_unary_relation_export():
+    program = parse_program("win(X) :- move(X, Y), not win(Y).")
+    result = run(program, edges_to_database(chain(4)))
+    relation = result.unary_relation("win")
+    assert relation.name == "win"
+    assert len(relation) == 2
+
+
+def test_registry_passthrough():
+    program = parse_program("n(0).\nn(Y) :- n(X), Y = succ(X), Y <= 3.")
+    result = run(program, Database(), registry=standard_registry())
+    assert result.true_rows("n") == {(0,), (1,), (2,), (3,)}
+
+
+def test_is_total():
+    total = run(parse_program("p."), Database())
+    assert total.is_total()
+    partial = run(parse_program("p :- not p."), Database())
+    assert not partial.is_total()

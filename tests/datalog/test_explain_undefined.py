@@ -1,0 +1,49 @@
+"""Unit tests for the undefined-membership diagnostics."""
+
+from repro.corpus import chain, cycle, edges_to_database
+from repro.datalog import Database, ground
+from repro.datalog.parser import parse_program
+from repro.datalog.stratification import explain_undefined
+from repro.relations import Atom
+
+WIN = parse_program("win(X) :- move(X, Y), not win(Y).")
+a = Atom("a")
+
+
+def test_self_loop_explained():
+    gp = ground(WIN, Database().add("move", a, a))
+    cycle_atoms = explain_undefined(gp, gp.atom_id("win", (a,)))
+    assert cycle_atoms is not None
+    assert cycle_atoms[0] == "win(a)" and cycle_atoms[-1] == "win(a)"
+
+
+def test_even_cycle_explained():
+    gp = ground(WIN, edges_to_database(cycle(2)))
+    atom = gp.atom_id("win", (Atom("n0"),))
+    cycle_atoms = explain_undefined(gp, atom)
+    assert cycle_atoms is not None
+    assert "win(n1)" in cycle_atoms
+
+
+def test_acyclic_has_no_explanation():
+    gp = ground(WIN, edges_to_database(chain(4)))
+    for atom_id, predicate, _args in gp.atoms():
+        if predicate == "win":
+            assert explain_undefined(gp, atom_id) is None
+
+
+def test_unknown_atom_is_none():
+    gp = ground(WIN, edges_to_database(chain(3)))
+    assert explain_undefined(gp, 10_000) is None
+
+
+def test_matches_valid_model_verdicts():
+    """Atoms the valid model leaves undefined all have a negative-cycle
+    explanation (the converse need not hold)."""
+    from repro.corpus import random_graph
+    from repro.datalog.semantics import valid_model
+
+    gp = ground(WIN, edges_to_database(random_graph(6, 0.3, seed=51)))
+    interp = valid_model(gp)
+    for atom_id in interp.undefined_in(gp):
+        assert explain_undefined(gp, atom_id) is not None

@@ -1,0 +1,76 @@
+"""Unit tests for truth values and interpretations."""
+
+import pytest
+
+from repro.datalog import Database, ground
+from repro.datalog.parser import parse_program
+from repro.datalog.semantics.interpretations import Interpretation, Truth
+from repro.relations import Atom
+
+a = Atom("a")
+
+
+class TestTruth:
+    def test_negate(self):
+        assert Truth.TRUE.negate() is Truth.FALSE
+        assert Truth.FALSE.negate() is Truth.TRUE
+        assert Truth.UNDEFINED.negate() is Truth.UNDEFINED
+
+    def test_meet_is_kleene_and(self):
+        assert Truth.meet(Truth.TRUE, Truth.UNDEFINED) is Truth.UNDEFINED
+        assert Truth.meet(Truth.FALSE, Truth.UNDEFINED) is Truth.FALSE
+        assert Truth.meet(Truth.TRUE, Truth.TRUE) is Truth.TRUE
+
+    def test_join_is_kleene_or(self):
+        assert Truth.join(Truth.TRUE, Truth.UNDEFINED) is Truth.TRUE
+        assert Truth.join(Truth.FALSE, Truth.UNDEFINED) is Truth.UNDEFINED
+        assert Truth.join(Truth.FALSE, Truth.FALSE) is Truth.FALSE
+
+    def test_de_morgan(self):
+        for left in Truth:
+            for right in Truth:
+                assert Truth.meet(left, right).negate() == Truth.join(
+                    left.negate(), right.negate()
+                )
+
+
+class TestInterpretation:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Interpretation(frozenset({1}), frozenset({1}))
+
+    def test_total_constructor(self):
+        interp = Interpretation.total({0, 2}, atom_count=4)
+        assert interp.value_of(0) is Truth.TRUE
+        assert interp.value_of(1) is Truth.FALSE
+        assert interp.value_of(3) is Truth.FALSE
+
+    def test_three_valued_constructor(self):
+        interp = Interpretation.three_valued({0}, {1})
+        assert interp.value_of(2) is Truth.UNDEFINED
+
+    def test_agrees_with(self):
+        one = Interpretation.three_valued({0}, {1})
+        same = Interpretation.three_valued({0}, {1})
+        other = Interpretation.three_valued({0}, set())
+        assert one.agrees_with(same)
+        assert not one.agrees_with(other)
+
+    def test_row_accessors_against_program(self):
+        program = parse_program("p(X) :- e(X), not q(X).\nq(X) :- f(X).")
+        gp = ground(program, Database().add("e", a).add("f", a))
+        from repro.datalog.semantics import valid_model
+
+        interp = valid_model(gp)
+        assert interp.true_rows(gp, "e") == {(a,)}
+        assert interp.false_rows(gp, "p") == {(a,)}
+        assert interp.undefined_rows(gp, "p") == frozenset()
+        assert interp.is_total_for(gp)
+
+    def test_undefined_in(self):
+        program = parse_program("p :- not p.")
+        gp = ground(program, Database())
+        from repro.datalog.semantics import valid_model
+
+        interp = valid_model(gp)
+        assert interp.undefined_in(gp) == {gp.atom_id("p", ())}

@@ -1,0 +1,111 @@
+"""Unit tests for the Datalog surface parser."""
+
+import pytest
+
+from repro.datalog.ast import Comparison, Const, FuncTerm, Literal, Var
+from repro.datalog.parser import ParseError, parse_program, parse_rule, parse_term
+from repro.relations import Atom, Tup
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("_tmp") == Var("_tmp")
+
+    def test_atom_constant(self):
+        assert parse_term("abc") == Const(Atom("abc"))
+
+    def test_integer(self):
+        assert parse_term("42") == Const(42)
+        assert parse_term("-3") == Const(-3)
+
+    def test_string(self):
+        assert parse_term("'hello'") == Const("hello")
+
+    def test_string_escape(self):
+        assert parse_term(r"'it\'s'") == Const("it's")
+
+    def test_booleans(self):
+        assert parse_term("true") == Const(True)
+        assert parse_term("false") == Const(False)
+
+    def test_function_term(self):
+        assert parse_term("succ(X)") == FuncTerm("succ", (Var("X"),))
+
+    def test_nested_functions(self):
+        term = parse_term("add(succ(X), 1)")
+        assert term == FuncTerm("add", (FuncTerm("succ", (Var("X"),)), Const(1)))
+
+    def test_ground_bracket_is_tuple_value(self):
+        assert parse_term("[a, 1]") == Const(Tup((Atom("a"), 1)))
+
+    def test_bracket_with_vars_is_tuple_term(self):
+        assert parse_term("[X, 1]") == FuncTerm("tuple", (Var("X"), Const(1)))
+
+    def test_empty_tuple(self):
+        assert parse_term("[]") == Const(Tup(()))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("X Y")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("p(a).")
+        assert rule.is_fact()
+        assert rule.head.predicate == "p"
+
+    def test_propositional_fact(self):
+        assert parse_rule("p.").head.args == ()
+
+    def test_body_with_negation(self):
+        rule = parse_rule("win(X) :- move(X, Y), not win(Y).")
+        assert len(rule.positive_literals()) == 1
+        assert len(rule.negative_literals()) == 1
+
+    def test_comparisons(self):
+        rule = parse_rule("p(X) :- q(X), X <= 3, X != 2.")
+        ops = [c.op for c in rule.comparisons()]
+        assert ops == ["<=", "!="]
+
+    def test_assignment(self):
+        rule = parse_rule("p(Y) :- q(X), Y = succ(X).")
+        comparison = rule.comparisons()[0]
+        assert comparison.op == "="
+        assert comparison.right == FuncTerm("succ", (Var("X"),))
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(a)")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("Pred(a).")
+
+
+class TestPrograms:
+    def test_multi_rule_program(self):
+        program = parse_program(
+            """
+            % transitive closure
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- edge(X, Y), tc(Y, Z).
+            """
+        )
+        assert len(program) == 2
+        assert program.idb_predicates() == {"tc"}
+
+    def test_comments_ignored(self):
+        program = parse_program("% only a comment\np(a). % trailing\n")
+        assert len(program) == 1
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("p(a).\n$$$")
+
+    def test_name_attached(self):
+        assert parse_program("p.", name="demo").name == "demo"

@@ -1,0 +1,43 @@
+"""Pretty-printer round trips for deductive programs."""
+
+import pytest
+
+from repro.corpus import DEDUCTIVE_CORPUS
+from repro.datalog.parser import parse_program
+from repro.datalog.pretty import pretty_program, pretty_rule, pretty_value
+from repro.relations import Atom, Tup, fset
+
+
+@pytest.mark.parametrize("name", sorted(DEDUCTIVE_CORPUS))
+def test_corpus_round_trips(name):
+    program = DEDUCTIVE_CORPUS[name].program
+    reparsed = parse_program(pretty_program(program))
+    assert reparsed.rules == program.rules
+
+
+def test_pretty_value_forms():
+    assert pretty_value(True) == "true"
+    assert pretty_value(3) == "3"
+    assert pretty_value("a'b") == "'a\\'b'"
+    assert pretty_value(Atom("x")) == "x"
+    assert pretty_value(Tup((1, Atom("a")))) == "[1, a]"
+
+
+def test_pretty_value_set_rendering():
+    assert pretty_value(fset(1)) == "{1}"
+
+
+def test_pretty_rule_fact():
+    program = parse_program("p(a, 1).")
+    assert pretty_rule(program.rules[0]) == "p(a, 1)."
+
+
+def test_pretty_negative_and_comparison():
+    source = "p(X) :- q(X), not r(X), X <= 3."
+    program = parse_program(source)
+    assert pretty_rule(program.rules[0]) == source
+
+
+def test_program_name_as_comment():
+    program = parse_program("p.", name="demo")
+    assert pretty_program(program).startswith("% demo")

@@ -1,0 +1,144 @@
+"""Unit tests for safety (Definition 4.1) and make_safe (Proposition 4.2)."""
+
+import pytest
+
+from repro.datalog.ast import Program, Var
+from repro.datalog.grounding import UnsafeRuleError, binding_order
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.safety import (
+    DOMAIN_PREDICATE,
+    domain_program,
+    is_safe_program,
+    is_safe_rule,
+    make_safe,
+    restricted_vars,
+    unsafe_rules,
+)
+from repro.datalog import Database, run
+from repro.corpus import DEDUCTIVE_CORPUS
+from repro.relations import Atom, Universe
+
+X, Y = Var("X"), Var("Y")
+
+
+class TestRestrictedVars:
+    def test_positive_literal_restricts(self):
+        rule = parse_rule("p(X) :- e(X, Y).")
+        assert restricted_vars(rule.body) == {X, Y}
+
+    def test_ground_assignment_restricts(self):
+        rule = parse_rule("p(X) :- X = succ(0).")
+        assert restricted_vars(rule.body) == {X}
+
+    def test_assignment_chains(self):
+        rule = parse_rule("p(Y) :- e(X), Y = succ(X).")
+        assert restricted_vars(rule.body) == {X, Y}
+
+    def test_negation_restricts_nothing(self):
+        rule = parse_rule("p(X) :- not e(X).")
+        assert restricted_vars(rule.body) == frozenset()
+
+    def test_comparison_restricts_nothing(self):
+        rule = parse_rule("p(X) :- X <= 3.")
+        assert restricted_vars(rule.body) == frozenset()
+
+    def test_function_arg_needs_restriction_first(self):
+        rule = parse_rule("p(X) :- e(succ(X)).")
+        assert restricted_vars(rule.body) == frozenset()
+
+
+class TestIsSafe:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "p(X) :- e(X).",
+            "p(X) :- e(X, Y), not q(Y).",
+            "p(Y) :- e(X), Y = succ(X), Y <= 9.",
+            "p(X) :- X = succ(0).",
+            "win(X) :- move(X, Y), not win(Y).",
+        ],
+    )
+    def test_safe(self, source):
+        assert is_safe_rule(parse_rule(source))
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "p(X) :- not e(X).",
+            "p(X, Y) :- e(X).",
+            "p(X) :- X <= 3.",
+            "p(X) :- e(Y), X != Y.",
+        ],
+    )
+    def test_unsafe(self, source):
+        assert not is_safe_rule(parse_rule(source))
+
+    def test_safety_matches_binding_order(self):
+        """Definition 4.1 and the grounder's operational criterion agree."""
+        sources = [
+            "p(X) :- e(X).",
+            "p(X) :- not e(X).",
+            "p(X, Y) :- e(X).",
+            "p(Y) :- e(X), Y = succ(X).",
+            "p(X) :- e(succ(X)).",
+            "p(X) :- d(X), e(succ(X)).",
+            "p(X) :- e(X), not q(X, Y).",
+        ]
+        for source in sources:
+            rule = parse_rule(source)
+            try:
+                binding_order(rule)
+                operational = True
+            except UnsafeRuleError:
+                operational = False
+            assert is_safe_rule(rule) == operational, source
+
+    def test_corpus_is_safe(self):
+        for case in DEDUCTIVE_CORPUS.values():
+            assert is_safe_program(case.program), case.name
+
+    def test_unsafe_rules_listing(self):
+        program = parse_program("p(X) :- e(X).\nq(X) :- not e(X).")
+        assert len(unsafe_rules(program)) == 1
+
+
+class TestMakeSafe:
+    def test_guards_added(self):
+        program = parse_program("q(X) :- not p(X).")
+        universe = Universe([Atom("a"), Atom("b")])
+        safe = make_safe(program, universe)
+        assert is_safe_program(safe)
+        guarded = safe.rules[0]
+        assert guarded.body[0].atom.predicate == DOMAIN_PREDICATE
+
+    def test_safe_rules_untouched(self):
+        program = parse_program("p(X) :- e(X).")
+        safe = make_safe(program, Universe([Atom("a")]))
+        assert safe.rules[0].body[0].atom.predicate == "e"
+
+    def test_equivalence_on_window(self):
+        """Prop 4.2: the guarded query answers the d.i. query on the window."""
+        program = parse_program("q(X) :- not p(X).")
+        universe = Universe([Atom("a"), Atom("b"), Atom("c")])
+        safe = make_safe(program, universe)
+        db = Database().add("p", Atom("a"))
+        result = run(safe, db, semantics="stratified")
+        assert result.true_rows("q") == {(Atom("b"),), (Atom("c"),)}
+
+    def test_domain_program(self):
+        facts = domain_program(Universe([1, 2]))
+        assert len(facts) == 2
+        assert all(rule.is_fact() for rule in facts)
+
+    def test_make_safe_preserves_stratified_corpus(self):
+        """Guarding an already-safe stratified program changes nothing."""
+        case = DEDUCTIVE_CORPUS["unreachable"]
+        from repro.corpus import chain, edges_to_database
+
+        db = edges_to_database(chain(4))
+        universe = Universe(db.active_domain())
+        safe = make_safe(case.program, universe)
+        before = run(case.program, db, semantics="wellfounded")
+        after = run(safe, db, semantics="wellfounded")
+        for predicate in case.predicates:
+            assert before.true_rows(predicate) == after.true_rows(predicate)

@@ -1,0 +1,88 @@
+"""Unit tests for stratification analysis."""
+
+import pytest
+
+from repro.corpus import DEDUCTIVE_CORPUS, chain, cycle, edges_to_database
+from repro.datalog.grounding import ground
+from repro.datalog.parser import parse_program
+from repro.datalog.stratification import (
+    NotStratifiedError,
+    dependency_graph,
+    is_locally_stratified,
+    is_stratified,
+    negative_edges,
+    strata_partition,
+    stratify,
+)
+
+
+class TestDependencyGraph:
+    def test_edges_and_polarity(self):
+        program = parse_program("p(X) :- q(X), not r(X).")
+        graph = dependency_graph(program)
+        assert graph.has_edge("q", "p")
+        assert not graph["q"]["p"]["negative"]
+        assert graph["r"]["p"]["negative"]
+
+    def test_negative_wins_on_mixed_edges(self):
+        program = parse_program("p(X) :- q(X).\np(X) :- e(X), not q(X).")
+        graph = dependency_graph(program)
+        assert graph["q"]["p"]["negative"]
+        assert negative_edges(graph) == [("q", "p")]
+
+
+class TestIsStratified:
+    def test_positive_recursion_is_stratified(self):
+        assert is_stratified(DEDUCTIVE_CORPUS["transitive-closure"].program)
+
+    def test_negation_below_recursion_is_stratified(self):
+        assert is_stratified(DEDUCTIVE_CORPUS["unreachable"].program)
+
+    def test_win_move_not_stratified(self):
+        assert not is_stratified(DEDUCTIVE_CORPUS["win-move"].program)
+
+    def test_corpus_flags_accurate(self):
+        for case in DEDUCTIVE_CORPUS.values():
+            assert is_stratified(case.program) == case.stratified, case.name
+
+
+class TestStratify:
+    def test_levels_increase_through_negation(self):
+        strata = stratify(DEDUCTIVE_CORPUS["unreachable"].program)
+        assert strata["unreach"] > strata["tc"]
+        assert strata["tc"] == strata["move"] == 0
+
+    def test_double_negation_two_jumps(self):
+        program = parse_program(
+            "a(X) :- e(X).\nb(X) :- e(X), not a(X).\nc(X) :- e(X), not b(X)."
+        )
+        strata = stratify(program)
+        assert strata["a"] < strata["b"] < strata["c"]
+
+    def test_raises_for_unstratified(self):
+        with pytest.raises(NotStratifiedError):
+            stratify(DEDUCTIVE_CORPUS["win-move"].program)
+
+    def test_partition_shape(self):
+        partition = strata_partition(DEDUCTIVE_CORPUS["unreachable"].program)
+        assert len(partition) == 2
+        assert "unreach" in partition[1]
+
+
+class TestLocalStratification:
+    def test_win_acyclic_is_locally_stratified(self):
+        """Example 3: 'If the MOVE relation is acyclic then the valid
+        interpretation is 2-valued' — acyclic grounds locally stratified."""
+        program = DEDUCTIVE_CORPUS["win-move"].program
+        gp = ground(program, edges_to_database(chain(5)))
+        assert is_locally_stratified(gp)
+
+    def test_win_cyclic_not_locally_stratified(self):
+        program = DEDUCTIVE_CORPUS["win-move"].program
+        gp = ground(program, edges_to_database(cycle(3)))
+        assert not is_locally_stratified(gp)
+
+    def test_stratified_programs_ground_locally_stratified(self):
+        program = DEDUCTIVE_CORPUS["unreachable"].program
+        gp = ground(program, edges_to_database(cycle(4)))
+        assert is_locally_stratified(gp)

@@ -1,0 +1,42 @@
+"""Pretty-printer round trips for the algebra surface syntax."""
+
+import pytest
+
+from repro.corpus import ALGEBRA_CORPUS
+from repro.core.expressions import diff, ifp, map_, product, select, setconst, union, rel
+from repro.core.funcs import AndTest, Apply, Arg, Comp, CompareTest, Lit, MkTup, NotTest, OrTest, TrueTest
+from repro.lang import parse_algebra_expr, parse_algebra_program, pretty_algebra_expr, pretty_algebra_program
+from repro.relations import Atom
+
+
+@pytest.mark.parametrize("name", sorted(ALGEBRA_CORPUS))
+def test_corpus_round_trips(name):
+    case = ALGEBRA_CORPUS[name]
+    program = case.program
+    reparsed = parse_algebra_program(
+        pretty_algebra_program(program), dialect=program.dialect
+    )
+    assert reparsed.definitions == program.definitions
+    assert reparsed.database_relations == program.database_relations
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        union(rel("A"), diff(rel("B"), rel("C"))),
+        product(rel("A"), setconst(Atom("a"), 1, "s")),
+        select(rel("A"), AndTest(CompareTest("<", Arg(), Lit(3)), NotTest(TrueTest()))),
+        select(rel("A"), OrTest(TrueTest(), CompareTest("!=", Comp(Arg(), 1), Lit(1)))),
+        map_(rel("A"), MkTup((Comp(Arg(), 2), Apply("succ", (Arg(),))))),
+        ifp("w", diff(setconst(Atom("a")), rel("w"))),
+    ],
+)
+def test_expression_round_trips(expr):
+    text = pretty_algebra_expr(expr)
+    reparsed = parse_algebra_expr(text, relations=["A", "B", "C"])
+    assert reparsed == expr
+
+
+def test_empty_setconst():
+    assert pretty_algebra_expr(setconst()) == "{}"
+    assert parse_algebra_expr("{}") == setconst()

@@ -1,0 +1,117 @@
+"""Example 1 / Example 3: the infinite set of even numbers.
+
+The paper defines S^e three ways — an explicit infinite union via an
+auxiliary staging function, the declarative equation ``S^e = S^e ∪ {2i}``,
+and the algebra= equation ``S^e = {0} ∪ MAP_{+2}(S^e)``.  All must agree,
+and with the Section 2.2 completion, MEM must be *total*: true on evens,
+certainly false on odds.
+"""
+
+import pytest
+
+from repro.core.expressions import call, map_, select, setconst, union
+from repro.core.funcs import Apply, Arg, CompareTest, Lit
+from repro.core.programs import AlgebraProgram, Definition, Dialect
+from repro.core.valid_eval import valid_evaluate
+from repro.datalog import Database, run
+from repro.datalog.parser import parse_program
+from repro.datalog.semantics import Truth
+from repro.relations import Universe, standard_registry
+
+BOUND = 20
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def window():
+    return Universe(range(BOUND + 1))
+
+
+def algebra_evens():
+    """The Example 3 definition: S^e = {0} ∪ MAP_{+2}(S^e)."""
+    return AlgebraProgram.of(
+        Definition(
+            "Se", (), union(setconst(0), map_(call("Se"), Apply("add2", (Arg(),))))
+        ),
+        dialect=Dialect.ALGEBRA_EQ,
+    )
+
+
+def staged_evens():
+    """Example 1's first style: the staging function F(i) spelled out, as
+    a bounded deductive program (F(i) = evens below 2i)."""
+    return parse_program(
+        f"""
+        f(0, N) :- N = 0.
+        f(I, N) :- f(J, N), I = succ(J), I <= {BOUND}.
+        f(I, N) :- f(J, M), I = succ(J), N = double(J), I <= {BOUND}.
+        se(N) :- f(I, N).
+        """
+    )
+
+
+class TestAlgebraDefinition:
+    def test_membership_total_within_window(self, registry, window):
+        result = valid_evaluate(algebra_evens(), {}, registry=registry, universe=window)
+        assert result.is_well_defined()
+
+    def test_true_exactly_on_evens(self, registry, window):
+        result = valid_evaluate(algebra_evens(), {}, registry=registry, universe=window)
+        for n in range(BOUND + 1):
+            expected = Truth.TRUE if n % 2 == 0 else Truth.FALSE
+            assert result.truth_of("Se", n) is expected, n
+
+    def test_mem_false_not_undefined_on_odds(self, registry, window):
+        """The point of the Section 2.2 completion: odd numbers are
+        *certainly false*, not merely underivable."""
+        result = valid_evaluate(algebra_evens(), {}, registry=registry, universe=window)
+        assert result.truth_of("Se", 7) is Truth.FALSE
+        assert 7 not in result.undefined_members("Se")
+
+
+class TestStagedDefinition:
+    def test_agrees_with_algebra_route(self, registry, window):
+        algebra = valid_evaluate(algebra_evens(), {}, registry=registry, universe=window)
+        staged = run(staged_evens(), Database(), semantics="valid", registry=registry)
+        staged_evens_set = {
+            row[0] for row in staged.true_rows("se") if row[0] <= BOUND
+        }
+        algebra_evens_set = {v for v in algebra.true["Se"] if isinstance(v, int)}
+        assert staged_evens_set == algebra_evens_set
+
+    def test_prefix_union_structure(self, registry):
+        """F(1) ∪ ... ∪ F(i) = {0, 2, ..., 2i−2}, as derived in Example 1."""
+        staged = run(staged_evens(), Database(), semantics="valid", registry=registry)
+        for i in range(1, 6):
+            prefix = {
+                row[1]
+                for row in staged.true_rows("f")
+                if row[0] <= i
+            }
+            assert prefix == set(range(0, 2 * i - 1, 2))
+
+
+class TestGuardedVariant:
+    def test_selection_guard_replaces_universe(self, registry):
+        """Bounding with σ instead of a universe gives the same window."""
+        guarded = AlgebraProgram.of(
+            Definition(
+                "Se",
+                (),
+                union(
+                    setconst(0),
+                    select(
+                        map_(call("Se"), Apply("add2", (Arg(),))),
+                        CompareTest("<=", Arg(), Lit(BOUND)),
+                    ),
+                ),
+            ),
+            dialect=Dialect.ALGEBRA_EQ,
+        )
+        result = valid_evaluate(guarded, {}, registry=registry)
+        assert set(result.true["Se"]) == set(range(0, BOUND + 1, 2))
+        assert result.is_well_defined()

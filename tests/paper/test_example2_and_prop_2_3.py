@@ -1,0 +1,102 @@
+"""Example 2 and Proposition 2.3: initial valid models of constant-only
+specifications.
+
+Example 2's spec (``a ≠ b → a = c``, ``a ≠ c → a = b``) has exactly three
+valid models — all-merged, {a,b|c}, {a,c|b} — none of which is initial:
+"the symmetry in the two given conditional equations leads a
+non-deterministic choice between two different, non compatible,
+algebras".  Proposition 2.3(2) says this is decidable for constant-only
+specs, which is what `analyze_constant_spec` implements.
+"""
+
+import pytest
+
+from repro.specs import (
+    Operation,
+    Specification,
+    analyze_constant_spec,
+    equation,
+    refines,
+    sapp,
+)
+from repro.specs.builtins import example2_spec
+from repro.specs.equations import EqPremise, NeqPremise
+
+
+class TestExample2:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_constant_spec(example2_spec())
+
+    def test_three_valid_models(self, analysis):
+        assert len(analysis.valid_partitions) == 3
+
+    def test_all_models_are_valid(self, analysis):
+        """'All the models of SPEC are valid, since no equalities can be
+        derived in a valid manner.'"""
+        assert analysis.certainly_equal == frozenset()
+        assert set(analysis.valid_partitions) == set(analysis.model_partitions)
+
+    def test_the_exact_three_models(self, analysis):
+        blocks = {
+            tuple(sorted(tuple(sorted(block)) for block in partition))
+            for partition in analysis.valid_partitions
+        }
+        assert blocks == {
+            (("a", "b", "c"),),
+            (("a", "b"), ("c",)),
+            (("a", "c"), ("b",)),
+        }
+
+    def test_none_is_initial(self, analysis):
+        assert analysis.initial is None
+        # The two two-block models are incomparable, which is why.
+        two_block = [p for p in analysis.valid_partitions if len(p) == 2]
+        assert len(two_block) == 2
+        assert not refines(two_block[0], two_block[1])
+        assert not refines(two_block[1], two_block[0])
+
+
+class TestSymmetryBreaking:
+    def test_dropping_one_equation_restores_initiality(self):
+        """Without the symmetry, the valid computation decides everything
+        and an initial valid model exists."""
+        spec = Specification.build(
+            "half-example2",
+            ["s"],
+            [Operation(n, (), "s") for n in "abc"],
+            [equation(sapp("a"), sapp("c"), NeqPremise(sapp("a"), sapp("b")))],
+        )
+        analysis = analyze_constant_spec(spec)
+        assert analysis.has_initial_valid_model()
+        assert frozenset({"a", "c"}) in analysis.initial
+
+    def test_positive_specs_always_have_initial(self):
+        """Without negation every algebra is valid and the classical
+        initial model exists (Section 2.2's remark)."""
+        for eqs in (
+            [],
+            [equation(sapp("a"), sapp("b"))],
+            [equation(sapp("a"), sapp("b")), equation(sapp("b"), sapp("c"))],
+            [equation(sapp("c"), sapp("b"), EqPremise(sapp("a"), sapp("b")))],
+        ):
+            spec = Specification.build(
+                "positive",
+                ["s"],
+                [Operation(n, (), "s") for n in "abc"],
+                eqs,
+            )
+            analysis = analyze_constant_spec(spec)
+            assert analysis.has_initial_valid_model(), eqs
+
+    def test_initial_refines_every_valid_model(self):
+        spec = Specification.build(
+            "check",
+            ["s"],
+            [Operation(n, (), "s") for n in "abcd"],
+            [equation(sapp("a"), sapp("b"))],
+        )
+        analysis = analyze_constant_spec(spec)
+        assert analysis.initial is not None
+        for other in analysis.valid_partitions:
+            assert refines(analysis.initial, other)

@@ -1,0 +1,115 @@
+"""Example 3 (Section 3.2): the WIN game.
+
+``WIN = π1(MOVE − (π1(MOVE) × WIN))`` — "all positions in the first
+column of MOVE where the next position is not a winning one".  The paper:
+acyclic MOVE ⇒ the valid interpretation is 2-valued and an initial valid
+model exists; cyclic MOVE (e.g. the tuple [a,a]) ⇒ membership undefined.
+"""
+
+import pytest
+
+from repro.corpus import (
+    algebra_case,
+    binary_tree,
+    chain,
+    cycle,
+    edges_to_relation,
+    grid,
+    nodes_of,
+    random_graph,
+)
+from repro.core.valid_eval import valid_evaluate
+from repro.datalog.semantics import Truth
+from repro.relations import Atom, Relation, tup
+
+
+def game_theoretic_wins(edges):
+    """Independent reference: backward induction on the game graph,
+    three-valued (None = drawn/undetermined)."""
+    moves = {}
+    for source, target in edges:
+        moves.setdefault(source, set()).add(target)
+    positions = set(nodes_of(edges))
+    verdict = {}
+    changed = True
+    while changed:
+        changed = False
+        for position in positions:
+            if position in verdict:
+                continue
+            succs = moves.get(position, set())
+            if any(verdict.get(s) is False for s in succs):
+                verdict[position] = True
+                changed = True
+            elif all(verdict.get(s) is True for s in succs):
+                # includes the no-moves case: every (zero) successor wins
+                verdict[position] = False
+                changed = True
+    return verdict
+
+
+def evaluate_win(edges):
+    program = algebra_case("win-game").program
+    move = edges_to_relation(edges, "MOVE")
+    return valid_evaluate(program, {"MOVE": move})
+
+
+@pytest.mark.parametrize(
+    "edges_factory",
+    [
+        lambda: chain(6),
+        lambda: binary_tree(3),
+        lambda: grid(3, 3),
+        lambda: random_graph(6, 0.3, seed=42),
+        lambda: cycle(5),
+        lambda: cycle(4),
+    ],
+)
+def test_matches_backward_induction(edges_factory):
+    """The valid interpretation computes exactly game-theoretic truth:
+    wins true, losses false, draws undefined."""
+    edges = edges_factory()
+    reference = game_theoretic_wins(edges)
+    result = evaluate_win(edges)
+    for position in nodes_of(edges):
+        # Only movers are WIN-candidates; non-movers are certainly false.
+        expected = reference.get(position)
+        actual = result.truth_of("WIN", position)
+        if expected is True:
+            assert actual is Truth.TRUE, position
+        elif expected is False:
+            assert actual is Truth.FALSE, position
+        else:
+            assert actual is Truth.UNDEFINED, position
+
+
+def test_acyclic_is_two_valued():
+    """'If the MOVE relation is acyclic then the valid interpretation is
+    2-valued, and an initial valid model exists.'"""
+    for edges in (chain(7), binary_tree(3), grid(3, 4)):
+        assert evaluate_win(edges).is_well_defined()
+
+
+def test_cyclic_self_loop_undefined():
+    """'If the MOVE relation contains the tuple [a, a], then the
+    membership status of a in WIN will be undefined.'"""
+    a = Atom("a")
+    result = evaluate_win([(a, a)])
+    assert result.truth_of("WIN", a) is Truth.UNDEFINED
+    assert not result.is_well_defined()
+
+
+def test_even_cycle_all_undefined():
+    result = evaluate_win(cycle(2))
+    assert len(result.undefined_members("WIN")) == 2
+
+
+def test_cycle_resolved_by_escape():
+    """A cycle with a winning escape is fully decided."""
+    a, b, c = Atom("a"), Atom("b"), Atom("c")
+    result = evaluate_win([(a, b), (b, a), (a, c)])
+    # a can move to c (a sink, losing) so a wins; b's only move hits the
+    # winning a, so b loses.  Everything is 2-valued.
+    assert result.is_well_defined()
+    assert result.truth_of("WIN", a) is Truth.TRUE
+    assert result.truth_of("WIN", b) is Truth.FALSE

@@ -1,0 +1,149 @@
+"""Section 2.2: the valid interpretation of specifications with negation.
+
+Two phenomena from the paper, replayed on bounded windows of SET(nat):
+
+1. For *finite* sets, "MEM(x, S) defines a boolean-valued function that
+   returns T if x is in S, and F otherwise" — the plain equations already
+   totalise membership.
+
+2. For a set constant defined by a *recursive* equation (Example 1's
+   ``S^e``, here the miniature ``Sc = INS(0, Sc)``), "MEM returns T if x
+   is in ``Sc``, but there is no derivation that produces false ...
+   because EMPTY is never encountered when the content is scanned."  The
+   Section 2.2 completion ``MEM(x,y) ≠ T → MEM(x,y) = F`` is exactly what
+   restores totality, via the valid semantics' certainly-false facts.
+"""
+
+import pytest
+
+from repro.datalog.semantics import Truth
+from repro.specs import Operation, Specification, equation, valid_interpretation
+from repro.specs.builtins import (
+    FALSE,
+    TRUE,
+    ins,
+    mem,
+    mem_completion,
+    nat_term,
+    set_of_nat_spec,
+    set_term,
+)
+from repro.specs.terms import sapp
+
+
+def finite_universe(max_nat=2, set_elements=(0,)):
+    """Numerals, EMPTY and singleton sets, and the boolean terms the MEM
+    equation unfolds to (plus their one-step reducts)."""
+    nats = [nat_term(i) for i in range(max_nat + 1)]
+    sets = [sapp("EMPTY")] + [set_term(nat_term(i)) for i in set_elements]
+    bools = [TRUE, FALSE]
+    bools += [sapp("EQ", m, n) for m in nats for n in nats]
+    bools += [mem(n, s) for n in nats for s in sets]
+    bools += [
+        sapp("ITEB", guard, TRUE, mem(d, s))
+        for d in nats
+        for s in sets
+        for guard in [sapp("EQ", d, d2) for d2 in nats] + [TRUE, FALSE]
+    ]
+    return {"nat": nats, "set(nat)": sets, "bool": bools}
+
+
+SC = sapp("Sc")
+
+
+def recursive_spec(with_completion):
+    """SET(nat) plus the recursive constant Sc = INS(0, Sc)."""
+    base = set_of_nat_spec(with_completion=with_completion)
+    extension = Specification.build(
+        "Sc",
+        sorts=["set(nat)", "nat"],
+        operations=[
+            Operation("Sc", (), "set(nat)"),
+            Operation("0", (), "nat"),
+            Operation("INS", ("nat", "set(nat)"), "set(nat)"),
+        ],
+        equations=[equation(SC, ins(nat_term(0), SC))],
+    )
+    return base.combine(extension, name="SET(nat)+Sc")
+
+
+def recursive_universe(max_nat=1):
+    nats = [nat_term(i) for i in range(max_nat + 1)]
+    sets = [SC, ins(nat_term(0), SC)]
+    bools = [TRUE, FALSE]
+    bools += [sapp("EQ", m, n) for m in nats for n in nats]
+    bools += [mem(n, s) for n in nats for s in sets]
+    bools += [
+        sapp("ITEB", guard, TRUE, mem(d, SC))
+        for d in nats
+        for guard in [sapp("EQ", d, d2) for d2 in nats] + [TRUE, FALSE]
+    ]
+    return {"nat": nats, "set(nat)": sets, "bool": bools}
+
+
+class TestFiniteSetsTotalWithoutCompletion:
+    @pytest.fixture(scope="class")
+    def vi(self):
+        return valid_interpretation(
+            set_of_nat_spec(with_completion=False),
+            universe=finite_universe(),
+            max_atoms=3_000_000,
+        )
+
+    def test_positive_membership_derives(self, vi):
+        assert vi.certainly_equal(mem(nat_term(0), set_term(nat_term(0))), TRUE)
+
+    def test_negative_membership_derives_equationally(self, vi):
+        """Finite scan reaches EMPTY: MEM(1, {0}) = FALSE by equations."""
+        assert vi.certainly_equal(mem(nat_term(1), set_term(nat_term(0))), FALSE)
+        assert vi.certainly_equal(mem(nat_term(2), sapp("EMPTY")), FALSE)
+
+    def test_never_both(self, vi):
+        for i in range(3):
+            for collection in (sapp("EMPTY"), set_term(nat_term(0))):
+                truths = {
+                    vi.truth_equal(mem(nat_term(i), collection), TRUE),
+                    vi.truth_equal(mem(nat_term(i), collection), FALSE),
+                }
+                assert truths == {Truth.TRUE, Truth.FALSE}, (i, collection)
+
+
+class TestRecursiveConstantNeedsCompletion:
+    @pytest.fixture(scope="class")
+    def without(self):
+        return valid_interpretation(
+            recursive_spec(with_completion=False),
+            universe=recursive_universe(),
+            max_atoms=3_000_000,
+        )
+
+    @pytest.fixture(scope="class")
+    def with_completion(self):
+        return valid_interpretation(
+            recursive_spec(with_completion=True),
+            universe=recursive_universe(),
+            max_atoms=3_000_000,
+        )
+
+    def test_positive_membership_always_derives(self, without):
+        """MEM(0, Sc) = T needs no negation: unfold once and the guard is
+        EQ(0,0) = TRUE."""
+        assert without.certainly_equal(mem(nat_term(0), SC), TRUE)
+
+    def test_no_false_derivation_without_completion(self, without):
+        """'There is no derivation that produces false for an odd number
+        (because EMPTY is never encountered...)' — MEM(1, Sc) = FALSE is
+        not certainly true without the completion."""
+        assert not without.certainly_equal(mem(nat_term(1), SC), FALSE)
+
+    def test_true_is_certainly_excluded_even_without_completion(self, without):
+        """The valid computation still rules out MEM(1, Sc) = TRUE: it has
+        no possible derivation, so it lands in F."""
+        assert without.certainly_unequal(mem(nat_term(1), SC), TRUE)
+
+    def test_completion_restores_totality(self, with_completion):
+        """With MEM(x,y) ≠ T → MEM(x,y) = F, the certainly-false fact
+        MEM(1, Sc) = T licenses deriving MEM(1, Sc) = F — Example 1's
+        mechanism."""
+        assert with_completion.certainly_equal(mem(nat_term(1), SC), FALSE)
+        assert with_completion.certainly_equal(mem(nat_term(0), SC), TRUE)

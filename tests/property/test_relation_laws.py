@@ -1,0 +1,110 @@
+"""Property-based tests: algebraic laws of the relation operators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Atom, Relation, Tup, fset, tup, value_key
+
+# A small pool of scalar values keeps overlap between generated sets high.
+scalars = st.one_of(
+    st.integers(min_value=0, max_value=5),
+    st.sampled_from([Atom("a"), Atom("b"), Atom("c")]),
+    st.sampled_from(["x", "y"]),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda pair: tup(*pair)),
+        st.frozensets(children, max_size=3).map(lambda s: fset(*s)),
+    ),
+    max_leaves=4,
+)
+
+relations = st.frozensets(values, max_size=6).map(Relation)
+
+
+@given(relations, relations)
+def test_union_commutative(left, right):
+    assert left | right == right | left
+
+
+@given(relations, relations, relations)
+def test_union_associative(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(relations)
+def test_union_idempotent(a):
+    assert a | a == a
+
+
+@given(relations, relations)
+def test_difference_subset(a, b):
+    assert (a - b).items <= a.items
+    assert not ((a - b).items & b.items)
+
+
+@given(relations)
+def test_difference_self_empty(a):
+    assert a - a == Relation.empty()
+
+
+@given(relations, relations)
+def test_intersection_via_double_difference(a, b):
+    """Example 3's definition really is intersection."""
+    assert a - (a - b) == a & b
+
+
+@given(relations, relations)
+def test_xor_via_differences(a, b):
+    assert (a - b) | (b - a) == a ^ b
+
+
+@given(relations, relations)
+def test_de_morgan_for_difference(a, b):
+    universe = a | b
+    assert universe - (a & b) == (universe - a) | (universe - b)
+
+
+@given(relations, relations)
+def test_product_size(a, b):
+    assert len(a * b) == len(a) * len(b)
+
+
+@given(relations, relations)
+def test_product_projections_recover(a, b):
+    product = a * b
+    assert product.project(1).items <= a.items
+    assert product.project(2).items <= b.items
+    if a and b:
+        assert product.project(1) == a
+        assert product.project(2) == b
+
+
+@given(relations)
+def test_select_true_is_identity(a):
+    assert a.select(lambda _v: True) == a
+    assert a.select(lambda _v: False) == Relation.empty()
+
+
+@given(relations, relations)
+def test_select_distributes_over_union(a, b):
+    test = lambda v: value_key(v)[0] <= 2  # noqa: E731 — scalar-only filter
+    assert (a | b).select(test) == a.select(test) | b.select(test)
+
+
+@given(relations)
+def test_map_identity(a):
+    assert a.map(lambda v: v) == a
+
+
+@given(relations, relations)
+def test_map_distributes_over_union(a, b):
+    func = lambda v: tup(v, v)  # noqa: E731
+    assert (a | b).map(func) == a.map(func) | b.map(func)
+
+
+@given(st.frozensets(values, max_size=6))
+def test_relation_equals_its_members(members):
+    assert Relation(members).items == frozenset(members)

@@ -1,0 +1,182 @@
+"""Property-based round trips for both surface syntaxes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expressions import (
+    Diff,
+    Ifp,
+    Map,
+    Product,
+    RelVar,
+    Select,
+    SetConst,
+    Union,
+)
+from repro.core.funcs import (
+    AndTest,
+    Apply,
+    Arg,
+    Comp,
+    CompareTest,
+    Lit,
+    MkTup,
+    NotTest,
+    OrTest,
+    TrueTest,
+)
+from repro.datalog.ast import Comparison, Const, FuncTerm, Literal, PredAtom, Rule, Var
+from repro.datalog.parser import parse_program
+from repro.datalog.pretty import pretty_program
+from repro.lang import parse_algebra_expr, pretty_algebra_expr
+from repro.relations import Atom, Tup
+
+# ---------------------------------------------------------------------------
+# Algebra expressions
+# ---------------------------------------------------------------------------
+
+atoms = st.sampled_from([Atom("a"), Atom("b"), Atom("c")])
+scalar_values = st.one_of(st.integers(0, 9), atoms, st.sampled_from(["s", "t"]))
+values = st.one_of(
+    scalar_values,
+    st.tuples(scalar_values, scalar_values).map(lambda p: Tup(p)),
+)
+
+scalars = st.recursive(
+    st.one_of(
+        st.just(Arg()),
+        scalar_values.map(Lit),
+        st.builds(Comp, st.just(Arg()), st.integers(1, 3)),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(MkTup),
+        st.tuples(children).map(lambda args: Apply("succ", args)),
+    ),
+    max_leaves=3,
+)
+
+tests = st.recursive(
+    st.one_of(
+        st.just(TrueTest()),
+        st.builds(
+            CompareTest,
+            st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+            scalars,
+            scalars,
+        ),
+    ),
+    lambda children: st.one_of(
+        children.map(NotTest),
+        st.tuples(children, children).map(lambda p: AndTest(*p)),
+        st.tuples(children, children).map(lambda p: OrTest(*p)),
+    ),
+    max_leaves=3,
+)
+
+expressions = st.recursive(
+    st.one_of(
+        st.sampled_from([RelVar("A"), RelVar("B")]),
+        st.frozensets(values, max_size=3).map(SetConst),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda p: Union(*p)),
+        st.tuples(children, children).map(lambda p: Diff(*p)),
+        st.tuples(children, children).map(lambda p: Product(*p)),
+        st.tuples(children, tests).map(lambda p: Select(*p)),
+        st.tuples(children, scalars).map(lambda p: Map(*p)),
+        children.map(lambda e: Ifp("w", e)),
+    ),
+    max_leaves=6,
+)
+
+
+@given(expressions)
+@settings(max_examples=200, deadline=None)
+def test_algebra_expression_roundtrip(expr):
+    text = pretty_algebra_expr(expr)
+    reparsed = parse_algebra_expr(text, relations=["A", "B"], params=["w"])
+    assert reparsed == expr, text
+
+
+# ---------------------------------------------------------------------------
+# Datalog rules
+# ---------------------------------------------------------------------------
+
+variables = st.sampled_from([Var("X"), Var("Y"), Var("Z")])
+terms = st.recursive(
+    st.one_of(
+        variables,
+        scalar_values.map(Const),
+        st.booleans().map(Const),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children).map(lambda args: FuncTerm("succ", args)),
+        st.lists(children, min_size=1, max_size=2).map(
+            lambda args: FuncTerm("tuple", tuple(args))
+        ),
+    ),
+    max_leaves=3,
+)
+
+pred_atoms = st.builds(
+    PredAtom,
+    st.sampled_from(["p", "q", "edge"]),
+    st.lists(terms, max_size=2).map(tuple),
+)
+
+body_items = st.one_of(
+    st.builds(Literal, pred_atoms, st.booleans()),
+    st.builds(
+        Comparison, st.sampled_from(["=", "!=", "<", "<=", ">", ">="]), terms, terms
+    ),
+)
+
+
+def _groundable_head(head, body):
+    """Heads must not introduce fresh variables relative to nothing — the
+    pretty/parse round trip doesn't care about safety, so anything goes."""
+    return Rule(head, tuple(body))
+
+
+rules = st.builds(_groundable_head, pred_atoms, st.lists(body_items, max_size=3))
+
+
+def _fold_ground_tuples(term):
+    """The parser's canonical form: a ground ``tuple(...)`` term *is* a
+    tuple constant (``[0]`` parses to ``Const(Tup((0,)))``)."""
+    if isinstance(term, FuncTerm):
+        args = tuple(_fold_ground_tuples(arg) for arg in term.args)
+        if term.name == "tuple" and all(isinstance(a, Const) for a in args):
+            return Const(Tup(tuple(a.value for a in args)))
+        return FuncTerm(term.name, args)
+    return term
+
+
+def _canonical(rule):
+    def fold_atom(atom):
+        return PredAtom(atom.predicate, tuple(_fold_ground_tuples(a) for a in atom.args))
+
+    body = []
+    for item in rule.body:
+        if isinstance(item, Literal):
+            body.append(Literal(fold_atom(item.atom), item.positive))
+        else:
+            body.append(
+                Comparison(
+                    item.op,
+                    _fold_ground_tuples(item.left),
+                    _fold_ground_tuples(item.right),
+                )
+            )
+    return Rule(fold_atom(rule.head), tuple(body))
+
+
+@given(st.lists(rules, min_size=1, max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_datalog_program_roundtrip(rule_list):
+    from repro.datalog.ast import Program
+
+    program = Program(tuple(rule_list))
+    text = pretty_program(program)
+    reparsed = parse_program(text)
+    assert reparsed.rules == tuple(_canonical(r) for r in program.rules), text

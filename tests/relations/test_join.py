@@ -1,0 +1,54 @@
+"""Unit tests for the derived join operator."""
+
+from repro.relations import Atom, Relation, tup
+from repro.relations.operations import join
+
+a, b, c, d = (Atom(x) for x in "abcd")
+
+
+def test_tc_step_join():
+    move = Relation.of(tup(a, b), tup(b, c), tup(c, d))
+    stepped = join(move, move)
+    assert stepped == Relation.of(tup(a, b, c), tup(b, c, d))
+
+
+def test_custom_positions():
+    left = Relation.of(tup(a, 1), tup(b, 2))
+    right = Relation.of(tup(1, c), tup(2, d))
+    assert join(left, right, on=(2, 1)) == Relation.of(tup(a, 1, c), tup(b, 2, d))
+
+
+def test_join_on_first_components():
+    left = Relation.of(tup(a, 1))
+    right = Relation.of(tup(a, 2), tup(b, 3))
+    assert join(left, right, on=(1, 1)) == Relation.of(tup(a, 1, 2))
+
+
+def test_no_matches():
+    left = Relation.of(tup(a, b))
+    right = Relation.of(tup(c, d))
+    assert join(left, right) == Relation.empty()
+
+
+def test_non_tuples_skipped():
+    left = Relation.of(a, tup(a, b))
+    right = Relation.of(tup(b, c), c)
+    assert join(left, right) == Relation.of(tup(a, b, c))
+
+
+def test_equivalent_to_primitive_combination():
+    """join really is π(σ(× ...)) — spot-check against the primitives."""
+    move = Relation.of(tup(a, b), tup(b, c), tup(c, d), tup(b, d))
+    joined = join(move, move)
+    by_primitives = (
+        (move * move)
+        .select(lambda p: p.component(1).component(2) == p.component(2).component(1))
+        .map(
+            lambda p: tup(
+                p.component(1).component(1),
+                p.component(1).component(2),
+                p.component(2).component(2),
+            )
+        )
+    )
+    assert joined == by_primitives

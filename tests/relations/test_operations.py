@@ -1,0 +1,56 @@
+"""Unit tests for the free-function operator forms."""
+
+from repro.relations import Atom, Relation, tup
+from repro.relations.operations import (
+    big_union,
+    difference,
+    exclusive_or,
+    intersection,
+    map_,
+    product,
+    project,
+    select,
+    union,
+)
+
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+
+
+def test_union_accepts_iterables():
+    assert union([a], [b]) == Relation.of(a, b)
+
+
+def test_difference():
+    assert difference([a, b], [b]) == Relation.of(a)
+
+
+def test_product():
+    assert product([a], [b]) == Relation.of(tup(a, b))
+
+
+def test_select():
+    assert select([1, 2, 3], lambda v: v != 2) == Relation.of(1, 3)
+
+
+def test_map():
+    assert map_([1, 2], lambda v: v + 1) == Relation.of(2, 3)
+
+
+def test_project():
+    assert project([tup(a, b)], 2) == Relation.of(b)
+
+
+def test_intersection():
+    assert intersection([a, b], [b, c]) == Relation.of(b)
+
+
+def test_exclusive_or():
+    assert exclusive_or([a, b], [b, c]) == Relation.of(a, c)
+
+
+def test_big_union():
+    assert big_union([[a], [b], [c]]) == Relation.of(a, b, c)
+
+
+def test_big_union_empty():
+    assert big_union([]) == Relation.empty()

@@ -1,0 +1,105 @@
+"""Unit tests for Relation and its algebra operators."""
+
+import pytest
+
+from repro.relations import Atom, Relation, tup
+
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+
+
+class TestConstruction:
+    def test_of_and_len(self):
+        assert len(Relation.of(a, b)) == 2
+
+    def test_empty(self):
+        assert not Relation.empty()
+        assert len(Relation.empty()) == 0
+
+    def test_duplicates_collapse(self):
+        assert Relation.of(a, a) == Relation.of(a)
+
+    def test_from_pairs(self):
+        move = Relation.from_pairs([(a, b), (b, c)], name="MOVE")
+        assert tup(a, b) in move
+        assert move.name == "MOVE"
+
+    def test_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            Relation([object()])
+
+    def test_renamed(self):
+        assert Relation.of(a).renamed("R").name == "R"
+
+
+class TestOperators:
+    def test_union(self):
+        assert Relation.of(a) | Relation.of(b) == Relation.of(a, b)
+
+    def test_difference(self):
+        assert Relation.of(a, b) - Relation.of(b) == Relation.of(a)
+
+    def test_intersection_derived(self):
+        left, right = Relation.of(a, b), Relation.of(b, c)
+        # Example 3: x ∩ y = x − (x − y)
+        assert left & right == left - (left - right)
+
+    def test_exclusive_or_derived(self):
+        left, right = Relation.of(a, b), Relation.of(b, c)
+        # Example 3: x ⊗ y = (x − y) ∪ (y − x)
+        assert left ^ right == (left - right) | (right - left)
+
+    def test_product_makes_pairs(self):
+        product = Relation.of(a) * Relation.of(b, c)
+        assert product == Relation.of(tup(a, b), tup(a, c))
+
+    def test_product_sizes_multiply(self):
+        assert len(Relation.of(a, b) * Relation.of(b, c)) == 4
+
+    def test_select(self):
+        numbers = Relation.of(1, 2, 3, 4)
+        assert numbers.select(lambda v: v > 2) == Relation.of(3, 4)
+
+    def test_map(self):
+        numbers = Relation.of(1, 2, 3)
+        assert numbers.map(lambda v: v * 2) == Relation.of(2, 4, 6)
+
+    def test_map_may_collapse(self):
+        assert Relation.of(1, -1).map(abs) == Relation.of(1)
+
+    def test_project(self):
+        move = Relation.of(tup(a, b), tup(b, c))
+        assert move.project(1) == Relation.of(a, b)
+        assert move.project(2) == Relation.of(b, c)
+
+    def test_project_skips_non_tuples(self):
+        mixed = Relation.of(tup(a, b), c)
+        assert mixed.project(1) == Relation.of(a)
+
+    def test_insert(self):
+        assert Relation.empty().insert(a) == Relation.of(a)
+
+
+class TestProtocol:
+    def test_iteration_deterministic(self):
+        assert list(Relation.of(c, a, b)) == [a, b, c]
+
+    def test_contains(self):
+        assert a in Relation.of(a)
+        assert b not in Relation.of(a)
+
+    def test_equality_with_raw_sets(self):
+        assert Relation.of(a, b) == {a, b}
+
+    def test_hashable(self):
+        assert len({Relation.of(a), Relation.of(a)}) == 1
+
+    def test_name_not_part_of_equality(self):
+        assert Relation.of(a, name="R") == Relation.of(a, name="S")
+
+    def test_as_fset_nests(self):
+        nested = Relation.of(Relation.of(a).as_fset())
+        assert len(nested) == 1
+
+    def test_operations_need_relation_like(self):
+        with pytest.raises(TypeError):
+            Relation.of(a).union(42)

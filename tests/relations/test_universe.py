@@ -1,0 +1,105 @@
+"""Unit tests for bounded universes and the function registry."""
+
+import pytest
+
+from repro.relations import (
+    Atom,
+    DomainFunction,
+    FunctionRegistry,
+    Universe,
+    standard_registry,
+)
+
+
+class TestDomainFunction:
+    def test_apply(self):
+        double = DomainFunction("double", 1, lambda n: n * 2)
+        assert double.apply((4,)) == 8
+
+    def test_partiality_via_none(self):
+        pred = standard_registry().get("pred")
+        assert pred.apply((0,)) is None
+        assert pred.apply((3,)) == 2
+
+    def test_partiality_via_exception(self):
+        bad = DomainFunction("bad", 1, lambda n: n / 0)
+        assert bad.apply((1,)) is None
+
+    def test_wrong_arity_rejected(self):
+        double = DomainFunction("double", 1, lambda n: n * 2)
+        with pytest.raises(ValueError):
+            double.apply((1, 2))
+
+    def test_non_value_results_rejected(self):
+        broken = DomainFunction("broken", 0, lambda: object())
+        with pytest.raises(TypeError):
+            broken.apply(())
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            DomainFunction("f", -1, lambda: None)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        registry.register("inc", 1, lambda n: n + 1)
+        assert registry.get("inc").apply((1,)) == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            FunctionRegistry().get("nope")
+
+    def test_standard_contents(self):
+        registry = standard_registry()
+        for name in ("succ", "pred", "add2", "double", "add", "mul"):
+            assert name in registry
+
+    def test_int_only_guard(self):
+        registry = standard_registry()
+        assert registry.get("succ").apply((Atom("a"),)) is None
+        assert registry.get("succ").apply((True,)) is None
+
+    def test_copy_is_independent(self):
+        original = standard_registry()
+        clone = original.copy()
+        clone.register("only_clone", 0, lambda: 1)
+        assert "only_clone" not in original
+
+
+class TestUniverse:
+    def test_explicit(self):
+        universe = Universe([1, 2, 3])
+        assert 2 in universe
+        assert 9 not in universe
+        assert len(universe) == 3
+
+    def test_closure_depth(self):
+        registry = standard_registry()
+        universe = Universe.closure([0], registry, ["succ"], depth=3)
+        assert set(universe.items) == {0, 1, 2, 3}
+
+    def test_closure_depth_zero_is_seed(self):
+        universe = Universe.closure([5], standard_registry(), ["succ"], depth=0)
+        assert set(universe.items) == {5}
+
+    def test_closure_stops_at_fixpoint(self):
+        # pred is partial at 0, so closure of {2} under pred is {0, 1, 2}.
+        registry = standard_registry()
+        universe = Universe.closure([2], registry, ["pred"], depth=50)
+        assert set(universe.items) == {0, 1, 2}
+
+    def test_closure_size_guard(self):
+        registry = standard_registry()
+        with pytest.raises(RuntimeError):
+            Universe.closure([0], registry, ["succ"], depth=100, max_size=10)
+
+    def test_union(self):
+        assert len(Universe([1]).union(Universe([2]))) == 2
+
+    def test_iteration_deterministic(self):
+        assert list(Universe([3, 1, 2])) == [1, 2, 3]
+
+    def test_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            Universe([object()])

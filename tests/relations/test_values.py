@@ -1,0 +1,134 @@
+"""Unit tests for the complex-object value universe."""
+
+import pytest
+
+from repro.relations.values import (
+    Atom,
+    FSet,
+    Tup,
+    format_value,
+    fset,
+    is_value,
+    sort_of,
+    sorted_values,
+    tup,
+    value_key,
+)
+
+
+class TestAtom:
+    def test_equality_by_name(self):
+        assert Atom("a") == Atom("a")
+        assert Atom("a") != Atom("b")
+
+    def test_hashable(self):
+        assert len({Atom("a"), Atom("a"), Atom("b")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(3)
+
+    def test_repr_is_bare_name(self):
+        assert repr(Atom("pos7")) == "pos7"
+
+
+class TestTup:
+    def test_components_are_one_indexed(self):
+        pair = tup(Atom("a"), Atom("b"))
+        assert pair.component(1) == Atom("a")
+        assert pair.component(2) == Atom("b")
+
+    def test_component_out_of_range(self):
+        pair = tup(Atom("a"), Atom("b"))
+        with pytest.raises(IndexError):
+            pair.component(3)
+        with pytest.raises(IndexError):
+            pair.component(0)
+
+    def test_nested_tuples(self):
+        nested = tup(tup(1, 2), 3)
+        assert nested.component(1).component(2) == 2
+
+    def test_equality_structural(self):
+        assert tup(1, 2) == tup(1, 2)
+        assert tup(1, 2) != tup(2, 1)
+
+    def test_iteration_and_len(self):
+        assert list(tup(1, 2, 3)) == [1, 2, 3]
+        assert len(tup(1, 2, 3)) == 3
+
+    def test_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            Tup((object(),))
+
+    def test_repr(self):
+        assert repr(tup(Atom("a"), 1)) == "[a, 1]"
+
+
+class TestFSet:
+    def test_set_semantics(self):
+        assert fset(1, 2, 2) == fset(2, 1)
+        assert len(fset(1, 2, 2)) == 2
+
+    def test_membership(self):
+        assert 1 in fset(1, 2)
+        assert 3 not in fset(1, 2)
+
+    def test_nested_sets(self):
+        inner = fset(1)
+        outer = fset(inner, 2)
+        assert inner in outer
+
+    def test_iteration_deterministic(self):
+        assert list(fset(3, 1, 2)) == [1, 2, 3]
+
+    def test_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            FSet(frozenset({object()}))
+
+
+class TestSortOf:
+    def test_scalar_sorts(self):
+        assert sort_of(True) == "bool"
+        assert sort_of(3) == "int"
+        assert sort_of("x") == "str"
+        assert sort_of(Atom("a")) == "atom"
+
+    def test_tuple_sort(self):
+        assert sort_of(tup(1, Atom("a"))) == ("tup", ("int", "atom"))
+
+    def test_set_sorts(self):
+        assert sort_of(fset(1, 2)) == ("set", "int")
+        assert sort_of(fset()) == ("set", None)
+        assert sort_of(fset(1, Atom("a"))) == ("set", "mixed")
+
+
+class TestOrdering:
+    def test_total_order_across_types(self):
+        values = [fset(1), tup(1, 2), Atom("z"), "s", 5, True]
+        ordered = sorted_values(values)
+        assert ordered == [True, 5, "s", Atom("z"), tup(1, 2), fset(1)]
+
+    def test_value_key_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            value_key(object())
+
+    def test_is_value(self):
+        assert is_value(tup(1, fset(Atom("a"))))
+        assert not is_value(object())
+        assert not is_value([1, 2])
+
+
+class TestFormat:
+    def test_strings_quoted(self):
+        assert format_value("abc") == "'abc'"
+
+    def test_numbers_plain(self):
+        assert format_value(7) == "7"
+
+    def test_structures(self):
+        assert format_value(tup(Atom("a"), "s")) == "[a, 's']"

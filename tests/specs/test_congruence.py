@@ -1,0 +1,82 @@
+"""Unit tests for congruence closure (the invariance relation)."""
+
+import pytest
+
+from repro.specs import CongruenceClosure, equation, sapp
+from repro.specs.equations import EqPremise, NeqPremise
+from repro.specs.terms import svar
+
+
+class TestClosure:
+    def test_reflexive(self):
+        cc = CongruenceClosure([sapp("a")])
+        assert cc.are_equal(sapp("a"), sapp("a"))
+
+    def test_merge_symmetric_transitive(self):
+        cc = CongruenceClosure()
+        cc.merge(sapp("a"), sapp("b"))
+        cc.merge(sapp("b"), sapp("c"))
+        assert cc.are_equal(sapp("c"), sapp("a"))
+
+    def test_congruence_propagates(self):
+        cc = CongruenceClosure([sapp("f", sapp("a")), sapp("f", sapp("b"))])
+        cc.merge(sapp("a"), sapp("b"))
+        assert cc.are_equal(sapp("f", sapp("a")), sapp("f", sapp("b")))
+
+    def test_congruence_nested(self):
+        terms = [sapp("f", sapp("f", sapp("a"))), sapp("f", sapp("f", sapp("b")))]
+        cc = CongruenceClosure(terms)
+        cc.merge(sapp("a"), sapp("b"))
+        assert cc.are_equal(*terms)
+
+    def test_distinct_stay_distinct(self):
+        cc = CongruenceClosure([sapp("a"), sapp("b")])
+        assert not cc.are_equal(sapp("a"), sapp("b"))
+
+    def test_classes(self):
+        cc = CongruenceClosure([sapp("a"), sapp("b"), sapp("c")])
+        cc.merge(sapp("a"), sapp("b"))
+        sizes = sorted(len(group) for group in cc.classes())
+        assert sizes == [1, 2]
+
+    def test_ground_only(self):
+        with pytest.raises(ValueError):
+            CongruenceClosure([svar("x", "s")])
+
+
+class TestConditionalSaturation:
+    def test_horn_chain(self):
+        eqs = [
+            equation(sapp("a"), sapp("b")),
+            equation(sapp("c"), sapp("d"), EqPremise(sapp("a"), sapp("b"))),
+            equation(sapp("e"), sapp("f"), EqPremise(sapp("c"), sapp("d"))),
+        ]
+        cc = CongruenceClosure.from_ground_equations(eqs)
+        assert cc.are_equal(sapp("e"), sapp("f"))
+
+    def test_unsatisfied_premise_blocks(self):
+        eqs = [equation(sapp("c"), sapp("d"), EqPremise(sapp("a"), sapp("b")))]
+        cc = CongruenceClosure.from_ground_equations(eqs)
+        assert not cc.are_equal(sapp("c"), sapp("d"))
+
+    def test_congruence_feeds_conditions(self):
+        eqs = [
+            equation(sapp("a"), sapp("b")),
+            equation(
+                sapp("x"),
+                sapp("y"),
+                EqPremise(sapp("f", sapp("a")), sapp("f", sapp("b"))),
+            ),
+        ]
+        cc = CongruenceClosure.from_ground_equations(eqs)
+        assert cc.are_equal(sapp("x"), sapp("y"))
+
+    def test_negation_rejected(self):
+        eqs = [equation(sapp("a"), sapp("b"), NeqPremise(sapp("a"), sapp("c")))]
+        with pytest.raises(ValueError):
+            CongruenceClosure.from_ground_equations(eqs)
+
+    def test_non_ground_rejected(self):
+        x = svar("x", "s")
+        with pytest.raises(ValueError):
+            CongruenceClosure.from_ground_equations([equation(x, sapp("a"))])

@@ -1,0 +1,117 @@
+"""Unit tests: the deductive version of a specification (Section 2.2)."""
+
+import pytest
+
+from repro.datalog.semantics import Truth
+from repro.specs import (
+    Operation,
+    Specification,
+    decode_value,
+    encode_term,
+    equation,
+    sapp,
+    svar,
+    valid_interpretation,
+)
+from repro.specs.builtins import example2_spec
+from repro.specs.equations import EqPremise, NeqPremise
+
+
+class TestEncoding:
+    def test_constant(self):
+        from repro.relations import Atom
+
+        assert encode_term(sapp("a")) == Atom("a")
+
+    def test_application(self):
+        value = encode_term(sapp("f", sapp("a"), sapp("b")))
+        assert decode_value(value) == sapp("f", sapp("a"), sapp("b"))
+
+    def test_nested_round_trip(self):
+        term = sapp("f", sapp("g", sapp("a")), sapp("b"))
+        assert decode_value(encode_term(term)) == term
+
+    def test_ground_only(self):
+        with pytest.raises(ValueError):
+            encode_term(svar("x", "s"))
+
+
+def tiny_spec(*equations_):
+    return Specification.build(
+        "tiny",
+        ["s"],
+        [Operation(name, (), "s") for name in ("a", "b", "c", "d")],
+        list(equations_),
+    )
+
+
+class TestValidInterpretation:
+    def test_equality_axioms(self):
+        vi = valid_interpretation(tiny_spec(equation(sapp("a"), sapp("b"))))
+        assert vi.certainly_equal(sapp("a"), sapp("a"))  # reflexivity
+        assert vi.certainly_equal(sapp("b"), sapp("a"))  # symmetry
+
+    def test_transitivity(self):
+        vi = valid_interpretation(
+            tiny_spec(
+                equation(sapp("a"), sapp("b")), equation(sapp("b"), sapp("c"))
+            )
+        )
+        assert vi.certainly_equal(sapp("a"), sapp("c"))
+
+    def test_underivable_is_certainly_false(self):
+        vi = valid_interpretation(tiny_spec())
+        assert vi.certainly_unequal(sapp("a"), sapp("b"))
+        assert vi.is_total()
+
+    def test_conditional_equation(self):
+        vi = valid_interpretation(
+            tiny_spec(
+                equation(sapp("a"), sapp("b")),
+                equation(sapp("c"), sapp("d"), EqPremise(sapp("a"), sapp("b"))),
+            )
+        )
+        assert vi.certainly_equal(sapp("c"), sapp("d"))
+
+    def test_negative_premise_uses_valid_negation(self):
+        # a ≠ b holds validly (no derivation of a = b), so c = d fires.
+        vi = valid_interpretation(
+            tiny_spec(
+                equation(sapp("c"), sapp("d"), NeqPremise(sapp("a"), sapp("b")))
+            )
+        )
+        assert vi.certainly_equal(sapp("c"), sapp("d"))
+
+    def test_example2_undefined(self):
+        """Example 2: no equality can be derived in a valid manner, and the
+        cross-constant equalities end up undefined."""
+        vi = valid_interpretation(example2_spec(), depth=0)
+        assert vi.truth_equal(sapp("a"), sapp("b")) is Truth.UNDEFINED
+        assert vi.truth_equal(sapp("a"), sapp("c")) is Truth.UNDEFINED
+        assert vi.certainly_equal(sapp("a"), sapp("a"))
+        assert not vi.is_total()
+
+    def test_congruence_via_functions(self):
+        spec = Specification.build(
+            "cong",
+            ["s"],
+            [
+                Operation("a", (), "s"),
+                Operation("b", (), "s"),
+                Operation("f", ("s",), "s"),
+            ],
+            [equation(sapp("a"), sapp("b"))],
+        )
+        vi = valid_interpretation(spec, depth=1)
+        assert vi.certainly_equal(sapp("f", sapp("a")), sapp("f", sapp("b")))
+
+    def test_variable_equations_instantiate_over_window(self):
+        x = svar("x", "s")
+        spec = Specification.build(
+            "allsame",
+            ["s"],
+            [Operation("a", (), "s"), Operation("b", (), "s")],
+            [equation(x, sapp("a"))],
+        )
+        vi = valid_interpretation(spec, depth=0)
+        assert vi.certainly_equal(sapp("b"), sapp("a"))

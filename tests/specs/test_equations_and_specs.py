@@ -1,0 +1,109 @@
+"""Unit tests for equations and specifications."""
+
+import pytest
+
+from repro.specs import (
+    ConditionalEquation,
+    EqPremise,
+    NeqPremise,
+    Operation,
+    Specification,
+    equation,
+    sapp,
+    svar,
+)
+from repro.specs.builtins import (
+    bool_spec,
+    example2_spec,
+    mem_completion,
+    nat_spec,
+    nat_term,
+    set_of_nat_spec,
+    set_term,
+)
+
+
+class TestEquations:
+    def test_plain_equation(self):
+        eq = equation(sapp("a"), sapp("b"))
+        assert not eq.premises
+        assert not eq.uses_negation()
+
+    def test_negation_detected(self):
+        eq = equation(sapp("a"), sapp("b"), NeqPremise(sapp("a"), sapp("c")))
+        assert eq.uses_negation()
+
+    def test_variables_include_premises(self):
+        x = svar("x", "s")
+        eq = equation(sapp("a"), sapp("b"), EqPremise(x, sapp("a")))
+        assert eq.variables() == {x}
+
+    def test_instantiate(self):
+        x = svar("x", "s")
+        eq = equation(sapp("f", x), sapp("a"), NeqPremise(x, sapp("b")))
+        ground = eq.instantiate({x: sapp("c")})
+        assert ground.left == sapp("f", sapp("c"))
+        assert ground.premises[0].left == sapp("c")
+        assert ground.is_ground()
+
+    def test_sort_check(self):
+        sig_spec = Specification.build(
+            "two-sorts",
+            ["s", "t"],
+            [Operation("a", (), "s"), Operation("b", (), "t")],
+        )
+        with pytest.raises(ValueError):
+            Specification(
+                "bad",
+                sig_spec.signature,
+                (equation(sapp("a"), sapp("b")),),
+            )
+
+
+class TestBuiltinSpecs:
+    def test_bool(self):
+        spec = bool_spec()
+        assert "NOT" in spec.signature
+        assert not spec.uses_negation()
+
+    def test_nat_includes_eq(self):
+        spec = nat_spec()
+        assert "EQ" in spec.signature
+        assert "ITEB" in spec.signature
+
+    def test_set_of_nat_combines(self):
+        spec = set_of_nat_spec()
+        assert {"nat", "bool", "set(nat)"} <= spec.signature.sorts
+        assert "INS" in spec.signature
+        assert not spec.uses_negation()
+
+    def test_completion_adds_negation(self):
+        spec = set_of_nat_spec(with_completion=True)
+        assert spec.uses_negation()
+
+    def test_mem_completion_shape(self):
+        eq = mem_completion()
+        assert eq.uses_negation()
+        assert eq.right == sapp("FALSE")
+
+    def test_example2_constant_only(self):
+        spec = example2_spec()
+        assert spec.is_constant_only()
+        assert spec.uses_negation()
+
+    def test_set_term_shorthand(self):
+        term = set_term(nat_term(1), nat_term(2))
+        assert term.op == "INS"
+        assert term.args[1].op == "INS"
+
+    def test_nat_term(self):
+        assert nat_term(0) == sapp("0")
+        assert nat_term(2) == sapp("SUCC", sapp("SUCC", sapp("0")))
+
+    def test_pretty_mentions_paper_pieces(self):
+        text = set_of_nat_spec().pretty()
+        assert "INS" in text and "MEM" in text and "EMPTY" in text
+
+    def test_combine_operator(self):
+        combined = bool_spec() + example2_spec()
+        assert "NOT" in combined.signature and "a" in combined.signature

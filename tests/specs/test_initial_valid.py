@@ -1,0 +1,144 @@
+"""Unit tests: valid algebras and the Prop 2.3(2) decision procedure."""
+
+import pytest
+
+from repro.specs import (
+    Operation,
+    Specification,
+    analyze_constant_spec,
+    equation,
+    is_model,
+    partitions_of,
+    refines,
+    sapp,
+    svar,
+)
+from repro.specs.builtins import example2_spec
+from repro.specs.equations import EqPremise, NeqPremise
+
+
+class TestPartitions:
+    def test_bell_numbers(self):
+        assert len(list(partitions_of(("a",)))) == 1
+        assert len(list(partitions_of(("a", "b")))) == 2
+        assert len(list(partitions_of(("a", "b", "c")))) == 5
+        assert len(list(partitions_of(("a", "b", "c", "d")))) == 15
+
+    def test_refines(self):
+        fine = frozenset({frozenset({"a"}), frozenset({"b"})})
+        coarse = frozenset({frozenset({"a", "b"})})
+        assert refines(fine, coarse)
+        assert not refines(coarse, fine)
+        assert refines(fine, fine)
+
+
+def spec_of(*equations_, constants="abc"):
+    return Specification.build(
+        "test",
+        ["s"],
+        [Operation(name, (), "s") for name in constants],
+        list(equations_),
+    )
+
+
+class TestIsModel:
+    def test_plain_equation_forces_merge(self):
+        spec = spec_of(equation(sapp("a"), sapp("b")))
+        merged = frozenset({frozenset({"a", "b"}), frozenset({"c"})})
+        split = frozenset({frozenset({"a"}), frozenset({"b"}), frozenset({"c"})})
+        assert is_model(spec, merged)
+        assert not is_model(spec, split)
+
+    def test_conditional_checked_per_instance(self):
+        spec = spec_of(
+            equation(sapp("b"), sapp("c"), EqPremise(sapp("a"), sapp("b")))
+        )
+        # a=b but b≠c violates; a≠b makes it vacuous.
+        bad = frozenset({frozenset({"a", "b"}), frozenset({"c"})})
+        vacuous = frozenset({frozenset({"a"}), frozenset({"b"}), frozenset({"c"})})
+        assert not is_model(spec, bad)
+        assert is_model(spec, vacuous)
+
+    def test_variables_instantiated(self):
+        x = svar("x", "s")
+        spec = spec_of(equation(x, sapp("a")))
+        all_merged = frozenset({frozenset({"a", "b", "c"})})
+        assert is_model(spec, all_merged)
+        assert not is_model(
+            spec, frozenset({frozenset({"a", "b"}), frozenset({"c"})})
+        )
+
+
+class TestExample2:
+    def test_exactly_the_papers_models(self):
+        analysis = analyze_constant_spec(example2_spec())
+        as_sets = {
+            frozenset(frozenset(block) for block in partition)
+            for partition in analysis.valid_partitions
+        }
+        expected = {
+            frozenset({frozenset({"a", "b", "c"})}),
+            frozenset({frozenset({"a", "b"}), frozenset({"c"})}),
+            frozenset({frozenset({"a", "c"}), frozenset({"b"})}),
+        }
+        assert as_sets == expected
+
+    def test_no_initial_valid_model(self):
+        analysis = analyze_constant_spec(example2_spec())
+        assert not analysis.has_initial_valid_model()
+
+    def test_no_certain_equalities(self):
+        analysis = analyze_constant_spec(example2_spec())
+        assert analysis.certainly_equal == frozenset()
+
+
+class TestDecisionProcedure:
+    def test_positive_spec_has_initial(self):
+        analysis = analyze_constant_spec(spec_of(equation(sapp("a"), sapp("b"))))
+        assert analysis.has_initial_valid_model()
+        assert frozenset({"a", "b"}) in analysis.initial
+
+    def test_empty_spec_initial_is_discrete(self):
+        analysis = analyze_constant_spec(spec_of())
+        assert analysis.initial == frozenset(
+            {frozenset({"a"}), frozenset({"b"}), frozenset({"c"})}
+        )
+
+    def test_negation_with_unique_outcome(self):
+        # a ≠ b holds validly, so a = c is certainly true; the initial
+        # valid model merges exactly {a, c}.
+        spec = spec_of(equation(sapp("a"), sapp("c"), NeqPremise(sapp("a"), sapp("b"))))
+        analysis = analyze_constant_spec(spec)
+        assert analysis.has_initial_valid_model()
+        assert frozenset({"a", "c"}) in analysis.initial
+        assert ("a", "c") in analysis.certainly_equal
+
+    def test_valid_filter_excludes_models(self):
+        spec = spec_of(equation(sapp("a"), sapp("c"), NeqPremise(sapp("a"), sapp("b"))))
+        analysis = analyze_constant_spec(spec)
+        assert len(analysis.valid_partitions) < len(analysis.model_partitions)
+
+    def test_multi_sort_partitions_respect_sorts(self):
+        spec = Specification.build(
+            "two-sorted",
+            ["s", "t"],
+            [
+                Operation("a", (), "s"),
+                Operation("b", (), "s"),
+                Operation("u", (), "t"),
+            ],
+        )
+        analysis = analyze_constant_spec(spec)
+        for partition in analysis.model_partitions:
+            for block in partition:
+                assert not ({"a", "b"} & block and {"u"} & block)
+
+    def test_guards(self):
+        non_constant = Specification.build(
+            "fn", ["s"], [Operation("a", (), "s"), Operation("f", ("s",), "s")]
+        )
+        with pytest.raises(ValueError, match="constant-only"):
+            analyze_constant_spec(non_constant)
+        big = spec_of(constants="abcdefghijkl")
+        with pytest.raises(ValueError, match="exceed"):
+            analyze_constant_spec(big)

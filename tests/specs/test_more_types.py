@@ -1,0 +1,110 @@
+"""Unit tests for the list and stack specifications (Section 2.1)."""
+
+import pytest
+
+from repro.specs import RewriteSystem
+from repro.specs.builtins import FALSE, TRUE, nat_spec, nat_term
+from repro.specs.more_types import (
+    EMPTYSTACK,
+    NIL,
+    list_spec,
+    list_term,
+    push_all,
+    stack_spec,
+)
+from repro.specs.terms import sapp
+
+
+@pytest.fixture(scope="module")
+def list_rewriter():
+    return RewriteSystem((nat_spec().combine(list_spec("nat"))).equations)
+
+
+@pytest.fixture(scope="module")
+def stack_rewriter():
+    return RewriteSystem(stack_spec("nat").equations)
+
+
+class TestLists:
+    def test_head_tail(self, list_rewriter):
+        lst = list_term(nat_term(1), nat_term(2))
+        assert list_rewriter.normalize(sapp("HEAD", lst)) == nat_term(1)
+        assert list_rewriter.normalize(sapp("TAIL", lst)) == list_term(nat_term(2))
+
+    def test_append(self, list_rewriter):
+        left = list_term(nat_term(1))
+        right = list_term(nat_term(2), nat_term(3))
+        appended = list_rewriter.normalize(sapp("APPEND", left, right))
+        assert appended == list_term(nat_term(1), nat_term(2), nat_term(3))
+
+    def test_append_nil_identity(self, list_rewriter):
+        lst = list_term(nat_term(1))
+        assert list_rewriter.normalize(sapp("APPEND", NIL, lst)) == lst
+        assert list_rewriter.normalize(sapp("APPEND", lst, NIL)) == lst
+
+    def test_occurs(self, list_rewriter):
+        lst = list_term(nat_term(1), nat_term(3))
+        assert list_rewriter.normalize(sapp("OCCURS", nat_term(3), lst)) == TRUE
+        assert list_rewriter.normalize(sapp("OCCURS", nat_term(2), lst)) == FALSE
+
+    def test_lists_keep_duplicates_and_order(self, list_rewriter):
+        """Unlike SET, no idempotence/commutativity: [1,1,2] ≠ [1,2] and
+        [1,2] ≠ [2,1] in the initial algebra (distinct normal forms)."""
+        assert list_rewriter.normalize(
+            list_term(nat_term(1), nat_term(1))
+        ) != list_rewriter.normalize(list_term(nat_term(1)))
+        assert list_rewriter.normalize(
+            list_term(nat_term(1), nat_term(2))
+        ) != list_rewriter.normalize(list_term(nat_term(2), nat_term(1)))
+
+    def test_head_of_nil_is_stuck(self, list_rewriter):
+        """Underspecified observer: HEAD(NIL) is its own normal form."""
+        assert list_rewriter.normalize(sapp("HEAD", NIL)) == sapp("HEAD", NIL)
+
+
+class TestStacks:
+    def test_lifo(self, stack_rewriter):
+        stack = push_all(nat_term(1), nat_term(2))
+        assert stack_rewriter.normalize(sapp("TOP", stack)) == nat_term(1)
+        assert stack_rewriter.normalize(
+            sapp("TOP", sapp("POP", stack))
+        ) == nat_term(2)
+
+    def test_pop_push_cancel(self, stack_rewriter):
+        stack = push_all(nat_term(3))
+        assert stack_rewriter.normalize(
+            sapp("POP", sapp("PUSH", nat_term(9), stack))
+        ) == stack
+
+    def test_isempty(self, stack_rewriter):
+        assert stack_rewriter.normalize(sapp("ISEMPTY", EMPTYSTACK)) == TRUE
+        assert stack_rewriter.normalize(
+            sapp("ISEMPTY", push_all(nat_term(1)))
+        ) == FALSE
+
+    def test_quotient_algebra_of_stacks(self):
+        """POP(PUSH(d, s)) = s makes deep terms collapse to shallow ones
+        in the quotient."""
+        from repro.specs.quotient import quotient_term_algebra
+        from repro.specs import Operation, Specification, equation, svar
+
+        # A 1-element data sort keeps the window small.
+        spec = Specification.build(
+            "ministack",
+            ["d", "stack"],
+            [
+                Operation("x", (), "d"),
+                Operation("EMPTYSTACK", (), "stack"),
+                Operation("PUSH", ("d", "stack"), "stack"),
+                Operation("POP", ("stack",), "stack"),
+            ],
+            [
+                equation(
+                    sapp("POP", sapp("PUSH", svar("e", "d"), svar("s", "stack"))),
+                    svar("s", "stack"),
+                )
+            ],
+        )
+        algebra = quotient_term_algebra(spec, depth=3)
+        collapsed = sapp("POP", sapp("PUSH", sapp("x"), EMPTYSTACK))
+        assert algebra.evaluate(collapsed) == algebra.evaluate(EMPTYSTACK)

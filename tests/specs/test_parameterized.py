@@ -1,0 +1,99 @@
+"""Unit tests for parameterized specifications (Section 2.1)."""
+
+import pytest
+
+from repro.specs import (
+    Operation,
+    RewriteSystem,
+    Specification,
+    equation,
+    instantiate,
+    rename_sort,
+    sapp,
+    svar,
+)
+from repro.specs.builtins import FALSE, TRUE, bool_spec, mem, set_spec, set_term
+
+
+def color_spec():
+    """A tiny actual-parameter type with definable equality."""
+    eq_pairs = [("red", "red", TRUE), ("green", "green", TRUE),
+                ("red", "green", FALSE), ("green", "red", FALSE)]
+    return Specification.build(
+        "color",
+        ["color", "bool"],
+        [Operation(c, (), "color") for c in ("red", "green")]
+        + [
+            Operation("EQ", ("color", "color"), "bool"),
+            Operation("TRUE", (), "bool"),
+            Operation("FALSE", (), "bool"),
+        ],
+        [equation(sapp("EQ", sapp(l), sapp(r)), v) for l, r, v in eq_pairs],
+    )
+
+
+class TestRenameSort:
+    def test_sorts_renamed(self):
+        spec = rename_sort(set_spec("data"), {"data": "nat"})
+        assert "nat" in spec.signature.sorts
+        assert "data" not in spec.signature.sorts
+
+    def test_compound_sort_names_follow(self):
+        spec = rename_sort(set_spec("data"), {"data": "nat"})
+        assert "set(nat)" in spec.signature.sorts
+        assert "set(data)" not in spec.signature.sorts
+
+    def test_operation_arities_follow(self):
+        spec = rename_sort(set_spec("data"), {"data": "nat"})
+        ins = spec.signature.operation("INS")
+        assert ins.arg_sorts == ("nat", "set(nat)")
+
+    def test_equation_variables_follow(self):
+        spec = rename_sort(set_spec("data"), {"data": "nat"})
+        variables = {v.sort for eq in spec.equations for v in eq.variables()}
+        assert "data" not in variables
+        assert "nat" in variables
+
+    def test_identity_elsewhere(self):
+        spec = rename_sort(set_spec("data"), {"data": "nat"})
+        assert "bool" in spec.signature.sorts
+
+
+class TestInstantiate:
+    def test_set_of_colors(self):
+        generic = bool_spec().combine(set_spec("data"), name="SET(data)")
+        inst = instantiate(generic, "data", color_spec(), "color", name="SET(color)")
+        assert "set(color)" in inst.signature.sorts
+        assert inst.name == "SET(color)"
+
+    def test_instantiated_membership_evaluates(self):
+        """Footnote 1 in action: colors define EQ, so MEM works on
+        SET(color) by rewriting — the requirement is satisfied."""
+        generic = bool_spec().combine(set_spec("data"), name="SET(data)")
+        inst = instantiate(generic, "data", color_spec(), "color")
+        rewriter = RewriteSystem(inst.equations)
+        red, green = sapp("red"), sapp("green")
+        assert rewriter.normalize(mem(red, set_term(red))) == TRUE
+        assert rewriter.normalize(mem(green, set_term(red))) == FALSE
+
+    def test_unknown_parameter_sort_rejected(self):
+        with pytest.raises(ValueError):
+            instantiate(set_spec("data"), "mystery", color_spec(), "color")
+
+    def test_conflicting_actual_rejected(self):
+        """The actual type redeclares an imported operation differently —
+        Signature.combine must refuse."""
+        bad_actual = Specification.build(
+            "bad",
+            ["color", "bool"],
+            [
+                Operation("red", (), "color"),
+                Operation("EQ", ("color",), "bool"),  # wrong arity
+                Operation("TRUE", (), "bool"),
+                Operation("FALSE", (), "bool"),
+                Operation("ITEB", ("bool", "bool", "bool"), "bool"),
+            ],
+        )
+        generic = bool_spec().combine(set_spec("data"), name="SET(data)")
+        with pytest.raises(ValueError):
+            instantiate(generic, "data", bad_actual, "color")

@@ -1,0 +1,96 @@
+"""Unit tests for the quotient term algebra (Section 2.1)."""
+
+import pytest
+
+from repro.specs import Operation, Specification, equation, sapp, svar
+from repro.specs.builtins import mem_completion
+from repro.specs.quotient import quotient_term_algebra
+
+
+def mod_spec(modulus: int) -> Specification:
+    """Naturals modulo ``modulus``: s^modulus(0) = 0."""
+    term = sapp("0")
+    for _ in range(modulus):
+        term = sapp("s", term)
+    return Specification.build(
+        f"mod{modulus}",
+        ["n"],
+        [Operation("0", (), "n"), Operation("s", ("n",), "n")],
+        [equation(term, sapp("0"))],
+    )
+
+
+class TestModularArithmetic:
+    def test_carrier_size(self):
+        algebra = quotient_term_algebra(mod_spec(3), depth=6)
+        assert algebra.size("n") == 3
+
+    def test_evaluation_wraps(self):
+        algebra = quotient_term_algebra(mod_spec(2), depth=6)
+        four = sapp("s", sapp("s", sapp("s", sapp("s", sapp("0")))))
+        assert algebra.evaluate(four) == algebra.evaluate(sapp("0"))
+
+    def test_operations_act_on_classes(self):
+        algebra = quotient_term_algebra(mod_spec(2), depth=4)
+        zero = algebra.evaluate(sapp("0"))
+        one = algebra.apply("s", zero)
+        assert one != zero
+        assert algebra.apply("s", one) == zero
+
+    def test_equal(self):
+        algebra = quotient_term_algebra(mod_spec(3), depth=6)
+        three = sapp("s", sapp("s", sapp("s", sapp("0"))))
+        assert algebra.equal(three, sapp("0"))
+        assert not algebra.equal(sapp("s", sapp("0")), sapp("0"))
+
+
+class TestConstruction:
+    def test_free_algebra_when_no_equations(self):
+        spec = Specification.build(
+            "free", ["n"], [Operation("0", (), "n"), Operation("s", ("n",), "n")]
+        )
+        algebra = quotient_term_algebra(spec, depth=3)
+        # No identifications: one class per term.
+        assert algebra.size("n") == 4
+
+    def test_variable_equations_instantiated(self):
+        x = svar("x", "n")
+        spec = Specification.build(
+            "collapse",
+            ["n"],
+            [Operation("0", (), "n"), Operation("s", ("n",), "n")],
+            [equation(sapp("s", x), x)],  # s is the identity
+        )
+        algebra = quotient_term_algebra(spec, depth=4)
+        assert algebra.size("n") == 1
+
+    def test_negation_rejected(self):
+        spec = Specification.build(
+            "neg",
+            ["n", "bool", "set(n)"],
+            [
+                Operation("0", (), "n"),
+                Operation("TRUE", (), "bool"),
+                Operation("FALSE", (), "bool"),
+                Operation("MEM", ("n", "set(n)"), "bool"),
+                Operation("EMPTY", (), "set(n)"),
+            ],
+            [mem_completion("n")],
+        )
+        with pytest.raises(ValueError, match="negation-free"):
+            quotient_term_algebra(spec, depth=1)
+
+    def test_ill_typed_apply_rejected(self):
+        algebra = quotient_term_algebra(mod_spec(2), depth=3)
+        zero = algebra.evaluate(sapp("0"))
+        with pytest.raises(ValueError):
+            algebra.apply("s", zero, zero)
+
+    def test_congruence_well_defined(self):
+        """Applying an operation to any member of a class lands in the
+        same class — the quotient really is an algebra."""
+        algebra = quotient_term_algebra(mod_spec(2), depth=5)
+        two = sapp("s", sapp("s", sapp("0")))
+        via_zero = algebra.apply("s", algebra.evaluate(sapp("0")))
+        via_two = algebra.apply("s", algebra.evaluate(two))
+        assert via_zero == via_two

@@ -1,0 +1,97 @@
+"""Unit tests for the rewriting engine (Section 2's operational reading)."""
+
+import pytest
+
+from repro.specs import RewriteLimit, RewriteSystem, equation, sapp, svar
+from repro.specs.builtins import (
+    FALSE,
+    TRUE,
+    mem,
+    nat_term,
+    set_of_nat_spec,
+    set_term,
+)
+from repro.specs.equations import EqPremise, NeqPremise
+
+
+class TestBasicRewriting:
+    def test_single_step(self):
+        rs = RewriteSystem([equation(sapp("a"), sapp("b"))])
+        assert rs.normalize(sapp("a")) == sapp("b")
+
+    def test_inner_positions(self):
+        rs = RewriteSystem([equation(sapp("a"), sapp("b"))])
+        assert rs.normalize(sapp("f", sapp("a"))) == sapp("f", sapp("b"))
+
+    def test_variables_instantiate(self):
+        x = svar("x", "s")
+        rs = RewriteSystem([equation(sapp("f", x), x)])
+        assert rs.normalize(sapp("f", sapp("f", sapp("a")))) == sapp("a")
+
+    def test_nontermination_detected(self):
+        rs = RewriteSystem(
+            [equation(sapp("a"), sapp("b")), equation(sapp("b"), sapp("a"))]
+        )
+        with pytest.raises(RewriteLimit):
+            rs.normalize(sapp("a"), max_steps=100)
+
+    def test_conditional_rule_fires_when_premise_joins(self):
+        x = svar("x", "s")
+        rs = RewriteSystem(
+            [
+                equation(sapp("c"), sapp("d")),
+                equation(sapp("f", x), sapp("ok"), EqPremise(x, sapp("d"))),
+            ]
+        )
+        assert rs.normalize(sapp("f", sapp("c"))) == sapp("ok")
+        assert rs.normalize(sapp("f", sapp("e"))) == sapp("f", sapp("e"))
+
+    def test_negative_equations_skipped(self):
+        rs = RewriteSystem(
+            [equation(sapp("a"), sapp("b"), NeqPremise(sapp("a"), sapp("c")))]
+        )
+        assert len(rs.rules) == 0
+        assert len(rs.skipped_negative) == 1
+
+    def test_joinable(self):
+        rs = RewriteSystem(
+            [equation(sapp("a"), sapp("c")), equation(sapp("b"), sapp("c"))]
+        )
+        assert rs.joinable(sapp("a"), sapp("b"))
+        assert not rs.joinable(sapp("a"), sapp("d"))
+
+
+class TestSetSpecEvaluation:
+    """Section 2.1: MEM evaluates by rewriting on the SET(nat) spec."""
+
+    @pytest.fixture(scope="class")
+    def rs(self):
+        return RewriteSystem(set_of_nat_spec().equations)
+
+    def test_member_found(self, rs):
+        collection = set_term(nat_term(1), nat_term(3))
+        assert rs.normalize(mem(nat_term(3), collection)) == TRUE
+
+    def test_member_absent(self, rs):
+        collection = set_term(nat_term(1), nat_term(3))
+        assert rs.normalize(mem(nat_term(2), collection)) == FALSE
+
+    def test_empty_set(self, rs):
+        assert rs.normalize(mem(nat_term(0), sapp("EMPTY"))) == FALSE
+
+    def test_duplicate_insert_irrelevant(self, rs):
+        collection = set_term(nat_term(1), nat_term(1), nat_term(2))
+        assert rs.normalize(mem(nat_term(1), collection)) == TRUE
+
+    def test_ins_idempotence_rule_applies(self, rs):
+        doubled = set_term(nat_term(1), nat_term(1))
+        # INS(d, INS(d, s)) = INS(d, s) normalises away the duplicate.
+        assert rs.normalize(doubled) == set_term(nat_term(1))
+
+    def test_ins_commutativity_can_loop(self, rs):
+        """The INS-commutativity equation makes the rewrite system
+        non-terminating on set terms — which is exactly why initial
+        semantics is defined by the quotient, not by normal forms."""
+        two_elements = set_term(nat_term(1), nat_term(2))
+        with pytest.raises(RewriteLimit):
+            rs.normalize(two_elements, max_steps=200)

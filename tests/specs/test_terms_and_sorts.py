@@ -1,0 +1,127 @@
+"""Unit tests for signatures, terms, and ground-term enumeration."""
+
+import pytest
+
+from repro.specs import (
+    Operation,
+    Signature,
+    ground_terms,
+    is_ground,
+    match,
+    sapp,
+    substitute,
+    subterms,
+    svar,
+    term_size,
+    term_sort,
+    term_variables,
+)
+
+
+def nat_signature():
+    return Signature(
+        ["nat", "bool"],
+        [
+            Operation("0", (), "nat"),
+            Operation("SUCC", ("nat",), "nat"),
+            Operation("TRUE", (), "bool"),
+            Operation("EQ", ("nat", "nat"), "bool"),
+        ],
+    )
+
+
+class TestSignature:
+    def test_operations_sorted(self):
+        names = [op.name for op in nat_signature().operations()]
+        assert names == sorted(names)
+
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(["nat"], [Operation("f", ("mystery",), "nat")])
+
+    def test_duplicate_operation_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(["s"], [Operation("a", (), "s"), Operation("a", (), "s")])
+
+    def test_constants_filter(self):
+        sig = nat_signature()
+        assert {op.name for op in sig.constants()} == {"0", "TRUE"}
+        assert {op.name for op in sig.constants("nat")} == {"0"}
+
+    def test_combine_merges(self):
+        extra = Signature(["nat"], [Operation("PLUS", ("nat", "nat"), "nat")])
+        combined = nat_signature().combine(extra)
+        assert "PLUS" in combined
+        assert "SUCC" in combined
+
+    def test_combine_conflict_rejected(self):
+        other = Signature(["nat"], [Operation("0", ("nat",), "nat")])
+        with pytest.raises(ValueError):
+            nat_signature().combine(other)
+
+
+class TestTerms:
+    def test_sort_inference(self):
+        sig = nat_signature()
+        assert term_sort(sapp("SUCC", sapp("0")), sig) == "nat"
+        assert term_sort(sapp("EQ", sapp("0"), svar("x", "nat")), sig) == "bool"
+
+    def test_ill_sorted_rejected(self):
+        sig = nat_signature()
+        with pytest.raises(ValueError):
+            term_sort(sapp("SUCC", sapp("TRUE")), sig)
+
+    def test_wrong_arity_rejected(self):
+        sig = nat_signature()
+        with pytest.raises(ValueError):
+            term_sort(sapp("SUCC"), sig)
+
+    def test_variables_and_ground(self):
+        term = sapp("EQ", svar("x", "nat"), sapp("0"))
+        assert term_variables(term) == {svar("x", "nat")}
+        assert not is_ground(term)
+        assert is_ground(sapp("0"))
+
+    def test_substitute(self):
+        x = svar("x", "nat")
+        term = sapp("SUCC", x)
+        assert substitute(term, {x: sapp("0")}) == sapp("SUCC", sapp("0"))
+
+    def test_match_success(self):
+        x = svar("x", "nat")
+        binding = match(sapp("SUCC", x), sapp("SUCC", sapp("0")))
+        assert binding == {x: sapp("0")}
+
+    def test_match_repeated_var(self):
+        x = svar("x", "nat")
+        pattern = sapp("EQ", x, x)
+        assert match(pattern, sapp("EQ", sapp("0"), sapp("0"))) is not None
+        assert match(pattern, sapp("EQ", sapp("0"), sapp("SUCC", sapp("0")))) is None
+
+    def test_match_failure(self):
+        assert match(sapp("0"), sapp("TRUE")) is None
+
+    def test_subterms_positions(self):
+        term = sapp("EQ", sapp("0"), sapp("SUCC", sapp("0")))
+        positions = dict(subterms(term))
+        assert positions[()] == term
+        assert positions[(1, 0)] == sapp("0")
+
+    def test_term_size(self):
+        assert term_size(sapp("SUCC", sapp("SUCC", sapp("0")))) == 3
+
+
+class TestGroundTerms:
+    def test_depth_zero_constants(self):
+        universe = ground_terms(nat_signature(), 0)
+        assert universe["nat"] == [sapp("0")]
+        assert universe["bool"] == [sapp("TRUE")]
+
+    def test_depth_grows(self):
+        universe = ground_terms(nat_signature(), 2)
+        assert sapp("SUCC", sapp("SUCC", sapp("0"))) in universe["nat"]
+        assert sapp("EQ", sapp("0"), sapp("0")) in universe["bool"]
+
+    def test_budget(self):
+        with pytest.raises(RuntimeError):
+            ground_terms(nat_signature(), 10, max_terms=20)

@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def win_dl(tmp_path):
+    path = tmp_path / "win.dl"
+    path.write_text(
+        "win(X) :- move(X, Y), not win(Y).\n"
+        "move(a, b).\nmove(b, c).\nmove(d, d).\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def win_alg(tmp_path):
+    path = tmp_path / "win.alg"
+    path.write_text("relations MOVE;\nWIN = pi1(MOVE - (pi1(MOVE) * WIN));\n")
+    return str(path)
+
+
+@pytest.fixture()
+def move_facts(tmp_path):
+    path = tmp_path / "facts.alg"
+    path.write_text("MOVE = {[a, b], [b, c]};\n")
+    return str(path)
+
+
+class TestDatalogCommand:
+    def test_valid_semantics(self, win_dl, capsys):
+        assert main(["datalog", win_dl]) == 0
+        out = capsys.readouterr().out
+        assert "win:" in out
+        assert "(b)" in out            # b wins on the chain
+        assert "undefined: (d)" in out  # the self-loop draw
+
+    def test_inflationary_semantics(self, win_dl, capsys):
+        assert main(["datalog", win_dl, "--semantics", "inflationary"]) == 0
+        out = capsys.readouterr().out
+        assert "undefined" not in out
+
+    def test_query_selection(self, win_dl, capsys):
+        assert main(["datalog", win_dl, "--query", "win"]) == 0
+        assert "win:" in capsys.readouterr().out
+
+    def test_separate_facts_file(self, tmp_path, capsys):
+        program = tmp_path / "p.dl"
+        program.write_text("p(X) :- e(X).\n")
+        facts = tmp_path / "f.dl"
+        facts.write_text("e(a).\ne(b).\n")
+        assert main(["datalog", str(program), "--facts", str(facts)]) == 0
+        out = capsys.readouterr().out
+        assert "(a)" in out and "(b)" in out
+
+    def test_nonfact_in_facts_file_rejected(self, tmp_path, win_dl):
+        facts = tmp_path / "bad.dl"
+        facts.write_text("e(X) :- f(X).\n")
+        with pytest.raises(SystemExit):
+            main(["datalog", win_dl, "--facts", str(facts)])
+
+
+class TestAlgebraCommand:
+    def test_run(self, win_alg, move_facts, capsys):
+        assert main(
+            ["algebra", win_alg, "--facts", move_facts, "--dialect", "algebra="]
+        ) == 0
+        out = capsys.readouterr().out
+        # Chain a → b → c: c is a sink, so b wins and a loses.
+        assert "WIN = {b}" in out
+        assert "total" in out
+
+    def test_undefined_reported(self, tmp_path, win_alg, capsys):
+        facts = tmp_path / "cyclic.alg"
+        facts.write_text("MOVE = {[a, a]};\n")
+        assert main(
+            ["algebra", win_alg, "--facts", str(facts), "--dialect", "algebra="]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "undefined members: a" in out
+        assert "undefined memberships" in out
+
+
+class TestTranslateCommand:
+    def test_to_datalog(self, win_alg, capsys):
+        assert main(
+            ["translate", win_alg, "--to", "datalog", "--dialect", "algebra="]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "s_WIN" in out
+        assert ":-" in out
+
+    def test_to_algebra(self, win_dl, capsys):
+        assert main(["translate", win_dl, "--to", "algebra"]) == 0
+        out = capsys.readouterr().out
+        assert "relations move;" in out
+        assert "win =" in out
+
+
+class TestCheckCommand:
+    def test_nonstratified_reported(self, win_dl, capsys):
+        assert main(["check", win_dl]) == 0
+        out = capsys.readouterr().out
+        assert "stratified: no" in out
+        assert "all rules safe" in out
+
+    def test_stratified_strata_printed(self, tmp_path, capsys):
+        program = tmp_path / "strat.dl"
+        program.write_text("p(X) :- e(X).\nq(X) :- e(X), not p(X).\n")
+        assert main(["check", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert "stratified: yes (2 strata)" in out
+
+    def test_unsafe_rule_fails(self, tmp_path, capsys):
+        program = tmp_path / "unsafe.dl"
+        program.write_text("q(X) :- not p(X).\n")
+        assert main(["check", str(program)]) == 1
+        assert "UNSAFE" in capsys.readouterr().out
