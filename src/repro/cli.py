@@ -7,6 +7,7 @@
     repro translate --to datalog PROGRAM.alg
     repro translate --to algebra PROGRAM.dl
     repro check    PROGRAM.dl            (safety + stratification report)
+    repro serve    [--socket PATH]       (incremental query service)
 
 Programs are text files in the package's concrete syntaxes
 (:mod:`repro.datalog.parser`, :mod:`repro.lang.parser`).  Facts files are
@@ -212,6 +213,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import QueryService, serve_stream, serve_unix_socket
+
+    service = QueryService(
+        function_registry=translation_registry(),
+        cache_capacity=args.cache_capacity,
+        max_rounds=args.max_rounds,
+        max_atoms=args.max_atoms,
+    )
+    if args.socket:
+        print(f"serving on unix socket {args.socket}", file=sys.stderr)
+        serve_unix_socket(service, args.socket, max_connections=args.max_connections)
+        return 0
+    serve_stream(service, sys.stdin, print)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -247,6 +265,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk = sub.add_parser("check", help="safety and stratification report")
     p_chk.add_argument("program")
     p_chk.set_defaults(func=_cmd_check)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="incremental query service (line protocol on stdin or a socket)",
+    )
+    p_srv.add_argument("--socket", help="serve on this unix socket instead of stdin")
+    p_srv.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="stop after N socket connections (default: serve forever)",
+    )
+    p_srv.add_argument("--cache-capacity", type=int, default=256)
+    p_srv.add_argument("--max-rounds", type=int, default=10_000)
+    p_srv.add_argument("--max-atoms", type=int, default=1_000_000)
+    p_srv.set_defaults(func=_cmd_serve)
 
     return parser
 

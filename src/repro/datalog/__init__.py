@@ -26,7 +26,7 @@ from .grounding import (
     UnsafeRuleError,
     ground,
 )
-from .seminaive import seminaive_stratified
+from .seminaive import DirectEvaluator, seminaive_stratified
 from .domain_independence import (
     DomainIndependenceProbe,
     appears_domain_independent,
@@ -75,5 +75,6 @@ __all__ = [
     "DomainIndependenceProbe",
     "appears_domain_independent",
     "is_safe_hence_di",
+    "DirectEvaluator",
     "seminaive_stratified",
 ]

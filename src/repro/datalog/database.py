@@ -9,6 +9,7 @@ of Sections 5 and 6 rely on.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from ..relations.relation import Relation
@@ -46,6 +47,31 @@ class Database:
         """Register a predicate with no facts yet (an empty relation is
         still part of the schema)."""
         self._facts.setdefault(predicate, set())
+        return self
+
+    def remove(self, predicate: str, *args: Value) -> "Database":
+        """Remove a ground fact (mutating; returns self).
+
+        Symmetric with :meth:`add`; raises :class:`KeyError` when the
+        fact is not present.  The predicate stays declared even when its
+        last fact is removed — the empty relation remains in the schema.
+        """
+        rows = self._facts.get(predicate)
+        row = tuple(args)
+        if rows is None or row not in rows:
+            raise KeyError(f"fact not present: {predicate}{row!r}")
+        rows.discard(row)
+        return self
+
+    def discard(self, predicate: str, *args: Value) -> "Database":
+        """Remove a ground fact if present (mutating; returns self).
+
+        Like :meth:`remove` but silent when the fact is absent — the
+        set-style counterpart, used by idempotent update paths.
+        """
+        rows = self._facts.get(predicate)
+        if rows is not None:
+            rows.discard(tuple(args))
         return self
 
     @classmethod
@@ -117,6 +143,25 @@ class Database:
     def fact_count(self) -> int:
         """Total number of facts."""
         return sum(len(rows) for rows in self._facts.values())
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the fact set.
+
+        Two databases with the same predicates and rows (declared-empty
+        predicates included) share a fingerprint; any insert or delete
+        changes it.  The service layer keys its ground-program cache on
+        this, so re-grounding is skipped when a database returns to a
+        previously seen state.
+        """
+        hasher = hashlib.sha256()
+        for predicate in sorted(self._facts):
+            hasher.update(predicate.encode("utf-8"))
+            hasher.update(b"\x00")
+            for row in sorted(self._facts[predicate], key=lambda r: tuple(map(repr, r))):
+                hasher.update(repr(row).encode("utf-8"))
+                hasher.update(b"\x01")
+            hasher.update(b"\x02")
+        return hasher.hexdigest()
 
     # -- the active domain -----------------------------------------------------
 

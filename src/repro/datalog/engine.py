@@ -75,23 +75,30 @@ def run(
     max_rounds: int = 10_000,
     max_atoms: int = 1_000_000,
     require_complete: bool = True,
+    ground_program: Optional[GroundProgram] = None,
 ) -> QueryResult:
     """Ground ``program`` over ``database`` and evaluate it.
 
     ``semantics`` is one of :data:`SEMANTICS`.  The stratified engine
     raises for non-stratified programs; the others accept any program.
+
+    ``ground_program`` skips the grounding phase entirely — the caller
+    vouches that it is ``ground(program, database, ...)``.  The service
+    layer uses this to reuse a cached grounding (keyed by the database
+    fingerprint) across semantics and repeated queries.
     """
     if semantics not in SEMANTICS:
         raise ValueError(f"unknown semantics {semantics!r}; pick from {SEMANTICS}")
     database = database or Database()
-    ground_program = ground(
-        program,
-        database,
-        registry=registry,
-        max_rounds=max_rounds,
-        max_atoms=max_atoms,
-        require_complete=require_complete,
-    )
+    if ground_program is None:
+        ground_program = ground(
+            program,
+            database,
+            registry=registry,
+            max_rounds=max_rounds,
+            max_atoms=max_atoms,
+            require_complete=require_complete,
+        )
     if semantics == "stratified":
         interpretation = stratified_model(program, ground_program)
     elif semantics == "inflationary":

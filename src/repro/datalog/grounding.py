@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..relations.universe import FunctionRegistry
@@ -49,6 +50,8 @@ __all__ = [
     "UnsafeRuleError",
     "GroundingBudgetExceeded",
     "ground",
+    "binding_order",
+    "compiled_binding_order",
 ]
 
 
@@ -278,6 +281,22 @@ def binding_order(rule: Rule) -> List[Tuple[str, object]]:
     return order
 
 
+@lru_cache(maxsize=4096)
+def _compiled_order(rule: Rule) -> Tuple[Tuple[str, object], ...]:
+    return tuple(binding_order(rule))
+
+
+def compiled_binding_order(rule: Rule) -> Tuple[Tuple[str, object], ...]:
+    """Memoized :func:`binding_order`.
+
+    Rules are immutable and hashable, so repeated evaluations of the
+    same program (the grounder, the direct engine, and the service
+    layer's prepared plans) share one compiled order per rule instead of
+    re-deriving it on every call.
+    """
+    return _compiled_order(rule)
+
+
 # ---------------------------------------------------------------------------
 # Comparison evaluation
 # ---------------------------------------------------------------------------
@@ -332,7 +351,9 @@ class _Grounder:
         # rows.  Makes bound-argument literal matching sub-linear.
         self.index: Dict[str, Dict[Tuple[int, Value], Set[Tuple[Value, ...]]]] = {}
         self.ground_rules: Set[Tuple] = set()
-        self.ordered_rules = [(rule, binding_order(rule)) for rule in program.rules]
+        self.ordered_rules = [
+            (rule, compiled_binding_order(rule)) for rule in program.rules
+        ]
         self.idb = program.idb_predicates()
 
     # -- possible-atom bookkeeping -------------------------------------------

@@ -17,17 +17,25 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from typing import Mapping
+
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value
 from .ast import Comparison, Const, FuncTerm, Literal, Program, Rule, Var, eval_term
 from .database import Database
-from .grounding import binding_order, _compare
+from .grounding import binding_order, compiled_binding_order, _compare
 from .stratification import stratify
 
-__all__ = ["seminaive_stratified"]
+__all__ = ["DirectEvaluator", "seminaive_stratified"]
 
 
-class _DirectEvaluator:
+class DirectEvaluator:
+    """Indexed fact store + rule-firing machinery for direct evaluation.
+
+    Shared by :func:`seminaive_stratified` (from-scratch fixpoints) and
+    the service layer's incremental maintenance, which extends the same
+    delta discipline to deletions."""
+
     def __init__(self, registry: Optional[FunctionRegistry]):
         self.registry = registry
         self.facts: Dict[str, Set[Tuple[Value, ...]]] = {}
@@ -46,6 +54,22 @@ class _DirectEvaluator:
         index = self.index.setdefault(predicate, {})
         for position, value in enumerate(row):
             index.setdefault((position, value), set()).add(row)
+        return True
+
+    def remove(self, predicate: str, row: Tuple[Value, ...]) -> bool:
+        """Remove a row; True when it was present (updates the index)."""
+        rows = self.facts.get(predicate)
+        if rows is None or row not in rows:
+            return False
+        rows.discard(row)
+        index = self.index.get(predicate)
+        if index:
+            for position, value in enumerate(row):
+                bucket = index.get((position, value))
+                if bucket is not None:
+                    bucket.discard(row)
+                    if not bucket:
+                        del index[(position, value)]
         return True
 
     def _candidates(self, literal: Literal, binding: Dict[Var, Value], rows):
@@ -168,11 +192,16 @@ class _DirectEvaluator:
         return produced
 
 
+# Backwards-compatible alias for the pre-service private name.
+_DirectEvaluator = DirectEvaluator
+
+
 def seminaive_stratified(
     program: Program,
     database: Database,
     registry: Optional[FunctionRegistry] = None,
     max_rounds: int = 100_000,
+    strata: Optional[Mapping[str, int]] = None,
 ) -> Dict[str, FrozenSet[Tuple[Value, ...]]]:
     """Evaluate a stratified program directly (no grounding).
 
@@ -180,18 +209,22 @@ def seminaive_stratified(
     :class:`~repro.datalog.stratification.NotStratifiedError` on
     non-stratified input and ``RuntimeError`` if a stratum exceeds
     ``max_rounds`` (function symbols without guards).
+
+    ``strata`` lets a caller that has already stratified the program
+    (a registered prepared plan) skip re-deriving the schedule.
     """
-    strata = stratify(program)
+    if strata is None:
+        strata = stratify(program)
     height = max(strata.values(), default=0)
 
-    state = _DirectEvaluator(registry)
+    state = DirectEvaluator(registry)
     for predicate in database.predicates():
         for row in database.rows(predicate):
             state.add(predicate, row)
 
     for level in range(height + 1):
         level_rules = [
-            (rule, binding_order(rule))
+            (rule, compiled_binding_order(rule))
             for rule in program.rules
             if strata[rule.head.predicate] == level
         ]

@@ -1,0 +1,40 @@
+"""The serving layer: registered programs, resident views, updates.
+
+Everything below this package exists so a query is *not* a full
+parse–ground–solve round trip: programs are compiled once into prepared
+plans (:mod:`registry`), their models kept resident and maintained
+under fact deltas (:mod:`incremental`, :mod:`views`), repeated answers
+served from an LRU cache (:mod:`cache`), and the whole thing observable
+(:mod:`metrics`) and scriptable over a line protocol (:mod:`server`,
+``repro serve``).  See ``docs/SERVICE.md`` for the architecture.
+"""
+
+from .cache import LRUCache
+from .incremental import IncrementalEngine, IncrementalMaintenanceError
+from .metrics import ViewMetrics
+from .registry import (
+    Component,
+    PreparedProgram,
+    ProgramRegistry,
+    prepare_program,
+    split_program_and_facts,
+)
+from .server import QueryService, parse_fact, serve_stream, serve_unix_socket
+from .views import MaterializedView
+
+__all__ = [
+    "Component",
+    "IncrementalEngine",
+    "IncrementalMaintenanceError",
+    "LRUCache",
+    "MaterializedView",
+    "PreparedProgram",
+    "ProgramRegistry",
+    "QueryService",
+    "ViewMetrics",
+    "parse_fact",
+    "prepare_program",
+    "serve_stream",
+    "serve_unix_socket",
+    "split_program_and_facts",
+]

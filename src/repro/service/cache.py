@@ -1,0 +1,81 @@
+"""A small LRU result cache with explicit invalidation.
+
+The query service answers repeated ``query view predicate`` requests
+from here; the update path invalidates a view's entries the moment a
+delta batch lands, so a hit is always consistent with the resident
+model.  Keys are ``(scope, ...)`` tuples — the scope (the view name) is
+what invalidation targets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+__all__ = ["LRUCache"]
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with per-scope invalidation."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[Hashable, ...], object]" = OrderedDict()
+        self._scope_keys: Dict[Hashable, Set[Tuple[Hashable, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple[Hashable, ...], default=None):
+        """Look up a key, refreshing its recency.  Counts hit/miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Tuple[Hashable, ...], value) -> None:
+        """Insert/overwrite a key; the first key element is its scope."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self._scope_keys.setdefault(key[0], set()).add(key)
+        while len(self._entries) > self.capacity:
+            evicted, _value = self._entries.popitem(last=False)
+            keys = self._scope_keys.get(evicted[0])
+            if keys is not None:
+                keys.discard(evicted)
+                if not keys:
+                    del self._scope_keys[evicted[0]]
+
+    def invalidate(self, scope: Hashable) -> int:
+        """Drop every entry whose scope matches; returns the count."""
+        keys = self._scope_keys.pop(scope, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        self._entries.clear()
+        self._scope_keys.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }

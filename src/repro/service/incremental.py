@@ -1,0 +1,667 @@
+"""Delta-driven maintenance of stratified models.
+
+The from-scratch engine (:mod:`repro.datalog.seminaive`) already works
+delta-at-a-time; this module keeps the model **resident** and extends
+the same discipline to updates, in the DBSP/DRed tradition:
+
+* the prepared plan's component schedule (SCCs of the predicate graph
+  in topological order) is walked once per update batch;
+* **non-recursive** components maintain an exact derivation count per
+  row ("counting" maintenance): each rule instance is enumerated
+  exactly once via a first-changed-literal discipline, counts move up
+  and down, and a row lives iff its count is positive or it is a base
+  fact — deletions are O(affected instances), no re-derivation needed;
+* **recursive** components use DRed: over-delete everything whose old
+  derivation touched a deleted fact, re-derive rows with an alternative
+  support (a per-row constrained query, not a full join), then close
+  insertions semi-naively.
+
+Negated literals always point at earlier components (stratification),
+so by the time a component is maintained its negative dependencies are
+final.  The *old* database view needed by over-deletion is reconstructed
+from the net per-predicate deltas committed so far — no snapshot copy.
+
+Consistency contract (tested property-style): after any interleaving of
+insert/delete batches, :meth:`IncrementalEngine.model` equals
+``seminaive_stratified`` run from scratch on the updated database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..datalog.ast import Const, Literal, Rule, Var, eval_term
+from ..datalog.database import Database
+from ..datalog.grounding import _compare
+from ..datalog.seminaive import DirectEvaluator
+from ..datalog.stratification import NotStratifiedError
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Value
+from .metrics import ViewMetrics
+from .registry import Component, PreparedProgram
+
+__all__ = ["IncrementalEngine", "IncrementalMaintenanceError"]
+
+Row = Tuple[Value, ...]
+FactDelta = Dict[str, Set[Row]]
+
+
+class IncrementalMaintenanceError(RuntimeError):
+    """An internal bookkeeping invariant broke.
+
+    The view layer treats this as "fall back to full recomputation" —
+    the incremental path is an optimisation, never a correctness risk.
+    """
+
+
+# Row-source directives interpreted by the variant walker.  For match
+# steps: NEW = current state, OLD = state rewound by the batch's net
+# deltas, BOTH = rows true before *and* after (unchanged), or an
+# explicit ("rows", S) delta set.  For negtest steps the same tags test
+# the ground atom against the corresponding view; ("in", S) instead
+# *requires* membership in S — the trigger form, used when the negated
+# atom's flip is exactly what fires the variant.
+NEW = ("new",)
+OLD = ("old",)
+BOTH = ("both",)
+
+
+class IncrementalEngine:
+    """A resident stratified model maintained under fact deltas."""
+
+    def __init__(
+        self,
+        prepared: PreparedProgram,
+        database: Optional[Database] = None,
+        registry: Optional[FunctionRegistry] = None,
+        metrics: Optional[ViewMetrics] = None,
+        max_rounds: int = 100_000,
+    ):
+        if not prepared.stratified:
+            raise NotStratifiedError(
+                f"program {prepared.name!r} is not stratified; incremental "
+                "maintenance requires the stratified fast path"
+            )
+        self.prepared = prepared
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else ViewMetrics()
+        self.max_rounds = max_rounds
+        self.edb = (database or Database()).copy()
+        for predicate, row in prepared.seed_facts:
+            if not self.edb.holds(predicate, *row):
+                self.edb.add(predicate, *row)
+        self.state = DirectEvaluator(registry)
+        # Exact derivation counts, kept only for non-recursive components.
+        self.support: Dict[str, Dict[Row, int]] = {}
+        self._counting: Set[str] = {
+            predicate
+            for component in prepared.schedule
+            if component.has_rules() and not component.recursive
+            for predicate in component.predicates
+        }
+        self.initialize()
+
+    # -- initial evaluation ---------------------------------------------------
+
+    def initialize(self) -> None:
+        """(Re)compute the model from scratch, establishing counts."""
+        self.state = DirectEvaluator(self.registry)
+        self.support = {predicate: {} for predicate in self._counting}
+        for predicate in self.edb.predicates():
+            for row in self.edb.rows(predicate):
+                self.state.add(predicate, row)
+        for component in self.prepared.schedule:
+            if not component.has_rules():
+                continue
+            if component.recursive:
+                self._initial_recursive(component)
+            else:
+                self._initial_counting(component)
+
+    def _initial_counting(self, component: Component) -> None:
+        for rule, order in component.rules:
+            for head_row in self._fire_variant(rule, order, {}):
+                predicate = rule.head.predicate
+                counts = self.support[predicate]
+                counts[head_row] = counts.get(head_row, 0) + 1
+                self.state.add(predicate, head_row)
+
+    def _initial_recursive(self, component: Component) -> None:
+        delta: FactDelta = {}
+        for rule, order in component.rules:
+            for row in self._fire_variant(rule, order, {}):
+                if self.state.add(rule.head.predicate, row):
+                    delta.setdefault(rule.head.predicate, set()).add(row)
+        for _round in range(self.max_rounds):
+            if not delta:
+                return
+            next_delta: FactDelta = {}
+            for rule, order in component.rules:
+                for step, (kind, payload) in enumerate(order):
+                    if kind != "match":
+                        continue
+                    predicate = payload.atom.predicate
+                    if predicate not in component.predicates:
+                        continue
+                    rows = delta.get(predicate)
+                    if not rows:
+                        continue
+                    directives = {step: ("rows", rows)}
+                    for row in self._fire_variant(rule, order, directives):
+                        if self.state.add(rule.head.predicate, row):
+                            next_delta.setdefault(rule.head.predicate, set()).add(row)
+            delta = next_delta
+        raise RuntimeError(
+            f"component {sorted(component.predicates)} did not converge "
+            f"within {self.max_rounds} rounds"
+        )
+
+    # -- the model ------------------------------------------------------------
+
+    def model(self) -> Dict[str, FrozenSet[Row]]:
+        """The resident model, predicate → rows (EDB and IDB alike)."""
+        return {
+            predicate: frozenset(rows)
+            for predicate, rows in self.state.facts.items()
+        }
+
+    def rows(self, predicate: str) -> FrozenSet[Row]:
+        """Current rows of one predicate."""
+        return frozenset(self.state.facts.get(predicate, ()))
+
+    # -- update batches -------------------------------------------------------
+
+    def apply(
+        self,
+        inserts: Iterable[Tuple[str, Row]] = (),
+        deletes: Iterable[Tuple[str, Row]] = (),
+    ) -> Dict[str, object]:
+        """Maintain the model under a batch of fact updates.
+
+        Deletions are applied before insertions; updates that do not
+        change the database (inserting a present fact, deleting an
+        absent one) are ignored.  Returns a summary with the net
+        per-predicate deltas actually applied to the model.
+        """
+        seed_minus: FactDelta = {}
+        seed_plus: FactDelta = {}
+        for predicate, row in deletes:
+            row = tuple(row)
+            if self.edb.holds(predicate, *row):
+                self.edb.discard(predicate, *row)
+                seed_minus.setdefault(predicate, set()).add(row)
+        for predicate, row in inserts:
+            row = tuple(row)
+            if not self.edb.holds(predicate, *row):
+                self.edb.add(predicate, *row)
+                seed_plus.setdefault(predicate, set()).add(row)
+                seed_minus.get(predicate, set()).discard(row)
+
+        plus: FactDelta = {}
+        minus: FactDelta = {}
+        self._plus = plus
+        self._minus = minus
+
+        scheduled = set()
+        for component in self.prepared.schedule:
+            scheduled |= component.predicates
+        # Predicates no rule mentions change the model directly.
+        for predicate in set(seed_plus) | set(seed_minus):
+            if predicate not in scheduled:
+                for row in seed_minus.get(predicate, ()):
+                    self._commit_remove(predicate, row)
+                for row in seed_plus.get(predicate, ()):
+                    self._commit_add(predicate, row)
+
+        for component in self.prepared.schedule:
+            if not component.has_rules():
+                for predicate in component.predicates:
+                    for row in seed_minus.get(predicate, ()):
+                        self._commit_remove(predicate, row)
+                    for row in seed_plus.get(predicate, ()):
+                        self._commit_add(predicate, row)
+                continue
+            touched = any(
+                plus.get(p) or minus.get(p) or seed_plus.get(p) or seed_minus.get(p)
+                for p in self._body_predicates(component) | component.predicates
+            )
+            if not touched:
+                continue
+            if component.recursive:
+                self._apply_recursive(component, seed_plus, seed_minus)
+            else:
+                self._apply_counting(component, seed_plus, seed_minus)
+
+        self.metrics.bump("update_batches")
+        self.metrics.bump("incremental_batches")
+        self.metrics.bump(
+            "inserts_applied", sum(len(rows) for rows in seed_plus.values())
+        )
+        self.metrics.bump(
+            "deletes_applied", sum(len(rows) for rows in seed_minus.values())
+        )
+        delta_plus = sum(len(rows) for rows in plus.values())
+        delta_minus = sum(len(rows) for rows in minus.values())
+        self.metrics.bump("delta_plus_total", delta_plus)
+        self.metrics.bump("delta_minus_total", delta_minus)
+        return {
+            "delta_plus": delta_plus,
+            "delta_minus": delta_minus,
+            "plus": {p: frozenset(rows) for p, rows in plus.items() if rows},
+            "minus": {p: frozenset(rows) for p, rows in minus.items() if rows},
+        }
+
+    def _body_predicates(self, component: Component) -> Set[str]:
+        predicates: Set[str] = set()
+        for rule, _order in component.rules:
+            for literal in rule.positive_literals() + rule.negative_literals():
+                predicates.add(literal.atom.predicate)
+        return predicates
+
+    # -- net-delta bookkeeping ------------------------------------------------
+
+    def _commit_add(self, predicate: str, row: Row) -> bool:
+        if not self.state.add(predicate, row):
+            return False
+        minus = self._minus.get(predicate)
+        if minus is not None and row in minus:
+            minus.discard(row)
+        else:
+            self._plus.setdefault(predicate, set()).add(row)
+        return True
+
+    def _commit_remove(self, predicate: str, row: Row) -> bool:
+        if not self.state.remove(predicate, row):
+            return False
+        plus = self._plus.get(predicate)
+        if plus is not None and row in plus:
+            plus.discard(row)
+        else:
+            self._minus.setdefault(predicate, set()).add(row)
+        return True
+
+    # -- counting maintenance (non-recursive components) ----------------------
+
+    def _apply_counting(
+        self, component: Component, seed_plus: FactDelta, seed_minus: FactDelta
+    ) -> None:
+        (predicate,) = component.predicates
+        counts = self.support[predicate]
+        touched: Set[Row] = set()
+        touched |= seed_plus.get(predicate, set())
+        touched |= seed_minus.get(predicate, set())
+
+        for rule, order in component.rules:
+            positions = [
+                step for step, (kind, _p) in enumerate(order)
+                if kind in ("match", "negtest")
+            ]
+            # Dying instances: first-changed literal at position k, every
+            # earlier literal unchanged-true, later ones old-true.
+            for index, step in enumerate(positions):
+                kind, payload = order[step]
+                body_pred = payload.atom.predicate
+                if kind == "match":
+                    trigger = self._minus.get(body_pred)
+                    directive = ("rows", trigger) if trigger else None
+                else:
+                    trigger = self._plus.get(body_pred)
+                    directive = ("in", trigger) if trigger else None
+                if directive is None:
+                    continue
+                directives = {step: directive}
+                for earlier in positions[:index]:
+                    directives[earlier] = BOTH
+                for later in positions[index + 1:]:
+                    directives[later] = OLD
+                for head_row in self._fire_variant(rule, order, directives):
+                    counts[head_row] = counts.get(head_row, 0) - 1
+                    touched.add(head_row)
+            # Newborn instances: symmetric, against the new view.
+            for index, step in enumerate(positions):
+                kind, payload = order[step]
+                body_pred = payload.atom.predicate
+                if kind == "match":
+                    trigger = self._plus.get(body_pred)
+                    directive = ("rows", trigger) if trigger else None
+                else:
+                    trigger = self._minus.get(body_pred)
+                    directive = ("in", trigger) if trigger else None
+                if directive is None:
+                    continue
+                directives = {step: directive}
+                for earlier in positions[:index]:
+                    directives[earlier] = BOTH
+                for later in positions[index + 1:]:
+                    directives[later] = NEW
+                for head_row in self._fire_variant(rule, order, directives):
+                    counts[head_row] = counts.get(head_row, 0) + 1
+                    touched.add(head_row)
+
+        for row in touched:
+            count = counts.get(row, 0)
+            if count < 0:
+                raise IncrementalMaintenanceError(
+                    f"negative support count for {predicate}{row!r}"
+                )
+            if count == 0:
+                counts.pop(row, None)
+            present_now = count > 0 or self.edb.holds(predicate, *row)
+            if present_now:
+                self._commit_add(predicate, row)
+            else:
+                self._commit_remove(predicate, row)
+
+    # -- DRed maintenance (recursive components) ------------------------------
+
+    def _apply_recursive(
+        self, component: Component, seed_plus: FactDelta, seed_minus: FactDelta
+    ) -> None:
+        overdeleted = self._overdelete(component, seed_minus)
+        for predicate, rows in overdeleted.items():
+            for row in rows:
+                self._commit_remove(predicate, row)
+        rederive_seeds = self._rederive(component, overdeleted)
+        self._insert_close(component, seed_plus, rederive_seeds, overdeleted)
+
+    def _overdelete(
+        self, component: Component, seed_minus: FactDelta
+    ) -> FactDelta:
+        """DRed phase 1: everything whose old derivation is broken.
+
+        The component's own facts are still untouched in ``state`` (=
+        their old view); earlier components are rewound via the net
+        deltas.  Removals are committed by the caller afterwards, in
+        bulk, so every round matches against the full old view.
+        """
+        deleted: FactDelta = {}
+        delta: FactDelta = {}
+        for predicate in component.predicates:
+            for row in seed_minus.get(predicate, ()):
+                if row in self.state.facts.get(predicate, ()):
+                    deleted.setdefault(predicate, set()).add(row)
+                    delta.setdefault(predicate, set()).add(row)
+
+        def collect(rule: Rule, order, directives) -> None:
+            predicate = rule.head.predicate
+            for head_row in self._fire_variant(rule, order, directives):
+                if head_row not in self.state.facts.get(predicate, ()):
+                    continue
+                if head_row in deleted.get(predicate, ()):
+                    continue
+                deleted.setdefault(predicate, set()).add(head_row)
+                next_delta.setdefault(predicate, set()).add(head_row)
+
+        # Round 0: derivations broken by *earlier-component* changes — a
+        # positive literal that lost its row, or a negated atom that
+        # became true.  Everything else in the body is read at the old
+        # view, so exactly the derivations that existed before fire.
+        next_delta: FactDelta = {}
+        for rule, order in component.rules:
+            for step, (kind, payload) in enumerate(order):
+                body_pred = payload.atom.predicate if kind in ("match", "negtest") else None
+                if kind == "match" and body_pred not in component.predicates:
+                    trigger = self._minus.get(body_pred)
+                    if trigger:
+                        directives = self._all_old(order, {step: ("rows", trigger)})
+                        collect(rule, order, directives)
+                elif kind == "negtest":
+                    trigger = self._plus.get(body_pred)
+                    if trigger:
+                        directives = self._all_old(order, {step: ("in", trigger)})
+                        collect(rule, order, directives)
+        for predicate, rows in next_delta.items():
+            delta.setdefault(predicate, set()).update(rows)
+
+        for _round in range(self.max_rounds):
+            if not delta:
+                break
+            next_delta = {}
+            for rule, order in component.rules:
+                for step, (kind, payload) in enumerate(order):
+                    if kind != "match":
+                        continue
+                    body_pred = payload.atom.predicate
+                    if body_pred not in component.predicates:
+                        continue
+                    rows = delta.get(body_pred)
+                    if not rows:
+                        continue
+                    directives = self._all_old(order, {step: ("rows", rows)})
+                    collect(rule, order, directives)
+            delta = next_delta
+        else:
+            raise RuntimeError(
+                f"over-deletion of {sorted(component.predicates)} did not "
+                f"converge within {self.max_rounds} rounds"
+            )
+        total = sum(len(rows) for rows in deleted.values())
+        if total:
+            self.metrics.bump("overdeleted_total", total)
+        return deleted
+
+    def _all_old(self, order, overrides) -> Dict[int, Tuple]:
+        directives = dict(overrides)
+        for step, (kind, _payload) in enumerate(order):
+            if kind in ("match", "negtest") and step not in directives:
+                directives[step] = OLD
+        return directives
+
+    def _rederive(
+        self, component: Component, overdeleted: FactDelta
+    ) -> FactDelta:
+        """DRed phase 2: restore over-deleted rows with alternative
+        support — base facts still in the EDB, or a derivation from the
+        post-deletion state (a per-row constrained query)."""
+        seeds: FactDelta = {}
+        rederived = 0
+        for predicate, rows in overdeleted.items():
+            for row in rows:
+                restored = self.edb.holds(predicate, *row)
+                if not restored:
+                    for rule, order in component.rules:
+                        if rule.head.predicate != predicate:
+                            continue
+                        if self._derivable(rule, order, row):
+                            restored = True
+                            break
+                if restored:
+                    self._commit_add(predicate, row)
+                    seeds.setdefault(predicate, set()).add(row)
+                    rederived += 1
+        if rederived:
+            self.metrics.bump("rederived_total", rederived)
+        return seeds
+
+    def _derivable(self, rule: Rule, order, row: Row) -> bool:
+        """Does the rule derive exactly ``row`` from the current state?"""
+        binding: Dict[Var, Value] = {}
+        for arg, value in zip(rule.head.args, row):
+            if isinstance(arg, Var):
+                if arg in binding and binding[arg] != value:
+                    return False
+                binding[arg] = value
+            elif isinstance(arg, Const):
+                if arg.value != value:
+                    return False
+            # FuncTerm head args: checked against the produced row below.
+        for head_row in self._fire_variant(rule, order, {}, initial=binding):
+            if head_row == row:
+                return True
+        return False
+
+    def _insert_close(
+        self,
+        component: Component,
+        seed_plus: FactDelta,
+        rederive_seeds: FactDelta,
+        overdeleted: FactDelta,
+    ) -> None:
+        """DRed phase 3: close insertions semi-naively over the new view."""
+        delta: FactDelta = {}
+        for predicate, rows in rederive_seeds.items():
+            delta.setdefault(predicate, set()).update(rows)
+        for predicate in component.predicates:
+            for row in seed_plus.get(predicate, ()):
+                if self._commit_add(predicate, row):
+                    delta.setdefault(predicate, set()).add(row)
+
+        def produce(rule: Rule, order, directives, sink: FactDelta) -> None:
+            predicate = rule.head.predicate
+            for head_row in self._fire_variant(rule, order, directives):
+                if self._commit_add(predicate, head_row):
+                    sink.setdefault(predicate, set()).add(head_row)
+
+        # Round 0 triggers from earlier components: a positive literal
+        # that gained rows, or a negated atom that became false.
+        for rule, order in component.rules:
+            for step, (kind, payload) in enumerate(order):
+                if kind == "match":
+                    body_pred = payload.atom.predicate
+                    if body_pred in component.predicates:
+                        continue
+                    trigger = self._plus.get(body_pred)
+                    if trigger:
+                        produce(rule, order, {step: ("rows", trigger)}, delta)
+                elif kind == "negtest":
+                    trigger = self._minus.get(payload.atom.predicate)
+                    if trigger:
+                        produce(rule, order, {step: ("in", trigger)}, delta)
+
+        for _round in range(self.max_rounds):
+            if not delta:
+                return
+            next_delta: FactDelta = {}
+            for rule, order in component.rules:
+                for step, (kind, payload) in enumerate(order):
+                    if kind != "match":
+                        continue
+                    body_pred = payload.atom.predicate
+                    if body_pred not in component.predicates:
+                        continue
+                    rows = delta.get(body_pred)
+                    if not rows:
+                        continue
+                    produce(rule, order, {step: ("rows", rows)}, next_delta)
+            delta = next_delta
+        raise RuntimeError(
+            f"insertion closure of {sorted(component.predicates)} did not "
+            f"converge within {self.max_rounds} rounds"
+        )
+
+    # -- the variant walker ---------------------------------------------------
+
+    def _old_holds(self, predicate: str, row: Row) -> bool:
+        if row in self._minus.get(predicate, ()):
+            return True
+        return (
+            row in self.state.facts.get(predicate, ())
+            and row not in self._plus.get(predicate, ())
+        )
+
+    def _match_rows(self, literal: Literal, binding, directive):
+        predicate = literal.atom.predicate
+        tag = directive[0]
+        if tag == "rows":
+            return directive[1]
+        base = self.state._candidates(
+            literal, binding, self.state.facts.get(predicate, set())
+        )
+        if tag == "new":
+            return base
+        plus = self._plus.get(predicate, ())
+        filtered = [row for row in base if row not in plus] if plus else list(base)
+        if tag == "both":
+            return filtered
+        if tag == "old":
+            minus = self._minus.get(predicate)
+            if minus:
+                filtered.extend(minus)
+            return filtered
+        raise AssertionError(directive)
+
+    def _neg_passes(self, predicate: str, row: Row, directive) -> bool:
+        tag = directive[0]
+        if tag == "in":
+            return row in directive[1]
+        if tag == "new":
+            return row not in self.state.facts.get(predicate, ())
+        if tag == "old":
+            return not self._old_holds(predicate, row)
+        if tag == "both":
+            return (
+                row not in self.state.facts.get(predicate, ())
+                and row not in self._minus.get(predicate, ())
+            )
+        raise AssertionError(directive)
+
+    def _fire_variant(
+        self,
+        rule: Rule,
+        order,
+        directives: Dict[int, Tuple],
+        initial: Optional[Dict[Var, Value]] = None,
+    ) -> List[Row]:
+        """All head rows derivable under per-step row-source directives.
+
+        Each leaf of the walk is one rule *instance* (a full body
+        binding) — the unit the counting path tallies.
+        """
+        self.metrics.bump("rules_fired")
+        produced: List[Row] = []
+        registry = self.registry
+        state = self.state
+
+        def walk(step: int, binding: Dict[Var, Value]) -> None:
+            if step == len(order):
+                head_row = tuple(
+                    eval_term(arg, binding, registry) for arg in rule.head.args
+                )
+                if all(value is not None for value in head_row):
+                    produced.append(head_row)
+                return
+            kind, payload = order[step]
+            if kind == "match":
+                literal: Literal = payload
+                directive = directives.get(step, NEW)
+                rows = self._match_rows(literal, binding, directive)
+                for extended in state._match(literal, binding, list(rows)):
+                    walk(step + 1, extended)
+                return
+            if kind == "assign":
+                mode, comparison = payload
+                if mode == "assign-left":
+                    variable, expr = comparison.left, comparison.right
+                else:
+                    variable, expr = comparison.right, comparison.left
+                value = eval_term(expr, binding, registry)
+                if value is None:
+                    return
+                extended = dict(binding)
+                extended[variable] = value
+                walk(step + 1, extended)
+                return
+            if kind == "test":
+                comparison = payload
+                left = eval_term(comparison.left, binding, registry)
+                right = eval_term(comparison.right, binding, registry)
+                if left is not None and right is not None and _compare(
+                    comparison.op, left, right
+                ):
+                    walk(step + 1, binding)
+                return
+            if kind == "negtest":
+                literal = payload
+                row = tuple(
+                    eval_term(arg, binding, registry) for arg in literal.atom.args
+                )
+                if any(value is None for value in row):
+                    return
+                directive = directives.get(step, NEW)
+                if self._neg_passes(literal.atom.predicate, row, directive):
+                    walk(step + 1, binding)
+                return
+            raise AssertionError(kind)
+
+        walk(0, dict(initial) if initial else {})
+        return produced

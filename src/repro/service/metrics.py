@@ -1,0 +1,71 @@
+"""Per-view serving metrics.
+
+Every materialized view carries a :class:`ViewMetrics`: monotone
+counters (cache traffic, delta sizes, rules fired, recompute fallbacks)
+plus accumulated wall-clock per maintenance phase.  The ``stats()`` API
+and the ``repro serve`` line protocol expose snapshots of these — the
+observability layer the ROADMAP's scaling PRs (sharding, async) will
+hang dashboards on.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["ViewMetrics"]
+
+
+#: Counter names every snapshot reports, even when still zero.
+_COUNTERS = (
+    "queries",
+    "cache_hits",
+    "cache_misses",
+    "update_batches",
+    "inserts_applied",
+    "deletes_applied",
+    "delta_plus_total",
+    "delta_minus_total",
+    "rules_fired",
+    "overdeleted_total",
+    "rederived_total",
+    "incremental_batches",
+    "recompute_fallbacks",
+)
+
+
+class ViewMetrics:
+    """Counters and phase timings for one materialized view."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTERS}
+        self.phase_seconds: Dict[str, float] = {}
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a counter (creating it on first use)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock of a maintenance/query phase."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly copy of counters and timings."""
+        return {
+            "counters": dict(self.counters),
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.phase_seconds.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        busy = {k: v for k, v in self.counters.items() if v}
+        return f"<ViewMetrics {busy}>"

@@ -1,0 +1,227 @@
+"""Program registration and prepared plans.
+
+A long-lived query service should pay for parsing, safety checking,
+stratification, and binding-order compilation **once** per program, not
+once per query.  :class:`ProgramRegistry` does exactly that: it turns
+program text (or an AST) into a :class:`PreparedProgram` holding
+
+* the compiled binding order of every rule (the safety check — an
+  unsafe rule has no evaluable order, Definition 4.1 operationalised);
+* a dependency-condensation **component schedule** (strongly connected
+  components of the predicate graph in topological order, each flagged
+  recursive or not) — the unit both the from-scratch and the
+  incremental evaluators iterate over;
+* the classical stratum assignment when the program is stratified; and
+* for the non-stratified semantics, a small **ground-program cache**
+  keyed by the database fingerprint, so re-grounding is skipped when
+  the database returns to a previously seen state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+import networkx as nx
+
+from ..datalog.ast import Program, Rule
+from ..datalog.database import Database
+from ..datalog.grounding import GroundProgram, compiled_binding_order, ground
+from ..datalog.parser import parse_program
+from ..datalog.stratification import dependency_graph, is_stratified, stratify
+from ..relations.universe import FunctionRegistry
+
+__all__ = [
+    "Component",
+    "PreparedProgram",
+    "ProgramRegistry",
+    "prepare_program",
+    "split_program_and_facts",
+]
+
+
+def split_program_and_facts(program: Program) -> Tuple[Program, Database]:
+    """Ground facts written inside a program become database facts."""
+    rules = []
+    database = Database()
+    for rule in program.rules:
+        if rule.is_fact():
+            database.add(rule.head.predicate, *(arg.value for arg in rule.head.args))
+        else:
+            rules.append(rule)
+    return Program(tuple(rules), name=program.name), database
+
+
+@dataclass(frozen=True)
+class Component:
+    """One strongly connected component of the predicate graph.
+
+    ``recursive`` is True when the component contains a dependency edge
+    (mutual or self recursion) — the flag that routes incremental
+    maintenance to DRed over-delete/re-derive instead of exact
+    derivation counting.
+    """
+
+    predicates: FrozenSet[str]
+    rules: Tuple[Tuple[Rule, Tuple[Tuple[str, object], ...]], ...]
+    recursive: bool
+
+    def has_rules(self) -> bool:
+        """False for pure-EDB components (no rule derives them)."""
+        return bool(self.rules)
+
+
+@dataclass
+class PreparedProgram:
+    """A program compiled once for repeated serving."""
+
+    name: str
+    program: Program
+    seed_facts: Database
+    stratified: bool
+    strata: Optional[Dict[str, int]]
+    schedule: Tuple[Component, ...]
+    arities: Dict[str, int]
+    _ground_cache: "OrderedDict[str, GroundProgram]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    ground_cache_capacity: int = 8
+    ground_cache_hits: int = 0
+    ground_cache_misses: int = 0
+
+    def component_of(self, predicate: str) -> Optional[Component]:
+        """The schedule component owning a predicate (None for strays)."""
+        for component in self.schedule:
+            if predicate in component.predicates:
+                return component
+        return None
+
+    def ground_for(
+        self,
+        database: Database,
+        registry: Optional[FunctionRegistry] = None,
+        max_rounds: int = 10_000,
+        max_atoms: int = 1_000_000,
+        require_complete: bool = True,
+    ) -> GroundProgram:
+        """Ground against ``database``, reusing the fingerprint cache."""
+        key = database.fingerprint()
+        cached = self._ground_cache.get(key)
+        if cached is not None:
+            self.ground_cache_hits += 1
+            self._ground_cache.move_to_end(key)
+            return cached
+        self.ground_cache_misses += 1
+        ground_program = ground(
+            self.program,
+            database,
+            registry=registry,
+            max_rounds=max_rounds,
+            max_atoms=max_atoms,
+            require_complete=require_complete,
+        )
+        self._ground_cache[key] = ground_program
+        while len(self._ground_cache) > self.ground_cache_capacity:
+            self._ground_cache.popitem(last=False)
+        return ground_program
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-friendly summary (the ``register`` reply)."""
+        return {
+            "name": self.name,
+            "rules": len(self.program.rules),
+            "stratified": self.stratified,
+            "strata": (max(self.strata.values(), default=0) + 1)
+            if self.strata is not None and self.strata
+            else (1 if self.stratified else None),
+            "components": len(self.schedule),
+            "recursive_components": sum(
+                1 for component in self.schedule if component.recursive
+            ),
+            "idb": sorted(self.program.idb_predicates()),
+            "edb": sorted(self.program.edb_predicates()),
+            "seed_facts": self.seed_facts.fact_count(),
+        }
+
+
+def _build_schedule(program: Program) -> Tuple[Component, ...]:
+    graph = dependency_graph(program)
+    condensation = nx.condensation(graph)
+    components = []
+    for component_id in nx.topological_sort(condensation):
+        members = frozenset(condensation.nodes[component_id]["members"])
+        recursive = any(
+            graph.has_edge(source, target)
+            for source in members
+            for target in members
+        )
+        rules = tuple(
+            (rule, compiled_binding_order(rule))
+            for rule in program.rules
+            if rule.head.predicate in members
+        )
+        components.append(Component(members, rules, recursive))
+    return tuple(components)
+
+
+def prepare_program(
+    name: str, source: Union[str, Program]
+) -> PreparedProgram:
+    """Compile ``source`` (text or AST) into a :class:`PreparedProgram`.
+
+    Raises :class:`~repro.datalog.grounding.UnsafeRuleError` when any
+    rule lacks an evaluable binding order, and parse errors verbatim.
+    Inline ground facts are split off into ``seed_facts``.
+    """
+    if isinstance(source, str):
+        program = parse_program(source, name=name)
+    else:
+        program = source
+    program, seed_facts = split_program_and_facts(program)
+    arities = program.arities()
+    for rule in program.rules:
+        compiled_binding_order(rule)  # safety check; memoized for reuse
+    stratified = is_stratified(program)
+    strata = stratify(program) if stratified else None
+    schedule = _build_schedule(program)
+    return PreparedProgram(
+        name=name,
+        program=program,
+        seed_facts=seed_facts,
+        stratified=stratified,
+        strata=strata,
+        schedule=schedule,
+        arities=arities,
+    )
+
+
+class ProgramRegistry:
+    """Named prepared programs, compiled once and reused."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[str, PreparedProgram] = {}
+
+    def register(
+        self, name: str, source: Union[str, Program], replace: bool = True
+    ) -> PreparedProgram:
+        """Prepare and store a program under ``name``."""
+        if not replace and name in self._programs:
+            raise ValueError(f"program {name!r} already registered")
+        prepared = prepare_program(name, source)
+        self._programs[name] = prepared
+        return prepared
+
+    def get(self, name: str) -> PreparedProgram:
+        """Look up a prepared program; raises ``KeyError`` when absent."""
+        return self._programs[name]
+
+    def names(self):
+        """Registered program names, sorted."""
+        return sorted(self._programs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs
+
+    def __len__(self) -> int:
+        return len(self._programs)

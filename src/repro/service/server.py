@@ -1,0 +1,294 @@
+"""The query service and its line protocol.
+
+:class:`QueryService` is the long-lived facade the ``repro serve`` CLI
+exposes: registered programs (compiled once), one materialized view per
+program, a shared LRU result cache invalidated by the update path, and
+per-view metrics.
+
+The wire format is a newline-delimited request/response protocol,
+servable from stdin/stdout or a unix socket::
+
+    register <view> <semantics> <program-file-or-inline-text>
+    +<view> <fact>           e.g.  +tc edge(a, b).
+    -<view> <fact>           e.g.  -tc edge(a, b).
+    query <view> <predicate>
+    stats [<view>]
+    quit
+
+Replies are one or more lines: ``row <atom>`` lines for queries,
+followed by a single ``ok ...`` line, or one ``error <reason>`` line.
+``stats`` replies ``ok`` followed by a JSON document on the same line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..datalog.database import Database
+from ..datalog.engine import SEMANTICS
+from ..datalog.parser import parse_program
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Value, format_value
+from .cache import LRUCache
+from .registry import ProgramRegistry
+from .views import MaterializedView
+
+__all__ = ["QueryService", "serve_stream", "serve_unix_socket", "parse_fact"]
+
+Row = Tuple[Value, ...]
+
+
+def parse_fact(text: str) -> Tuple[str, Row]:
+    """Parse one ground fact (``edge(a, b)`` or ``edge(a, b).``)."""
+    text = text.strip()
+    if not text.endswith("."):
+        text += "."
+    program = parse_program(text)
+    if (
+        len(program.rules) != 1
+        or not program.rules[0].is_fact()
+        or program.rules[0].vars()
+    ):
+        raise ValueError(f"expected a single ground fact, got {text!r}")
+    head = program.rules[0].head
+    return head.predicate, tuple(arg.value for arg in head.args)
+
+
+class QueryService:
+    """Registered programs, resident views, result cache, metrics."""
+
+    def __init__(
+        self,
+        function_registry: Optional[FunctionRegistry] = None,
+        cache_capacity: int = 256,
+        max_rounds: int = 10_000,
+        max_atoms: int = 1_000_000,
+    ):
+        self.registry = ProgramRegistry()
+        self.views: Dict[str, MaterializedView] = {}
+        self.cache = LRUCache(cache_capacity)
+        self.function_registry = function_registry
+        self.max_rounds = max_rounds
+        self.max_atoms = max_atoms
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        source,
+        semantics: str = "stratified",
+        database: Optional[Database] = None,
+        incremental: bool = True,
+    ) -> Dict[str, object]:
+        """Register (or replace) a program and materialize its view."""
+        prepared = self.registry.register(name, source)
+        view = MaterializedView(
+            prepared,
+            database=database,
+            semantics=semantics,
+            registry=self.function_registry,
+            incremental=incremental,
+            max_rounds=self.max_rounds,
+            max_atoms=self.max_atoms,
+        )
+        self.views[name] = view
+        self.cache.invalidate(name)
+        info = prepared.describe()
+        info["semantics"] = semantics
+        info["mode"] = view.mode
+        return info
+
+    def view(self, name: str) -> MaterializedView:
+        """Look up a registered view; raises ``KeyError`` when absent."""
+        try:
+            return self.views[name]
+        except KeyError:
+            raise KeyError(f"no view registered under {name!r}") from None
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, name: str, predicate: str) -> FrozenSet[Row]:
+        """True rows of a predicate, served through the LRU cache."""
+        view = self.view(name)
+        key = (name, predicate, "true")
+        cached = self.cache.get(key)
+        if cached is not None:
+            view.metrics.bump("queries")
+            view.metrics.bump("cache_hits")
+            return cached
+        view.metrics.bump("cache_misses")
+        rows = view.rows(predicate)
+        self.cache.put(key, rows)
+        return rows
+
+    def undefined(self, name: str, predicate: str) -> FrozenSet[Row]:
+        """Undefined rows of a predicate (three-valued semantics only)."""
+        view = self.view(name)
+        key = (name, predicate, "undefined")
+        cached = self.cache.get(key)
+        if cached is not None:
+            view.metrics.bump("cache_hits")
+            return cached
+        view.metrics.bump("cache_misses")
+        rows = view.undefined_rows(predicate)
+        self.cache.put(key, rows)
+        return rows
+
+    # -- updates --------------------------------------------------------------
+
+    def update(
+        self,
+        name: str,
+        inserts: Iterable[Tuple[str, Row]] = (),
+        deletes: Iterable[Tuple[str, Row]] = (),
+    ) -> Dict[str, object]:
+        """Apply an update batch to a view; invalidates its cache scope."""
+        view = self.view(name)
+        summary = view.apply(inserts=inserts, deletes=deletes)
+        self.cache.invalidate(name)
+        return summary
+
+    def insert(self, name: str, predicate: str, *args: Value) -> Dict[str, object]:
+        """Insert one fact into a view's database."""
+        return self.update(name, inserts=[(predicate, tuple(args))])
+
+    def delete(self, name: str, predicate: str, *args: Value) -> Dict[str, object]:
+        """Delete one fact from a view's database."""
+        return self.update(name, deletes=[(predicate, tuple(args))])
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Metrics for one view, or the whole service."""
+        if name is not None:
+            return self.view(name).stats()
+        return {
+            "views": {
+                view_name: view.stats() for view_name, view in self.views.items()
+            },
+            "cache": self.cache.stats(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The line protocol
+# ---------------------------------------------------------------------------
+
+
+def _format_row(predicate: str, row: Row) -> str:
+    if not row:
+        return predicate
+    return f"{predicate}({', '.join(format_value(value) for value in row)})"
+
+
+def _handle_line(service: QueryService, line: str) -> List[str]:
+    if line.startswith("+") or line.startswith("-"):
+        parts = line[1:].split(None, 1)
+        if len(parts) != 2:
+            return [f"error usage: {line[0]}<view> <fact>"]
+        view_name, fact_text = parts
+        predicate, row = parse_fact(fact_text)
+        if line.startswith("+"):
+            summary = service.insert(view_name, predicate, *row)
+        else:
+            summary = service.delete(view_name, predicate, *row)
+        reply = {k: v for k, v in summary.items() if isinstance(v, (str, int))}
+        return [f"ok {json.dumps(reply, sort_keys=True)}"]
+
+    command, _, rest = line.partition(" ")
+    if command == "register":
+        parts = rest.split(None, 2)
+        if len(parts) < 3:
+            return ["error usage: register <view> <semantics> <program>"]
+        view_name, semantics, source = parts
+        if semantics not in SEMANTICS:
+            return [
+                f"error unknown semantics {semantics!r}; pick from {SEMANTICS}"
+            ]
+        path = Path(source.strip())
+        try:
+            is_file = path.is_file()
+        except OSError:
+            is_file = False
+        text = path.read_text() if is_file else source
+        info = service.register(view_name, text, semantics=semantics)
+        return [f"ok {json.dumps(info, sort_keys=True)}"]
+    if command == "query":
+        parts = rest.split()
+        if len(parts) != 2:
+            return ["error usage: query <view> <predicate>"]
+        view_name, predicate = parts
+        rows = service.query(view_name, predicate)
+        lines = sorted(f"row {_format_row(predicate, row)}" for row in rows)
+        undefined = service.undefined(view_name, predicate)
+        lines += sorted(
+            f"undef {_format_row(predicate, row)}" for row in undefined
+        )
+        lines.append(f"ok {len(rows)} rows")
+        return lines
+    if command == "stats":
+        name = rest.strip() or None
+        return [f"ok {json.dumps(service.stats(name), sort_keys=True)}"]
+    if command == "views":
+        return [f"ok {json.dumps(sorted(service.views))}"]
+    return [f"error unknown command {command!r}"]
+
+
+def serve_stream(
+    service: QueryService,
+    lines: Iterable[str],
+    write: Callable[[str], None],
+) -> None:
+    """Run the protocol over a line source and a reply sink."""
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in ("quit", "exit"):
+            write("ok bye")
+            return
+        try:
+            for reply in _handle_line(service, line):
+                write(reply)
+        except Exception as exc:  # the server must survive bad requests
+            message = str(exc).replace("\n", " ")
+            write(f"error {type(exc).__name__}: {message}")
+
+
+def serve_unix_socket(
+    service: QueryService, path: str, max_connections: Optional[int] = None
+) -> None:
+    """Serve the protocol on a unix socket, one connection at a time.
+
+    ``max_connections`` bounds how many connections are accepted
+    (None = until interrupted) — used by tests for a clean shutdown.
+    """
+    socket_path = Path(path)
+    if socket_path.exists():
+        socket_path.unlink()
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        server.bind(str(socket_path))
+        server.listen(1)
+        accepted = 0
+        while max_connections is None or accepted < max_connections:
+            connection, _address = server.accept()
+            accepted += 1
+            with connection:
+                reader = connection.makefile("r", encoding="utf-8")
+                writer = connection.makefile("w", encoding="utf-8")
+                serve_stream(
+                    service,
+                    reader,
+                    lambda reply: (writer.write(reply + "\n"), writer.flush()),
+                )
+                writer.flush()
+    finally:
+        server.close()
+        if socket_path.exists():
+            os.unlink(socket_path)

@@ -1,0 +1,215 @@
+"""Materialized views: resident models maintained under updates.
+
+A :class:`MaterializedView` binds a prepared program to its own
+database and keeps the model resident between queries:
+
+* ``semantics="stratified"`` on a stratified program takes the
+  **incremental fast path** — a :class:`~repro.service.incremental.
+  IncrementalEngine` maintains the model under insert/delete batches
+  without recomputation;
+* every other combination (valid, well-founded, inflationary — or a
+  view explicitly forced off the fast path) routes updates through a
+  **correctness-preserving recompute fallback**: the database is
+  mutated, the resident result invalidated, and the next query
+  re-evaluates — reusing the prepared plan's fingerprint-keyed ground
+  cache when the database revisits a known state.
+
+Should the incremental engine ever detect broken bookkeeping it raises,
+and the view transparently falls back to re-initialisation, counting
+the event in its metrics — incrementality is an optimisation, never a
+correctness risk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..datalog.database import Database
+from ..datalog.engine import SEMANTICS, QueryResult, run
+from ..datalog.stratification import NotStratifiedError
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Value
+from .incremental import IncrementalEngine, IncrementalMaintenanceError
+from .metrics import ViewMetrics
+from .registry import PreparedProgram
+
+__all__ = ["MaterializedView"]
+
+Row = Tuple[Value, ...]
+
+
+class MaterializedView:
+    """One registered program's resident, update-maintained model."""
+
+    def __init__(
+        self,
+        prepared: PreparedProgram,
+        database: Optional[Database] = None,
+        semantics: str = "stratified",
+        registry: Optional[FunctionRegistry] = None,
+        metrics: Optional[ViewMetrics] = None,
+        incremental: bool = True,
+        max_rounds: int = 10_000,
+        max_atoms: int = 1_000_000,
+    ):
+        if semantics not in SEMANTICS:
+            raise ValueError(
+                f"unknown semantics {semantics!r}; pick from {SEMANTICS}"
+            )
+        if semantics == "stratified" and not prepared.stratified:
+            raise NotStratifiedError(
+                f"program {prepared.name!r} is not stratified; register it "
+                "under the valid or wellfounded semantics instead"
+            )
+        self.prepared = prepared
+        self.semantics = semantics
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else ViewMetrics()
+        self.max_rounds = max_rounds
+        self.max_atoms = max_atoms
+        self.mode = (
+            "incremental"
+            if incremental and semantics == "stratified" and prepared.stratified
+            else "recompute"
+        )
+        self.engine: Optional[IncrementalEngine] = None
+        self._result: Optional[QueryResult] = None
+        if self.mode == "incremental":
+            with self.metrics.phase("initialize"):
+                self.engine = IncrementalEngine(
+                    prepared,
+                    database=database,
+                    registry=registry,
+                    metrics=self.metrics,
+                )
+            self.database = self.engine.edb
+        else:
+            self.database = (database or Database()).copy()
+            for predicate, row in prepared.seed_facts:
+                if not self.database.holds(predicate, *row):
+                    self.database.add(predicate, *row)
+
+    # -- queries --------------------------------------------------------------
+
+    def rows(self, predicate: str) -> FrozenSet[Row]:
+        """Rows of a predicate that are certainly true."""
+        self.metrics.bump("queries")
+        if self.engine is not None:
+            return self.engine.rows(predicate)
+        return self._ensure_result().true_rows(predicate)
+
+    def undefined_rows(self, predicate: str) -> FrozenSet[Row]:
+        """Rows with undefined status (stratified models are total)."""
+        if self.engine is not None:
+            return frozenset()
+        return self._ensure_result().undefined_rows(predicate)
+
+    def predicates(self) -> FrozenSet[str]:
+        """Every predicate the view can answer about."""
+        return (
+            self.prepared.program.predicates() | self.database.predicates()
+        )
+
+    def _ensure_result(self) -> QueryResult:
+        if self._result is None:
+            with self.metrics.phase("recompute"):
+                ground_program = self.prepared.ground_for(
+                    self.database,
+                    registry=self.registry,
+                    max_rounds=self.max_rounds,
+                    max_atoms=self.max_atoms,
+                )
+                self._result = run(
+                    self.prepared.program,
+                    self.database,
+                    semantics=self.semantics,
+                    registry=self.registry,
+                    ground_program=ground_program,
+                )
+        return self._result
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, predicate: str, *args: Value) -> Dict[str, object]:
+        """Insert one fact (a singleton batch)."""
+        return self.apply(inserts=[(predicate, tuple(args))])
+
+    def delete(self, predicate: str, *args: Value) -> Dict[str, object]:
+        """Delete one fact (a singleton batch)."""
+        return self.apply(deletes=[(predicate, tuple(args))])
+
+    def apply(
+        self,
+        inserts: Iterable[Tuple[str, Row]] = (),
+        deletes: Iterable[Tuple[str, Row]] = (),
+    ) -> Dict[str, object]:
+        """Apply an update batch, maintaining the resident model."""
+        inserts = [(predicate, tuple(row)) for predicate, row in inserts]
+        deletes = [(predicate, tuple(row)) for predicate, row in deletes]
+        self._check_arities(inserts)
+        self._check_arities(deletes)
+        if self.engine is not None:
+            try:
+                with self.metrics.phase("maintain"):
+                    summary = self.engine.apply(inserts=inserts, deletes=deletes)
+                return {"mode": "incremental", **summary}
+            except IncrementalMaintenanceError:
+                # Correctness valve: rebuild the resident model from the
+                # (already updated) database and keep serving.
+                self.metrics.bump("recompute_fallbacks")
+                with self.metrics.phase("recompute"):
+                    self.engine.initialize()
+                return {"mode": "reinitialized"}
+        applied_deletes = applied_inserts = 0
+        for predicate, row in deletes:
+            if self.database.holds(predicate, *row):
+                self.database.discard(predicate, *row)
+                applied_deletes += 1
+        for predicate, row in inserts:
+            if not self.database.holds(predicate, *row):
+                self.database.add(predicate, *row)
+                applied_inserts += 1
+        self._result = None
+        self.metrics.bump("update_batches")
+        self.metrics.bump("recompute_fallbacks")
+        self.metrics.bump("inserts_applied", applied_inserts)
+        self.metrics.bump("deletes_applied", applied_deletes)
+        return {
+            "mode": "recompute",
+            "inserts": applied_inserts,
+            "deletes": applied_deletes,
+        }
+
+    def _check_arities(self, updates) -> None:
+        arities = self.prepared.arities
+        for predicate, row in updates:
+            expected = arities.get(predicate)
+            if expected is not None and expected != len(row):
+                raise ValueError(
+                    f"predicate {predicate} has arity {expected}, "
+                    f"got fact with {len(row)} arguments"
+                )
+
+    # -- introspection --------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the view's current database."""
+        return self.database.fingerprint()
+
+    def stats(self) -> Dict[str, object]:
+        """Metrics snapshot plus structural info."""
+        snapshot = self.metrics.snapshot()
+        snapshot.update(
+            {
+                "mode": self.mode,
+                "semantics": self.semantics,
+                "facts": self.database.fact_count(),
+                "ground_cache_hits": self.prepared.ground_cache_hits,
+                "ground_cache_misses": self.prepared.ground_cache_misses,
+            }
+        )
+        if self.engine is not None:
+            snapshot["model_rows"] = sum(
+                len(rows) for rows in self.engine.state.facts.values()
+            )
+        return snapshot

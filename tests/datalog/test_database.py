@@ -36,6 +36,36 @@ class TestFacts:
         db = Database({"p": [(a,), (b,)]})
         assert db.rows("p") == {(a,), (b,)}
 
+    def test_remove_is_symmetric_with_add(self):
+        db = Database().add("p", a, b)
+        assert db.remove("p", a, b) is db
+        assert not db.holds("p", a, b)
+        assert "p" in db  # schema survives the last fact
+
+    def test_remove_missing_raises(self):
+        db = Database().add("p", a)
+        with pytest.raises(KeyError):
+            db.remove("p", b)
+        with pytest.raises(KeyError):
+            db.remove("q", a)
+
+    def test_discard_is_silent(self):
+        db = Database().add("p", a)
+        assert db.discard("p", b) is db
+        assert db.discard("q", a) is db
+        db.discard("p", a)
+        assert not db.holds("p", a)
+
+    def test_fingerprint_tracks_content(self):
+        db = Database().add("p", a).add("q", a, b)
+        before = db.fingerprint()
+        assert before == db.copy().fingerprint()
+        db.add("p", b)
+        changed = db.fingerprint()
+        assert changed != before
+        db.remove("p", b)
+        assert db.fingerprint() == before
+
     def test_copy_independent(self):
         db = Database().add("p", a)
         clone = db.copy().add("p", b)

@@ -1,0 +1,92 @@
+"""Program registration: prepared plans and ground-program caching."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.grounding import UnsafeRuleError
+from repro.relations import Atom
+from repro.service import ProgramRegistry, prepare_program
+
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+
+TC = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+WIN = "win(X) :- move(X, Y), not win(Y).\n"
+
+
+class TestPreparedProgram:
+    def test_schedule_marks_recursion(self):
+        prepared = prepare_program("tc", TC)
+        assert prepared.stratified
+        by_preds = {component.predicates: component for component in prepared.schedule}
+        assert frozenset({"tc"}) in by_preds
+        assert by_preds[frozenset({"tc"})].recursive
+        assert not by_preds[frozenset({"edge"})].recursive
+        assert not by_preds[frozenset({"edge"})].has_rules()
+
+    def test_schedule_is_topologically_ordered(self):
+        prepared = prepare_program(
+            "layers",
+            "p(X) :- e(X).\nq(X) :- p(X), not r(X).\nr(X) :- e(X), not p(X).\n",
+        )
+        positions = {
+            predicate: index
+            for index, component in enumerate(prepared.schedule)
+            for predicate in component.predicates
+        }
+        assert positions["e"] < positions["p"] < positions["r"] < positions["q"]
+
+    def test_inline_facts_become_seed_database(self):
+        prepared = prepare_program("tc", TC + "edge(a, b).\n")
+        assert prepared.seed_facts.holds("edge", a, b)
+        assert all(not rule.is_fact() for rule in prepared.program.rules)
+
+    def test_non_stratified_flagged_not_rejected(self):
+        prepared = prepare_program("win", WIN)
+        assert not prepared.stratified
+        assert prepared.strata is None
+        assert any(component.recursive for component in prepared.schedule)
+
+    def test_unsafe_rule_rejected_at_registration(self):
+        with pytest.raises(UnsafeRuleError):
+            prepare_program("unsafe", "q(X) :- not p(X).\n")
+
+    def test_ground_cache_keyed_by_fingerprint(self):
+        prepared = prepare_program("win", WIN)
+        db = Database().add("move", a, b).add("move", b, c)
+        first = prepared.ground_for(db)
+        again = prepared.ground_for(db.copy())
+        assert again is first
+        assert prepared.ground_cache_hits == 1
+        db.add("move", c, a)
+        other = prepared.ground_for(db)
+        assert other is not first
+        db.remove("move", c, a)
+        assert prepared.ground_for(db) is first  # state revisited: cache hit
+
+
+class TestProgramRegistry:
+    def test_register_and_get(self):
+        registry = ProgramRegistry()
+        prepared = registry.register("tc", TC)
+        assert registry.get("tc") is prepared
+        assert "tc" in registry and len(registry) == 1
+        assert registry.names() == ["tc"]
+
+    def test_replace_guard(self):
+        registry = ProgramRegistry()
+        registry.register("tc", TC)
+        with pytest.raises(ValueError):
+            registry.register("tc", TC, replace=False)
+        registry.register("tc", WIN)  # replace=True is the default
+        assert not registry.get("tc").stratified
+
+    def test_accepts_ast_programs(self):
+        from repro.datalog.parser import parse_program
+
+        registry = ProgramRegistry()
+        prepared = registry.register("tc", parse_program(TC))
+        assert prepared.stratified

@@ -1,0 +1,209 @@
+"""The query service facade and its line protocol."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.relations import Atom
+from repro.service import QueryService, parse_fact, serve_stream, serve_unix_socket
+
+a, b, c, d = (Atom(x) for x in "abcd")
+
+TC = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+edge(b, c).
+"""
+
+WIN = """
+win(X) :- move(X, Y), not win(Y).
+move(a, b).
+move(b, c).
+move(d, d).
+"""
+
+
+def run_protocol(service, script):
+    replies = []
+    serve_stream(service, script.splitlines(), replies.append)
+    return replies
+
+
+class TestParseFact:
+    def test_accepts_with_and_without_dot(self):
+        assert parse_fact("edge(a, b)") == ("edge", (a, b))
+        assert parse_fact("edge(a, b).") == ("edge", (a, b))
+
+    def test_rejects_rules_and_nonground(self):
+        with pytest.raises(ValueError):
+            parse_fact("tc(X, Y) :- edge(X, Y)")
+        with pytest.raises(Exception):
+            parse_fact("edge(X, b)")
+
+
+class TestQueryService:
+    def test_register_query_update(self):
+        service = QueryService()
+        info = service.register("tc", TC)
+        assert info["mode"] == "incremental" and info["stratified"]
+        assert service.query("tc", "tc") == {(a, b), (b, c), (a, c)}
+        service.insert("tc", "edge", c, d)
+        assert (a, d) in service.query("tc", "tc")
+        service.delete("tc", "edge", a, b)
+        assert service.query("tc", "tc") == {(b, c), (c, d), (b, d)}
+
+    def test_cache_hits_and_invalidation(self):
+        service = QueryService()
+        service.register("tc", TC)
+        service.query("tc", "tc")
+        service.query("tc", "tc")
+        stats = service.stats("tc")
+        assert stats["counters"]["cache_hits"] == 1
+        assert stats["counters"]["cache_misses"] == 1
+        service.insert("tc", "edge", c, d)  # invalidates the scope
+        service.query("tc", "tc")
+        assert service.stats("tc")["counters"]["cache_misses"] == 2
+
+    def test_unknown_view_raises(self):
+        service = QueryService()
+        with pytest.raises(KeyError):
+            service.query("nope", "p")
+
+    def test_service_wide_stats(self):
+        service = QueryService()
+        service.register("tc", TC)
+        service.register("win", WIN, semantics="valid")
+        stats = service.stats()
+        assert set(stats["views"]) == {"tc", "win"}
+        assert stats["views"]["win"]["mode"] == "recompute"
+        assert "cache" in stats
+
+
+class TestLineProtocol:
+    def test_register_query_update_stats_roundtrip(self, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text(TC)
+        service = QueryService()
+        replies = run_protocol(
+            service,
+            f"""
+            register tc stratified {program}
+
+            # comments and blank lines are skipped
+            query tc tc
+            +tc edge(c, d)
+            query tc tc
+            -tc edge(a, b)
+            query tc tc
+            stats tc
+            quit
+            """,
+        )
+        assert replies[0].startswith("ok {")
+        first_query = replies[1:5]
+        assert first_query == [
+            "row tc(a, b)",
+            "row tc(a, c)",
+            "row tc(b, c)",
+            "ok 3 rows",
+        ]
+        assert replies[5].startswith("ok {")  # the insert summary
+        assert "row tc(a, d)" in replies
+        final_rows = [r for r in replies if r == "row tc(b, d)"]
+        assert final_rows  # closure after the deletion
+        stats_line = next(r for r in replies if '"counters"' in r)
+        payload = json.loads(stats_line[len("ok ") :])
+        assert payload["mode"] == "incremental"
+        assert payload["counters"]["update_batches"] == 2
+        assert replies[-1] == "ok bye"
+
+    def test_inline_register_and_views_listing(self):
+        service = QueryService()
+        replies = run_protocol(
+            service,
+            'register tc stratified tc(X, Y) :- edge(X, Y). edge(a, b).\nviews\n',
+        )
+        assert replies[0].startswith("ok {")
+        assert replies[1] == 'ok ["tc"]'
+
+    def test_nonstratified_fallback_visible_in_metrics(self):
+        service = QueryService()
+        replies = run_protocol(
+            service,
+            f"register win valid {' '.join(WIN.split())}\n"
+            "query win win\n"
+            "-win move(a, b)\n"
+            "query win win\n"
+            "stats win\n",
+        )
+        info = json.loads(replies[0][len("ok ") :])
+        assert info["mode"] == "recompute" and not info["stratified"]
+        assert "undef win(d)" in replies
+        stats_line = replies[-1]
+        payload = json.loads(stats_line[len("ok ") :])
+        assert payload["counters"]["recompute_fallbacks"] == 1
+
+    def test_errors_do_not_kill_the_stream(self):
+        service = QueryService()
+        replies = run_protocol(
+            service,
+            "query missing p\n"
+            "frobnicate\n"
+            "register tc bogus-semantics tc(X) :- e(X).\n"
+            "+tc not a fact at all\n"
+            "register tc stratified tc(X) :- e(X). e(a).\n"
+            "query tc tc\n",
+        )
+        assert replies[0].startswith("error KeyError")
+        assert replies[1] == "error unknown command 'frobnicate'"
+        assert replies[2].startswith("error unknown semantics")
+        assert replies[3].startswith("error")
+        assert replies[-1] == "ok 1 rows"
+        assert "row tc(a)" in replies
+
+    def test_usage_errors(self):
+        service = QueryService()
+        replies = run_protocol(
+            service, "register tc stratified\nquery tc\n+tc\n"
+        )
+        assert all(reply.startswith("error usage:") for reply in replies)
+
+
+class TestUnixSocket:
+    def test_round_trip_over_socket(self, tmp_path):
+        path = str(tmp_path / "repro.sock")
+        service = QueryService()
+        service.register("tc", TC)
+        server = threading.Thread(
+            target=serve_unix_socket,
+            args=(service, path),
+            kwargs={"max_connections": 1},
+        )
+        server.start()
+        try:
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            for _ in range(100):
+                try:
+                    client.connect(path)
+                    break
+                except (FileNotFoundError, ConnectionRefusedError):
+                    import time
+
+                    time.sleep(0.01)
+            with client:
+                client.sendall(b"query tc tc\nquit\n")
+                reader = client.makefile("r")
+                lines = [reader.readline().strip() for _ in range(5)]
+            assert lines[:3] == [
+                "row tc(a, b)",
+                "row tc(a, c)",
+                "row tc(b, c)",
+            ]
+            assert lines[3] == "ok 3 rows"
+            assert lines[4] == "ok bye"
+        finally:
+            server.join(timeout=5)
+        assert not server.is_alive()

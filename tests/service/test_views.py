@@ -1,0 +1,175 @@
+"""Materialized views: incremental fast path and recompute fallback."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import seminaive_stratified
+from repro.datalog.stratification import NotStratifiedError
+from repro.relations import Atom
+from repro.service import MaterializedView, prepare_program
+
+a, b, c, d, e = (Atom(x) for x in "abcde")
+
+TC = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+TC_NEG = TC + "unreach(X, Y) :- node(X), node(Y), not tc(X, Y).\n"
+
+WIN = "win(X) :- move(X, Y), not win(Y).\n"
+
+
+def scratch_equal(view, program_text):
+    """The resident model must equal from-scratch evaluation."""
+    scratch = seminaive_stratified(parse_program(program_text), view.engine.edb)
+    model = view.engine.model()
+    for predicate in set(scratch) | set(model):
+        assert scratch.get(predicate, frozenset()) == model.get(
+            predicate, frozenset()
+        ), predicate
+
+
+@pytest.fixture()
+def tc_view():
+    db = Database().add("edge", a, b).add("edge", b, c)
+    return MaterializedView(prepare_program("tc", TC), db)
+
+
+class TestIncrementalFastPath:
+    def test_initial_model(self, tc_view):
+        assert tc_view.mode == "incremental"
+        assert tc_view.rows("tc") == {(a, b), (b, c), (a, c)}
+        assert tc_view.undefined_rows("tc") == frozenset()
+
+    def test_insert_extends_closure(self, tc_view):
+        summary = tc_view.insert("edge", c, d)
+        assert summary["mode"] == "incremental"
+        assert summary["delta_plus"] == 4  # edge + 3 new tc pairs
+        assert (a, d) in tc_view.rows("tc")
+        scratch_equal(tc_view, TC)
+
+    def test_delete_shrinks_closure(self, tc_view):
+        tc_view.delete("edge", b, c)
+        assert tc_view.rows("tc") == {(a, b)}
+        scratch_equal(tc_view, TC)
+
+    def test_delete_with_alternative_path_rederives(self, tc_view):
+        tc_view.insert("edge", a, c)  # second route a→c
+        tc_view.delete("edge", b, c)
+        assert (a, c) in tc_view.rows("tc")
+        assert tc_view.metrics.counters["rederived_total"] >= 1
+        scratch_equal(tc_view, TC)
+
+    def test_cycle_collapse(self, tc_view):
+        tc_view.insert("edge", c, a)  # now a cycle: tc is total on {a,b,c}
+        assert len(tc_view.rows("tc")) == 9
+        tc_view.delete("edge", c, a)
+        assert tc_view.rows("tc") == {(a, b), (b, c), (a, c)}
+        scratch_equal(tc_view, TC)
+
+    def test_noop_updates_change_nothing(self, tc_view):
+        before = tc_view.rows("tc")
+        summary = tc_view.apply(
+            inserts=[("edge", (a, b))], deletes=[("edge", (d, e))]
+        )
+        assert summary["delta_plus"] == 0 and summary["delta_minus"] == 0
+        assert tc_view.rows("tc") == before
+
+    def test_batch_mixing_inserts_and_deletes(self, tc_view):
+        tc_view.apply(
+            inserts=[("edge", (c, d)), ("edge", (d, e))],
+            deletes=[("edge", (a, b))],
+        )
+        assert (b, e) in tc_view.rows("tc")
+        assert all(row[0] != a for row in tc_view.rows("tc"))
+        scratch_equal(tc_view, TC)
+
+    def test_negation_across_strata(self):
+        db = Database()
+        for node in (a, b, c):
+            db.add("node", node)
+        db.add("edge", a, b)
+        view = MaterializedView(prepare_program("tcn", TC_NEG), db)
+        assert (a, c) in view.rows("unreach")
+        view.insert("edge", b, c)
+        assert (a, c) not in view.rows("unreach")
+        scratch_equal(view, TC_NEG)
+        view.delete("edge", a, b)
+        assert (a, c) in view.rows("unreach")
+        scratch_equal(view, TC_NEG)
+
+    def test_fact_for_idb_predicate(self, tc_view):
+        # A base fact for a derived predicate: survives deletion of the
+        # rules' support, disappears only when itself deleted.
+        tc_view.insert("tc", d, e)
+        assert (d, e) in tc_view.rows("tc")
+        scratch_equal(tc_view, TC)
+        tc_view.delete("tc", d, e)
+        assert (d, e) not in tc_view.rows("tc")
+        scratch_equal(tc_view, TC)
+
+    def test_arity_mismatch_rejected(self, tc_view):
+        with pytest.raises(ValueError):
+            tc_view.insert("edge", a)
+
+    def test_seed_facts_merge_into_database(self):
+        view = MaterializedView(prepare_program("tc", TC + "edge(a, b).\n"))
+        assert view.rows("tc") == {(a, b)}
+
+    def test_stratified_semantics_on_nonstratified_program_rejected(self):
+        with pytest.raises(NotStratifiedError):
+            MaterializedView(prepare_program("win", WIN), semantics="stratified")
+
+
+class TestRecomputeFallback:
+    def test_nonstratified_routes_to_recompute(self):
+        db = Database().add("move", a, b).add("move", b, c).add("move", d, d)
+        view = MaterializedView(
+            prepare_program("win", WIN), db, semantics="valid"
+        )
+        assert view.mode == "recompute"
+        assert view.rows("win") == {(b,)}
+        assert view.undefined_rows("win") == {(d,)}
+
+    def test_update_counts_fallback_and_stays_correct(self):
+        db = Database().add("move", a, b)
+        view = MaterializedView(
+            prepare_program("win", WIN), db, semantics="valid"
+        )
+        assert view.rows("win") == {(a,)}
+        summary = view.delete("move", a, b)
+        assert summary["mode"] == "recompute"
+        assert view.rows("win") == frozenset()
+        assert view.metrics.counters["recompute_fallbacks"] == 1
+
+    def test_forced_recompute_on_stratified_program(self):
+        db = Database().add("edge", a, b).add("edge", b, c)
+        view = MaterializedView(
+            prepare_program("tc", TC), db, incremental=False
+        )
+        assert view.mode == "recompute"
+        assert view.rows("tc") == {(a, b), (b, c), (a, c)}
+        view.insert("edge", c, d)
+        assert (a, d) in view.rows("tc")
+        assert view.metrics.counters["recompute_fallbacks"] == 1
+
+    def test_ground_cache_reused_when_state_revisits(self):
+        db = Database().add("move", a, b)
+        view = MaterializedView(
+            prepare_program("win2", WIN), db, semantics="valid"
+        )
+        view.rows("win")
+        view.insert("move", b, c)
+        view.rows("win")
+        view.delete("move", b, c)  # back to the original fingerprint
+        view.rows("win")
+        assert view.prepared.ground_cache_hits == 1
+
+    def test_wellfounded_semantics_served(self):
+        db = Database().add("move", d, d)
+        view = MaterializedView(
+            prepare_program("win3", WIN), db, semantics="wellfounded"
+        )
+        assert view.undefined_rows("win") == {(d,)}

@@ -118,3 +118,107 @@ class TestCheckCommand:
         program.write_text("q(X) :- not p(X).\n")
         assert main(["check", str(program)]) == 1
         assert "UNSAFE" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, capsys, script):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve"]) == 0
+        return capsys.readouterr().out.splitlines()
+
+    def test_register_query_update_stats(self, monkeypatch, capsys, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text(
+            "tc(X, Y) :- edge(X, Y).\n"
+            "tc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+            "edge(a, b).\nedge(b, c).\n"
+        )
+        out = self._serve(
+            monkeypatch,
+            capsys,
+            f"register tc stratified {program}\n"
+            "query tc tc\n"
+            "+tc edge(c, d)\n"
+            "query tc tc\n"
+            "-tc edge(a, b)\n"
+            "query tc tc\n"
+            "stats tc\n"
+            "quit\n",
+        )
+        assert out[0].startswith("ok {")
+        assert "row tc(a, c)" in out
+        assert "row tc(a, d)" in out          # appears after the insert
+        assert "row tc(b, d)" in out          # survives the deletion
+        stats_line = next(line for line in out if '"counters"' in line)
+        import json
+
+        payload = json.loads(stats_line[len("ok ") :])
+        assert payload["mode"] == "incremental"
+        assert payload["counters"]["update_batches"] == 2
+        assert payload["counters"]["recompute_fallbacks"] == 0
+        assert out[-1] == "ok bye"
+
+    def test_fallback_to_recompute_path(self, monkeypatch, capsys, win_dl):
+        out = self._serve(
+            monkeypatch,
+            capsys,
+            f"register win valid {win_dl}\n"
+            "query win win\n"
+            "-win move(a, b)\n"
+            "query win win\n"
+            "stats win\n",
+        )
+        assert "undef win(d)" in out
+        import json
+
+        payload = json.loads(out[-1][len("ok ") :])
+        assert payload["mode"] == "recompute"
+        assert payload["counters"]["recompute_fallbacks"] == 1
+
+    def test_bad_requests_keep_serving(self, monkeypatch, capsys):
+        out = self._serve(
+            monkeypatch,
+            capsys,
+            "query missing p\n"
+            "register ok stratified p(X) :- e(X). e(a).\n"
+            "query ok p\n",
+        )
+        assert out[0].startswith("error KeyError")
+        assert out[-1] == "ok 1 rows"
+
+    def test_unix_socket_serving(self, tmp_path):
+        import socket
+        import threading
+
+        path = str(tmp_path / "cli.sock")
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--socket", path, "--max-connections", "1"],),
+        )
+        thread.start()
+        try:
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            for _ in range(200):
+                try:
+                    client.connect(path)
+                    break
+                except (FileNotFoundError, ConnectionRefusedError):
+                    import time
+
+                    time.sleep(0.01)
+            with client:
+                client.sendall(
+                    b"register tc stratified tc(X,Y) :- e(X,Y). e(a,b).\n"
+                    b"query tc tc\nquit\n"
+                )
+                reader = client.makefile("r")
+                replies = [reader.readline().strip() for _ in range(4)]
+        finally:
+            thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert replies[0].startswith("ok {")
+        assert replies[1] == "row tc(a, b)"
+        assert replies[2] == "ok 1 rows"
+        assert replies[3] == "ok bye"

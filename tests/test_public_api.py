@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.specs",
     "repro.lang",
     "repro.corpus",
+    "repro.service",
 ]
 
 
@@ -63,7 +64,7 @@ def test_cli_help_mentions_subcommands():
     from repro.cli import build_parser
 
     helptext = build_parser().format_help()
-    for command in ("datalog", "algebra", "translate", "check"):
+    for command in ("datalog", "algebra", "translate", "check", "serve"):
         assert command in helptext
 
 
