@@ -221,12 +221,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         max_rounds=args.max_rounds,
         max_atoms=args.max_atoms,
+        deadline_ms=args.deadline_ms,
     )
     if args.socket:
         print(f"serving on unix socket {args.socket}", file=sys.stderr)
-        serve_unix_socket(service, args.socket, max_connections=args.max_connections)
+        serve_unix_socket(
+            service,
+            args.socket,
+            max_connections=args.max_connections,
+            max_concurrent=args.max_concurrent,
+            max_request_bytes=args.max_request_bytes,
+        )
         return 0
-    serve_stream(service, sys.stdin, print)
+    serve_stream(
+        service, sys.stdin, print, max_request_bytes=args.max_request_bytes
+    )
     return 0
 
 
@@ -280,6 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-capacity", type=int, default=256)
     p_srv.add_argument("--max-rounds", type=int, default=10_000)
     p_srv.add_argument("--max-atoms", type=int, default=1_000_000)
+    p_srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="wall-clock deadline per expensive request (default: none)",
+    )
+    p_srv.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        help="reject request lines longer than this (default: unlimited)",
+    )
+    p_srv.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="socket connections served concurrently (default: 8)",
+    )
     p_srv.set_defaults(func=_cmd_serve)
 
     return parser

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from ..robustness import EvaluationBudget, NonTerminating
 from ..relations.relation import Relation
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value
@@ -40,8 +41,9 @@ from .programs import AlgebraProgram
 __all__ = ["evaluate", "evaluate_query", "NonTerminating", "RecursionNotSupported"]
 
 
-class NonTerminating(RuntimeError):
-    """An IFP iteration exceeded its bound (possibly an infinite set)."""
+# NonTerminating now lives in repro.robustness (re-exported here for
+# backwards compatibility): it is a BudgetExceeded, so IFP divergence is
+# caught by the same handlers as every other resource exhaustion.
 
 
 class RecursionNotSupported(ValueError):
@@ -54,11 +56,14 @@ def evaluate(
     registry: Optional[FunctionRegistry] = None,
     program: Optional[AlgebraProgram] = None,
     max_iterations: int = 10_000,
+    budget: Optional[EvaluationBudget] = None,
 ) -> Relation:
     """Evaluate an expression to a relation.
 
     ``environment`` binds database relations and any enclosing parameters;
     ``program`` (optional) supplies definitions for non-recursive calls.
+    ``budget`` adds wall-clock/step governance to the IFP iteration on
+    top of the ``max_iterations`` cap.
     """
     recursive = program.recursive_names() if program else frozenset()
 
@@ -89,16 +94,21 @@ def evaluate(
         if isinstance(node, Ifp):
             current = Relation.empty()
             for _step in range(max_iterations):
+                if budget is not None:
+                    budget.note_iteration(phase="ifp")
                 inner = dict(env)
                 inner[node.param] = current
                 step = run(node.body, inner)
                 accumulated = current.union(step)
                 if accumulated == current:
                     return current
+                if budget is not None:
+                    budget.charge_facts(len(accumulated) - len(current))
                 current = accumulated
             raise NonTerminating(
                 f"IFP did not converge within {max_iterations} iterations "
-                f"(the fixed point may be an infinite set)"
+                f"(the fixed point may be an infinite set)",
+                progress=budget.progress if budget is not None else None,
             )
         if isinstance(node, Call):
             if program is None:
@@ -126,6 +136,7 @@ def evaluate_query(
     environment: Mapping[str, Relation],
     registry: Optional[FunctionRegistry] = None,
     max_iterations: int = 10_000,
+    budget: Optional[EvaluationBudget] = None,
 ) -> Relation:
     """Evaluate a named (non-recursive) query constant of a program."""
     definition = program.definition(result)
@@ -137,4 +148,5 @@ def evaluate_query(
         registry=registry,
         program=program,
         max_iterations=max_iterations,
+        budget=budget,
     ).renamed(result)

@@ -23,6 +23,11 @@ class Database:
 
     def __init__(self, facts: Optional[Mapping[str, Iterable[Tuple[Value, ...]]]] = None):
         self._facts: Dict[str, Set[Tuple[Value, ...]]] = {}
+        # Cached content hash; None = dirty.  Every mutator clears it
+        # *before* touching the fact sets so there is no window in which
+        # a stale fingerprint could be observed for mutated content (a
+        # stale hit would poison the ground-program cache keyed on it).
+        self._fingerprint: Optional[str] = None
         if facts:
             for predicate, rows in facts.items():
                 for row in rows:
@@ -35,6 +40,7 @@ class Database:
         for arg in args:
             if not is_value(arg):
                 raise TypeError(f"fact argument is not a value: {arg!r}")
+        self._fingerprint = None
         rows = self._facts.setdefault(predicate, set())
         if rows and len(next(iter(rows))) != len(args):
             raise ValueError(
@@ -46,6 +52,7 @@ class Database:
     def declare(self, predicate: str) -> "Database":
         """Register a predicate with no facts yet (an empty relation is
         still part of the schema)."""
+        self._fingerprint = None
         self._facts.setdefault(predicate, set())
         return self
 
@@ -60,6 +67,7 @@ class Database:
         row = tuple(args)
         if rows is None or row not in rows:
             raise KeyError(f"fact not present: {predicate}{row!r}")
+        self._fingerprint = None
         rows.discard(row)
         return self
 
@@ -70,7 +78,8 @@ class Database:
         set-style counterpart, used by idempotent update paths.
         """
         rows = self._facts.get(predicate)
-        if rows is not None:
+        if rows is not None and tuple(args) in rows:
+            self._fingerprint = None
             rows.discard(tuple(args))
         return self
 

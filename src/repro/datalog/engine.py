@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
+from ..robustness import EvaluationBudget
 from ..relations.relation import Relation
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value
@@ -76,6 +77,7 @@ def run(
     max_atoms: int = 1_000_000,
     require_complete: bool = True,
     ground_program: Optional[GroundProgram] = None,
+    budget: Optional[EvaluationBudget] = None,
 ) -> QueryResult:
     """Ground ``program`` over ``database`` and evaluate it.
 
@@ -86,6 +88,10 @@ def run(
     vouches that it is ``ground(program, database, ...)``.  The service
     layer uses this to reuse a cached grounding (keyed by the database
     fingerprint) across semantics and repeated queries.
+
+    ``budget`` is one :class:`~repro.robustness.EvaluationBudget` shared
+    by the grounding and solving phases, so deadlines and step bounds
+    apply to the query as a whole.
     """
     if semantics not in SEMANTICS:
         raise ValueError(f"unknown semantics {semantics!r}; pick from {SEMANTICS}")
@@ -98,13 +104,14 @@ def run(
             max_rounds=max_rounds,
             max_atoms=max_atoms,
             require_complete=require_complete,
+            budget=budget,
         )
     if semantics == "stratified":
-        interpretation = stratified_model(program, ground_program)
+        interpretation = stratified_model(program, ground_program, budget)
     elif semantics == "inflationary":
-        interpretation = inflationary_model(ground_program)
+        interpretation = inflationary_model(ground_program, budget)
     elif semantics == "wellfounded":
-        interpretation = well_founded_model(ground_program)
+        interpretation = well_founded_model(ground_program, budget)
     else:
-        interpretation = valid_model(ground_program)
+        interpretation = valid_model(ground_program, budget)
     return QueryResult(program, ground_program, interpretation, semantics)

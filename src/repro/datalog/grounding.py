@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..robustness import BudgetExceeded, EvaluationBudget, fault_point
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value, value_key
 from .ast import (
@@ -66,13 +67,16 @@ class UnsafeRuleError(GroundingError):
     """A rule has no evaluable binding order (it is not range-restricted)."""
 
 
-class GroundingBudgetExceeded(GroundingError):
+class GroundingBudgetExceeded(GroundingError, BudgetExceeded):
     """The relevant-atom closure exceeded the configured bounds.
 
     Raised only when ``ground`` is called with ``require_complete=True``;
     otherwise an incomplete :class:`GroundProgram` is returned with
-    ``complete=False``.
+    ``complete=False``.  Also a :class:`~repro.robustness.BudgetExceeded`,
+    so callers can treat every resource exhaustion uniformly.
     """
+
+    code = "grounding-budget-exceeded"
 
 
 @dataclass(frozen=True, slots=True)
@@ -339,12 +343,14 @@ class _Grounder:
         registry: Optional[FunctionRegistry],
         max_rounds: int,
         max_atoms: int,
+        budget: Optional[EvaluationBudget] = None,
     ):
         self.program = program
         self.database = database
         self.registry = registry
         self.max_rounds = max_rounds
         self.max_atoms = max_atoms
+        self.budget = budget
         self.table = _AtomTable()
         self.possible: Dict[str, Set[Tuple[Value, ...]]] = {}
         # Per-predicate, per-argument-position index: (position, value) →
@@ -365,6 +371,9 @@ class _Grounder:
         rows = self._rows(predicate)
         if args in rows:
             return False
+        if self.budget is not None:
+            self.budget.tick()
+            self.budget.charge_facts()
         rows.add(args)
         index = self.index.setdefault(predicate, {})
         for position, value in enumerate(args):
@@ -542,6 +551,9 @@ class _Grounder:
         complete = False
 
         for _round in range(self.max_rounds):
+            fault_point("grounder.round")
+            if self.budget is not None:
+                self.budget.note_iteration(phase="grounding")
             new_delta: Dict[str, Set[Tuple[Value, ...]]] = {}
             produced_any = False
             for rule, order in self.ordered_rules:
@@ -602,14 +614,19 @@ def ground(
     max_rounds: int = 10_000,
     max_atoms: int = 1_000_000,
     require_complete: bool = True,
+    budget: Optional[EvaluationBudget] = None,
 ) -> GroundProgram:
     """Ground ``program`` against ``database``.
 
     The result contains the EDB facts as bodiless ground rules, every
     relevant rule instance, and negative literals filtered down to atoms
     that are possibly true (others are certainly false, hence satisfied).
+
+    ``budget`` governs the closure with deadline/step/fact bounds on top
+    of ``max_rounds``/``max_atoms`` — a divergent ``succ``-style program
+    stops with a structured error instead of exhausting the round cap.
     """
-    grounder = _Grounder(program, database, registry, max_rounds, max_atoms)
+    grounder = _Grounder(program, database, registry, max_rounds, max_atoms, budget)
     complete, raw_rules = grounder.run()
     if require_complete and not complete:
         raise GroundingBudgetExceeded(

@@ -20,8 +20,9 @@ provided; they are cross-checked in tests and compared in benchmark P2.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, FrozenSet, List, Sequence, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
+from ...robustness import EvaluationBudget
 from ..grounding import GroundProgram, GroundRule
 
 __all__ = [
@@ -39,6 +40,7 @@ class PositiveProgramRequired(ValueError):
 def least_model_with_oracle(
     rules: Sequence[GroundRule],
     negation_oracle: Callable[[int], bool],
+    budget: Optional[EvaluationBudget] = None,
 ) -> FrozenSet[int]:
     """Dependency-counting (semi-naive) least model.
 
@@ -46,7 +48,12 @@ def least_model_with_oracle(
     and every negative body atom ``q`` satisfies ``negation_oracle(q)``
     (read: "``not q`` holds").  The oracle must be static for the duration
     of the call.  Runs in time linear in total rule size.
+
+    ``budget`` (optional) is charged one step per rule admitted and per
+    derived atom, and its deadline/cancellation are honoured.
     """
+    if budget is not None:
+        budget.check(phase="least-model")
     watchers: Dict[int, List[int]] = defaultdict(list)
     missing: List[int] = []
     queue: List[int] = []
@@ -56,6 +63,8 @@ def least_model_with_oracle(
     for rule in rules:
         if all(negation_oracle(atom) for atom in rule.neg):
             active_rules.append(rule)
+    if budget is not None:
+        budget.tick(len(active_rules))
 
     for index, rule in enumerate(active_rules):
         missing.append(len(rule.pos))
@@ -66,6 +75,8 @@ def least_model_with_oracle(
         else:
             for atom in rule.pos:
                 watchers[atom].append(index)
+    if budget is not None:
+        budget.charge_facts(len(derived))
 
     # A rule mentioning the same atom twice in pos gets multiple watcher
     # entries and its counter decremented per occurrence; counters start at
@@ -79,18 +90,25 @@ def least_model_with_oracle(
                 if head not in derived:
                     derived.add(head)
                     queue.append(head)
+                    if budget is not None:
+                        budget.tick()
+                        budget.charge_facts()
     return frozenset(derived)
 
 
 def least_model_naive(
     rules: Sequence[GroundRule],
     negation_oracle: Callable[[int], bool],
+    budget: Optional[EvaluationBudget] = None,
 ) -> FrozenSet[int]:
     """Naive iterate-to-fixpoint least model (reference implementation)."""
     derived: Set[int] = set()
     changed = True
     while changed:
         changed = False
+        if budget is not None:
+            budget.note_iteration(phase="least-model-naive")
+            budget.tick(len(rules))
         for rule in rules:
             if rule.head in derived:
                 continue
@@ -98,11 +116,15 @@ def least_model_naive(
                 negation_oracle(atom) for atom in rule.neg
             ):
                 derived.add(rule.head)
+                if budget is not None:
+                    budget.charge_facts()
                 changed = True
     return frozenset(derived)
 
 
-def minimal_model(program: GroundProgram) -> FrozenSet[int]:
+def minimal_model(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> FrozenSet[int]:
     """The minimal model of a *positive* ground program.
 
     This is the classical Horn-program semantics ("the tuples in the
@@ -115,4 +137,4 @@ def minimal_model(program: GroundProgram) -> FrozenSet[int]:
                 "program has negative literals; use stratified/well-founded/"
                 "valid semantics instead"
             )
-    return least_model_with_oracle(program.rules, lambda _atom: True)
+    return least_model_with_oracle(program.rules, lambda _atom: True, budget)

@@ -14,15 +14,18 @@ result is ``{a}`` while its valid model leaves ``Q(a)`` undefined).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set
+from typing import FrozenSet, List, Optional, Set
 
+from ...robustness import EvaluationBudget
 from ..grounding import GroundProgram
 from .interpretations import Interpretation
 
 __all__ = ["inflationary_fixpoint", "inflationary_model", "inflationary_stages"]
 
 
-def inflationary_stages(program: GroundProgram) -> List[FrozenSet[int]]:
+def inflationary_stages(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> List[FrozenSet[int]]:
     """The chain ``T_0 ⊆ T_1 ⊆ ...`` of round results (``T_0 = ∅``).
 
     Each round evaluates negation against the *start-of-round* set, as in
@@ -31,6 +34,9 @@ def inflationary_stages(program: GroundProgram) -> List[FrozenSet[int]]:
     stages: List[FrozenSet[int]] = [frozenset()]
     current: Set[int] = set()
     while True:
+        if budget is not None:
+            budget.note_iteration(phase="inflationary")
+            budget.tick(len(program.rules))
         snapshot = frozenset(current)
         new_atoms: Set[int] = set()
         for rule in program.rules:
@@ -42,16 +48,24 @@ def inflationary_stages(program: GroundProgram) -> List[FrozenSet[int]]:
                 new_atoms.add(rule.head)
         if not new_atoms:
             break
+        if budget is not None:
+            budget.charge_facts(len(new_atoms))
         current |= new_atoms
         stages.append(frozenset(current))
     return stages
 
 
-def inflationary_fixpoint(program: GroundProgram) -> FrozenSet[int]:
+def inflationary_fixpoint(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> FrozenSet[int]:
     """The set of atoms true in the inflationary fixpoint."""
-    return inflationary_stages(program)[-1]
+    return inflationary_stages(program, budget)[-1]
 
 
-def inflationary_model(program: GroundProgram) -> Interpretation:
+def inflationary_model(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> Interpretation:
     """The inflationary result as a total (two-valued) interpretation."""
-    return Interpretation.total(inflationary_fixpoint(program), program.atom_count)
+    return Interpretation.total(
+        inflationary_fixpoint(program, budget), program.atom_count
+    )

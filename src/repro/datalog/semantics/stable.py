@@ -18,8 +18,9 @@ every program in the paper; ``max_choice_atoms`` guards against misuse.
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, List, Set
+from typing import FrozenSet, List, Optional, Set
 
+from ...robustness import BudgetExceeded, EvaluationBudget
 from ..grounding import GroundProgram
 from .fixpoint import least_model_with_oracle
 from .interpretations import Interpretation
@@ -28,27 +29,36 @@ from .wellfounded import well_founded_model
 __all__ = ["stable_models", "is_stable_model", "TooManyChoiceAtoms"]
 
 
-class TooManyChoiceAtoms(RuntimeError):
+class TooManyChoiceAtoms(BudgetExceeded):
     """The residual search space is larger than the configured bound."""
 
+    code = "too-many-choice-atoms"
 
-def is_stable_model(program: GroundProgram, candidate: FrozenSet[int]) -> bool:
+
+def is_stable_model(
+    program: GroundProgram,
+    candidate: FrozenSet[int],
+    budget: Optional[EvaluationBudget] = None,
+) -> bool:
     """Check the Gelfond–Lifschitz condition for a candidate atom set."""
     reduct_model = least_model_with_oracle(
-        program.rules, lambda atom: atom not in candidate
+        program.rules, lambda atom: atom not in candidate, budget
     )
     return reduct_model == candidate
 
 
 def stable_models(
-    program: GroundProgram, max_choice_atoms: int = 20
+    program: GroundProgram,
+    max_choice_atoms: int = 20,
+    budget: Optional[EvaluationBudget] = None,
 ) -> List[Interpretation]:
     """All stable models, as total interpretations, deterministically ordered.
 
     Raises :class:`TooManyChoiceAtoms` when more than ``max_choice_atoms``
-    WFS-undefined atoms occur in negative bodies.
+    WFS-undefined atoms occur in negative bodies.  ``budget`` governs the
+    WFS precomputation and every candidate check of the residual search.
     """
-    wfs = well_founded_model(program)
+    wfs = well_founded_model(program, budget)
     undefined = wfs.undefined_in(program)
 
     if not undefined:
@@ -68,6 +78,8 @@ def stable_models(
     models: List[FrozenSet[int]] = []
     seen: Set[FrozenSet[int]] = set()
     for assignment in itertools.product((False, True), repeat=len(choice_atoms)):
+        if budget is not None:
+            budget.note_iteration(phase="stable-search")
         assumed_true = {
             atom for atom, flag in zip(choice_atoms, assignment) if flag
         }
@@ -81,14 +93,14 @@ def stable_models(
                 return True
             return atom not in assumed_true
 
-        candidate = least_model_with_oracle(program.rules, guess_oracle)
+        candidate = least_model_with_oracle(program.rules, guess_oracle, budget)
         if candidate in seen:
             continue
         # The guess must be self-supporting: every atom assumed true is
         # derived, and the candidate must pass the exact GL check.
         if not assumed_true <= candidate:
             continue
-        if is_stable_model(program, candidate):
+        if is_stable_model(program, candidate, budget):
             seen.add(candidate)
             models.append(candidate)
 

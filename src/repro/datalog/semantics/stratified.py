@@ -8,8 +8,9 @@ models (which are then total) — asserted by the integration tests.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Optional, Set
 
+from ...robustness import EvaluationBudget
 from ..ast import Program
 from ..grounding import GroundProgram, GroundRule
 from ..stratification import NotStratifiedError, stratify
@@ -19,7 +20,11 @@ from .interpretations import Interpretation
 __all__ = ["stratified_model"]
 
 
-def stratified_model(rule_program: Program, ground_program: GroundProgram) -> Interpretation:
+def stratified_model(
+    rule_program: Program,
+    ground_program: GroundProgram,
+    budget: Optional[EvaluationBudget] = None,
+) -> Interpretation:
     """Evaluate a stratified program over its grounding.
 
     ``rule_program`` supplies the predicate strata; ``ground_program`` is
@@ -36,6 +41,8 @@ def stratified_model(rule_program: Program, ground_program: GroundProgram) -> In
 
     accumulated: FrozenSet[int] = frozenset()
     for level in range(height + 1):
+        if budget is not None:
+            budget.note_iteration(stratum=level, phase="stratified")
         level_rules = [
             rule
             for rule in ground_program.rules
@@ -53,5 +60,5 @@ def stratified_model(rule_program: Program, ground_program: GroundProgram) -> In
                 return True
             return atom not in _decided
 
-        accumulated = least_model_with_oracle(level_rules + seed, oracle)
+        accumulated = least_model_with_oracle(level_rules + seed, oracle, budget)
     return Interpretation.total(accumulated, ground_program.atom_count)

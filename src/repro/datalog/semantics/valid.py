@@ -31,8 +31,9 @@ agreement program-by-program against the independent implementation in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
+from ...robustness import EvaluationBudget
 from ..grounding import GroundProgram
 from .fixpoint import least_model_with_oracle
 from .interpretations import Interpretation
@@ -49,7 +50,9 @@ class ValidTrace:
     possibly_derivable: FrozenSet[int]
 
 
-def valid_computation_trace(program: GroundProgram) -> List[ValidTrace]:
+def valid_computation_trace(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> List[ValidTrace]:
     """Run the Section 2.2 loop, returning every intermediate (T, F)."""
     everything = frozenset(range(program.atom_count))
     true_set: FrozenSet[int] = frozenset()
@@ -57,16 +60,18 @@ def valid_computation_trace(program: GroundProgram) -> List[ValidTrace]:
     steps: List[ValidTrace] = []
 
     while True:
+        if budget is not None:
+            budget.note_iteration(phase="valid-computation")
         # All possible derivations from T, using negatively only facts
         # not (yet) in T.
         possibly = least_model_with_oracle(
-            program.rules, lambda atom: atom not in true_set
+            program.rules, lambda atom: atom not in true_set, budget
         )
         # Facts with no possible derivation are certainly false.
         false_set = false_set | (everything - possibly)
         # Derive new true facts, using negatively only facts from F.
         next_true = least_model_with_oracle(
-            program.rules, lambda atom: atom in false_set
+            program.rules, lambda atom: atom in false_set, budget
         )
         steps.append(ValidTrace(next_true, false_set, possibly))
         if next_true == true_set:
@@ -74,7 +79,9 @@ def valid_computation_trace(program: GroundProgram) -> List[ValidTrace]:
         true_set = next_true
 
 
-def valid_model(program: GroundProgram) -> Interpretation:
+def valid_model(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> Interpretation:
     """The (three-valued) valid model of a ground program."""
-    final = valid_computation_trace(program)[-1]
+    final = valid_computation_trace(program, budget)[-1]
     return Interpretation.three_valued(final.true, final.false)

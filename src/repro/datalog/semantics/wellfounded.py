@@ -15,8 +15,9 @@ paper's own vocabulary and the two are cross-checked in tests.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
+from ...robustness import EvaluationBudget
 from ..grounding import GroundProgram
 from .fixpoint import least_model_with_oracle
 from .interpretations import Interpretation
@@ -25,27 +26,31 @@ __all__ = ["well_founded_model", "alternating_fixpoint_trace"]
 
 
 def alternating_fixpoint_trace(
-    program: GroundProgram,
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
 ) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
     """The sequence of ``(T_i, O_i)`` pairs until stabilization."""
     trace: List[Tuple[FrozenSet[int], FrozenSet[int]]] = []
     true_set: FrozenSet[int] = frozenset()
     while True:
+        if budget is not None:
+            budget.note_iteration(phase="alternating-fixpoint")
         over = least_model_with_oracle(
-            program.rules, lambda atom: atom not in true_set
+            program.rules, lambda atom: atom not in true_set, budget
         )
         trace.append((true_set, over))
         next_true = least_model_with_oracle(
-            program.rules, lambda atom: atom not in over
+            program.rules, lambda atom: atom not in over, budget
         )
         if next_true == true_set:
             return trace
         true_set = next_true
 
 
-def well_founded_model(program: GroundProgram) -> Interpretation:
+def well_founded_model(
+    program: GroundProgram, budget: Optional[EvaluationBudget] = None
+) -> Interpretation:
     """The well-founded (three-valued) model of a ground program."""
-    trace = alternating_fixpoint_trace(program)
+    trace = alternating_fixpoint_trace(program, budget)
     true_set, over = trace[-1]
     false_set = frozenset(range(program.atom_count)) - over
     return Interpretation.three_valued(true_set, false_set)

@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from typing import Mapping
 
+from ..robustness import BudgetExceeded, EvaluationBudget, fault_point
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value
 from .ast import Comparison, Const, FuncTerm, Literal, Program, Rule, Var, eval_term
@@ -129,9 +130,12 @@ class DirectEvaluator:
         order,
         delta_literal: Optional[int],
         delta: Dict[str, Set[Tuple[Value, ...]]],
+        budget: Optional[EvaluationBudget] = None,
     ) -> List[Tuple[Value, ...]]:
         """All head rows derivable with the given delta discipline."""
         produced: List[Tuple[Value, ...]] = []
+        if budget is not None:
+            budget.tick(phase="seminaive")
 
         def walk(step: int, binding: Dict[Var, Value], match_seen: int) -> None:
             if step == len(order):
@@ -139,6 +143,8 @@ class DirectEvaluator:
                     eval_term(arg, binding, self.registry) for arg in rule.head.args
                 )
                 if all(value is not None for value in head_row):
+                    if budget is not None:
+                        budget.tick()
                     produced.append(head_row)
                 return
             kind, payload = order[step]
@@ -202,13 +208,16 @@ def seminaive_stratified(
     registry: Optional[FunctionRegistry] = None,
     max_rounds: int = 100_000,
     strata: Optional[Mapping[str, int]] = None,
+    budget: Optional[EvaluationBudget] = None,
 ) -> Dict[str, FrozenSet[Tuple[Value, ...]]]:
     """Evaluate a stratified program directly (no grounding).
 
     Returns predicate → derived rows (IDB and EDB alike).  Raises
     :class:`~repro.datalog.stratification.NotStratifiedError` on
-    non-stratified input and ``RuntimeError`` if a stratum exceeds
-    ``max_rounds`` (function symbols without guards).
+    non-stratified input and :class:`~repro.robustness.BudgetExceeded`
+    if a stratum exceeds ``max_rounds`` (function symbols without
+    guards).  ``budget`` adds deadline/step/fact governance on top of
+    the round cap.
 
     ``strata`` lets a caller that has already stratified the program
     (a registered prepared plan) skip re-deriving the schedule.
@@ -231,24 +240,32 @@ def seminaive_stratified(
         # Naive first round.
         delta: Dict[str, Set[Tuple[Value, ...]]] = {}
         for rule, order in level_rules:
-            for row in state.fire(rule, order, None, {}):
+            for row in state.fire(rule, order, None, {}, budget):
                 if state.add(rule.head.predicate, row):
+                    if budget is not None:
+                        budget.charge_facts()
                     delta.setdefault(rule.head.predicate, set()).add(row)
         # Semi-naive rounds.
         for _round in range(max_rounds):
+            fault_point("seminaive.round")
+            if budget is not None:
+                budget.note_iteration(stratum=level, phase="seminaive")
             if not delta:
                 break
             next_delta: Dict[str, Set[Tuple[Value, ...]]] = {}
             for rule, order in level_rules:
                 match_count = sum(1 for kind, _p in order if kind == "match")
                 for delta_literal in range(match_count):
-                    for row in state.fire(rule, order, delta_literal, delta):
+                    for row in state.fire(rule, order, delta_literal, delta, budget):
                         if state.add(rule.head.predicate, row):
+                            if budget is not None:
+                                budget.charge_facts()
                             next_delta.setdefault(rule.head.predicate, set()).add(row)
             delta = next_delta
         else:
-            raise RuntimeError(
-                f"stratum {level} did not converge within {max_rounds} rounds"
+            raise BudgetExceeded(
+                f"stratum {level} did not converge within {max_rounds} rounds",
+                progress=budget.progress if budget is not None else None,
             )
 
     return {

@@ -1,0 +1,206 @@
+"""Evaluation budgets: steps, deadlines, fact counts, cancellation.
+
+An :class:`EvaluationBudget` is the one object threaded through every
+fixpoint loop in the engine — grounding, semi-naive evaluation, the
+five declarative semantics, IFP iteration, term rewriting, and the
+service layer's incremental maintenance.  It bounds
+
+* **steps** — rule firings / derivations (``max_steps``),
+* **facts** — derived-fact count (``max_facts``),
+* **wall clock** — a monotonic deadline (``deadline``), and
+* supports **cooperative cancellation** via a shared token,
+
+and it accumulates :class:`EvaluationProgress` diagnostics so that a
+``BudgetExceeded``/``DeadlineExceeded``/``Cancelled`` error reports how
+far the evaluation got (iterations done, facts derived, last stratum).
+
+The ticking fast path is deliberately cheap: an unlimited budget only
+increments counters, and the deadline clock is consulted once every
+``check_interval`` ticks (cancellation, a plain attribute read, is
+checked on every tick).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import BudgetExceeded, Cancelled, DeadlineExceeded
+
+__all__ = [
+    "CancellationToken",
+    "EvaluationBudget",
+    "EvaluationProgress",
+]
+
+
+class CancellationToken:
+    """A cooperative cancellation flag shared between threads.
+
+    The owner calls :meth:`cancel`; the evaluation observes it at its
+    next budget check and raises :class:`~repro.robustness.errors.
+    Cancelled`.  Thread-safe by virtue of being a single boolean write.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Has cancellation been requested?"""
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        return f"<CancellationToken cancelled={self._cancelled}>"
+
+
+@dataclass
+class EvaluationProgress:
+    """How far an evaluation got — attached to every budget error."""
+
+    steps: int = 0
+    facts: int = 0
+    iterations: int = 0
+    last_stratum: Optional[int] = None
+    phase: Optional[str] = None
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly copy of the diagnostics."""
+        payload = {
+            "steps": self.steps,
+            "facts": self.facts,
+            "iterations": self.iterations,
+        }
+        if self.last_stratum is not None:
+            payload["last_stratum"] = self.last_stratum
+        if self.phase is not None:
+            payload["phase"] = self.phase
+        return payload
+
+
+@dataclass
+class EvaluationBudget:
+    """A resource envelope for one evaluation (or one service request).
+
+    Any subset of the bounds may be set; ``EvaluationBudget()`` is
+    unlimited and merely accumulates progress.  One budget may be
+    shared across phases (grounding then solving) so the bounds apply
+    to the evaluation as a whole.
+    """
+
+    max_steps: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    max_facts: Optional[int] = None
+    cancellation: Optional[CancellationToken] = None
+    #: How many ticks between wall-clock reads (deadline precision).
+    check_interval: int = 256
+    progress: EvaluationProgress = field(default_factory=EvaluationProgress)
+
+    def __post_init__(self) -> None:
+        self._deadline = (
+            time.monotonic() + self.deadline_seconds
+            if self.deadline_seconds is not None
+            else None
+        )
+        self._until_clock = self.check_interval
+
+    @classmethod
+    def unlimited(cls) -> "EvaluationBudget":
+        """A budget with no bounds (progress tracking only)."""
+        return cls()
+
+    @classmethod
+    def from_millis(
+        cls, deadline_ms: Optional[float], **kwargs
+    ) -> "EvaluationBudget":
+        """Convenience constructor taking the deadline in milliseconds."""
+        seconds = deadline_ms / 1000.0 if deadline_ms is not None else None
+        return cls(deadline_seconds=seconds, **kwargs)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The absolute monotonic deadline, or None."""
+        return self._deadline
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (None when no deadline is set)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.monotonic()
+
+    # -- charging ------------------------------------------------------------
+
+    def tick(self, steps: int = 1, phase: Optional[str] = None) -> None:
+        """Charge ``steps`` units of work; raise when a bound is crossed."""
+        progress = self.progress
+        progress.steps += steps
+        if phase is not None:
+            progress.phase = phase
+        if self.cancellation is not None and self.cancellation._cancelled:
+            raise Cancelled("evaluation cancelled", progress=progress)
+        if self.max_steps is not None and progress.steps > self.max_steps:
+            raise BudgetExceeded(
+                f"step budget of {self.max_steps} exhausted"
+                + (f" during {progress.phase}" if progress.phase else ""),
+                progress=progress,
+            )
+        self._until_clock -= steps
+        if self._until_clock <= 0:
+            self._until_clock = self.check_interval
+            self._check_deadline()
+
+    def charge_facts(self, count: int = 1) -> None:
+        """Charge ``count`` newly derived facts."""
+        progress = self.progress
+        progress.facts += count
+        if self.max_facts is not None and progress.facts > self.max_facts:
+            raise BudgetExceeded(
+                f"derived-fact budget of {self.max_facts} exhausted",
+                progress=progress,
+            )
+
+    def note_iteration(
+        self, stratum: Optional[int] = None, phase: Optional[str] = None
+    ) -> None:
+        """Record one fixpoint iteration (and check every bound).
+
+        Called once per round of the outer loops, so iteration counts
+        and deadlines are honoured even when no step ticked this round.
+        """
+        progress = self.progress
+        progress.iterations += 1
+        if stratum is not None:
+            progress.last_stratum = stratum
+        if phase is not None:
+            progress.phase = phase
+        self.check()
+
+    def check(self, phase: Optional[str] = None) -> None:
+        """Raise if cancelled or past the deadline (always consults the
+        clock — use at loop heads, not per-derivation)."""
+        if phase is not None:
+            self.progress.phase = phase
+        if self.cancellation is not None and self.cancellation._cancelled:
+            raise Cancelled("evaluation cancelled", progress=self.progress)
+        self._check_deadline()
+
+    def _check_deadline(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline_seconds:.3f}s exceeded"
+                + (
+                    f" during {self.progress.phase}"
+                    if self.progress.phase
+                    else ""
+                ),
+                progress=self.progress,
+            )

@@ -1,0 +1,117 @@
+"""The structured error hierarchy for resource-governed evaluation.
+
+The paper's constructions are only semi-computable in general:
+``SUCC``-style generators enumerate infinite sets, valid-model
+evaluation may iterate transfinitely, and stable-model search is
+exponential.  Every evaluation entry point in this reproduction
+therefore runs under an :class:`~repro.robustness.budget.
+EvaluationBudget`, and every way a bounded evaluation can stop short
+is a subtype of :class:`ReproError`:
+
+``ReproError``
+    base class; carries the budget's partial-progress diagnostics and
+    a stable wire ``code`` the service maps to protocol error replies.
+
+``BudgetExceeded``
+    a step/fact/iteration bound was hit.  The legacy limit exceptions
+    (``NonTerminating``, ``RewriteLimit``, ``TooManyChoiceAtoms``,
+    ``GroundingBudgetExceeded``) are all subtypes, so existing callers
+    keep working while new callers can catch the whole family here.
+
+``DeadlineExceeded``
+    the wall-clock deadline passed.
+
+``Cancelled``
+    the cooperative cancellation token was triggered.
+
+``NonTerminating``
+    an iteration cap was hit on a possibly-divergent fixpoint (the
+    historical name, kept as a :class:`BudgetExceeded` subtype).
+
+All classes subclass :class:`RuntimeError` so pre-existing ``except
+RuntimeError`` guards continue to catch them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "Cancelled",
+    "NonTerminating",
+    "ViewDegraded",
+    "RequestTooLarge",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class of every structured evaluation/service error.
+
+    ``progress`` (when present) is an :class:`~repro.robustness.budget.
+    EvaluationProgress` snapshot describing how far the evaluation got
+    before stopping — iterations done, facts derived, last stratum.
+    ``code`` is the stable wire identifier the line protocol reports.
+    """
+
+    code = "error"
+
+    def __init__(self, message: str, *, progress: Optional[object] = None):
+        super().__init__(message)
+        self.progress = progress
+
+    def diagnostics(self) -> dict:
+        """A JSON-friendly description (code, message, progress)."""
+        payload: dict = {"code": self.code, "message": str(self)}
+        snapshot = getattr(self.progress, "snapshot", None)
+        if callable(snapshot):
+            payload["progress"] = snapshot()
+        return payload
+
+
+class BudgetExceeded(ReproError):
+    """A step, fact, or iteration bound of the budget was exhausted."""
+
+    code = "budget-exceeded"
+
+
+class DeadlineExceeded(ReproError):
+    """The wall-clock deadline of the budget passed."""
+
+    code = "deadline-exceeded"
+
+
+class Cancelled(ReproError):
+    """The evaluation's cooperative cancellation token was triggered."""
+
+    code = "cancelled"
+
+
+class NonTerminating(BudgetExceeded):
+    """An iteration cap was hit on a possibly-divergent fixpoint.
+
+    The historical name of this condition (IFP iteration, valid-model
+    candidate closure); kept as a :class:`BudgetExceeded` subtype so
+    both old and new call sites catch it.
+    """
+
+    code = "non-terminating"
+
+
+class ViewDegraded(ReproError):
+    """A materialized view is serving its last consistent model.
+
+    Raised by the update path when a view could not be healed after a
+    maintenance failure: queries still work (flagged stale), but
+    updates are refused until a recompute succeeds.
+    """
+
+    code = "view-degraded"
+
+
+class RequestTooLarge(ReproError):
+    """A protocol request exceeded the configured size limit."""
+
+    code = "request-too-large"

@@ -1,0 +1,55 @@
+"""Retry with exponential backoff for transient evaluation failures.
+
+The service layer's incremental→recompute fallback uses this: a
+maintenance failure may be transient (an injected fault, a budget blown
+by a cold cache), so the recompute is retried a few times with
+exponentially growing pauses before the view degrades to serving its
+last consistent model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from .errors import Cancelled, ReproError
+
+__all__ = ["retry_with_backoff"]
+
+T = TypeVar("T")
+
+
+def retry_with_backoff(
+    operation: Callable[[], T],
+    attempts: int = 3,
+    base_delay: float = 0.01,
+    max_delay: float = 0.5,
+    retry_on: Tuple[Type[BaseException], ...] = (ReproError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Run ``operation``, retrying transient failures up to ``attempts``
+    times total with delays ``base_delay * 2**k`` (capped at
+    ``max_delay``).
+
+    ``Cancelled`` is never retried — cancellation is a decision, not a
+    transient fault.  The last failure is re-raised when every attempt
+    fails.  ``on_retry(attempt_index, error)`` is called before each
+    backoff pause (metrics hooks).
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    delay = base_delay
+    for attempt in range(1, attempts + 1):
+        try:
+            return operation()
+        except Cancelled:
+            raise
+        except retry_on as error:
+            if attempt == attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(min(delay, max_delay))
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -37,6 +37,7 @@ from ..datalog.seminaive import DirectEvaluator
 from ..datalog.stratification import NotStratifiedError
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value
+from ..robustness import BudgetExceeded, EvaluationBudget, ReproError, fault_point
 from .metrics import ViewMetrics
 from .registry import Component, PreparedProgram
 
@@ -46,12 +47,16 @@ Row = Tuple[Value, ...]
 FactDelta = Dict[str, Set[Row]]
 
 
-class IncrementalMaintenanceError(RuntimeError):
+class IncrementalMaintenanceError(ReproError):
     """An internal bookkeeping invariant broke.
 
     The view layer treats this as "fall back to full recomputation" —
     the incremental path is an optimisation, never a correctness risk.
+    (A :class:`~repro.robustness.ReproError`, so the service maps it to
+    a structured wire error when even the fallback cannot recover.)
     """
+
+    code = "incremental-maintenance"
 
 
 # Row-source directives interpreted by the variant walker.  For match
@@ -76,6 +81,7 @@ class IncrementalEngine:
         registry: Optional[FunctionRegistry] = None,
         metrics: Optional[ViewMetrics] = None,
         max_rounds: int = 100_000,
+        budget: Optional[EvaluationBudget] = None,
     ):
         if not prepared.stratified:
             raise NotStratifiedError(
@@ -86,6 +92,7 @@ class IncrementalEngine:
         self.registry = registry
         self.metrics = metrics if metrics is not None else ViewMetrics()
         self.max_rounds = max_rounds
+        self.budget = budget
         self.edb = (database or Database()).copy()
         for predicate, row in prepared.seed_facts:
             if not self.edb.holds(predicate, *row):
@@ -105,6 +112,7 @@ class IncrementalEngine:
 
     def initialize(self) -> None:
         """(Re)compute the model from scratch, establishing counts."""
+        fault_point("incremental.initialize")
         self.state = DirectEvaluator(self.registry)
         self.support = {predicate: {} for predicate in self._counting}
         for predicate in self.edb.predicates():
@@ -135,6 +143,8 @@ class IncrementalEngine:
         for _round in range(self.max_rounds):
             if not delta:
                 return
+            if self.budget is not None:
+                self.budget.note_iteration(phase="incremental-initialize")
             next_delta: FactDelta = {}
             for rule, order in component.rules:
                 for step, (kind, payload) in enumerate(order):
@@ -151,9 +161,10 @@ class IncrementalEngine:
                         if self.state.add(rule.head.predicate, row):
                             next_delta.setdefault(rule.head.predicate, set()).add(row)
             delta = next_delta
-        raise RuntimeError(
+        raise BudgetExceeded(
             f"component {sorted(component.predicates)} did not converge "
-            f"within {self.max_rounds} rounds"
+            f"within {self.max_rounds} rounds",
+            progress=self.budget.progress if self.budget is not None else None,
         )
 
     # -- the model ------------------------------------------------------------
@@ -183,6 +194,9 @@ class IncrementalEngine:
         absent one) are ignored.  Returns a summary with the net
         per-predicate deltas actually applied to the model.
         """
+        fault_point("incremental.apply")
+        if self.budget is not None:
+            self.budget.check(phase="incremental-apply")
         seed_minus: FactDelta = {}
         seed_plus: FactDelta = {}
         for predicate, row in deletes:
@@ -227,6 +241,9 @@ class IncrementalEngine:
             )
             if not touched:
                 continue
+            fault_point("incremental.component")
+            if self.budget is not None:
+                self.budget.note_iteration(phase="incremental-maintain")
             if component.recursive:
                 self._apply_recursive(component, seed_plus, seed_minus)
             else:
@@ -416,6 +433,8 @@ class IncrementalEngine:
         for _round in range(self.max_rounds):
             if not delta:
                 break
+            if self.budget is not None:
+                self.budget.note_iteration(phase="incremental-overdelete")
             next_delta = {}
             for rule, order in component.rules:
                 for step, (kind, payload) in enumerate(order):
@@ -431,9 +450,10 @@ class IncrementalEngine:
                     collect(rule, order, directives)
             delta = next_delta
         else:
-            raise RuntimeError(
+            raise BudgetExceeded(
                 f"over-deletion of {sorted(component.predicates)} did not "
-                f"converge within {self.max_rounds} rounds"
+                f"converge within {self.max_rounds} rounds",
+                progress=self.budget.progress if self.budget is not None else None,
             )
         total = sum(len(rows) for rows in deleted.values())
         if total:
@@ -531,6 +551,8 @@ class IncrementalEngine:
         for _round in range(self.max_rounds):
             if not delta:
                 return
+            if self.budget is not None:
+                self.budget.note_iteration(phase="incremental-insert-close")
             next_delta: FactDelta = {}
             for rule, order in component.rules:
                 for step, (kind, payload) in enumerate(order):
@@ -544,9 +566,10 @@ class IncrementalEngine:
                         continue
                     produce(rule, order, {step: ("rows", rows)}, next_delta)
             delta = next_delta
-        raise RuntimeError(
+        raise BudgetExceeded(
             f"insertion closure of {sorted(component.predicates)} did not "
-            f"converge within {self.max_rounds} rounds"
+            f"converge within {self.max_rounds} rounds",
+            progress=self.budget.progress if self.budget is not None else None,
         )
 
     # -- the variant walker ---------------------------------------------------

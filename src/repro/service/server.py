@@ -23,8 +23,10 @@ followed by a single ``ok ...`` line, or one ``error <reason>`` line.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
+import threading
 from pathlib import Path
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -33,11 +35,19 @@ from ..datalog.engine import SEMANTICS
 from ..datalog.parser import parse_program
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value, format_value
+from ..robustness import (
+    EvaluationBudget,
+    ReproError,
+    RequestTooLarge,
+    fault_point,
+)
 from .cache import LRUCache
 from .registry import ProgramRegistry
 from .views import MaterializedView
 
 __all__ = ["QueryService", "serve_stream", "serve_unix_socket", "parse_fact"]
+
+logger = logging.getLogger(__name__)
 
 Row = Tuple[Value, ...]
 
@@ -59,7 +69,12 @@ def parse_fact(text: str) -> Tuple[str, Row]:
 
 
 class QueryService:
-    """Registered programs, resident views, result cache, metrics."""
+    """Registered programs, resident views, result cache, metrics.
+
+    ``deadline_ms`` (optional) imposes a wall-clock deadline on every
+    expensive per-request operation (recompute, incremental batch) by
+    handing each one a fresh :class:`~repro.robustness.EvaluationBudget`.
+    """
 
     def __init__(
         self,
@@ -67,6 +82,7 @@ class QueryService:
         cache_capacity: int = 256,
         max_rounds: int = 10_000,
         max_atoms: int = 1_000_000,
+        deadline_ms: Optional[float] = None,
     ):
         self.registry = ProgramRegistry()
         self.views: Dict[str, MaterializedView] = {}
@@ -74,6 +90,13 @@ class QueryService:
         self.function_registry = function_registry
         self.max_rounds = max_rounds
         self.max_atoms = max_atoms
+        self.deadline_ms = deadline_ms
+
+    def _budget_factory(self) -> Optional[Callable[[], EvaluationBudget]]:
+        if self.deadline_ms is None:
+            return None
+        deadline_ms = self.deadline_ms
+        return lambda: EvaluationBudget.from_millis(deadline_ms)
 
     # -- registration ---------------------------------------------------------
 
@@ -95,6 +118,7 @@ class QueryService:
             incremental=incremental,
             max_rounds=self.max_rounds,
             max_atoms=self.max_atoms,
+            budget_factory=self._budget_factory(),
         )
         self.views[name] = view
         self.cache.invalidate(name)
@@ -113,9 +137,15 @@ class QueryService:
     # -- queries --------------------------------------------------------------
 
     def query(self, name: str, predicate: str) -> FrozenSet[Row]:
-        """True rows of a predicate, served through the LRU cache."""
+        """True rows of a predicate, served through the LRU cache.
+
+        Degraded (stale) views bypass the cache entirely — a stale
+        answer must never be cached and outlive the degradation."""
         view = self.view(name)
+        if view.stale:
+            return view.rows(predicate)
         key = (name, predicate, "true")
+        fault_point("cache.get")
         cached = self.cache.get(key)
         if cached is not None:
             view.metrics.bump("queries")
@@ -123,12 +153,16 @@ class QueryService:
             return cached
         view.metrics.bump("cache_misses")
         rows = view.rows(predicate)
-        self.cache.put(key, rows)
+        if not view.stale:
+            fault_point("cache.put")
+            self.cache.put(key, rows)
         return rows
 
     def undefined(self, name: str, predicate: str) -> FrozenSet[Row]:
         """Undefined rows of a predicate (three-valued semantics only)."""
         view = self.view(name)
+        if view.stale:
+            return view.undefined_rows(predicate)
         key = (name, predicate, "undefined")
         cached = self.cache.get(key)
         if cached is not None:
@@ -136,7 +170,8 @@ class QueryService:
             return cached
         view.metrics.bump("cache_misses")
         rows = view.undefined_rows(predicate)
-        self.cache.put(key, rows)
+        if not view.stale:
+            self.cache.put(key, rows)
         return rows
 
     # -- updates --------------------------------------------------------------
@@ -229,7 +264,10 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
         lines += sorted(
             f"undef {_format_row(predicate, row)}" for row in undefined
         )
-        lines.append(f"ok {len(rows)} rows")
+        # A degraded view answers from its last consistent model; the
+        # client sees the staleness on the wire, not silently.
+        suffix = " stale" if service.view(view_name).stale else ""
+        lines.append(f"ok {len(rows)} rows{suffix}")
         return lines
     if command == "stats":
         name = rest.strip() or None
@@ -239,13 +277,47 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
     return [f"error unknown command {command!r}"]
 
 
+def _error_reply(exc: BaseException) -> str:
+    """One structured ``error`` line for an exception.
+
+    :class:`~repro.robustness.ReproError` subtypes carry a stable
+    machine-readable code (``error <code> <Type>: <message>``); other
+    exceptions keep the legacy ``error <Type>: <message>`` shape.
+    """
+    message = str(exc).replace("\n", " ")
+    if isinstance(exc, ReproError):
+        return f"error {exc.code} {type(exc).__name__}: {message}"
+    return f"error {type(exc).__name__}: {message}"
+
+
 def serve_stream(
     service: QueryService,
     lines: Iterable[str],
     write: Callable[[str], None],
+    max_request_bytes: Optional[int] = None,
+    lock: Optional["threading.Lock"] = None,
 ) -> None:
-    """Run the protocol over a line source and a reply sink."""
+    """Run the protocol over a line source and a reply sink.
+
+    ``max_request_bytes`` rejects oversized request lines with a
+    structured ``request-too-large`` error instead of parsing them.
+    ``lock`` (optional) serialises request handling — the socket server
+    passes a shared lock so concurrent connections never interleave
+    mutations on the (single-threaded) service.
+    """
     for raw in lines:
+        if (
+            max_request_bytes is not None
+            and len(raw.encode("utf-8", errors="replace")) > max_request_bytes
+        ):
+            write(
+                _error_reply(
+                    RequestTooLarge(
+                        f"request line exceeds {max_request_bytes} bytes"
+                    )
+                )
+            )
+            continue
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -253,32 +325,52 @@ def serve_stream(
             write("ok bye")
             return
         try:
-            for reply in _handle_line(service, line):
+            if lock is not None:
+                with lock:
+                    replies = _handle_line(service, line)
+            else:
+                replies = _handle_line(service, line)
+            for reply in replies:
                 write(reply)
+        except (KeyboardInterrupt, SystemExit):
+            # Shutdown signals are never swallowed as request errors.
+            raise
+        except ReproError as exc:
+            logger.warning("request failed (%s): %s", exc.code, exc)
+            write(_error_reply(exc))
         except Exception as exc:  # the server must survive bad requests
-            message = str(exc).replace("\n", " ")
-            write(f"error {type(exc).__name__}: {message}")
+            logger.exception("request failed: %r", line)
+            write(_error_reply(exc))
 
 
 def serve_unix_socket(
-    service: QueryService, path: str, max_connections: Optional[int] = None
+    service: QueryService,
+    path: str,
+    max_connections: Optional[int] = None,
+    max_concurrent: int = 8,
+    max_request_bytes: Optional[int] = None,
 ) -> None:
-    """Serve the protocol on a unix socket, one connection at a time.
+    """Serve the protocol on a unix socket.
 
+    Connections are handled on worker threads, at most
+    ``max_concurrent`` at a time (further clients queue in the listen
+    backlog); request handling itself is serialised through one lock,
+    so concurrency buys connection-level pipelining, not data races.
     ``max_connections`` bounds how many connections are accepted
-    (None = until interrupted) — used by tests for a clean shutdown.
+    (None = until interrupted); on the way out the server stops
+    accepting and **drains** — live connections finish their streams
+    before the socket file is removed.
     """
     socket_path = Path(path)
     if socket_path.exists():
         socket_path.unlink()
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    try:
-        server.bind(str(socket_path))
-        server.listen(1)
-        accepted = 0
-        while max_connections is None or accepted < max_connections:
-            connection, _address = server.accept()
-            accepted += 1
+    slots = threading.BoundedSemaphore(max(1, max_concurrent))
+    service_lock = threading.Lock()
+    workers: List[threading.Thread] = []
+
+    def handle(connection: socket.socket) -> None:
+        try:
             with connection:
                 reader = connection.makefile("r", encoding="utf-8")
                 writer = connection.makefile("w", encoding="utf-8")
@@ -286,9 +378,37 @@ def serve_unix_socket(
                     service,
                     reader,
                     lambda reply: (writer.write(reply + "\n"), writer.flush()),
+                    max_request_bytes=max_request_bytes,
+                    lock=service_lock,
                 )
                 writer.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply; nothing to salvage
+        finally:
+            slots.release()
+
+    try:
+        server.bind(str(socket_path))
+        server.listen(max(1, max_concurrent))
+        accepted = 0
+        while max_connections is None or accepted < max_connections:
+            slots.acquire()
+            try:
+                connection, _address = server.accept()
+            except BaseException:
+                slots.release()
+                raise
+            accepted += 1
+            worker = threading.Thread(
+                target=handle, args=(connection,), daemon=True
+            )
+            workers.append(worker)
+            worker.start()
+            workers = [w for w in workers if w.is_alive()]
     finally:
+        # Graceful drain: stop accepting, let live connections finish.
+        for worker in workers:
+            worker.join()
         server.close()
         if socket_path.exists():
             os.unlink(socket_path)

@@ -14,21 +14,36 @@ database and keeps the model resident between queries:
   re-evaluates — reusing the prepared plan's fingerprint-keyed ground
   cache when the database revisits a known state.
 
-Should the incremental engine ever detect broken bookkeeping it raises,
-and the view transparently falls back to re-initialisation, counting
-the event in its metrics — incrementality is an optimisation, never a
-correctness risk.
+Failure discipline (the robustness contract, tested by the chaos
+suite in ``tests/robustness``):
+
+* a failed delta **never leaves a half-applied view** — when
+  maintenance raises mid-batch the EDB is rolled back by the inverse
+  batch and the resident model rebuilt from scratch (wrapped in
+  :func:`~repro.robustness.retry_with_backoff`);
+* if even the rebuild keeps failing, the view enters **degraded mode**:
+  it serves its last consistent model, flagged ``stale``, instead of
+  crashing or serving a corrupted one.  The next successful update or
+  recompute clears the flag.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..datalog.database import Database
 from ..datalog.engine import SEMANTICS, QueryResult, run
 from ..datalog.stratification import NotStratifiedError
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value
+from ..robustness import (
+    Cancelled,
+    EvaluationBudget,
+    ReproError,
+    ViewDegraded,
+    fault_point,
+    retry_with_backoff,
+)
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
 from .metrics import ViewMetrics
 from .registry import PreparedProgram
@@ -39,7 +54,13 @@ Row = Tuple[Value, ...]
 
 
 class MaterializedView:
-    """One registered program's resident, update-maintained model."""
+    """One registered program's resident, update-maintained model.
+
+    ``budget_factory`` (optional) supplies a fresh
+    :class:`~repro.robustness.EvaluationBudget` per expensive operation
+    (recompute, incremental batch) — the hook the service layer uses to
+    impose per-request deadlines.
+    """
 
     def __init__(
         self,
@@ -51,6 +72,8 @@ class MaterializedView:
         incremental: bool = True,
         max_rounds: int = 10_000,
         max_atoms: int = 1_000_000,
+        budget_factory: Optional[Callable[[], EvaluationBudget]] = None,
+        recovery_attempts: int = 3,
     ):
         if semantics not in SEMANTICS:
             raise ValueError(
@@ -67,6 +90,14 @@ class MaterializedView:
         self.metrics = metrics if metrics is not None else ViewMetrics()
         self.max_rounds = max_rounds
         self.max_atoms = max_atoms
+        self.budget_factory = budget_factory
+        self.recovery_attempts = recovery_attempts
+        # Degraded-mode state: when ``stale`` is True, queries answer
+        # from ``_last_good`` (the last consistent model snapshot)
+        # instead of the (unavailable or rebuilding) live model.
+        self.stale = False
+        self._last_good: Optional[Dict[str, FrozenSet[Row]]] = None
+        self._last_error: Optional[str] = None
         self.mode = (
             "incremental"
             if incremental and semantics == "stratified" and prepared.stratified
@@ -76,33 +107,59 @@ class MaterializedView:
         self._result: Optional[QueryResult] = None
         if self.mode == "incremental":
             with self.metrics.phase("initialize"):
+                # The initial materialization runs under a request
+                # budget too — a divergent program must hit its
+                # deadline at registration, not loop forever.
                 self.engine = IncrementalEngine(
                     prepared,
                     database=database,
                     registry=registry,
                     metrics=self.metrics,
+                    budget=self._budget(),
                 )
+            self.engine.budget = None
             self.database = self.engine.edb
+            self._last_good = self.engine.model()
         else:
             self.database = (database or Database()).copy()
             for predicate, row in prepared.seed_facts:
                 if not self.database.holds(predicate, *row):
                     self.database.add(predicate, *row)
 
+    def _budget(self) -> Optional[EvaluationBudget]:
+        return self.budget_factory() if self.budget_factory is not None else None
+
     # -- queries --------------------------------------------------------------
 
     def rows(self, predicate: str) -> FrozenSet[Row]:
-        """Rows of a predicate that are certainly true."""
+        """Rows of a predicate that are certainly true.
+
+        In degraded mode this serves the last consistent model — check
+        :attr:`stale` (the server surfaces it on the wire)."""
         self.metrics.bump("queries")
+        if self.stale:
+            self.metrics.bump("stale_queries")
+            assert self._last_good is not None
+            return self._last_good.get(predicate, frozenset())
         if self.engine is not None:
             return self.engine.rows(predicate)
-        return self._ensure_result().true_rows(predicate)
+        try:
+            return self._ensure_result().true_rows(predicate)
+        except ViewDegraded:
+            # The recompute just failed; degrade in place and answer
+            # from the last consistent model rather than erroring.
+            self.metrics.bump("stale_queries")
+            assert self._last_good is not None
+            return self._last_good.get(predicate, frozenset())
 
     def undefined_rows(self, predicate: str) -> FrozenSet[Row]:
         """Rows with undefined status (stratified models are total)."""
-        if self.engine is not None:
+        if self.stale or self.engine is not None:
             return frozenset()
-        return self._ensure_result().undefined_rows(predicate)
+        try:
+            return self._ensure_result().undefined_rows(predicate)
+        except ViewDegraded:
+            return frozenset()
 
     def predicates(self) -> FrozenSet[str]:
         """Every predicate the view can answer about."""
@@ -111,22 +168,54 @@ class MaterializedView:
         )
 
     def _ensure_result(self) -> QueryResult:
-        if self._result is None:
+        if self._result is not None:
+            return self._result
+
+        def recompute() -> QueryResult:
+            fault_point("view.recompute")
+            ground_program = self.prepared.ground_for(
+                self.database,
+                registry=self.registry,
+                max_rounds=self.max_rounds,
+                max_atoms=self.max_atoms,
+            )
+            return run(
+                self.prepared.program,
+                self.database,
+                semantics=self.semantics,
+                registry=self.registry,
+                ground_program=ground_program,
+                budget=self._budget(),
+            )
+
+        try:
             with self.metrics.phase("recompute"):
-                ground_program = self.prepared.ground_for(
-                    self.database,
-                    registry=self.registry,
-                    max_rounds=self.max_rounds,
-                    max_atoms=self.max_atoms,
+                self._result = retry_with_backoff(
+                    recompute,
+                    attempts=self.recovery_attempts,
+                    on_retry=lambda *_: self.metrics.bump("recompute_retries"),
                 )
-                self._result = run(
-                    self.prepared.program,
-                    self.database,
-                    semantics=self.semantics,
-                    registry=self.registry,
-                    ground_program=ground_program,
-                )
+        except Cancelled:
+            raise
+        except ReproError as exc:
+            if self._last_good is None:
+                raise
+            self._enter_degraded(exc)
+            raise ViewDegraded(
+                f"recompute failed ({exc}); serving last consistent model",
+            ) from exc
+        self.stale = False
+        self._last_error = None
+        self._last_good = {
+            predicate: self._result.true_rows(predicate)
+            for predicate in self.predicates()
+        }
         return self._result
+
+    def _enter_degraded(self, exc: BaseException) -> None:
+        self.stale = True
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        self.metrics.bump("degraded_entries")
 
     # -- updates --------------------------------------------------------------
 
@@ -143,23 +232,19 @@ class MaterializedView:
         inserts: Iterable[Tuple[str, Row]] = (),
         deletes: Iterable[Tuple[str, Row]] = (),
     ) -> Dict[str, object]:
-        """Apply an update batch, maintaining the resident model."""
+        """Apply an update batch, maintaining the resident model.
+
+        Atomic under failure: either the whole batch lands (and the
+        model reflects it), or the EDB is rolled back and the resident
+        model rebuilt — with the view degrading to stale service of the
+        last consistent model as the final fallback.
+        """
         inserts = [(predicate, tuple(row)) for predicate, row in inserts]
         deletes = [(predicate, tuple(row)) for predicate, row in deletes]
         self._check_arities(inserts)
         self._check_arities(deletes)
         if self.engine is not None:
-            try:
-                with self.metrics.phase("maintain"):
-                    summary = self.engine.apply(inserts=inserts, deletes=deletes)
-                return {"mode": "incremental", **summary}
-            except IncrementalMaintenanceError:
-                # Correctness valve: rebuild the resident model from the
-                # (already updated) database and keep serving.
-                self.metrics.bump("recompute_fallbacks")
-                with self.metrics.phase("recompute"):
-                    self.engine.initialize()
-                return {"mode": "reinitialized"}
+            return self._apply_incremental(inserts, deletes)
         applied_deletes = applied_inserts = 0
         for predicate, row in deletes:
             if self.database.holds(predicate, *row):
@@ -170,6 +255,10 @@ class MaterializedView:
                 self.database.add(predicate, *row)
                 applied_inserts += 1
         self._result = None
+        # The database moved on; give the next query a fresh chance to
+        # recompute instead of pinning the view to its stale snapshot.
+        self.stale = False
+        self._last_error = None
         self.metrics.bump("update_batches")
         self.metrics.bump("recompute_fallbacks")
         self.metrics.bump("inserts_applied", applied_inserts)
@@ -179,6 +268,135 @@ class MaterializedView:
             "inserts": applied_inserts,
             "deletes": applied_deletes,
         }
+
+    def _apply_incremental(
+        self,
+        inserts: List[Tuple[str, Row]],
+        deletes: List[Tuple[str, Row]],
+    ) -> Dict[str, object]:
+        engine = self.engine
+        assert engine is not None
+        # A degraded view's resident state is untrustworthy; rebuild it
+        # before layering a new batch on top (or refuse the batch).
+        if self.stale and not self._reinitialize():
+            raise ViewDegraded(
+                "view is degraded and could not recover before the update; "
+                "it keeps serving its last consistent model"
+            )
+        # Inverse batch, computed against the pre-batch EDB so a failed
+        # apply can be undone exactly (only the updates that actually
+        # change the database need undoing).
+        undo_add = [
+            (predicate, row)
+            for predicate, row in deletes
+            if engine.edb.holds(predicate, *row)
+        ]
+        undo_discard = [
+            (predicate, row)
+            for predicate, row in inserts
+            if not engine.edb.holds(predicate, *row)
+        ]
+        engine.budget = self._budget()
+        try:
+            with self.metrics.phase("maintain"):
+                summary = engine.apply(inserts=inserts, deletes=deletes)
+        except IncrementalMaintenanceError:
+            # Correctness valve: the EDB update itself is fine, only the
+            # derived bookkeeping broke — rebuild from the (already
+            # updated) database and keep serving.
+            self.metrics.bump("recompute_fallbacks")
+            if not self._reinitialize():
+                return self._degraded_summary(inserts, deletes)
+            return {"mode": "reinitialized"}
+        except Cancelled:
+            self._rollback(undo_add, undo_discard)
+            raise
+        except ReproError as exc:
+            # The batch failed mid-flight: roll the EDB back to the
+            # pre-batch state, then rebuild the model so it matches.
+            self._rollback(undo_add, undo_discard)
+            self.metrics.bump("rollbacks")
+            if not self._reinitialize():
+                self._enter_degraded(exc)
+                raise ViewDegraded(
+                    f"update failed and recovery failed ({exc}); view is "
+                    f"degraded and serves its last consistent model",
+                ) from exc
+            raise
+        finally:
+            engine.budget = None
+        self.stale = False
+        self._last_error = None
+        self._last_good = engine.model()
+        return {"mode": "incremental", **summary}
+
+    def _rollback(
+        self,
+        undo_add: List[Tuple[str, Row]],
+        undo_discard: List[Tuple[str, Row]],
+    ) -> None:
+        engine = self.engine
+        assert engine is not None
+        for predicate, row in undo_add:
+            if not engine.edb.holds(predicate, *row):
+                engine.edb.add(predicate, *row)
+        for predicate, row in undo_discard:
+            engine.edb.discard(predicate, *row)
+
+    def _reinitialize(self) -> bool:
+        """Rebuild the resident model from the EDB; True on success."""
+        engine = self.engine
+        assert engine is not None
+        # Recovery is not governed by the (possibly already exhausted)
+        # request budget — it must be allowed to finish.
+        engine.budget = None
+        try:
+            with self.metrics.phase("recompute"):
+                retry_with_backoff(
+                    engine.initialize,
+                    attempts=self.recovery_attempts,
+                    on_retry=lambda *_: self.metrics.bump("recovery_retries"),
+                )
+        except Cancelled:
+            raise
+        except ReproError as exc:
+            self._enter_degraded(exc)
+            return False
+        self.stale = False
+        self._last_error = None
+        self._last_good = engine.model()
+        return True
+
+    def _degraded_summary(
+        self,
+        inserts: List[Tuple[str, Row]],
+        deletes: List[Tuple[str, Row]],
+    ) -> Dict[str, object]:
+        return {
+            "mode": "degraded",
+            "stale": True,
+            "inserts": len(inserts),
+            "deletes": len(deletes),
+        }
+
+    def recover(self) -> bool:
+        """Try to leave degraded mode by rebuilding the model.
+
+        Returns True when the view is healthy again.  Recompute-mode
+        views just drop the poisoned result and retry on next query.
+        """
+        if not self.stale:
+            return True
+        if self.engine is not None:
+            return self._reinitialize()
+        self._result = None
+        self.stale = False
+        self._last_error = None
+        try:
+            self._ensure_result()
+        except ReproError:
+            return False
+        return True
 
     def _check_arities(self, updates) -> None:
         arities = self.prepared.arities
@@ -204,10 +422,13 @@ class MaterializedView:
                 "mode": self.mode,
                 "semantics": self.semantics,
                 "facts": self.database.fact_count(),
+                "stale": self.stale,
                 "ground_cache_hits": self.prepared.ground_cache_hits,
                 "ground_cache_misses": self.prepared.ground_cache_misses,
             }
         )
+        if self._last_error is not None:
+            snapshot["last_error"] = self._last_error
         if self.engine is not None:
             snapshot["model_rows"] = sum(
                 len(rows) for rows in self.engine.state.facts.values()

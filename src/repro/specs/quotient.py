@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..robustness import BudgetExceeded
 from .congruence import CongruenceClosure
 from .equations import ConditionalEquation
 from .specification import Specification
@@ -136,7 +137,12 @@ def quotient_term_algebra(
             # (otherwise the closure would silently extend it).
             instances.append(instance)
             if len(instances) > max_instances:
-                raise RuntimeError("equation instantiation exceeded the budget")
+                # A BudgetExceeded (still a RuntimeError) so quotient blow-ups
+                # join the uniform resource-exhaustion hierarchy.
+                raise BudgetExceeded(
+                    f"equation instantiation exceeded the budget of "
+                    f"{max_instances} instances"
+                )
 
     all_terms = [term for terms in universe.values() for term in terms]
     closure = CongruenceClosure.from_ground_equations(instances, extra_terms=all_terms)

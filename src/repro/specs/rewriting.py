@@ -16,15 +16,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from ..robustness import BudgetExceeded, EvaluationBudget
 from .equations import ConditionalEquation, EqPremise
 from .terms import SApp, STerm, SVar, match, substitute, subterms, term_variables
 
 __all__ = ["RewriteSystem", "RewriteLimit"]
 
 
-class RewriteLimit(RuntimeError):
+class RewriteLimit(BudgetExceeded):
     """Normalisation exceeded its step budget (possibly non-terminating,
-    e.g. the commutativity equation of INS)."""
+    e.g. the commutativity equation of INS).
+
+    A :class:`~repro.robustness.BudgetExceeded` subtype, so rewriting
+    divergence is caught by the same handlers as every other resource
+    exhaustion."""
+
+    code = "rewrite-limit"
 
 
 @dataclass(frozen=True)
@@ -96,17 +103,31 @@ class RewriteSystem:
         return True
 
     def normalize(
-        self, term: STerm, max_steps: int = 10_000, budget: Optional[List[int]] = None
+        self,
+        term: STerm,
+        max_steps: int = 10_000,
+        budget: Optional[List[int]] = None,
+        evaluation_budget: Optional[EvaluationBudget] = None,
     ) -> STerm:
         """Rewrite to normal form; raises :class:`RewriteLimit` on budget
-        exhaustion."""
+        exhaustion.
+
+        ``budget`` is the shared step counter threaded through recursive
+        premise checks; ``evaluation_budget`` adds the uniform
+        deadline/step/cancellation contract of
+        :class:`~repro.robustness.EvaluationBudget` on top."""
         if budget is None:
             budget = [max_steps]
         current = term
         while True:
+            if evaluation_budget is not None:
+                evaluation_budget.tick(phase="rewriting")
             if budget[0] <= 0:
                 raise RewriteLimit(
-                    f"rewriting exceeded its step budget at {current!r}"
+                    f"rewriting exceeded its step budget at {current!r}",
+                    progress=evaluation_budget.progress
+                    if evaluation_budget is not None
+                    else None,
                 )
             budget[0] -= 1
             next_term = self.rewrite_once(current, budget)
@@ -114,9 +135,17 @@ class RewriteSystem:
                 return current
             current = next_term
 
-    def joinable(self, left: STerm, right: STerm, max_steps: int = 10_000) -> bool:
+    def joinable(
+        self,
+        left: STerm,
+        right: STerm,
+        max_steps: int = 10_000,
+        evaluation_budget: Optional[EvaluationBudget] = None,
+    ) -> bool:
         """Do both terms normalise to the same normal form?"""
         budget = [max_steps]
-        return self.normalize(left, budget=budget) == self.normalize(
-            right, budget=budget
+        return self.normalize(
+            left, budget=budget, evaluation_budget=evaluation_budget
+        ) == self.normalize(
+            right, budget=budget, evaluation_budget=evaluation_budget
         )

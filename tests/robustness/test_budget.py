@@ -1,0 +1,140 @@
+"""Unit tests: EvaluationBudget, CancellationToken, the error hierarchy."""
+
+import time
+
+import pytest
+
+from repro.robustness import (
+    BudgetExceeded,
+    Cancelled,
+    CancellationToken,
+    DeadlineExceeded,
+    EvaluationBudget,
+    EvaluationProgress,
+    NonTerminating,
+    ReproError,
+    RequestTooLarge,
+    ViewDegraded,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error_and_runtime_error(self):
+        for cls in (
+            BudgetExceeded,
+            DeadlineExceeded,
+            Cancelled,
+            NonTerminating,
+            ViewDegraded,
+            RequestTooLarge,
+        ):
+            assert issubclass(cls, ReproError)
+            assert issubclass(cls, RuntimeError)
+
+    def test_specialised_budget_errors(self):
+        from repro.datalog.grounding import GroundingBudgetExceeded, GroundingError
+        from repro.datalog.semantics.stable import TooManyChoiceAtoms
+        from repro.specs.rewriting import RewriteLimit
+
+        assert issubclass(NonTerminating, BudgetExceeded)
+        assert issubclass(RewriteLimit, BudgetExceeded)
+        assert issubclass(TooManyChoiceAtoms, BudgetExceeded)
+        assert issubclass(GroundingBudgetExceeded, BudgetExceeded)
+        assert issubclass(GroundingBudgetExceeded, GroundingError)
+
+    def test_distinct_wire_codes(self):
+        codes = {
+            cls.code
+            for cls in (
+                BudgetExceeded,
+                DeadlineExceeded,
+                Cancelled,
+                NonTerminating,
+                ViewDegraded,
+                RequestTooLarge,
+            )
+        }
+        assert len(codes) == 6
+
+    def test_diagnostics_payload(self):
+        progress = EvaluationProgress(steps=7, facts=3, iterations=2, phase="x")
+        error = BudgetExceeded("out of steps", progress=progress)
+        payload = error.diagnostics()
+        assert payload["code"] == "budget-exceeded"
+        assert payload["message"] == "out of steps"
+        assert payload["progress"]["steps"] == 7
+        assert payload["progress"]["facts"] == 3
+        assert payload["progress"]["phase"] == "x"
+
+    def test_diagnostics_without_progress(self):
+        payload = ReproError("plain").diagnostics()
+        assert payload == {"code": "error", "message": "plain"}
+
+
+class TestEvaluationBudget:
+    def test_unlimited_only_accumulates(self):
+        budget = EvaluationBudget.unlimited()
+        for _ in range(1000):
+            budget.tick()
+        budget.charge_facts(50)
+        budget.note_iteration(stratum=3, phase="solve")
+        assert budget.progress.steps == 1000
+        assert budget.progress.facts == 50
+        assert budget.progress.iterations == 1
+        assert budget.progress.last_stratum == 3
+
+    def test_step_budget(self):
+        budget = EvaluationBudget(max_steps=10)
+        with pytest.raises(BudgetExceeded) as info:
+            for _ in range(11):
+                budget.tick(phase="testing")
+        assert info.value.progress.steps == 11
+        assert "testing" in str(info.value)
+
+    def test_fact_budget(self):
+        budget = EvaluationBudget(max_facts=5)
+        with pytest.raises(BudgetExceeded):
+            budget.charge_facts(6)
+
+    def test_deadline_is_checked_at_iterations(self):
+        budget = EvaluationBudget(deadline_seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(DeadlineExceeded):
+            budget.note_iteration()
+
+    def test_deadline_is_checked_every_interval_ticks(self):
+        budget = EvaluationBudget(deadline_seconds=0.01, check_interval=8)
+        time.sleep(0.02)
+        with pytest.raises(DeadlineExceeded):
+            for _ in range(9):
+                budget.tick()
+        # Fewer ticks than the interval never consult the clock.
+        fresh = EvaluationBudget(deadline_seconds=0.01, check_interval=1000)
+        time.sleep(0.02)
+        for _ in range(5):
+            fresh.tick()
+
+    def test_cancellation_observed_on_tick_and_check(self):
+        token = CancellationToken()
+        budget = EvaluationBudget(cancellation=token)
+        budget.tick()
+        token.cancel()
+        assert token.cancelled
+        with pytest.raises(Cancelled):
+            budget.tick()
+        with pytest.raises(Cancelled):
+            budget.check()
+
+    def test_from_millis(self):
+        budget = EvaluationBudget.from_millis(1500.0)
+        assert 1.0 < budget.remaining_seconds() <= 1.5
+        assert EvaluationBudget.from_millis(None).deadline is None
+
+    def test_remaining_seconds_without_deadline(self):
+        assert EvaluationBudget().remaining_seconds() is None
+
+    def test_shared_budget_spans_phases(self):
+        budget = EvaluationBudget(max_steps=10)
+        budget.tick(6, phase="grounding")
+        with pytest.raises(BudgetExceeded):
+            budget.tick(6, phase="solving")

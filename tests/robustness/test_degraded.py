@@ -1,0 +1,247 @@
+"""Rollback, degraded-mode serving, and recovery of materialized views."""
+
+import pytest
+
+from repro.datalog import Database
+from repro.relations import Atom
+from repro.datalog.engine import run
+from repro.datalog.parser import parse_program
+from repro.robustness import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    ViewDegraded,
+    inject_faults,
+)
+from repro.service import MaterializedView, QueryService, prepare_program, serve_stream
+
+TC_SOURCE = (
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Z) :- tc(X, Y), edge(Y, Z).\n"
+    "edge(a, b).\nedge(b, c).\n"
+)
+
+
+def _tc_view(**kwargs):
+    prepared = prepare_program("tc", TC_SOURCE)
+    return MaterializedView(prepared, **kwargs)
+
+
+def _expected_tc(database):
+    program = parse_program(
+        "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).\n"
+    )
+    return run(program, database, semantics="stratified").true_rows("tc")
+
+
+class TestRollback:
+    def test_failed_batch_rolls_back_the_edb(self):
+        view = _tc_view()
+        before = view.fingerprint()
+        before_rows = view.rows("tc")
+        plan = FaultInjector([FaultRule("incremental.component")])
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        # The batch was rejected atomically: EDB back to the pre-batch
+        # state, model consistent with it, view still healthy.
+        assert view.fingerprint() == before
+        assert view.rows("tc") == before_rows
+        assert not view.stale
+        assert view.rows("tc") == _expected_tc(view.database)
+
+    def test_failed_delete_batch_rolls_back_too(self):
+        view = _tc_view()
+        before = view.fingerprint()
+        plan = FaultInjector([FaultRule("incremental.component")])
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                view.apply(deletes=[("edge", (Atom("a"), Atom("b")))])
+        assert view.fingerprint() == before
+        assert view.rows("tc") == _expected_tc(view.database)
+
+    def test_view_works_normally_after_rollback(self):
+        view = _tc_view()
+        with inject_faults(FaultInjector([FaultRule("incremental.component")])):
+            with pytest.raises(InjectedFault):
+                view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        summary = view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        assert summary["mode"] == "incremental"
+        assert (Atom("a"), Atom("d")) in view.rows("tc")
+
+
+class TestDegradedIncremental:
+    def test_persistent_failure_degrades_to_stale_service(self):
+        view = _tc_view()
+        good_rows = view.rows("tc")
+        # Every maintenance attempt *and* every rebuild fails.
+        plan = FaultInjector(
+            [
+                FaultRule("incremental.component", times=None),
+                FaultRule("incremental.initialize", times=None),
+            ]
+        )
+        with inject_faults(plan):
+            with pytest.raises(ViewDegraded):
+                view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+            assert view.stale
+            # Degraded service: the last consistent model, not a crash.
+            assert view.rows("tc") == good_rows
+            stats = view.stats()
+            assert stats["stale"] is True
+            assert "last_error" in stats
+        # Outside the blast radius, recovery restores exact service.
+        assert view.recover()
+        assert not view.stale
+        assert view.rows("tc") == _expected_tc(view.database)
+
+    def test_next_successful_update_clears_staleness(self):
+        view = _tc_view()
+        plan = FaultInjector(
+            [
+                FaultRule("incremental.component", times=None),
+                FaultRule("incremental.initialize", times=None),
+            ]
+        )
+        with inject_faults(plan):
+            with pytest.raises(ViewDegraded):
+                view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        assert view.stale
+        summary = view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        assert summary["mode"] == "incremental"
+        assert not view.stale
+        assert (Atom("a"), Atom("d")) in view.rows("tc")
+
+    def test_transient_rebuild_failure_is_retried(self):
+        view = _tc_view()
+        # Maintenance fails persistently, the rebuild only once — the
+        # retry loop must absorb the transient and stay healthy.
+        plan = FaultInjector(
+            [
+                FaultRule("incremental.component", times=None),
+                FaultRule("incremental.initialize", times=1),
+            ]
+        )
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        assert not view.stale
+        assert view.rows("tc") == _expected_tc(view.database)
+
+
+class TestDegradedRecompute:
+    def test_recompute_view_serves_stale_when_evaluation_fails(self):
+        view = _tc_view(semantics="valid", incremental=False)
+        good_rows = view.rows("tc")  # populates the last-good snapshot
+        view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        with inject_faults(
+            FaultInjector([FaultRule("view.recompute", times=None)])
+        ):
+            rows = view.rows("tc")
+        assert view.stale
+        assert rows == good_rows
+        assert view.undefined_rows("tc") == frozenset()
+        # Recovery: the next fault-free query recomputes exactly.
+        assert view.recover()
+        assert not view.stale
+        assert (Atom("a"), Atom("d")) in view.rows("tc")
+
+    def test_recompute_failure_without_snapshot_raises(self):
+        view = _tc_view(semantics="valid", incremental=False)
+        with inject_faults(
+            FaultInjector([FaultRule("view.recompute", times=None)])
+        ):
+            with pytest.raises(InjectedFault):
+                view.rows("tc")
+        assert not view.stale  # nothing to serve, so no degraded mode
+
+
+class TestWireProtocol:
+    def _serve(self, service, script):
+        replies = []
+        serve_stream(service, script.splitlines(), replies.append)
+        return replies
+
+    def test_repro_errors_carry_wire_codes(self):
+        service = QueryService()
+        service.register("tc", TC_SOURCE)
+        plan = FaultInjector([FaultRule("incremental.component", times=None)])
+        with inject_faults(plan):
+            replies = self._serve(service, "+tc edge(c, d)\n")
+        assert len(replies) == 1
+        assert replies[0].startswith("error injected-fault InjectedFault:")
+
+    def test_non_repro_errors_keep_the_legacy_shape(self):
+        service = QueryService()
+        replies = self._serve(service, "query nope tc\n")
+        assert replies[0].startswith("error KeyError:")
+
+    def test_oversized_requests_are_rejected(self):
+        service = QueryService()
+        service.register("tc", TC_SOURCE)
+        replies = []
+        serve_stream(
+            service,
+            ["query tc " + "x" * 100 + "\n", "query tc tc\n"],
+            replies.append,
+            max_request_bytes=64,
+        )
+        assert replies[0].startswith("error request-too-large RequestTooLarge:")
+        assert replies[-1] == "ok 3 rows"  # the server survived
+
+    def test_stale_views_are_flagged_on_the_wire(self):
+        service = QueryService()
+        service.register("tc", TC_SOURCE)
+        plan = FaultInjector(
+            [
+                FaultRule("incremental.component", times=None),
+                FaultRule("incremental.initialize", times=None),
+            ]
+        )
+        with inject_faults(plan):
+            replies = self._serve(service, "+tc edge(c, d)\nquery tc tc\n")
+        assert replies[0].startswith("error view-degraded ViewDegraded:")
+        assert replies[-1] == "ok 3 rows stale"
+        assert "row tc(a, c)" in replies
+
+    def test_stale_answers_are_not_cached(self):
+        service = QueryService()
+        service.register("tc", TC_SOURCE)
+        plan = FaultInjector(
+            [
+                FaultRule("incremental.component", times=None),
+                FaultRule("incremental.initialize", times=None),
+            ]
+        )
+        with inject_faults(plan):
+            self._serve(service, "+tc edge(c, d)\nquery tc tc\n")
+        view = service.view("tc")
+        assert view.recover()
+        # A post-recovery query must not see a cached stale answer.
+        rows = service.query("tc", "tc")
+        assert rows == _expected_tc(view.database)
+
+
+class TestDatabaseFingerprintInvalidation:
+    def test_mutators_invalidate_the_cached_fingerprint(self):
+        database = Database().add("edge", *parse_fact_row("a", "b"))
+        first = database.fingerprint()
+        database.add("edge", *parse_fact_row("b", "c"))
+        second = database.fingerprint()
+        assert first != second
+        database.remove("edge", *parse_fact_row("b", "c"))
+        assert database.fingerprint() == first
+        database.discard("edge", *parse_fact_row("a", "b"))
+        assert database.fingerprint() != first
+
+    def test_discard_of_absent_fact_keeps_fingerprint(self):
+        database = Database().add("edge", *parse_fact_row("a", "b"))
+        first = database.fingerprint()
+        database.discard("edge", *parse_fact_row("z", "z"))
+        assert database.fingerprint() == first
+
+
+def parse_fact_row(*names):
+    from repro.relations import Atom
+
+    return tuple(Atom(name) for name in names)

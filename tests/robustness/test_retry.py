@@ -1,0 +1,91 @@
+"""Unit tests: retry_with_backoff."""
+
+import pytest
+
+from repro.robustness import (
+    BudgetExceeded,
+    Cancelled,
+    ReproError,
+    retry_with_backoff,
+)
+
+
+class TestRetryWithBackoff:
+    def test_returns_first_success(self):
+        calls = []
+        result = retry_with_backoff(lambda: calls.append(1) or "done")
+        assert result == "done"
+        assert len(calls) == 1
+
+    def test_retries_transient_failures_with_doubling_delays(self):
+        attempts = []
+        delays = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise BudgetExceeded("transient")
+            return "recovered"
+
+        result = retry_with_backoff(
+            flaky, attempts=3, base_delay=0.01, sleep=delays.append
+        )
+        assert result == "recovered"
+        assert len(attempts) == 3
+        assert delays == [0.01, 0.02]
+
+    def test_delay_is_capped(self):
+        delays = []
+        boom = [0]
+
+        def always_fails():
+            boom[0] += 1
+            raise BudgetExceeded("nope")
+
+        with pytest.raises(BudgetExceeded):
+            retry_with_backoff(
+                always_fails,
+                attempts=6,
+                base_delay=0.1,
+                max_delay=0.25,
+                sleep=delays.append,
+            )
+        assert boom[0] == 6
+        assert max(delays) == 0.25
+
+    def test_cancelled_is_never_retried(self):
+        attempts = []
+
+        def cancelled():
+            attempts.append(1)
+            raise Cancelled("user gave up")
+
+        with pytest.raises(Cancelled):
+            retry_with_backoff(cancelled, attempts=5, sleep=lambda _d: None)
+        assert len(attempts) == 1
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        attempts = []
+
+        def typo():
+            attempts.append(1)
+            raise KeyError("not a resource problem")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(typo, attempts=5, sleep=lambda _d: None)
+        assert len(attempts) == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        observed = []
+
+        def always_fails():
+            raise ReproError("down")
+
+        with pytest.raises(ReproError):
+            retry_with_backoff(
+                always_fails,
+                attempts=3,
+                sleep=lambda _d: None,
+                on_retry=lambda attempt, exc: observed.append((attempt, str(exc))),
+            )
+        assert len(observed) == 2  # no callback after the final failure

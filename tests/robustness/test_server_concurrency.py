@@ -1,0 +1,87 @@
+"""Bounded concurrent connections and graceful drain on the socket server."""
+
+import socket
+import threading
+import time
+
+from repro.service import QueryService, serve_unix_socket
+
+SCRIPT = (
+    b"register tc stratified tc(X,Y) :- e(X,Y). tc(X,Z) :- tc(X,Y), e(Y,Z). "
+    b"e(a,b). e(b,c).\n"
+    b"query tc tc\n"
+    b"quit\n"
+)
+
+
+def _connect(path, attempts=300):
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    for _ in range(attempts):
+        try:
+            client.connect(path)
+            return client
+        except (FileNotFoundError, ConnectionRefusedError):
+            time.sleep(0.01)
+    raise AssertionError(f"could not connect to {path}")
+
+
+class TestConcurrentSocketServing:
+    def test_connections_are_served_concurrently_and_drained(self, tmp_path):
+        path = str(tmp_path / "svc.sock")
+        service = QueryService()
+        server = threading.Thread(
+            target=serve_unix_socket,
+            args=(service, path),
+            kwargs={"max_connections": 4, "max_concurrent": 2},
+        )
+        server.start()
+        try:
+            results = []
+            lock = threading.Lock()
+
+            def client_session(index):
+                client = _connect(path)
+                with client:
+                    client.sendall(SCRIPT)
+                    reader = client.makefile("r", encoding="utf-8")
+                    replies = [line.strip() for line in reader]
+                with lock:
+                    results.append((index, replies))
+
+            clients = [
+                threading.Thread(target=client_session, args=(i,))
+                for i in range(4)
+            ]
+            for thread in clients:
+                thread.start()
+            for thread in clients:
+                thread.join(timeout=10)
+        finally:
+            server.join(timeout=10)
+        # Drain semantics: the server only exits after every accepted
+        # connection got its full reply stream.
+        assert not server.is_alive()
+        assert len(results) == 4
+        for _index, replies in results:
+            assert any(reply == "ok 3 rows" for reply in replies)
+            assert replies[-1] == "ok bye"
+
+    def test_oversized_lines_rejected_on_socket(self, tmp_path):
+        path = str(tmp_path / "limits.sock")
+        service = QueryService()
+        server = threading.Thread(
+            target=serve_unix_socket,
+            args=(service, path),
+            kwargs={"max_connections": 1, "max_request_bytes": 64},
+        )
+        server.start()
+        try:
+            client = _connect(path)
+            with client:
+                client.sendall(b"query tc " + b"x" * 200 + b"\nquit\n")
+                reader = client.makefile("r", encoding="utf-8")
+                replies = [line.strip() for line in reader]
+        finally:
+            server.join(timeout=10)
+        assert replies[0].startswith("error request-too-large RequestTooLarge:")
+        assert replies[-1] == "ok bye"

@@ -188,6 +188,62 @@ class TestServeCommand:
         assert out[0].startswith("error KeyError")
         assert out[-1] == "ok 1 rows"
 
+    def test_serve_with_resource_limit_flags(self, monkeypatch, capsys):
+        import io
+        import sys as _sys
+
+        script = (
+            "register tc stratified tc(X,Y) :- e(X,Y). e(a,b). e(b,c).\n"
+            "query tc tc\n"
+            "query tc " + "x" * 200 + "\n"
+            "query tc tc\n"
+            "quit\n"
+        )
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(script))
+        assert (
+            main(
+                [
+                    "serve",
+                    "--deadline-ms",
+                    "5000",
+                    "--max-request-bytes",
+                    "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("ok {")
+        assert "ok 2 rows" in out
+        oversized = [line for line in out if "request-too-large" in line]
+        assert oversized and oversized[0].startswith(
+            "error request-too-large RequestTooLarge:"
+        )
+        assert out[-1] == "ok bye"
+
+    def test_serve_deadline_rejects_divergent_updates(self, monkeypatch, capsys):
+        import io
+        import sys as _sys
+        import time
+
+        script = (
+            "register nat stratified nat(Y) :- nat(X), Y = succ(X). nat(0).\n"
+        )
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(script))
+        start = time.monotonic()
+        assert main(["serve", "--deadline-ms", "200", "--max-rounds", "1000000000", "--max-atoms", "1000000000"]) == 0
+        elapsed = time.monotonic() - start
+        out = capsys.readouterr().out.splitlines()
+        # Registration materializes the view; grounding the divergent
+        # program must hit the deadline, not loop forever...
+        assert any(
+            line.startswith("error deadline-exceeded DeadlineExceeded:")
+            or line.startswith("error budget-exceeded")
+            for line in out
+        )
+        # ...and within 2x the configured deadline (plus process slack).
+        assert elapsed < 5.0
+
     def test_unix_socket_serving(self, tmp_path):
         import socket
         import threading
