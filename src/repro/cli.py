@@ -18,6 +18,7 @@ becomes a database relation via the standard encoding.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -39,6 +40,7 @@ from .lang.parser import parse_algebra_program
 from .lang.pretty import pretty_algebra_program
 from .relations.relation import Relation
 from .relations.values import format_value, sorted_values
+from .robustness import EvaluationBudget, ReproError
 
 __all__ = ["main"]
 
@@ -88,20 +90,48 @@ def _print_rows(label: str, rows) -> None:
     print(f"  {label}: {' '.join(rendered) if rendered else '-'}")
 
 
+def _budget_from_args(args: argparse.Namespace) -> Optional[EvaluationBudget]:
+    """An :class:`EvaluationBudget` from the one-shot resource flags."""
+    deadline_ms = getattr(args, "deadline_ms", None)
+    max_steps = getattr(args, "max_steps", None)
+    max_facts = getattr(args, "max_facts", None)
+    if deadline_ms is None and max_steps is None and max_facts is None:
+        return None
+    return EvaluationBudget.from_millis(
+        deadline_ms, max_steps=max_steps, max_facts=max_facts
+    )
+
+
+def _print_repro_error(exc: ReproError) -> int:
+    """Surface a governed failure in the service wire shape, exit 1.
+
+    The same ``error <code> <Type>: <message>`` line the protocol
+    emits, so scripts can treat one-shot runs and the server alike —
+    and no traceback ever reaches the terminal for a budget trip.
+    """
+    message = str(exc).replace("\n", " ")
+    print(f"error {exc.code} {type(exc).__name__}: {message}")
+    return 1
+
+
 def _cmd_datalog(args: argparse.Namespace) -> int:
     source = Path(args.program).read_text()
     program, inline_facts = _split_program_and_facts(
         parse_program(source, name=args.program)
     )
     database = _merge(inline_facts, _load_facts(args.facts))
-    result = run(
-        program,
-        database,
-        semantics=args.semantics,
-        registry=translation_registry(),
-        max_rounds=args.max_rounds,
-        max_atoms=args.max_atoms,
-    )
+    try:
+        result = run(
+            program,
+            database,
+            semantics=args.semantics,
+            registry=translation_registry(),
+            max_rounds=args.max_rounds,
+            max_atoms=args.max_atoms,
+            budget=_budget_from_args(args),
+        )
+    except ReproError as exc:
+        return _print_repro_error(exc)
     predicates = args.query or sorted(program.idb_predicates())
     for predicate in predicates:
         print(f"{predicate}:")
@@ -232,10 +262,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_concurrent=args.max_concurrent,
             max_request_bytes=args.max_request_bytes,
         )
-        return 0
-    serve_stream(
-        service, sys.stdin, print, max_request_bytes=args.max_request_bytes
-    )
+    else:
+        serve_stream(
+            service, sys.stdin, print, max_request_bytes=args.max_request_bytes
+        )
+    if args.metrics_snapshot:
+        # The final observability snapshot, one JSON document on
+        # stdout — what a supervisor scrapes when the server exits.
+        print(json.dumps(service.metrics_snapshot(), sort_keys=True))
     return 0
 
 
@@ -250,14 +284,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_dl = sub.add_parser("datalog", help="run a deductive program")
-    p_dl.add_argument("program")
-    p_dl.add_argument("--facts", help="extra facts file")
-    p_dl.add_argument("--semantics", choices=SEMANTICS, default="valid")
-    p_dl.add_argument("--query", action="append", help="predicate(s) to print")
-    p_dl.add_argument("--max-rounds", type=int, default=10_000)
-    p_dl.add_argument("--max-atoms", type=int, default=1_000_000)
-    p_dl.set_defaults(func=_cmd_datalog)
+    # ``repro run`` is an alias for ``repro datalog`` — the one-shot
+    # evaluation path, resource-governed by the same budget flags.
+    for name, help_text in (
+        ("datalog", "run a deductive program"),
+        ("run", "run a deductive program (alias for datalog)"),
+    ):
+        p_dl = sub.add_parser(name, help=help_text)
+        p_dl.add_argument("program")
+        p_dl.add_argument("--facts", help="extra facts file")
+        p_dl.add_argument("--semantics", choices=SEMANTICS, default="valid")
+        p_dl.add_argument(
+            "--query", action="append", help="predicate(s) to print"
+        )
+        p_dl.add_argument("--max-rounds", type=int, default=10_000)
+        p_dl.add_argument("--max-atoms", type=int, default=1_000_000)
+        p_dl.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            help="wall-clock deadline for the evaluation (default: none)",
+        )
+        p_dl.add_argument(
+            "--max-steps",
+            type=int,
+            default=None,
+            help="derivation-step budget (default: unlimited)",
+        )
+        p_dl.add_argument(
+            "--max-facts",
+            type=int,
+            default=None,
+            help="derived-fact budget (default: unlimited)",
+        )
+        p_dl.set_defaults(func=_cmd_datalog)
 
     p_alg = sub.add_parser("algebra", help="run an algebra= program")
     p_alg.add_argument("program")
@@ -306,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="socket connections served concurrently (default: 8)",
+    )
+    p_srv.add_argument(
+        "--metrics-snapshot",
+        action="store_true",
+        help="dump the service metrics snapshot as JSON on exit",
     )
     p_srv.set_defaults(func=_cmd_serve)
 

@@ -117,6 +117,15 @@ class _RuleCompiler:
         """The simulation expression for one safe rule."""
         order = binding_order(rule)  # raises UnsafeRuleError when unsafe
         join: Optional[Expr] = None
+        # The *frame* mirrors ``join`` minus the negative-literal
+        # subtractions.  Subtrahends are built from it rather than from
+        # ``join`` so no subexpression is duplicated at both polarities:
+        # under three-valued evaluation a repeated subterm loses the
+        # classical ``φ ∧ ¬φ = false`` (it is undefined when φ is), which
+        # would make valid_evaluate strictly less precise than deduction.
+        # Since join ⊆ frame and both share one tuple shape,
+        # ``join − {t ∈ frame | cond}`` equals ``join − {t ∈ join | cond}``.
+        frame: Optional[Expr] = None
         env: Dict[Var, Path] = {}
 
         def seed() -> Expr:
@@ -134,9 +143,11 @@ class _RuleCompiler:
                 base = self._base(predicate)
                 if join is None:
                     join = base
+                    frame = base
                     root: Path = ()
                 else:
                     join = Product(join, base)
+                    frame = Product(frame, base)
                     prefix_env()
                     root = (2,)
                 for position, arg in enumerate(literal.atom.args):
@@ -144,14 +155,13 @@ class _RuleCompiler:
                     if isinstance(arg, Var) and arg not in env:
                         env[arg] = component_path
                     else:
-                        join = Select(
-                            join,
-                            CompareTest(
-                                "=",
-                                _path_expr(component_path),
-                                _term_to_scalar(arg, env),
-                            ),
+                        test = CompareTest(
+                            "=",
+                            _path_expr(component_path),
+                            _term_to_scalar(arg, env),
                         )
+                        join = Select(join, test)
+                        frame = Select(frame, test)
             elif kind == "assign":
                 mode, comparison = payload
                 if mode == "assign-left":
@@ -161,21 +171,24 @@ class _RuleCompiler:
                 scalar = _term_to_scalar(expr, env)
                 if join is None:
                     join = seed()
-                join = Map(join, MkTup((Arg(), scalar)))
+                    frame = join
+                extend = MkTup((Arg(), scalar))
+                join = Map(join, extend)
+                frame = Map(frame, extend)
                 prefix_env()
                 env[variable] = (2,)
             elif kind == "test":
                 comparison = payload
                 if join is None:
                     join = seed()
-                join = Select(
-                    join,
-                    CompareTest(
-                        comparison.op,
-                        _term_to_scalar(comparison.left, env),
-                        _term_to_scalar(comparison.right, env),
-                    ),
+                    frame = join
+                test = CompareTest(
+                    comparison.op,
+                    _term_to_scalar(comparison.left, env),
+                    _term_to_scalar(comparison.right, env),
                 )
+                join = Select(join, test)
+                frame = Select(frame, test)
             elif kind == "negtest":
                 literal = payload
                 predicate = literal.atom.predicate
@@ -183,7 +196,8 @@ class _RuleCompiler:
                 base = self._base(predicate)
                 if join is None:
                     join = seed()
-                paired = Product(join, base)
+                    frame = join
+                paired = Product(frame, base)
                 tests = []
                 for position, arg in enumerate(literal.atom.args):
                     component: ScalarExpr = Comp(Arg(), 2)

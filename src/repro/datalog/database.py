@@ -100,15 +100,16 @@ class Database:
         clone = self.copy()
         if relation.name is None:
             raise ValueError("relation must be named")
-        clone._facts.setdefault(relation.name, set())
+        clone.declare(relation.name)
         for member in relation.items:
             clone.add(relation.name, member)
         return clone
 
     def copy(self) -> "Database":
-        """An independent copy."""
+        """An independent copy (shares the memoized fingerprint)."""
         clone = Database()
         clone._facts = {pred: set(rows) for pred, rows in self._facts.items()}
+        clone._fingerprint = self._fingerprint
         return clone
 
     # -- access ---------------------------------------------------------------
@@ -161,7 +162,12 @@ class Database:
         changes it.  The service layer keys its ground-program cache on
         this, so re-grounding is skipped when a database returns to a
         previously seen state.
+
+        Memoized: the digest is computed at most once per content state
+        (every mutator clears the cache, :meth:`copy` carries it over).
         """
+        if self._fingerprint is not None:
+            return self._fingerprint
         hasher = hashlib.sha256()
         for predicate in sorted(self._facts):
             hasher.update(predicate.encode("utf-8"))
@@ -170,7 +176,8 @@ class Database:
                 hasher.update(repr(row).encode("utf-8"))
                 hasher.update(b"\x01")
             hasher.update(b"\x02")
-        return hasher.hexdigest()
+        self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     # -- the active domain -----------------------------------------------------
 

@@ -17,6 +17,7 @@ Instrumented points (see ``docs/ROBUSTNESS.md``):
 ``incremental.initialize``  entry of a from-scratch (re)initialisation
 ``view.recompute``          entry of a recompute-mode evaluation
 ``cache.get`` / ``cache.put``  the LRU result cache
+``service.lock``            before each per-view/registry lock acquisition
 ==========================  ================================================
 
 Typical use::
@@ -60,6 +61,9 @@ ALL_POINTS = (
     "view.recompute",
     "cache.get",
     "cache.put",
+    # Appended last so seeded chaos plans over the older points keep
+    # drawing the same random rules for them.
+    "service.lock",
 )
 
 

@@ -11,7 +11,8 @@ served from an LRU cache (:mod:`cache`), and the whole thing observable
 
 from .cache import LRUCache
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
-from .metrics import ViewMetrics
+from .locks import InstrumentedLock, ReadWriteLock
+from .metrics import Histogram, ServiceMetrics, ViewMetrics
 from .registry import (
     Component,
     PreparedProgram,
@@ -24,13 +25,17 @@ from .views import MaterializedView
 
 __all__ = [
     "Component",
+    "Histogram",
     "IncrementalEngine",
     "IncrementalMaintenanceError",
+    "InstrumentedLock",
     "LRUCache",
     "MaterializedView",
     "PreparedProgram",
     "ProgramRegistry",
     "QueryService",
+    "ReadWriteLock",
+    "ServiceMetrics",
     "ViewMetrics",
     "parse_fact",
     "prepare_program",

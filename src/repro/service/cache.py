@@ -5,10 +5,15 @@ from here; the update path invalidates a view's entries the moment a
 delta batch lands, so a hit is always consistent with the resident
 model.  Keys are ``(scope, ...)`` tuples — the scope (the view name) is
 what invalidation targets.
+
+Thread-safe: the service shards its big lock per view, so cache
+entries for different scopes are read and written concurrently; every
+operation takes the cache's internal mutex.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Set, Tuple
 
@@ -25,57 +30,64 @@ class LRUCache:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple[Hashable, ...], object]" = OrderedDict()
         self._scope_keys: Dict[Hashable, Set[Tuple[Hashable, ...]]] = {}
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Tuple[Hashable, ...], default=None):
         """Look up a key, refreshing its recency.  Counts hit/miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, key: Tuple[Hashable, ...], value) -> None:
         """Insert/overwrite a key; the first key element is its scope."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        self._scope_keys.setdefault(key[0], set()).add(key)
-        while len(self._entries) > self.capacity:
-            evicted, _value = self._entries.popitem(last=False)
-            keys = self._scope_keys.get(evicted[0])
-            if keys is not None:
-                keys.discard(evicted)
-                if not keys:
-                    del self._scope_keys[evicted[0]]
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            self._scope_keys.setdefault(key[0], set()).add(key)
+            while len(self._entries) > self.capacity:
+                evicted, _value = self._entries.popitem(last=False)
+                keys = self._scope_keys.get(evicted[0])
+                if keys is not None:
+                    keys.discard(evicted)
+                    if not keys:
+                        del self._scope_keys[evicted[0]]
 
     def invalidate(self, scope: Hashable) -> int:
         """Drop every entry whose scope matches; returns the count."""
-        keys = self._scope_keys.pop(scope, None)
-        if not keys:
-            return 0
-        for key in keys:
-            self._entries.pop(key, None)
-        return len(keys)
+        with self._lock:
+            keys = self._scope_keys.pop(scope, None)
+            if not keys:
+                return 0
+            for key in keys:
+                self._entries.pop(key, None)
+            return len(keys)
 
     def clear(self) -> None:
         """Drop everything (counters survive)."""
-        self._entries.clear()
-        self._scope_keys.clear()
+        with self._lock:
+            self._entries.clear()
+            self._scope_keys.clear()
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

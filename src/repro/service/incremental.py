@@ -374,12 +374,17 @@ class IncrementalEngine:
     def _apply_recursive(
         self, component: Component, seed_plus: FactDelta, seed_minus: FactDelta
     ) -> None:
-        overdeleted = self._overdelete(component, seed_minus)
-        for predicate, rows in overdeleted.items():
-            for row in rows:
-                self._commit_remove(predicate, row)
-        rederive_seeds = self._rederive(component, overdeleted)
-        self._insert_close(component, seed_plus, rederive_seeds, overdeleted)
+        # Each DRed phase is timed separately so the service-level phase
+        # histograms can tell an over-deletion storm from a slow closure.
+        with self.metrics.phase("overdelete"):
+            overdeleted = self._overdelete(component, seed_minus)
+            for predicate, rows in overdeleted.items():
+                for row in rows:
+                    self._commit_remove(predicate, row)
+        with self.metrics.phase("rederive"):
+            rederive_seeds = self._rederive(component, overdeleted)
+        with self.metrics.phase("insert_close"):
+            self._insert_close(component, seed_plus, rederive_seeds, overdeleted)
 
     def _overdelete(
         self, component: Component, seed_minus: FactDelta

@@ -1,0 +1,113 @@
+"""Locking primitives for the concurrent query service.
+
+The service used to serialise every request through one big lock; now
+it holds
+
+* one :class:`ReadWriteLock` over the **registry** — register and
+  unregister take the write side, every query/update takes the (shared)
+  read side just long enough to resolve a view name; and
+* one :class:`InstrumentedLock` per **view** — updates and queries
+  against *different* views proceed fully in parallel, while operations
+  on the same view stay serialised (which is what makes a query unable
+  to observe a half-applied batch).
+
+Both wrappers are observability-aware: every :class:`InstrumentedLock`
+acquisition reports its wait and hold wall-clock to a recorder (the
+service's :class:`~repro.service.metrics.ServiceMetrics`), and the
+acquisition itself is an injectable fault site (``service.lock``) so
+the chaos suite can blow up a request *before* it touches any state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from ..robustness import fault_point
+
+__all__ = ["InstrumentedLock", "ReadWriteLock"]
+
+#: recorder(lock_name, wait_seconds, hold_seconds)
+LockRecorder = Callable[[str, float, float], None]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Many readers may hold the lock simultaneously; a writer holds it
+    exclusively.  Waiting writers block new readers, so a stream of
+    lookups cannot starve a registration.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Hold the shared (read) side for the ``with`` body."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold the exclusive (write) side for the ``with`` body."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class InstrumentedLock:
+    """A reentrant lock that reports wait/hold times and can be faulted.
+
+    The ``service.lock`` fault point fires *before* the acquisition
+    attempt, so an injected failure rejects the request without ever
+    taking (and thus never leaking) the lock.
+    """
+
+    def __init__(self, name: str, recorder: Optional[LockRecorder] = None):
+        self.name = name
+        self.recorder = recorder
+        self._lock = threading.RLock()
+
+    @contextmanager
+    def held(self) -> Iterator[None]:
+        """Acquire for the ``with`` body, recording wait and hold time."""
+        fault_point("service.lock")
+        requested = time.perf_counter()
+        self._lock.acquire()
+        acquired = time.perf_counter()
+        try:
+            yield
+        finally:
+            held = time.perf_counter() - acquired
+            self._lock.release()
+            if self.recorder is not None:
+                self.recorder(self.name, acquired - requested, held)
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self.name!r}>"

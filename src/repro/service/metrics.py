@@ -1,23 +1,38 @@
-"""Per-view serving metrics.
+"""The service observability plane: per-view and service-level metrics.
 
-Every materialized view carries a :class:`ViewMetrics`: monotone
-counters (cache traffic, delta sizes, rules fired, recompute fallbacks)
-plus accumulated wall-clock per maintenance phase.  The ``stats()`` API
-and the ``repro serve`` line protocol expose snapshots of these — the
-observability layer the ROADMAP's scaling PRs (sharding, async) will
-hang dashboards on.
+Two layers:
+
+* every materialized view carries a :class:`ViewMetrics` — monotone
+  counters (cache traffic, delta sizes, rules fired, recompute
+  fallbacks), accumulated wall-clock and a :class:`Histogram` per
+  maintenance phase, and the time the view has spent degraded;
+* the :class:`~repro.service.server.QueryService` carries one
+  :class:`ServiceMetrics` — service-level monotone counters (requests,
+  errors, registrations, updates, queries), gauges (in-flight request
+  depth; stale-view count and per-view time-in-degraded are derived
+  from the live views at snapshot time), lock wait/hold histograms fed
+  by :class:`~repro.service.locks.InstrumentedLock`, service-wide phase
+  histograms (every view's phases roll up here through the ``sink``
+  hook), and a **retired rollup**: when a view is unregistered or
+  replaced, its counters are absorbed so service totals stay monotone.
+
+The ``stats`` / ``metrics`` verbs of the line protocol and
+``repro serve --metrics-snapshot`` expose snapshots of all of this —
+the dashboard surface the ROADMAP's scaling PRs hang on.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
-__all__ = ["ViewMetrics"]
+__all__ = ["Histogram", "ServiceMetrics", "ViewMetrics"]
 
 
-#: Counter names every snapshot reports, even when still zero.
+#: Counter names every view snapshot reports, even when still zero.
 _COUNTERS = (
     "queries",
     "cache_hits",
@@ -34,13 +49,92 @@ _COUNTERS = (
     "recompute_fallbacks",
 )
 
+#: Counter names every service snapshot reports, even when still zero.
+_SERVICE_COUNTERS = (
+    "requests_total",
+    "errors_total",
+    "registrations",
+    "unregistrations",
+    "updates_total",
+    "queries_total",
+    "lock_acquisitions",
+)
+
+#: Exponential latency buckets (seconds), Prometheus-style ``le`` bounds.
+_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket timing histogram (cumulative-free, seconds).
+
+    ``observe`` files a value into the first bucket whose upper bound
+    contains it (the last bucket is unbounded); ``snapshot`` renders a
+    JSON-friendly dict whose ``count`` always equals the sum of the
+    bucket counts — the internal-consistency invariant the metamorphic
+    suite checks.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds=_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """File one observation (negative values clamp to zero)."""
+        value = max(0.0, value)
+        self.count += 1
+        self.sum += value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly copy: count, sum, and per-bucket counts."""
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(self.bounds, self.bucket_counts)
+        }
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "buckets": buckets,
+        }
+
 
 class ViewMetrics:
-    """Counters and phase timings for one materialized view."""
+    """Counters, phase timings, and degraded time for one view.
 
-    def __init__(self) -> None:
+    ``sink`` (optional) is a :class:`ServiceMetrics`: every phase
+    observation is forwarded there so the service-level histograms see
+    all views combined.
+    """
+
+    def __init__(self, sink: Optional["ServiceMetrics"] = None) -> None:
         self.counters: Dict[str, int] = {name: 0 for name in _COUNTERS}
         self.phase_seconds: Dict[str, float] = {}
+        self.phase_histograms: Dict[str, Histogram] = {}
+        self.sink = sink
+        self._degraded_seconds = 0.0
+        self._degraded_since: Optional[float] = None
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a counter (creating it on first use)."""
@@ -55,17 +149,138 @@ class ViewMetrics:
         finally:
             elapsed = time.perf_counter() - start
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            histogram = self.phase_histograms.get(name)
+            if histogram is None:
+                histogram = self.phase_histograms[name] = Histogram()
+            histogram.observe(elapsed)
+            if self.sink is not None:
+                self.sink.observe_phase(name, elapsed)
+
+    # -- degraded-time tracking ----------------------------------------------
+
+    def mark_degraded(self) -> None:
+        """Start the degraded clock (idempotent while degraded)."""
+        if self._degraded_since is None:
+            self._degraded_since = time.perf_counter()
+
+    def mark_healthy(self) -> None:
+        """Stop the degraded clock, banking the elapsed time."""
+        if self._degraded_since is not None:
+            self._degraded_seconds += time.perf_counter() - self._degraded_since
+            self._degraded_since = None
+
+    def degraded_seconds(self) -> float:
+        """Total time spent degraded, including the current spell."""
+        total = self._degraded_seconds
+        if self._degraded_since is not None:
+            total += time.perf_counter() - self._degraded_since
+        return total
 
     def snapshot(self) -> Dict[str, object]:
-        """A JSON-friendly copy of counters and timings."""
+        """A JSON-friendly copy of counters, timings, degraded time."""
         return {
             "counters": dict(self.counters),
             "phase_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.phase_seconds.items())
             },
+            "phase_histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self.phase_histograms.items())
+            },
+            "degraded_seconds": round(self.degraded_seconds(), 6),
         }
 
     def __repr__(self) -> str:
         busy = {k: v for k, v in self.counters.items() if v}
         return f"<ViewMetrics {busy}>"
+
+
+class ServiceMetrics:
+    """Service-level aggregation: counters, gauges, histograms, rollup.
+
+    Thread-safe — bumped from every worker thread of the socket server
+    without any outer lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {name: 0 for name in _SERVICE_COUNTERS}
+        self.lock_wait = Histogram()
+        self.lock_hold = Histogram()
+        self.phase_histograms: Dict[str, Histogram] = {}
+        # Counters absorbed from unregistered/replaced views, so the
+        # service-wide rollup stays monotone across view churn.
+        self.retired_counters: Dict[str, int] = {}
+        self.retired_degraded_seconds = 0.0
+        self._inflight = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a service-level counter."""
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def record_lock(self, name: str, wait: float, hold: float) -> None:
+        """File one lock acquisition (the InstrumentedLock recorder)."""
+        with self._lock:
+            self.counters["lock_acquisitions"] += 1
+            self.lock_wait.observe(wait)
+            self.lock_hold.observe(hold)
+
+    def observe_phase(self, name: str, seconds: float) -> None:
+        """File one phase timing (the ViewMetrics sink)."""
+        with self._lock:
+            histogram = self.phase_histograms.get(name)
+            if histogram is None:
+                histogram = self.phase_histograms[name] = Histogram()
+            histogram.observe(seconds)
+
+    @contextmanager
+    def request(self) -> Iterator[None]:
+        """Track one protocol request: total counter + in-flight gauge."""
+        with self._lock:
+            self.counters["requests_total"] += 1
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being handled (the queue-depth gauge)."""
+        return self._inflight
+
+    def absorb(self, view_metrics: ViewMetrics) -> None:
+        """Roll a departing view's counters into the retired totals."""
+        with self._lock:
+            for name, value in view_metrics.counters.items():
+                self.retired_counters[name] = (
+                    self.retired_counters.get(name, 0) + value
+                )
+            self.retired_degraded_seconds += view_metrics.degraded_seconds()
+
+    def snapshot(self) -> Dict[str, object]:
+        """The service-level part (no view data — see the QueryService
+        ``metrics_snapshot``, which adds views, gauges, and the rollup)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "locks": {
+                    "wait": self.lock_wait.snapshot(),
+                    "hold": self.lock_hold.snapshot(),
+                },
+                "phase_histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in sorted(self.phase_histograms.items())
+                },
+                "retired": dict(self.retired_counters),
+                "retired_degraded_seconds": round(
+                    self.retired_degraded_seconds, 6
+                ),
+            }
+
+    def __repr__(self) -> str:
+        busy = {k: v for k, v in self.counters.items() if v}
+        return f"<ServiceMetrics {busy} inflight={self._inflight}>"

@@ -212,6 +212,13 @@ class ProgramRegistry:
         self._programs[name] = prepared
         return prepared
 
+    def unregister(self, name: str) -> PreparedProgram:
+        """Drop a program; raises ``KeyError`` when absent."""
+        try:
+            return self._programs.pop(name)
+        except KeyError:
+            raise KeyError(f"program {name!r} not registered") from None
+
     def get(self, name: str) -> PreparedProgram:
         """Look up a prepared program; raises ``KeyError`` when absent."""
         return self._programs[name]

@@ -3,21 +3,37 @@
 :class:`QueryService` is the long-lived facade the ``repro serve`` CLI
 exposes: registered programs (compiled once), one materialized view per
 program, a shared LRU result cache invalidated by the update path, and
-per-view metrics.
+per-view plus service-level metrics.
+
+Concurrency model (per-view lock sharding):
+
+* a registry-level :class:`~repro.service.locks.ReadWriteLock` guards
+  the name → view table — ``register``/``unregister`` take the write
+  side, every other request takes the read side just long enough to
+  resolve the name;
+* each view carries its own
+  :class:`~repro.service.locks.InstrumentedLock` — queries and updates
+  against *different* views proceed fully in parallel through the
+  socket server's worker pool, while operations on the same view stay
+  serialised, so a query can never observe a half-applied batch.
 
 The wire format is a newline-delimited request/response protocol,
 servable from stdin/stdout or a unix socket::
 
     register <view> <semantics> <program-file-or-inline-text>
+    unregister <view>
     +<view> <fact>           e.g.  +tc edge(a, b).
     -<view> <fact>           e.g.  -tc edge(a, b).
     query <view> <predicate>
     stats [<view>]
+    metrics
+    views
     quit
 
 Replies are one or more lines: ``row <atom>`` lines for queries,
 followed by a single ``ok ...`` line, or one ``error <reason>`` line.
-``stats`` replies ``ok`` followed by a JSON document on the same line.
+``stats`` and ``metrics`` reply ``ok`` followed by a JSON document on
+the same line.
 """
 
 from __future__ import annotations
@@ -42,6 +58,8 @@ from ..robustness import (
     fault_point,
 )
 from .cache import LRUCache
+from .locks import InstrumentedLock, ReadWriteLock
+from .metrics import ServiceMetrics, ViewMetrics
 from .registry import ProgramRegistry
 from .views import MaterializedView
 
@@ -74,6 +92,12 @@ class QueryService:
     ``deadline_ms`` (optional) imposes a wall-clock deadline on every
     expensive per-request operation (recompute, incremental batch) by
     handing each one a fresh :class:`~repro.robustness.EvaluationBudget`.
+
+    ``lock_mode`` picks the concurrency discipline: ``"view"`` (the
+    default) shards the service lock per view so different views are
+    served fully in parallel; ``"global"`` is the old one-big-lock
+    behaviour, kept as the benchmark baseline
+    (``benchmarks/bench_p07_concurrent_throughput.py``).
     """
 
     def __init__(
@@ -83,7 +107,10 @@ class QueryService:
         max_rounds: int = 10_000,
         max_atoms: int = 1_000_000,
         deadline_ms: Optional[float] = None,
+        lock_mode: str = "view",
     ):
+        if lock_mode not in ("view", "global"):
+            raise ValueError(f"unknown lock_mode {lock_mode!r}")
         self.registry = ProgramRegistry()
         self.views: Dict[str, MaterializedView] = {}
         self.cache = LRUCache(cache_capacity)
@@ -91,6 +118,15 @@ class QueryService:
         self.max_rounds = max_rounds
         self.max_atoms = max_atoms
         self.deadline_ms = deadline_ms
+        self.lock_mode = lock_mode
+        self.metrics = ServiceMetrics()
+        self._registry_lock = ReadWriteLock()
+        self._locks: Dict[str, InstrumentedLock] = {}
+        self._global_lock = (
+            InstrumentedLock("*", self.metrics.record_lock)
+            if lock_mode == "global"
+            else None
+        )
 
     def _budget_factory(self) -> Optional[Callable[[], EvaluationBudget]]:
         if self.deadline_ms is None:
@@ -108,31 +144,75 @@ class QueryService:
         database: Optional[Database] = None,
         incremental: bool = True,
     ) -> Dict[str, object]:
-        """Register (or replace) a program and materialize its view."""
+        """Register (or replace) a program and materialize its view.
+
+        The expensive part — compiling the plan and materializing the
+        initial model — runs **outside** every lock; only the final
+        swap into the name table takes the registry write lock, so a
+        slow registration never stalls traffic on other views.
+        """
         prepared = self.registry.register(name, source)
         view = MaterializedView(
             prepared,
             database=database,
             semantics=semantics,
             registry=self.function_registry,
+            metrics=ViewMetrics(sink=self.metrics),
             incremental=incremental,
             max_rounds=self.max_rounds,
             max_atoms=self.max_atoms,
             budget_factory=self._budget_factory(),
         )
-        self.views[name] = view
+        with self._registry_lock.write_locked():
+            replaced = self.views.get(name)
+            self.views[name] = view
+            self._locks[name] = self._global_lock or InstrumentedLock(
+                name, self.metrics.record_lock
+            )
+        if replaced is not None:
+            # Keep the service-wide rollup monotone across replacement.
+            self.metrics.absorb(replaced.metrics)
         self.cache.invalidate(name)
+        self.metrics.bump("registrations")
         info = prepared.describe()
         info["semantics"] = semantics
         info["mode"] = view.mode
         return info
 
+    def unregister(self, name: str) -> Dict[str, object]:
+        """Drop a view, rolling its metrics into the service totals."""
+        with self._registry_lock.write_locked():
+            try:
+                view = self.views.pop(name)
+            except KeyError:
+                raise KeyError(f"no view registered under {name!r}") from None
+            self._locks.pop(name, None)
+            self.registry.unregister(name)
+        self.cache.invalidate(name)
+        self.metrics.absorb(view.metrics)
+        self.metrics.bump("unregistrations")
+        return {
+            "name": name,
+            "mode": view.mode,
+            "facts": view.database.fact_count(),
+        }
+
     def view(self, name: str) -> MaterializedView:
         """Look up a registered view; raises ``KeyError`` when absent."""
-        try:
-            return self.views[name]
-        except KeyError:
-            raise KeyError(f"no view registered under {name!r}") from None
+        with self._registry_lock.read_locked():
+            try:
+                return self.views[name]
+            except KeyError:
+                raise KeyError(f"no view registered under {name!r}") from None
+
+    def _view_and_lock(
+        self, name: str
+    ) -> Tuple[MaterializedView, InstrumentedLock]:
+        with self._registry_lock.read_locked():
+            try:
+                return self.views[name], self._locks[name]
+            except KeyError:
+                raise KeyError(f"no view registered under {name!r}") from None
 
     # -- queries --------------------------------------------------------------
 
@@ -141,7 +221,14 @@ class QueryService:
 
         Degraded (stale) views bypass the cache entirely — a stale
         answer must never be cached and outlive the degradation."""
-        view = self.view(name)
+        view, lock = self._view_and_lock(name)
+        self.metrics.bump("queries_total")
+        with lock.held():
+            return self._query_locked(view, name, predicate)
+
+    def _query_locked(
+        self, view: MaterializedView, name: str, predicate: str
+    ) -> FrozenSet[Row]:
         if view.stale:
             return view.rows(predicate)
         key = (name, predicate, "true")
@@ -160,7 +247,13 @@ class QueryService:
 
     def undefined(self, name: str, predicate: str) -> FrozenSet[Row]:
         """Undefined rows of a predicate (three-valued semantics only)."""
-        view = self.view(name)
+        view, lock = self._view_and_lock(name)
+        with lock.held():
+            return self._undefined_locked(view, name, predicate)
+
+    def _undefined_locked(
+        self, view: MaterializedView, name: str, predicate: str
+    ) -> FrozenSet[Row]:
         if view.stale:
             return view.undefined_rows(predicate)
         key = (name, predicate, "undefined")
@@ -174,6 +267,22 @@ class QueryService:
             self.cache.put(key, rows)
         return rows
 
+    def query_state(
+        self, name: str, predicate: str
+    ) -> Tuple[FrozenSet[Row], FrozenSet[Row], bool]:
+        """``(true_rows, undefined_rows, stale)`` under **one** lock hold.
+
+        The protocol's ``query`` verb uses this so its whole reply is
+        one linearization point — the rows, the undefined rows, and the
+        staleness flag all describe the same model state.
+        """
+        view, lock = self._view_and_lock(name)
+        self.metrics.bump("queries_total")
+        with lock.held():
+            rows = self._query_locked(view, name, predicate)
+            undefined = self._undefined_locked(view, name, predicate)
+            return rows, undefined, view.stale
+
     # -- updates --------------------------------------------------------------
 
     def update(
@@ -183,9 +292,13 @@ class QueryService:
         deletes: Iterable[Tuple[str, Row]] = (),
     ) -> Dict[str, object]:
         """Apply an update batch to a view; invalidates its cache scope."""
-        view = self.view(name)
-        summary = view.apply(inserts=inserts, deletes=deletes)
-        self.cache.invalidate(name)
+        view, lock = self._view_and_lock(name)
+        self.metrics.bump("updates_total")
+        with lock.held():
+            summary = view.apply(inserts=inserts, deletes=deletes)
+            # Invalidate inside the hold so a concurrent query cannot
+            # re-cache pre-batch rows between apply and invalidation.
+            self.cache.invalidate(name)
         return summary
 
     def insert(self, name: str, predicate: str, *args: Value) -> Dict[str, object]:
@@ -202,12 +315,45 @@ class QueryService:
         """Metrics for one view, or the whole service."""
         if name is not None:
             return self.view(name).stats()
+        with self._registry_lock.read_locked():
+            views = dict(self.views)
         return {
-            "views": {
-                view_name: view.stats() for view_name, view in self.views.items()
-            },
+            "views": {view_name: view.stats() for view_name, view in views.items()},
             "cache": self.cache.stats(),
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The full service-level observability snapshot.
+
+        Internally consistent by construction: the ``rollup`` section
+        is computed from the same per-view snapshots the ``views``
+        section reports, plus the retired counters of departed views —
+        so ``rollup[c] == retired[c] + sum(views[*][c])`` always holds.
+        """
+        with self._registry_lock.read_locked():
+            views = dict(self.views)
+        view_stats = {name: view.stats() for name, view in views.items()}
+        snapshot = self.metrics.snapshot()
+        rollup: Dict[str, int] = dict(snapshot["retired"])
+        for stats in view_stats.values():
+            for counter, value in stats["counters"].items():
+                rollup[counter] = rollup.get(counter, 0) + value
+        snapshot["rollup"] = rollup
+        snapshot["gauges"] = {
+            "views_registered": len(view_stats),
+            "stale_views": sum(
+                1 for stats in view_stats.values() if stats["stale"]
+            ),
+            "inflight_requests": self.metrics.inflight,
+            "time_in_degraded": {
+                name: stats["degraded_seconds"]
+                for name, stats in view_stats.items()
+            },
+        }
+        snapshot["views"] = view_stats
+        snapshot["cache"] = self.cache.stats()
+        snapshot["lock_mode"] = self.lock_mode
+        return snapshot
 
 
 # ---------------------------------------------------------------------------
@@ -253,27 +399,38 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
         text = path.read_text() if is_file else source
         info = service.register(view_name, text, semantics=semantics)
         return [f"ok {json.dumps(info, sort_keys=True)}"]
+    if command == "unregister":
+        view_name = rest.strip()
+        if not view_name:
+            return ["error usage: unregister <view>"]
+        info = service.unregister(view_name)
+        return [f"ok {json.dumps(info, sort_keys=True)}"]
     if command == "query":
         parts = rest.split()
         if len(parts) != 2:
             return ["error usage: query <view> <predicate>"]
         view_name, predicate = parts
-        rows = service.query(view_name, predicate)
+        rows, undefined, stale = service.query_state(view_name, predicate)
         lines = sorted(f"row {_format_row(predicate, row)}" for row in rows)
-        undefined = service.undefined(view_name, predicate)
         lines += sorted(
             f"undef {_format_row(predicate, row)}" for row in undefined
         )
         # A degraded view answers from its last consistent model; the
         # client sees the staleness on the wire, not silently.
-        suffix = " stale" if service.view(view_name).stale else ""
+        suffix = " stale" if stale else ""
         lines.append(f"ok {len(rows)} rows{suffix}")
         return lines
     if command == "stats":
         name = rest.strip() or None
         return [f"ok {json.dumps(service.stats(name), sort_keys=True)}"]
+    if command == "metrics":
+        return [
+            f"ok {json.dumps(service.metrics_snapshot(), sort_keys=True)}"
+        ]
     if command == "views":
-        return [f"ok {json.dumps(sorted(service.views))}"]
+        with service._registry_lock.read_locked():
+            names = sorted(service.views)
+        return [f"ok {json.dumps(names)}"]
     return [f"error unknown command {command!r}"]
 
 
@@ -301,9 +458,11 @@ def serve_stream(
 
     ``max_request_bytes`` rejects oversized request lines with a
     structured ``request-too-large`` error instead of parsing them.
-    ``lock`` (optional) serialises request handling — the socket server
-    passes a shared lock so concurrent connections never interleave
-    mutations on the (single-threaded) service.
+    ``lock`` (optional) serialises the whole stream's request handling
+    through one external mutex; the service itself is already
+    thread-safe (registry read/write lock + per-view locks), so the
+    socket server no longer passes one — the parameter remains for
+    callers that want strict cross-connection ordering.
     """
     for raw in lines:
         if (
@@ -325,11 +484,12 @@ def serve_stream(
             write("ok bye")
             return
         try:
-            if lock is not None:
-                with lock:
+            with service.metrics.request():
+                if lock is not None:
+                    with lock:
+                        replies = _handle_line(service, line)
+                else:
                     replies = _handle_line(service, line)
-            else:
-                replies = _handle_line(service, line)
             for reply in replies:
                 write(reply)
         except (KeyboardInterrupt, SystemExit):
@@ -337,9 +497,17 @@ def serve_stream(
             raise
         except ReproError as exc:
             logger.warning("request failed (%s): %s", exc.code, exc)
+            service.metrics.bump("errors_total")
+            write(_error_reply(exc))
+        except (KeyError, ValueError) as exc:
+            # Expected user errors — unknown views, malformed requests —
+            # get a clean warning, not a traceback.
+            logger.warning("bad request %r: %s", line, exc)
+            service.metrics.bump("errors_total")
             write(_error_reply(exc))
         except Exception as exc:  # the server must survive bad requests
             logger.exception("request failed: %r", line)
+            service.metrics.bump("errors_total")
             write(_error_reply(exc))
 
 
@@ -354,19 +522,19 @@ def serve_unix_socket(
 
     Connections are handled on worker threads, at most
     ``max_concurrent`` at a time (further clients queue in the listen
-    backlog); request handling itself is serialised through one lock,
-    so concurrency buys connection-level pipelining, not data races.
-    ``max_connections`` bounds how many connections are accepted
-    (None = until interrupted); on the way out the server stops
-    accepting and **drains** — live connections finish their streams
-    before the socket file is removed.
+    backlog).  Request handling is **not** globally serialised: the
+    service's registry read/write lock and per-view locks let requests
+    against different views proceed fully in parallel, while same-view
+    operations stay ordered.  ``max_connections`` bounds how many
+    connections are accepted (None = until interrupted); on the way out
+    the server stops accepting and **drains** — live connections finish
+    their streams before the socket file is removed.
     """
     socket_path = Path(path)
     if socket_path.exists():
         socket_path.unlink()
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     slots = threading.BoundedSemaphore(max(1, max_concurrent))
-    service_lock = threading.Lock()
     workers: List[threading.Thread] = []
 
     def handle(connection: socket.socket) -> None:
@@ -379,7 +547,6 @@ def serve_unix_socket(
                     reader,
                     lambda reply: (writer.write(reply + "\n"), writer.flush()),
                     max_request_bytes=max_request_bytes,
-                    lock=service_lock,
                 )
                 writer.flush()
         except (BrokenPipeError, ConnectionResetError):

@@ -204,8 +204,7 @@ class MaterializedView:
             raise ViewDegraded(
                 f"recompute failed ({exc}); serving last consistent model",
             ) from exc
-        self.stale = False
-        self._last_error = None
+        self._mark_healthy()
         self._last_good = {
             predicate: self._result.true_rows(predicate)
             for predicate in self.predicates()
@@ -216,6 +215,13 @@ class MaterializedView:
         self.stale = True
         self._last_error = f"{type(exc).__name__}: {exc}"
         self.metrics.bump("degraded_entries")
+        self.metrics.mark_degraded()
+
+    def _mark_healthy(self) -> None:
+        """Leave degraded mode (no-op when already healthy)."""
+        self.stale = False
+        self._last_error = None
+        self.metrics.mark_healthy()
 
     # -- updates --------------------------------------------------------------
 
@@ -257,8 +263,7 @@ class MaterializedView:
         self._result = None
         # The database moved on; give the next query a fresh chance to
         # recompute instead of pinning the view to its stale snapshot.
-        self.stale = False
-        self._last_error = None
+        self._mark_healthy()
         self.metrics.bump("update_batches")
         self.metrics.bump("recompute_fallbacks")
         self.metrics.bump("inserts_applied", applied_inserts)
@@ -325,8 +330,7 @@ class MaterializedView:
             raise
         finally:
             engine.budget = None
-        self.stale = False
-        self._last_error = None
+        self._mark_healthy()
         self._last_good = engine.model()
         return {"mode": "incremental", **summary}
 
@@ -362,8 +366,7 @@ class MaterializedView:
         except ReproError as exc:
             self._enter_degraded(exc)
             return False
-        self.stale = False
-        self._last_error = None
+        self._mark_healthy()
         self._last_good = engine.model()
         return True
 
@@ -390,8 +393,7 @@ class MaterializedView:
         if self.engine is not None:
             return self._reinitialize()
         self._result = None
-        self.stale = False
-        self._last_error = None
+        self._mark_healthy()
         try:
             self._ensure_result()
         except ReproError:

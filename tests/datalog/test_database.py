@@ -66,6 +66,53 @@ class TestFacts:
         db.remove("p", b)
         assert db.fingerprint() == before
 
+    def test_fingerprint_is_memoized(self):
+        db = Database().add("p", a)
+        digest = db.fingerprint()
+        assert db._fingerprint == digest  # stored, not recomputed
+        assert db.fingerprint() is db._fingerprint
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda db: db.add("p", b),
+            lambda db: db.remove("p", a),
+            lambda db: db.discard("p", a),
+            lambda db: db.declare("fresh"),
+        ],
+        ids=["add", "remove", "discard", "declare"],
+    )
+    def test_mutators_invalidate_memoized_fingerprint(self, mutate):
+        db = Database().add("p", a)
+        before = db.fingerprint()
+        mutate(db)
+        assert db._fingerprint is None
+        assert db.fingerprint() != before
+
+    def test_noop_discard_keeps_memoized_fingerprint(self):
+        db = Database().add("p", a)
+        digest = db.fingerprint()
+        db.discard("p", b)  # absent fact: content unchanged
+        assert db._fingerprint == digest
+
+    def test_copy_preserves_memoized_fingerprint(self):
+        db = Database().add("p", a).add("q", a, b)
+        digest = db.fingerprint()
+        clone = db.copy()
+        assert clone._fingerprint == digest  # no recompute needed
+        assert clone.fingerprint() == digest
+        # ... and the copies invalidate independently.
+        clone.add("p", b)
+        assert clone._fingerprint is None
+        assert db._fingerprint == digest
+        assert db.fingerprint() == digest
+
+    def test_with_relation_invalidates_fingerprint(self):
+        db = Database().add("p", a)
+        before = db.fingerprint()
+        extended = db.with_relation(Relation.of(name="R"))
+        assert extended.fingerprint() != before
+
     def test_copy_independent(self):
         db = Database().add("p", a)
         clone = db.copy().add("p", b)

@@ -122,4 +122,27 @@ class TestEnginePoints:
             "view.recompute",
             "cache.get",
             "cache.put",
+            "service.lock",
         }
+
+    def test_service_lock_is_injectable(self):
+        from repro.service.locks import InstrumentedLock
+
+        lock = InstrumentedLock("v")
+        with inject_faults(FaultInjector([FaultRule("service.lock")])):
+            with pytest.raises(InjectedFault):
+                with lock.held():
+                    pass
+        # The fault fires *before* acquisition, so the lock never leaks:
+        # another thread (the lock is reentrant) can still take it.
+        acquired = []
+
+        def probe():
+            if lock._lock.acquire(blocking=False):
+                lock._lock.release()
+                acquired.append(True)
+
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+        assert acquired == [True]

@@ -1,0 +1,240 @@
+"""Concurrency stress: many threads, many views, one truth.
+
+The service shards its lock per view, so this suite hammers it from
+many threads at once and checks the two properties the sharding must
+preserve:
+
+* **oracle agreement** — every response a thread receives (and the
+  final state of every surviving view) matches a from-scratch
+  evaluation of the view's program over the acknowledged facts;
+* **linearizability of batches** — a query never observes a
+  half-applied update batch.  Every batch inserts (or deletes) a
+  *pair* of facts ``a(x), b(x)`` atomically, and the registered
+  program derives ``broken(X) :- a(X), not b(X)`` — so any query that
+  catches a batch mid-flight would see ``broken`` non-empty.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import run
+from repro.datalog.parser import parse_program
+from repro.relations import Atom
+from repro.service import QueryService
+
+THREADS = 8
+SHARED_VIEWS = 4
+OPS_PER_THREAD = 30  # 8 threads x 30 ops = 240 mixed operations
+
+#: The invariant program: ``broken`` is non-empty iff exactly one half
+#: of an (a, b) pair batch is visible — i.e. iff a batch is observed
+#: half-applied.  ``pair`` is the payload the oracle checks.
+PAIR_RULES = (
+    "pair(X) :- a(X), b(X).\n"
+    "broken(X) :- a(X), not b(X).\n"
+    "reach(X, Y) :- link(X, Y).\n"
+    "reach(X, Z) :- reach(X, Y), link(Y, Z).\n"
+)
+PAIR_PROGRAM = parse_program(PAIR_RULES)
+
+
+def _oracle(database):
+    """From-scratch evaluation of the pair program over ``database``."""
+    result = run(PAIR_PROGRAM, database, semantics="stratified")
+    return {
+        predicate: result.true_rows(predicate)
+        for predicate in ("pair", "broken", "reach")
+    }
+
+
+def _seed_database():
+    database = Database()
+    database.declare("a").declare("b").declare("link")
+    database.add("link", Atom("n0"), Atom("n1"))
+    return database
+
+
+class TestConcurrencyStress:
+    def test_shared_views_under_mixed_load(self):
+        """≥8 threads, ≥4 views, ≥200 mixed ops, every reply checked."""
+        service = QueryService(cache_capacity=64)
+        view_names = [f"v{i}" for i in range(SHARED_VIEWS)]
+        for name in view_names:
+            service.register(name, PAIR_RULES, database=_seed_database())
+
+        # Each thread owns a disjoint id space, so its view of "my pairs
+        # are present/absent" is exact even while other threads write to
+        # the same view concurrently.
+        errors = []
+        broken_observations = []
+        barrier = threading.Barrier(THREADS)
+        # Acknowledged per-(thread, view) pair ids, for the final oracle.
+        acked = [
+            {name: set() for name in view_names} for _ in range(THREADS)
+        ]
+
+        def worker(thread_id):
+            rng = random.Random(1000 + thread_id)
+            barrier.wait()
+            try:
+                for step in range(OPS_PER_THREAD):
+                    name = rng.choice(view_names)
+                    op = rng.random()
+                    mine = acked[thread_id][name]
+                    token = Atom(f"t{thread_id}_{step}")
+                    if op < 0.45 or not mine:
+                        # Atomic pair insert.
+                        service.update(
+                            name,
+                            inserts=[("a", (token,)), ("b", (token,))],
+                        )
+                        mine.add(token)
+                    elif op < 0.65:
+                        # Atomic pair delete of one of my own tokens.
+                        victim = rng.choice(sorted(mine, key=str))
+                        service.update(
+                            name,
+                            deletes=[("a", (victim,)), ("b", (victim,))],
+                        )
+                        mine.discard(victim)
+                    else:
+                        # Query: the linearizability probe plus an exact
+                        # check over my own id space.
+                        broken = service.query(name, "broken")
+                        if broken:
+                            broken_observations.append((name, broken))
+                        pairs = service.query(name, "pair")
+                        visible = {
+                            row[0]
+                            for row in pairs
+                            if str(row[0]).startswith(f"t{thread_id}_")
+                        }
+                        if visible != mine:
+                            errors.append(
+                                f"thread {thread_id} view {name}: "
+                                f"saw {visible}, acked {mine}"
+                            )
+            except Exception as exc:  # surfaced after join
+                errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors, errors
+        # No query ever observed a half-applied (a, b) pair batch.
+        assert not broken_observations, broken_observations
+
+        # Final oracle: every surviving view's answers equal a
+        # from-scratch evaluation over its acknowledged database.
+        for name in view_names:
+            view = service.view(name)
+            assert not view.stale
+            expected = _oracle(view.database)
+            for predicate, rows in expected.items():
+                assert service.query(name, predicate) == rows
+            # ... and the acknowledged tokens are exactly the union of
+            # what every thread believes it left behind.
+            union = set().union(*(acked[i][name] for i in range(THREADS)))
+            assert {row[0] for row in expected["pair"]} == union
+
+    def test_register_unregister_churn_under_load(self):
+        """Unregister/re-register races against traffic on other views."""
+        service = QueryService(cache_capacity=64)
+        stable = [f"s{i}" for i in range(SHARED_VIEWS)]
+        for name in stable:
+            service.register(name, PAIR_RULES, database=_seed_database())
+
+        errors = []
+        stop = threading.Event()
+        barrier = threading.Barrier(THREADS)
+
+        def traffic(thread_id):
+            """Steady query/update load on the stable views."""
+            rng = random.Random(2000 + thread_id)
+            barrier.wait()
+            step = 0
+            try:
+                while not stop.is_set() and step < OPS_PER_THREAD:
+                    name = rng.choice(stable)
+                    token = Atom(f"c{thread_id}_{step}")
+                    service.update(
+                        name, inserts=[("a", (token,)), ("b", (token,))]
+                    )
+                    if service.query(name, "broken"):
+                        errors.append(f"broken non-empty on {name}")
+                    step += 1
+            except Exception as exc:
+                errors.append(f"traffic {thread_id}: {type(exc).__name__}: {exc}")
+
+        def churner(thread_id):
+            """Registers and unregisters private views, checking each."""
+            barrier.wait()
+            name = f"churn{thread_id}"
+            try:
+                for round_number in range(10):
+                    service.register(
+                        name, PAIR_RULES, database=_seed_database()
+                    )
+                    token = Atom(f"r{round_number}")
+                    service.update(
+                        name, inserts=[("a", (token,)), ("b", (token,))]
+                    )
+                    assert service.query(name, "pair") == {(token,)}
+                    info = service.unregister(name)
+                    assert info["name"] == name
+                    with pytest.raises(KeyError):
+                        service.query(name, "pair")
+            except Exception as exc:
+                errors.append(f"churn {thread_id}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=traffic, args=(i,)) for i in range(6)
+        ] + [threading.Thread(target=churner, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        stop.set()
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors, errors
+
+        # The churned views are gone; the stable ones agree with the
+        # from-scratch oracle.
+        assert set(service.stats()["views"]) == set(stable)
+        for name in stable:
+            expected = _oracle(service.view(name).database)
+            assert service.query(name, "pair") == expected["pair"]
+            assert service.query(name, "broken") == frozenset()
+
+    def test_parallel_readers_share_one_view(self):
+        """Pure read load from many threads returns identical answers."""
+        service = QueryService()
+        database = _seed_database()
+        for i in range(20):
+            database.add("link", Atom(f"n{i}"), Atom(f"n{i + 1}"))
+        service.register("g", PAIR_RULES, database=database)
+        expected = service.query("g", "reach")
+        results = []
+        barrier = threading.Barrier(THREADS)
+
+        def reader():
+            barrier.wait()
+            for _ in range(25):
+                results.append(service.query("g", "reach") == expected)
+
+        threads = [threading.Thread(target=reader) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(results) == THREADS * 25
+        assert all(results)

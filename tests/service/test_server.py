@@ -167,9 +167,71 @@ class TestLineProtocol:
     def test_usage_errors(self):
         service = QueryService()
         replies = run_protocol(
-            service, "register tc stratified\nquery tc\n+tc\n"
+            service, "register tc stratified\nquery tc\n+tc\nunregister\n"
         )
         assert all(reply.startswith("error usage:") for reply in replies)
+
+    def test_unregister_verb(self):
+        service = QueryService()
+        replies = run_protocol(
+            service,
+            "register tc stratified tc(X) :- e(X). e(a).\n"
+            "unregister tc\n"
+            "views\n"
+            "query tc tc\n"
+            "unregister tc\n",
+        )
+        info = json.loads(replies[1][len("ok ") :])
+        assert info["name"] == "tc" and info["facts"] == 1
+        assert replies[2] == "ok []"
+        assert replies[3].startswith("error KeyError")
+        assert replies[4].startswith("error KeyError")
+
+    def test_metrics_verb_snapshot(self):
+        service = QueryService()
+        replies = run_protocol(
+            service,
+            "register tc stratified tc(X) :- e(X). e(a).\n"
+            "query tc tc\n"
+            "query tc tc\n"
+            "+tc e(b)\n"
+            "metrics\n",
+        )
+        payload = json.loads(replies[-1][len("ok ") :])
+        assert payload["counters"]["requests_total"] == 5
+        assert payload["counters"]["queries_total"] == 2
+        assert payload["counters"]["updates_total"] == 1
+        assert payload["gauges"]["views_registered"] == 1
+        assert payload["gauges"]["stale_views"] == 0
+        assert payload["lock_mode"] == "view"
+        # One lock acquisition per query/update that resolved a view.
+        assert payload["counters"]["lock_acquisitions"] >= 3
+        assert payload["locks"]["wait"]["count"] == payload["counters"][
+            "lock_acquisitions"
+        ]
+        # The rollup equals retired + the sum of the live view counters.
+        for counter, value in payload["rollup"].items():
+            live = sum(
+                stats["counters"].get(counter, 0)
+                for stats in payload["views"].values()
+            )
+            assert value == payload["retired"].get(counter, 0) + live
+
+    def test_stale_flag_surfaces_on_query_reply(self):
+        from repro.robustness import FaultInjector, FaultRule, inject_faults
+
+        service = QueryService()
+        service.register("tc", TC)
+        plan = [
+            FaultRule("incremental.apply", times=None),
+            FaultRule("incremental.initialize", times=None),
+        ]
+        with inject_faults(FaultInjector(plan)):
+            replies = run_protocol(
+                service, "+tc edge(c, d)\nquery tc tc\n"
+            )
+        assert replies[0].startswith("error ")
+        assert replies[-1].endswith("rows stale")
 
 
 class TestUnixSocket:

@@ -61,6 +61,72 @@ class TestDatalogCommand:
         with pytest.raises(SystemExit):
             main(["datalog", win_dl, "--facts", str(facts)])
 
+    def test_run_is_an_alias_for_datalog(self, win_dl, capsys):
+        assert main(["run", win_dl]) == 0
+        out = capsys.readouterr().out
+        assert "win:" in out and "(b)" in out
+
+
+@pytest.fixture()
+def tc_chain_dl(tmp_path):
+    path = tmp_path / "tc.dl"
+    facts = "".join(f"edge(n{i}, n{i + 1}).\n" for i in range(30))
+    path.write_text(
+        "tc(X, Y) :- edge(X, Y).\n"
+        "tc(X, Z) :- edge(X, Y), tc(Y, Z).\n" + facts
+    )
+    return str(path)
+
+
+class TestOneShotBudgets:
+    """``repro run`` / ``repro datalog`` under an EvaluationBudget."""
+
+    def test_within_budget_runs_normally(self, tc_chain_dl, capsys):
+        code = main(
+            ["run", tc_chain_dl, "--semantics", "stratified",
+             "--deadline-ms", "60000", "--max-steps", "1000000"]
+        )
+        assert code == 0
+        assert "tc:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flags, code_prefix",
+        [
+            (["--max-steps", "3"], "error budget-exceeded BudgetExceeded:"),
+            (["--max-facts", "3"], "error budget-exceeded BudgetExceeded:"),
+        ],
+        ids=["max-steps", "max-facts"],
+    )
+    def test_budget_trip_is_a_wire_coded_error(
+        self, tc_chain_dl, capsys, flags, code_prefix
+    ):
+        code = main(
+            ["run", tc_chain_dl, "--semantics", "stratified", *flags]
+        )
+        captured = capsys.readouterr()
+        # The governed failure surfaces as the protocol's error line on
+        # stdout with exit code 1 — never as a traceback.
+        assert code == 1
+        assert captured.out.startswith(code_prefix)
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_deadline_trip_on_divergent_program(self, tmp_path, capsys):
+        program = tmp_path / "nat.dl"
+        program.write_text("nat(Y) :- nat(X), Y = succ(X).\nnat(0).\n")
+        code = main(
+            ["datalog", str(program), "--semantics", "stratified",
+             "--deadline-ms", "200",
+             "--max-rounds", "1000000000", "--max-atoms", "1000000000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.out.startswith("error ")
+        assert (
+            "deadline-exceeded" in captured.out
+            or "budget-exceeded" in captured.out
+        )
+        assert "Traceback" not in captured.out + captured.err
+
 
 class TestAlgebraCommand:
     def test_run(self, win_alg, move_facts, capsys):
@@ -243,6 +309,24 @@ class TestServeCommand:
         )
         # ...and within 2x the configured deadline (plus process slack).
         assert elapsed < 5.0
+
+    def test_metrics_snapshot_flag(self, monkeypatch, capsys):
+        import io
+        import json
+
+        script = (
+            "register tc stratified tc(X,Y) :- e(X,Y). e(a,b).\n"
+            "query tc tc\n"
+            "quit\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", "--metrics-snapshot"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        # After "ok bye" the service dumps one JSON metrics document.
+        snapshot = json.loads(out[-1])
+        assert snapshot["counters"]["requests_total"] == 2
+        assert snapshot["gauges"]["views_registered"] == 1
+        assert "tc" in snapshot["gauges"]["time_in_degraded"]
 
     def test_unix_socket_serving(self, tmp_path):
         import socket
