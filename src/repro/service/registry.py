@@ -212,6 +212,15 @@ class ProgramRegistry:
         self._programs[name] = prepared
         return prepared
 
+    def store(self, name: str, prepared: PreparedProgram) -> None:
+        """Store an already-prepared program under ``name``.
+
+        The query service compiles outside its registry write lock and
+        stores inside it, keeping the program table and the view table
+        in lockstep without paying for compilation under the lock.
+        """
+        self._programs[name] = prepared
+
     def unregister(self, name: str) -> PreparedProgram:
         """Drop a program; raises ``KeyError`` when absent."""
         try:

@@ -15,7 +15,19 @@ Concurrency model (per-view lock sharding):
   :class:`~repro.service.locks.InstrumentedLock` — queries and updates
   against *different* views proceed fully in parallel through the
   socket server's worker pool, while operations on the same view stay
-  serialised, so a query can never observe a half-applied batch.
+  serialised, so a query can never observe a half-applied batch;
+* because a request resolves ``(view, lock)`` under the read lock but
+  acquires the view lock *afterwards*, every request re-checks that
+  the name still maps to the same view once it holds the lock, and
+  retries the resolution when it lost a race with ``register`` /
+  ``unregister`` (``unregister`` itself takes the view lock before
+  the write lock, so an acknowledged update is never silently dropped
+  by a concurrent unregistration);
+* result-cache keys carry a per-registration **generation** token
+  (bumped under the write lock on every register), so a ``cache.put``
+  completed by an in-flight request against a replaced view lands
+  under a dead generation and can never be served to queries against
+  the replacement.
 
 The wire format is a newline-delimited request/response protocol,
 servable from stdin/stdout or a unix socket::
@@ -43,8 +55,18 @@ import logging
 import os
 import socket
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..datalog.database import Database
 from ..datalog.engine import SEMANTICS
@@ -60,7 +82,7 @@ from ..robustness import (
 from .cache import LRUCache
 from .locks import InstrumentedLock, ReadWriteLock
 from .metrics import ServiceMetrics, ViewMetrics
-from .registry import ProgramRegistry
+from .registry import ProgramRegistry, prepare_program
 from .views import MaterializedView
 
 __all__ = ["QueryService", "serve_stream", "serve_unix_socket", "parse_fact"]
@@ -122,6 +144,12 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._registry_lock = ReadWriteLock()
         self._locks: Dict[str, InstrumentedLock] = {}
+        # Per-registration generation tokens (guarded by the registry
+        # write lock).  Cache keys embed the generation, so entries put
+        # on behalf of a replaced registration are unreachable from the
+        # moment the replacement is swapped in.
+        self._generations: Dict[str, int] = {}
+        self._generation_counter = 0
         self._global_lock = (
             InstrumentedLock("*", self.metrics.record_lock)
             if lock_mode == "global"
@@ -149,9 +177,13 @@ class QueryService:
         The expensive part — compiling the plan and materializing the
         initial model — runs **outside** every lock; only the final
         swap into the name table takes the registry write lock, so a
-        slow registration never stalls traffic on other views.
+        slow registration never stalls traffic on other views.  The
+        registry store, view swap, generation bump, and metrics
+        absorption of a replaced view all happen under that one write
+        hold, so the program table and the view table can never
+        disagree and the service-wide rollup stays monotone.
         """
-        prepared = self.registry.register(name, source)
+        prepared = prepare_program(name, source)
         view = MaterializedView(
             prepared,
             database=database,
@@ -164,14 +196,21 @@ class QueryService:
             budget_factory=self._budget_factory(),
         )
         with self._registry_lock.write_locked():
+            self.registry.store(name, prepared)
             replaced = self.views.get(name)
             self.views[name] = view
             self._locks[name] = self._global_lock or InstrumentedLock(
                 name, self.metrics.record_lock
             )
-        if replaced is not None:
-            # Keep the service-wide rollup monotone across replacement.
-            self.metrics.absorb(replaced.metrics)
+            self._generation_counter += 1
+            self._generations[name] = self._generation_counter
+            if replaced is not None:
+                # Absorb under the same hold as the swap so a metrics
+                # snapshot never sees the old view's counters in both
+                # (or neither of) the live and retired sections.
+                self.metrics.absorb(replaced.metrics)
+        # The generation bump already makes old entries unreachable;
+        # dropping them here is memory hygiene, not correctness.
         self.cache.invalidate(name)
         self.metrics.bump("registrations")
         info = prepared.describe()
@@ -180,16 +219,31 @@ class QueryService:
         return info
 
     def unregister(self, name: str) -> Dict[str, object]:
-        """Drop a view, rolling its metrics into the service totals."""
-        with self._registry_lock.write_locked():
-            try:
-                view = self.views.pop(name)
-            except KeyError:
-                raise KeyError(f"no view registered under {name!r}") from None
-            self._locks.pop(name, None)
-            self.registry.unregister(name)
+        """Drop a view, rolling its metrics into the service totals.
+
+        Takes the view's own lock *before* the registry write lock (the
+        same per-view → registry order every request uses), so an
+        update or query that already verified its view as current
+        finishes before the view disappears — the service never
+        acknowledges a write it is about to discard.
+        """
+        while True:
+            view, lock, _generation = self._view_and_lock(name)
+            with lock.held():
+                with self._registry_lock.write_locked():
+                    if self.views.get(name) is not view:
+                        # Lost a race with a concurrent replace or
+                        # unregister; resolve again (KeyError when the
+                        # name is truly gone).
+                        continue
+                    del self.views[name]
+                    self._locks.pop(name, None)
+                    self._generations.pop(name, None)
+                    self.registry.unregister(name)
+                    # Absorbed atomically with the pop — see register().
+                    self.metrics.absorb(view.metrics)
+                break
         self.cache.invalidate(name)
-        self.metrics.absorb(view.metrics)
         self.metrics.bump("unregistrations")
         return {
             "name": name,
@@ -207,12 +261,40 @@ class QueryService:
 
     def _view_and_lock(
         self, name: str
-    ) -> Tuple[MaterializedView, InstrumentedLock]:
+    ) -> Tuple[MaterializedView, InstrumentedLock, int]:
         with self._registry_lock.read_locked():
             try:
-                return self.views[name], self._locks[name]
+                return (
+                    self.views[name],
+                    self._locks[name],
+                    self._generations[name],
+                )
             except KeyError:
                 raise KeyError(f"no view registered under {name!r}") from None
+
+    @contextmanager
+    def _locked_view(
+        self, name: str
+    ) -> Iterator[Tuple[MaterializedView, int]]:
+        """Resolve a view and hold its lock, verified still current.
+
+        The name is resolved under the registry read lock, the view
+        lock is acquired, and then the binding is re-checked: a
+        register/unregister that slipped in between leaves us holding
+        the lock of an orphaned view, so we release it and resolve
+        again.  ``KeyError`` propagates when the name is gone for good.
+        Per-view locks are only ever acquired *outside* registry-lock
+        holds (here and in :meth:`unregister`), so the per-view →
+        registry lock order is acyclic.
+        """
+        while True:
+            view, lock, generation = self._view_and_lock(name)
+            with lock.held():
+                with self._registry_lock.read_locked():
+                    current = self.views.get(name) is view
+                if current:
+                    yield view, generation
+                    return
 
     # -- queries --------------------------------------------------------------
 
@@ -221,17 +303,20 @@ class QueryService:
 
         Degraded (stale) views bypass the cache entirely — a stale
         answer must never be cached and outlive the degradation."""
-        view, lock = self._view_and_lock(name)
         self.metrics.bump("queries_total")
-        with lock.held():
-            return self._query_locked(view, name, predicate)
+        with self._locked_view(name) as (view, generation):
+            return self._query_locked(view, name, generation, predicate)
 
     def _query_locked(
-        self, view: MaterializedView, name: str, predicate: str
+        self,
+        view: MaterializedView,
+        name: str,
+        generation: int,
+        predicate: str,
     ) -> FrozenSet[Row]:
         if view.stale:
             return view.rows(predicate)
-        key = (name, predicate, "true")
+        key = (name, generation, predicate, "true")
         fault_point("cache.get")
         cached = self.cache.get(key)
         if cached is not None:
@@ -247,16 +332,19 @@ class QueryService:
 
     def undefined(self, name: str, predicate: str) -> FrozenSet[Row]:
         """Undefined rows of a predicate (three-valued semantics only)."""
-        view, lock = self._view_and_lock(name)
-        with lock.held():
-            return self._undefined_locked(view, name, predicate)
+        with self._locked_view(name) as (view, generation):
+            return self._undefined_locked(view, name, generation, predicate)
 
     def _undefined_locked(
-        self, view: MaterializedView, name: str, predicate: str
+        self,
+        view: MaterializedView,
+        name: str,
+        generation: int,
+        predicate: str,
     ) -> FrozenSet[Row]:
         if view.stale:
             return view.undefined_rows(predicate)
-        key = (name, predicate, "undefined")
+        key = (name, generation, predicate, "undefined")
         cached = self.cache.get(key)
         if cached is not None:
             view.metrics.bump("cache_hits")
@@ -276,11 +364,12 @@ class QueryService:
         one linearization point — the rows, the undefined rows, and the
         staleness flag all describe the same model state.
         """
-        view, lock = self._view_and_lock(name)
         self.metrics.bump("queries_total")
-        with lock.held():
-            rows = self._query_locked(view, name, predicate)
-            undefined = self._undefined_locked(view, name, predicate)
+        with self._locked_view(name) as (view, generation):
+            rows = self._query_locked(view, name, generation, predicate)
+            undefined = self._undefined_locked(
+                view, name, generation, predicate
+            )
             return rows, undefined, view.stale
 
     # -- updates --------------------------------------------------------------
@@ -291,10 +380,17 @@ class QueryService:
         inserts: Iterable[Tuple[str, Row]] = (),
         deletes: Iterable[Tuple[str, Row]] = (),
     ) -> Dict[str, object]:
-        """Apply an update batch to a view; invalidates its cache scope."""
-        view, lock = self._view_and_lock(name)
+        """Apply an update batch to a view; invalidates its cache scope.
+
+        The view is verified current after its lock is acquired, and
+        :meth:`unregister` cannot pop a view whose lock is held — so an
+        ``ok`` acknowledgment means the batch landed in a view that was
+        still registered for the whole apply (a concurrent *replace*
+        may still retire the updated view, which is the documented
+        replace semantics: the old view dies, replacement wins).
+        """
         self.metrics.bump("updates_total")
-        with lock.held():
+        with self._locked_view(name) as (view, _generation):
             summary = view.apply(inserts=inserts, deletes=deletes)
             # Invalidate inside the hold so a concurrent query cannot
             # re-cache pre-batch rows between apply and invalidation.
@@ -329,11 +425,17 @@ class QueryService:
         is computed from the same per-view snapshots the ``views``
         section reports, plus the retired counters of departed views —
         so ``rollup[c] == retired[c] + sum(views[*][c])`` always holds.
+        The per-view stats and the retired snapshot are taken under one
+        registry read hold: register/unregister absorb a departing
+        view's counters under the write lock, so no view can appear in
+        both (or neither of) the live and retired sections, and the
+        rollup is monotone across view churn.
         """
         with self._registry_lock.read_locked():
-            views = dict(self.views)
-        view_stats = {name: view.stats() for name, view in views.items()}
-        snapshot = self.metrics.snapshot()
+            view_stats = {
+                name: view.stats() for name, view in self.views.items()
+            }
+            snapshot = self.metrics.snapshot()
         rollup: Dict[str, int] = dict(snapshot["retired"])
         for stats in view_stats.values():
             for counter, value in stats["counters"].items():

@@ -1,0 +1,263 @@
+"""Regression tests for register/unregister races in the query service.
+
+Each test pins one of the races the per-view lock sharding opened up:
+
+* a ``cache.put`` completed by an in-flight request against a replaced
+  registration must never be served to queries against the replacement
+  (per-registration cache generations);
+* the program registry and the view table are mutated under one write
+  hold, so they can never disagree;
+* ``unregister`` takes the view lock before the registry write lock,
+  so an update the service acknowledges has really landed in a
+  registered view — never silently discarded with the view;
+* the metrics rollup stays monotone across register/unregister churn
+  (live and retired counters are swapped atomically).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.relations import Atom
+from repro.service import QueryService
+
+PROGRAM = "p(X) :- base(X).\n"
+
+
+def _database(*names):
+    database = Database()
+    database.declare("base")
+    for name in names:
+        database.add("base", Atom(name))
+    return database
+
+
+class TestStaleCacheGenerations:
+    def test_inflight_put_against_replaced_view_is_unreachable(self):
+        """The high-severity race: an in-flight query resolves the old
+        view, the view is replaced (which invalidates the cache), and
+        then the in-flight query completes its ``cache.put`` of
+        old-view rows.  The put must land under a dead generation, not
+        poison queries against the replacement."""
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        assert service.query("tc", "p") == {(Atom("a"),)}
+
+        # An in-flight request snapshots (view, lock, generation) ...
+        old_view, old_lock, old_generation = service._view_and_lock("tc")
+        # ... then the registration is replaced (swap + invalidate) ...
+        service.register("tc", PROGRAM, database=_database("b"))
+        # ... and only now does the straggler finish, caching old rows.
+        with old_lock.held():
+            stale = service._query_locked(old_view, "tc", old_generation, "p")
+        assert stale == {(Atom("a"),)}
+
+        # The replacement's queries must never see the straggler's put.
+        assert service.query("tc", "p") == {(Atom("b"),)}
+        assert service.query("tc", "p") == {(Atom("b"),)}  # cached path
+
+    def test_inflight_put_after_unregister_then_reregister(self):
+        """Same race through unregister + fresh register of the name."""
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        service.query("tc", "p")
+        old_view, old_lock, old_generation = service._view_and_lock("tc")
+        service.unregister("tc")
+        service.register("tc", PROGRAM, database=_database("c"))
+        with old_lock.held():
+            service._query_locked(old_view, "tc", old_generation, "p")
+        assert service.query("tc", "p") == {(Atom("c"),)}
+
+    def test_generation_bumps_on_every_register(self):
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        first = service._view_and_lock("tc")[2]
+        service.register("tc", PROGRAM, database=_database("b"))
+        second = service._view_and_lock("tc")[2]
+        assert second > first
+
+
+class TestRegistryViewLockstep:
+    def test_tables_agree_after_register_unregister_churn(self):
+        """Racing register/unregister on one name must never leave a
+        view without its program (the KeyError-over-the-wire bug) and
+        must leave every table in lockstep at quiescence."""
+        service = QueryService()
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def churn(seed):
+            barrier.wait()
+            try:
+                for _ in range(25):
+                    service.register(
+                        "shared", PROGRAM, database=_database("a")
+                    )
+                    try:
+                        service.unregister("shared")
+                    except KeyError as exc:
+                        # Losing the unregister race to another thread
+                        # is fine — but only with the "no view" error;
+                        # "program not registered" would mean the
+                        # tables disagreed.
+                        if "no view registered" not in str(exc):
+                            raise
+            except Exception as exc:
+                errors.append(f"churn {seed}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=churn, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors, errors
+        # Whatever survived, every table names exactly the same views.
+        names = set(service.views)
+        assert set(service.registry.names()) == names
+        assert set(service._locks) == names
+        assert set(service._generations) == names
+        for name in names:
+            service.query(name, "p")  # and they actually serve
+
+    def test_register_stores_program_with_view(self):
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        assert "tc" in service.registry
+        service.unregister("tc")
+        assert "tc" not in service.registry
+        assert "tc" not in service.views
+
+
+class TestUnregisterOrdering:
+    def test_unregister_waits_for_acknowledged_update(self):
+        """An update that holds the view lock finishes (and its write
+        lands) before a concurrent unregister can drop the view — no
+        acknowledged-but-discarded writes."""
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        view = service.view("tc")
+
+        entered = threading.Event()
+        release = threading.Event()
+        real_apply = view.apply
+
+        def slow_apply(**kwargs):
+            entered.set()
+            assert release.wait(timeout=30)
+            return real_apply(**kwargs)
+
+        view.apply = slow_apply
+        results = {}
+
+        def do_update():
+            results["update"] = service.update(
+                "tc", inserts=[("base", (Atom("z"),))]
+            )
+
+        def do_unregister():
+            results["unregister"] = service.unregister("tc")
+
+        updater = threading.Thread(target=do_update)
+        updater.start()
+        assert entered.wait(timeout=30)
+        dropper = threading.Thread(target=do_unregister)
+        dropper.start()
+        # The unregister must block on the view lock while the update
+        # is mid-apply.
+        time.sleep(0.2)
+        assert "unregister" not in results
+        release.set()
+        updater.join(timeout=30)
+        dropper.join(timeout=30)
+        assert not updater.is_alive() and not dropper.is_alive()
+        # The acknowledged write landed before the view was dropped.
+        assert results["update"]["plus"]["base"] == {(Atom("z"),)}
+        assert results["unregister"]["facts"] == 2  # base(a), base(z)
+        with pytest.raises(KeyError):
+            service.query("tc", "p")
+
+    def test_query_retries_when_view_replaced_between_resolve_and_lock(self):
+        """_locked_view re-verifies the binding after acquiring the
+        lock and re-resolves when it lost a race with register."""
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        original = service._view_and_lock
+
+        calls = {"count": 0}
+
+        def racing_resolve(name):
+            view, lock, generation = original(name)
+            if calls["count"] == 0:
+                calls["count"] += 1
+                # The view is replaced between the resolve and the
+                # lock acquisition — the stale binding must be retried.
+                service.register(name, PROGRAM, database=_database("b"))
+            return view, lock, generation
+
+        service._view_and_lock = racing_resolve
+        assert service.query("tc", "p") == {(Atom("b"),)}
+        assert calls["count"] == 1
+
+    def test_unregister_raises_cleanly_after_losing_race(self):
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        service.unregister("tc")
+        with pytest.raises(KeyError, match="no view registered"):
+            service.unregister("tc")
+
+
+class TestRollupMonotoneUnderChurn:
+    def test_rollup_never_decreases_while_views_churn(self):
+        """Snapshots taken while views register/update/unregister must
+        report a rollup in which no counter ever decreases."""
+        service = QueryService()
+        service.register("stable", PROGRAM, database=_database("a"))
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                for round_number in range(30):
+                    service.register(
+                        "churn", PROGRAM, database=_database("a")
+                    )
+                    service.update(
+                        "churn",
+                        inserts=[("base", (Atom(f"x{round_number}"),))],
+                    )
+                    service.query("churn", "p")
+                    service.query("stable", "p")
+                    service.unregister("churn")
+            except Exception as exc:
+                errors.append(f"churn: {type(exc).__name__}: {exc}")
+            finally:
+                stop.set()
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        previous = {}
+        try:
+            while not stop.is_set():
+                rollup = service.metrics_snapshot()["rollup"]
+                for counter, value in previous.items():
+                    assert rollup.get(counter, 0) >= value, (
+                        f"rollup[{counter}] decreased: "
+                        f"{value} -> {rollup.get(counter, 0)}"
+                    )
+                previous = rollup
+        finally:
+            churner.join(timeout=60)
+        assert not churner.is_alive()
+        assert not errors, errors
+        # One final consistency check: rollup == retired + live views.
+        snapshot = service.metrics_snapshot()
+        recomputed = dict(snapshot["retired"])
+        for stats in snapshot["views"].values():
+            for counter, value in stats["counters"].items():
+                recomputed[counter] = recomputed.get(counter, 0) + value
+        assert snapshot["rollup"] == recomputed
