@@ -11,16 +11,28 @@ closure over sparse random graphs of growing size, then times
 
 checking after every update that the maintained model matches scratch.
 The speedup must grow with N — at N=1000 incremental wins decisively.
+
+The same scaling claim holds one layer up: publishing the post-batch
+**model snapshot** (the lock-free read path) must cost O(|delta|) via
+``ModelSnapshot.apply_delta``, not the O(view) full copy the service
+used to pay — measured here as delta-publish vs copy-publish time.
+
+``REPRO_BENCH_SCALE=smoke`` runs the small sizes only (the CI
+bench-smoke job) with a correspondingly relaxed scaling bar.
 """
+
+import os
 
 import pytest
 
 from repro.corpus import edges_to_database
 from repro.datalog.seminaive import seminaive_stratified
 from repro.relations import Atom
-from repro.service import MaterializedView, prepare_program
+from repro.service import MaterializedView, ModelSnapshot, prepare_program
 
 from support import ExperimentTable, timed
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE") == "smoke"
 
 table = ExperimentTable(
     "P06-incremental-vs-scratch",
@@ -33,6 +45,9 @@ table = ExperimentTable(
         "delete-sec",
         "speedup-insert",
         "speedup-delete",
+        "snap-delta-sec",
+        "snap-copy-sec",
+        "snap-speedup",
         "agree",
     ],
 )
@@ -56,7 +71,14 @@ def chain_forest(total_edges):
     return edges
 
 
-SIZES = {"edges-100": 100, "edges-300": 300, "edges-1000": 1000}
+SIZES = (
+    {"edges-100": 100, "edges-300": 300}
+    if SMOKE
+    else {"edges-100": 100, "edges-300": 300, "edges-1000": 1000}
+)
+#: The size at which the scaling claims are asserted, and the minimum
+#: snapshot delta-vs-copy advantage demanded there.
+SCALING_SIZE, SNAP_FACTOR = (300, 2.0) if SMOKE else (1000, 5.0)
 
 
 def matches_scratch(view):
@@ -82,13 +104,37 @@ def test_incremental_vs_scratch(benchmark, graph_name):
 
     benchmark.pedantic(insert_then_delete, rounds=3, iterations=1)
 
-    _, insert_sec = timed(view.insert, "move", source, target)
+    # One instrumented round first: capture the pre-batch snapshot and
+    # the batch's net delta for the publish-cost comparison below.
+    base_snapshot = view.read_snapshot()
+    summary = view.insert("move", source, target)
     agree = matches_scratch(view)
+    view.delete("move", source, target)
+
+    _, insert_sec = timed(view.insert, "move", source, target)
+    agree = agree and matches_scratch(view)
     _, scratch_sec = timed(
         seminaive_stratified, prepared.program, view.engine.edb
     )
     _, delete_sec = timed(view.delete, "move", source, target)
     agree = agree and matches_scratch(view)
+
+    # Per-batch snapshot publish cost: applying the batch's net delta
+    # (the path the view takes) vs re-copying the whole model (what the
+    # service used to pay).  Averaged over repeats — the delta apply is
+    # microseconds.
+    repeats = 30
+    _, delta_total = timed(
+        lambda: [
+            base_snapshot.apply_delta(summary["plus"], summary["minus"], 999)
+            for _ in range(repeats)
+        ]
+    )
+    _, copy_total = timed(
+        lambda: [ModelSnapshot.full(view.engine.model()) for _ in range(repeats)]
+    )
+    snap_delta_sec = delta_total / repeats
+    snap_copy_sec = copy_total / repeats
 
     table.add(
         graph_name,
@@ -98,10 +144,20 @@ def test_incremental_vs_scratch(benchmark, graph_name):
         f"{delete_sec:.4f}",
         f"{scratch_sec / max(insert_sec, 1e-9):.1f}x",
         f"{scratch_sec / max(delete_sec, 1e-9):.1f}x",
+        f"{snap_delta_sec:.6f}",
+        f"{snap_copy_sec:.6f}",
+        f"{snap_copy_sec / max(snap_delta_sec, 1e-9):.1f}x",
         agree,
     )
     assert agree
-    if size >= 1000:
+    if size >= SCALING_SIZE:
         # The headline claim: single-fact maintenance beats recompute.
         assert insert_sec < scratch_sec
         assert delete_sec < scratch_sec
+        # And snapshot publication scales with the delta, not the view:
+        # applying the batch delta must decisively beat the full copy.
+        assert snap_delta_sec * SNAP_FACTOR < snap_copy_sec, (
+            f"snapshot delta publish ({snap_delta_sec:.6f}s) is not "
+            f">= {SNAP_FACTOR}x cheaper than a full model copy "
+            f"({snap_copy_sec:.6f}s) at N={size}"
+        )

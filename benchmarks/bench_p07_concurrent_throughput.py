@@ -16,6 +16,7 @@ four independent *light* views.  We run the identical scenario under
 throughput.  The claim: sharding buys at least 2x on 4+ views.
 """
 
+import os
 import threading
 import time
 
@@ -26,6 +27,8 @@ from repro.relations import Atom
 from repro.service import QueryService
 
 from support import ExperimentTable
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE") == "smoke"
 
 table = ExperimentTable(
     "P07-concurrent-throughput",
@@ -47,8 +50,13 @@ tc(X, Z) :- move(X, Y), tc(Y, Z).
 """
 
 LIGHT_VIEWS = 4
-HEAVY_OPS = 4
-HEAVY_CHAIN = 220  # deep closure: one shortcut delta costs tens of ms
+HEAVY_OPS = 2 if SMOKE else 4
+HEAVY_CHAIN = (
+    120 if SMOKE else 220
+)  # deep closure: one shortcut delta costs tens of ms
+#: The speedup bar — relaxed at smoke scale, where the heavy batches
+#: are short enough that head-of-line blocking shrinks.
+SPEEDUP_BAR = 1.5 if SMOKE else 2.0
 
 
 def _chain(length, prefix):
@@ -136,8 +144,9 @@ def test_sharded_locks_beat_global_lock(benchmark):
         f"{speedup:.1f}x",
     )
     # The acceptance bar: sharding must at least double multi-view
-    # update throughput against the single-lock baseline on 4+ views.
-    assert speedup >= 2.0, (
+    # update throughput against the single-lock baseline on 4+ views
+    # (relaxed at smoke scale).
+    assert speedup >= SPEEDUP_BAR, (
         f"per-view locking only reached {speedup:.2f}x the global-lock "
         f"throughput ({view_rate:.0f} vs {global_rate:.0f} light ops/sec)"
     )

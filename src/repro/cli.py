@@ -252,6 +252,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         max_atoms=args.max_atoms,
         deadline_ms=args.deadline_ms,
+        read_mode=args.read_mode,
     )
     if args.socket:
         print(f"serving on unix socket {args.socket}", file=sys.stderr)
@@ -366,6 +367,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="socket connections served concurrently (default: 8)",
+    )
+    p_srv.add_argument(
+        "--read-mode",
+        choices=("snapshot", "locked"),
+        default="snapshot",
+        help=(
+            "query path: lock-free published-snapshot reads (default) "
+            "or the locked per-view path"
+        ),
     )
     p_srv.add_argument(
         "--metrics-snapshot",

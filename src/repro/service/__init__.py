@@ -11,8 +11,9 @@ served from an LRU cache (:mod:`cache`), and the whole thing observable
 
 from .cache import LRUCache
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
-from .locks import InstrumentedLock, ReadWriteLock
+from .locks import AtomicReference, InstrumentedLock, ReadWriteLock
 from .metrics import Histogram, ServiceMetrics, ViewMetrics
+from .snapshot import ModelSnapshot
 from .registry import (
     Component,
     PreparedProgram,
@@ -24,6 +25,7 @@ from .server import QueryService, parse_fact, serve_stream, serve_unix_socket
 from .views import MaterializedView
 
 __all__ = [
+    "AtomicReference",
     "Component",
     "Histogram",
     "IncrementalEngine",
@@ -31,6 +33,7 @@ __all__ = [
     "InstrumentedLock",
     "LRUCache",
     "MaterializedView",
+    "ModelSnapshot",
     "PreparedProgram",
     "ProgramRegistry",
     "QueryService",

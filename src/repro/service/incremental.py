@@ -193,6 +193,13 @@ class IncrementalEngine:
         change the database (inserting a present fact, deleting an
         absent one) are ignored.  Returns a summary with the net
         per-predicate deltas actually applied to the model.
+
+        The ``plus``/``minus`` sets in the summary are *net*: no row
+        appears in both, and applying ``(rows - minus) | plus`` to the
+        pre-batch model yields exactly the post-batch model.  The view
+        layer feeds these sets to ``ModelSnapshot.apply_delta`` to keep
+        the published read snapshot current without copying the model,
+        so this net-ness is a load-bearing contract, not a convenience.
         """
         fault_point("incremental.apply")
         if self.budget is not None:

@@ -6,10 +6,15 @@ it holds
 * one :class:`ReadWriteLock` over the **registry** — register and
   unregister take the write side, every query/update takes the (shared)
   read side just long enough to resolve a view name; and
-* one :class:`InstrumentedLock` per **view** — updates and queries
-  against *different* views proceed fully in parallel, while operations
-  on the same view stay serialised (which is what makes a query unable
-  to observe a half-applied batch).
+* one :class:`InstrumentedLock` per **view** — held by *writers*
+  (updates, recompute, recovery), so update batches on the same view
+  stay serialised; and
+* one :class:`AtomicReference` per view holding its published
+  :class:`~repro.service.snapshot.ModelSnapshot` — *readers* pick the
+  current snapshot off the reference with no lock at all (RCU-style),
+  so queries on a hot view never wait behind maintenance.  Queries
+  that cannot be served from a snapshot (a recompute-mode view whose
+  model is behind the database) fall back to the view lock.
 
 Both wrappers are observability-aware: every :class:`InstrumentedLock`
 acquisition reports its wait and hold wall-clock to a recorder (the
@@ -27,10 +32,40 @@ from typing import Callable, Iterator, Optional
 
 from ..robustness import fault_point
 
-__all__ = ["InstrumentedLock", "ReadWriteLock"]
+__all__ = ["AtomicReference", "InstrumentedLock", "ReadWriteLock"]
 
 #: recorder(lock_name, wait_seconds, hold_seconds)
 LockRecorder = Callable[[str, float, float], None]
+
+
+class AtomicReference:
+    """A single cell whose reads and writes are indivisible.
+
+    The RCU publication primitive of the snapshot read path: a writer
+    constructs a fully immutable value and swaps the reference in one
+    step; readers call :meth:`get` with no lock and always observe a
+    complete value, never a torn one.  (In CPython an attribute
+    assignment is a single GIL-protected store, which is exactly the
+    memory-ordering guarantee this wrapper names and documents — and
+    the one place to add a real barrier on a free-threaded build.)
+
+    Holding a value read from the cell remains safe indefinitely: the
+    reference swap never mutates the previous value, it only stops new
+    readers from finding it.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value=None):
+        self._value = value
+
+    def get(self):
+        """The currently published value (lock-free)."""
+        return self._value
+
+    def set(self, value) -> None:
+        """Publish a new value with one atomic reference swap."""
+        self._value = value
 
 
 class ReadWriteLock:

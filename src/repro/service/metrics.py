@@ -46,7 +46,11 @@ _COUNTERS = (
     "overdeleted_total",
     "rederived_total",
     "incremental_batches",
+    "recompute_batches",
     "recompute_fallbacks",
+    "snapshot_swaps",
+    "snapshot_reads",
+    "stale_queries",
 )
 
 #: Counter names every service snapshot reports, even when still zero.
@@ -133,12 +137,17 @@ class ViewMetrics:
         self.phase_seconds: Dict[str, float] = {}
         self.phase_histograms: Dict[str, Histogram] = {}
         self.sink = sink
+        # Snapshot-path queries bump counters without holding the view
+        # lock, so increments take this mutex (a read-modify-write on a
+        # dict entry is not atomic even under the GIL).
+        self._counter_lock = threading.Lock()
         self._degraded_seconds = 0.0
         self._degraded_since: Optional[float] = None
 
     def bump(self, counter: str, amount: int = 1) -> None:
-        """Increment a counter (creating it on first use)."""
-        self.counters[counter] = self.counters.get(counter, 0) + amount
+        """Increment a counter (creating it on first use). Thread-safe."""
+        with self._counter_lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -178,8 +187,10 @@ class ViewMetrics:
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-friendly copy of counters, timings, degraded time."""
+        with self._counter_lock:
+            counters = dict(self.counters)
         return {
-            "counters": dict(self.counters),
+            "counters": counters,
             "phase_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.phase_seconds.items())
@@ -254,8 +265,12 @@ class ServiceMetrics:
 
     def absorb(self, view_metrics: ViewMetrics) -> None:
         """Roll a departing view's counters into the retired totals."""
+        # Copy under the view's counter mutex: snapshot-path readers may
+        # still be bumping a straggler increment while the view retires.
+        with view_metrics._counter_lock:
+            absorbed = dict(view_metrics.counters)
         with self._lock:
-            for name, value in view_metrics.counters.items():
+            for name, value in absorbed.items():
                 self.retired_counters[name] = (
                     self.retired_counters.get(name, 0) + value
                 )

@@ -5,29 +5,40 @@ exposes: registered programs (compiled once), one materialized view per
 program, a shared LRU result cache invalidated by the update path, and
 per-view plus service-level metrics.
 
-Concurrency model (per-view lock sharding):
+Concurrency model (snapshot reads over per-view write locks):
 
+* **queries are lock-free**: every view publishes an immutable,
+  versioned :class:`~repro.service.snapshot.ModelSnapshot` through an
+  atomic reference; a query resolves the view name under the registry
+  read lock, picks up the published snapshot, and answers from it
+  without ever taking the view lock — so readers on a hot view never
+  wait behind an update batch.  A query that cannot be served from a
+  snapshot (recompute-mode view whose model trails its database) falls
+  back to the locked path below;
 * a registry-level :class:`~repro.service.locks.ReadWriteLock` guards
   the name → view table — ``register``/``unregister`` take the write
   side, every other request takes the read side just long enough to
   resolve the name;
 * each view carries its own
-  :class:`~repro.service.locks.InstrumentedLock` — queries and updates
-  against *different* views proceed fully in parallel through the
-  socket server's worker pool, while operations on the same view stay
-  serialised, so a query can never observe a half-applied batch;
+  :class:`~repro.service.locks.InstrumentedLock`, held by **writers**
+  (updates, recompute, recovery) and by fallback reads — update
+  batches against *different* views proceed fully in parallel through
+  the socket server's worker pool, while batches on the same view stay
+  serialised, and the snapshot swap happens inside the hold so a
+  reader can never observe a half-applied batch;
 * because a request resolves ``(view, lock)`` under the read lock but
-  acquires the view lock *afterwards*, every request re-checks that
-  the name still maps to the same view once it holds the lock, and
-  retries the resolution when it lost a race with ``register`` /
+  acquires the view lock *afterwards*, every locked request re-checks
+  that the name still maps to the same view once it holds the lock,
+  and retries the resolution when it lost a race with ``register`` /
   ``unregister`` (``unregister`` itself takes the view lock before
   the write lock, so an acknowledged update is never silently dropped
   by a concurrent unregistration);
 * result-cache keys carry a per-registration **generation** token
-  (bumped under the write lock on every register), so a ``cache.put``
-  completed by an in-flight request against a replaced view lands
-  under a dead generation and can never be served to queries against
-  the replacement.
+  (bumped under the write lock on every register) *and* the view's
+  snapshot generation (bumped on every publish), so a ``cache.put``
+  completed by an in-flight request against a replaced view — or
+  against a model version that has since moved on — lands under a
+  dead key and can never be served to later queries.
 
 The wire format is a newline-delimited request/response protocol,
 servable from stdin/stdout or a unix socket::
@@ -115,11 +126,18 @@ class QueryService:
     expensive per-request operation (recompute, incremental batch) by
     handing each one a fresh :class:`~repro.robustness.EvaluationBudget`.
 
-    ``lock_mode`` picks the concurrency discipline: ``"view"`` (the
-    default) shards the service lock per view so different views are
-    served fully in parallel; ``"global"`` is the old one-big-lock
-    behaviour, kept as the benchmark baseline
+    ``lock_mode`` picks the write-side concurrency discipline:
+    ``"view"`` (the default) shards the service lock per view so
+    different views are maintained fully in parallel; ``"global"`` is
+    the old one-big-lock behaviour, kept as the benchmark baseline
     (``benchmarks/bench_p07_concurrent_throughput.py``).
+
+    ``read_mode`` picks the read path: ``"snapshot"`` (the default)
+    serves queries lock-free from each view's published model snapshot,
+    falling back to the locked path only when no servable snapshot
+    exists; ``"locked"`` forces every query through the view lock —
+    the pre-snapshot behaviour, kept as the benchmark baseline
+    (``benchmarks/bench_p08_snapshot_reads.py``).
     """
 
     def __init__(
@@ -130,9 +148,12 @@ class QueryService:
         max_atoms: int = 1_000_000,
         deadline_ms: Optional[float] = None,
         lock_mode: str = "view",
+        read_mode: str = "snapshot",
     ):
         if lock_mode not in ("view", "global"):
             raise ValueError(f"unknown lock_mode {lock_mode!r}")
+        if read_mode not in ("snapshot", "locked"):
+            raise ValueError(f"unknown read_mode {read_mode!r}")
         self.registry = ProgramRegistry()
         self.views: Dict[str, MaterializedView] = {}
         self.cache = LRUCache(cache_capacity)
@@ -141,6 +162,7 @@ class QueryService:
         self.max_atoms = max_atoms
         self.deadline_ms = deadline_ms
         self.lock_mode = lock_mode
+        self.read_mode = read_mode
         self.metrics = ServiceMetrics()
         self._registry_lock = ReadWriteLock()
         self._locks: Dict[str, InstrumentedLock] = {}
@@ -298,12 +320,78 @@ class QueryService:
 
     # -- queries --------------------------------------------------------------
 
+    def _resolve_snapshot(self, name: str):
+        """The lock-free read resolution: ``(view, generation, snapshot)``.
+
+        Resolves the name under the registry read lock (the only lock a
+        snapshot read ever takes), then picks the view's published
+        snapshot off its atomic reference.  Returns ``None`` for the
+        snapshot when the view cannot serve one right now — a
+        recompute-mode view whose model trails its database — or when
+        the service runs with ``read_mode="locked"``; callers then take
+        the locked fallback path.
+        """
+        while True:
+            view, _lock, generation = self._view_and_lock(name)
+            if self.read_mode != "snapshot":
+                return view, generation, None
+            snapshot = view.read_snapshot()
+            # Verify the binding is still current now that the snapshot
+            # is in hand — a register/unregister that completed between
+            # resolve and pickup must not have its replaced view served
+            # (same verify-after-acquire discipline as _locked_view).
+            with self._registry_lock.read_locked():
+                if self.views.get(name) is not view:
+                    continue
+            if snapshot is not None:
+                view.metrics.bump("snapshot_reads")
+            return view, generation, snapshot
+
+    def _serve_true(self, view, name, generation, snapshot, predicate):
+        """Answer a true-rows query from a published snapshot."""
+        view.metrics.bump("queries")
+        if snapshot.stale:
+            # A stale answer must never be cached and outlive the
+            # degradation.
+            view.metrics.bump("stale_queries")
+            return snapshot.rows(predicate)
+        key = (name, generation, snapshot.generation, predicate, "true")
+        fault_point("cache.get")
+        cached = self.cache.get(key)
+        if cached is not None:
+            view.metrics.bump("cache_hits")
+            return cached
+        view.metrics.bump("cache_misses")
+        rows = snapshot.rows(predicate)
+        fault_point("cache.put")
+        self.cache.put(key, rows)
+        return rows
+
+    def _serve_undefined(self, view, name, generation, snapshot, predicate):
+        """Answer an undefined-rows query from a published snapshot."""
+        if snapshot.stale:
+            return snapshot.undefined_rows(predicate)
+        key = (name, generation, snapshot.generation, predicate, "undefined")
+        cached = self.cache.get(key)
+        if cached is not None:
+            view.metrics.bump("cache_hits")
+            return cached
+        view.metrics.bump("cache_misses")
+        rows = snapshot.undefined_rows(predicate)
+        self.cache.put(key, rows)
+        return rows
+
     def query(self, name: str, predicate: str) -> FrozenSet[Row]:
         """True rows of a predicate, served through the LRU cache.
 
-        Degraded (stale) views bypass the cache entirely — a stale
-        answer must never be cached and outlive the degradation."""
+        The primary path is lock-free: the answer comes from the view's
+        published snapshot, a complete model at some recent version.
+        Only a view with no servable snapshot routes through its lock.
+        """
         self.metrics.bump("queries_total")
+        view, generation, snapshot = self._resolve_snapshot(name)
+        if snapshot is not None:
+            return self._serve_true(view, name, generation, snapshot, predicate)
         with self._locked_view(name) as (view, generation):
             return self._query_locked(view, name, generation, predicate)
 
@@ -316,7 +404,9 @@ class QueryService:
     ) -> FrozenSet[Row]:
         if view.stale:
             return view.rows(predicate)
-        key = (name, generation, predicate, "true")
+        key = (
+            name, generation, view.snapshot_generation(), predicate, "true",
+        )
         fault_point("cache.get")
         cached = self.cache.get(key)
         if cached is not None:
@@ -327,11 +417,23 @@ class QueryService:
         rows = view.rows(predicate)
         if not view.stale:
             fault_point("cache.put")
-            self.cache.put(key, rows)
+            # Re-key on the post-evaluation snapshot generation: a
+            # recompute may just have published a fresh snapshot, and
+            # the entry must be reachable from *its* readers.
+            self.cache.put(
+                (name, generation, view.snapshot_generation(), predicate,
+                 "true"),
+                rows,
+            )
         return rows
 
     def undefined(self, name: str, predicate: str) -> FrozenSet[Row]:
         """Undefined rows of a predicate (three-valued semantics only)."""
+        view, generation, snapshot = self._resolve_snapshot(name)
+        if snapshot is not None:
+            return self._serve_undefined(
+                view, name, generation, snapshot, predicate
+            )
         with self._locked_view(name) as (view, generation):
             return self._undefined_locked(view, name, generation, predicate)
 
@@ -344,7 +446,10 @@ class QueryService:
     ) -> FrozenSet[Row]:
         if view.stale:
             return view.undefined_rows(predicate)
-        key = (name, generation, predicate, "undefined")
+        key = (
+            name, generation, view.snapshot_generation(), predicate,
+            "undefined",
+        )
         cached = self.cache.get(key)
         if cached is not None:
             view.metrics.bump("cache_hits")
@@ -352,19 +457,33 @@ class QueryService:
         view.metrics.bump("cache_misses")
         rows = view.undefined_rows(predicate)
         if not view.stale:
-            self.cache.put(key, rows)
+            self.cache.put(
+                (name, generation, view.snapshot_generation(), predicate,
+                 "undefined"),
+                rows,
+            )
         return rows
 
     def query_state(
         self, name: str, predicate: str
     ) -> Tuple[FrozenSet[Row], FrozenSet[Row], bool]:
-        """``(true_rows, undefined_rows, stale)`` under **one** lock hold.
+        """``(true_rows, undefined_rows, stale)`` from **one** model state.
 
         The protocol's ``query`` verb uses this so its whole reply is
-        one linearization point — the rows, the undefined rows, and the
-        staleness flag all describe the same model state.
+        one linearization point.  On the snapshot path both answers and
+        the staleness flag come from a single immutable snapshot, so
+        they describe the same model version even while updates land
+        concurrently; the locked fallback gets the same property from
+        holding the view lock across both reads.
         """
         self.metrics.bump("queries_total")
+        view, generation, snapshot = self._resolve_snapshot(name)
+        if snapshot is not None:
+            rows = self._serve_true(view, name, generation, snapshot, predicate)
+            undefined = self._serve_undefined(
+                view, name, generation, snapshot, predicate
+            )
+            return rows, undefined, snapshot.stale
         with self._locked_view(name) as (view, generation):
             rows = self._query_locked(view, name, generation, predicate)
             undefined = self._undefined_locked(
@@ -451,10 +570,17 @@ class QueryService:
                 name: stats["degraded_seconds"]
                 for name, stats in view_stats.items()
             },
+            # Snapshot staleness lag per view: how long ago the served
+            # model version was published (None until first publish).
+            "snapshot_age": {
+                name: stats.get("snapshot_age_seconds")
+                for name, stats in view_stats.items()
+            },
         }
         snapshot["views"] = view_stats
         snapshot["cache"] = self.cache.stats()
         snapshot["lock_mode"] = self.lock_mode
+        snapshot["read_mode"] = self.read_mode
         return snapshot
 
 

@@ -1,0 +1,243 @@
+"""Immutable, versioned model snapshots — the service's primary read path.
+
+A :class:`ModelSnapshot` captures one complete, consistent model of a
+materialized view: the certainly-true rows *and* the undefined rows
+(the three-valued distinction Theorems 4.2/6.2 of the paper turn on —
+a degraded view keeps serving both statuses, not just the true rows),
+plus a per-view **generation** number, a staleness flag, and a lazy
+content fingerprint.
+
+Snapshots are the RCU publication unit.  Writers (the update and
+recompute paths of :class:`~repro.service.views.MaterializedView`)
+construct a fully immutable snapshot and publish it with a single
+atomic reference swap while holding the per-view lock; readers pick up
+whatever snapshot is currently published — no lock, no copy — and are
+guaranteed a complete model at some recent version, never a mid-batch
+state.
+
+Maintenance is **delta-driven**, not copy-driven: ``apply_delta``
+builds the successor snapshot in O(|delta|) by stacking the batch's
+net plus/minus sets on per-predicate copy-on-write cells.  Unchanged
+predicates share their cells with the parent snapshot outright;
+changed predicates get a thin delta cell whose full row set is
+materialized lazily (and memoized) on first read.  A depth cap bounds
+the delta chains, so a long unread update burst compacts periodically
+instead of accumulating unboundedly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..relations.values import Value
+
+__all__ = ["ModelSnapshot"]
+
+Row = Tuple[Value, ...]
+
+_EMPTY: FrozenSet[Row] = frozenset()
+
+#: Delta cells deeper than this are compacted (materialized eagerly) at
+#: publish time, bounding both read-side recursion and chain memory.
+MAX_DELTA_DEPTH = 16
+
+
+class _Cell:
+    """One predicate's rows: a materialized frozenset, or a delta.
+
+    The single ``_state`` tuple is swapped atomically when a lazy delta
+    cell materializes, so racing readers either recompute the same
+    frozenset (benign duplicate work) or pick up the memoized one —
+    never a torn intermediate.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: tuple):
+        self._state = state
+
+    @classmethod
+    def frozen(cls, rows: Iterable[Row]) -> "_Cell":
+        return cls(("frozen", frozenset(rows)))
+
+    @classmethod
+    def delta(
+        cls,
+        parent: "_Cell",
+        plus: FrozenSet[Row],
+        minus: FrozenSet[Row],
+        depth: int,
+    ) -> "_Cell":
+        return cls(("delta", parent, plus, minus, depth))
+
+    @property
+    def depth(self) -> int:
+        state = self._state
+        return 0 if state[0] == "frozen" else state[4]
+
+    def rows(self) -> FrozenSet[Row]:
+        state = self._state
+        if state[0] == "frozen":
+            return state[1]
+        _tag, parent, plus, minus, _depth = state
+        rows = (parent.rows() - minus) | plus
+        self._state = ("frozen", rows)
+        return rows
+
+
+_EMPTY_CELL = _Cell.frozen(())
+
+
+class ModelSnapshot:
+    """An immutable, versioned three-valued model of one view.
+
+    ``generation`` is monotone per view and bumps on every publish;
+    ``stale`` marks degraded (last-consistent-model) service;
+    ``published_at`` feeds the snapshot-age gauge.  ``fingerprint`` is
+    a content hash over both truth statuses, computed lazily so the
+    per-batch publish cost stays proportional to the delta.
+    """
+
+    __slots__ = (
+        "generation",
+        "stale",
+        "published_at",
+        "_true",
+        "_undefined",
+        "_fingerprint",
+    )
+
+    def __init__(
+        self,
+        true_cells: Dict[str, _Cell],
+        undefined: Dict[str, FrozenSet[Row]],
+        generation: int,
+        stale: bool,
+    ):
+        self._true = true_cells
+        self._undefined = undefined
+        self.generation = generation
+        self.stale = stale
+        self.published_at = time.monotonic()
+        self._fingerprint: Optional[str] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def full(
+        cls,
+        true_rows: Mapping[str, Iterable[Row]],
+        undefined_rows: Optional[Mapping[str, Iterable[Row]]] = None,
+        generation: int = 1,
+        stale: bool = False,
+    ) -> "ModelSnapshot":
+        """Snapshot a complete model (initialization / recompute)."""
+        cells = {
+            predicate: _Cell.frozen(rows)
+            for predicate, rows in true_rows.items()
+        }
+        undefined = {
+            predicate: frozenset(rows)
+            for predicate, rows in (undefined_rows or {}).items()
+            if rows
+        }
+        return cls(cells, undefined, generation, stale)
+
+    def apply_delta(
+        self,
+        plus: Mapping[str, Iterable[Row]],
+        minus: Mapping[str, Iterable[Row]],
+        generation: int,
+    ) -> "ModelSnapshot":
+        """The successor snapshot under a net fact delta, in O(|delta|).
+
+        Unchanged predicates share cells with this snapshot; changed
+        ones stack a copy-on-write delta cell (compacted once the chain
+        hits :data:`MAX_DELTA_DEPTH`).  ``plus``/``minus`` must be the
+        *net* per-predicate deltas — exactly what
+        :meth:`~repro.service.incremental.IncrementalEngine.apply`
+        reports.  Only total models carry deltas, so the undefined
+        table is shared by reference.
+        """
+        cells = dict(self._true)
+        for predicate in set(plus) | set(minus):
+            plus_rows = frozenset(plus.get(predicate, ()))
+            minus_rows = frozenset(minus.get(predicate, ()))
+            if not plus_rows and not minus_rows:
+                continue
+            parent = cells.get(predicate, _EMPTY_CELL)
+            if parent.depth + 1 > MAX_DELTA_DEPTH:
+                cells[predicate] = _Cell.frozen(
+                    (parent.rows() - minus_rows) | plus_rows
+                )
+            else:
+                cells[predicate] = _Cell.delta(
+                    parent, plus_rows, minus_rows, parent.depth + 1
+                )
+        return ModelSnapshot(cells, self._undefined, generation, False)
+
+    def as_stale(self, generation: int) -> "ModelSnapshot":
+        """Copy-on-degrade: the same model, flagged stale.
+
+        Cells are shared, so degrading costs O(#predicates) — the
+        robustness contract (serve the last consistent model) without
+        ever having paid a precautionary full copy on the happy path.
+        """
+        return ModelSnapshot(self._true, self._undefined, generation, True)
+
+    # -- reads ----------------------------------------------------------------
+
+    def rows(self, predicate: str) -> FrozenSet[Row]:
+        """Certainly-true rows of one predicate."""
+        cell = self._true.get(predicate)
+        return cell.rows() if cell is not None else _EMPTY
+
+    def undefined_rows(self, predicate: str) -> FrozenSet[Row]:
+        """Undefined-status rows of one predicate."""
+        return self._undefined.get(predicate, _EMPTY)
+
+    def predicates(self) -> FrozenSet[str]:
+        """Every predicate this snapshot holds rows (of any status) for."""
+        return frozenset(self._true) | frozenset(self._undefined)
+
+    def true_rows(self) -> Dict[str, FrozenSet[Row]]:
+        """The whole true table, materialized (test oracles, exports)."""
+        return {
+            predicate: cell.rows() for predicate, cell in self._true.items()
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash over both truth statuses (lazy, memoized).
+
+        Two snapshots with identical models share a fingerprint
+        regardless of the delta path that built them.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            for section, table in (
+                ("true", self.true_rows()),
+                ("undefined", self._undefined),
+            ):
+                hasher.update(section.encode("utf-8"))
+                hasher.update(b"\x03")
+                for predicate in sorted(table):
+                    hasher.update(predicate.encode("utf-8"))
+                    hasher.update(b"\x00")
+                    rows = sorted(
+                        table[predicate], key=lambda r: tuple(map(repr, r))
+                    )
+                    for row in rows:
+                        hasher.update(repr(row).encode("utf-8"))
+                        hasher.update(b"\x01")
+                    hasher.update(b"\x02")
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
+
+    def __repr__(self) -> str:
+        return (
+            f"<ModelSnapshot gen={self.generation} "
+            f"predicates={len(self._true)} stale={self.stale}>"
+        )

@@ -14,6 +14,14 @@ database and keeps the model resident between queries:
   re-evaluates — reusing the prepared plan's fingerprint-keyed ground
   cache when the database revisits a known state.
 
+Snapshot publication (the primary read path): every consistent model
+the view reaches is published as an immutable, versioned
+:class:`~repro.service.snapshot.ModelSnapshot` — true *and* undefined
+rows — via a single atomic reference swap.  Readers pick the snapshot
+off the reference with no lock; writers maintain it **incrementally**,
+applying each batch's net plus/minus delta to the previous snapshot
+(O(|delta|)) instead of re-copying the whole model.
+
 Failure discipline (the robustness contract, tested by the chaos
 suite in ``tests/robustness``):
 
@@ -22,13 +30,16 @@ suite in ``tests/robustness``):
   batch and the resident model rebuilt from scratch (wrapped in
   :func:`~repro.robustness.retry_with_backoff`);
 * if even the rebuild keeps failing, the view enters **degraded mode**:
-  it serves its last consistent model, flagged ``stale``, instead of
-  crashing or serving a corrupted one.  The next successful update or
-  recompute clears the flag.
+  it re-publishes its last consistent snapshot flagged ``stale``
+  (copy-on-degrade — the cells are shared, so nothing is copied) and
+  serves it, **both truth statuses included**, instead of crashing or
+  serving a corrupted model.  The next successful update or recompute
+  clears the flag.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..datalog.database import Database
@@ -45,8 +56,10 @@ from ..robustness import (
     retry_with_backoff,
 )
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
+from .locks import AtomicReference
 from .metrics import ViewMetrics
 from .registry import PreparedProgram
+from .snapshot import ModelSnapshot
 
 __all__ = ["MaterializedView"]
 
@@ -93,11 +106,18 @@ class MaterializedView:
         self.budget_factory = budget_factory
         self.recovery_attempts = recovery_attempts
         # Degraded-mode state: when ``stale`` is True, queries answer
-        # from ``_last_good`` (the last consistent model snapshot)
-        # instead of the (unavailable or rebuilding) live model.
+        # from the published snapshot (the last consistent model, both
+        # truth statuses) instead of the (unavailable or rebuilding)
+        # live model.
         self.stale = False
-        self._last_good: Optional[Dict[str, FrozenSet[Row]]] = None
         self._last_error: Optional[str] = None
+        # The published snapshot cell: ``(snapshot, servable)``.  Both
+        # fields swap together so lock-free readers can never pair a
+        # fresh flag with an outdated snapshot.  ``servable`` is False
+        # while a recompute-mode view's model trails its database (the
+        # next read must take the locked path and re-evaluate).
+        self._published: AtomicReference = AtomicReference((None, False))
+        self._generation = 0
         self.mode = (
             "incremental"
             if incremental and semantics == "stratified" and prepared.stratified
@@ -119,7 +139,7 @@ class MaterializedView:
                 )
             self.engine.budget = None
             self.database = self.engine.edb
-            self._last_good = self.engine.model()
+            self._publish_full(self.engine.model())
         else:
             self.database = (database or Database()).copy()
             for predicate, row in prepared.seed_facts:
@@ -129,37 +149,101 @@ class MaterializedView:
     def _budget(self) -> Optional[EvaluationBudget]:
         return self.budget_factory() if self.budget_factory is not None else None
 
+    # -- snapshot publication -------------------------------------------------
+
+    def _publish(self, snapshot: ModelSnapshot) -> None:
+        """Swap a new snapshot in (writers only, under the view lock)."""
+        self._generation = snapshot.generation
+        self._published.set((snapshot, True))
+        self.metrics.bump("snapshot_swaps")
+
+    def _publish_full(
+        self,
+        true_rows: Dict[str, FrozenSet[Row]],
+        undefined_rows: Optional[Dict[str, FrozenSet[Row]]] = None,
+    ) -> None:
+        self._publish(
+            ModelSnapshot.full(
+                true_rows, undefined_rows, generation=self._generation + 1
+            )
+        )
+
+    def _publish_delta(
+        self,
+        plus: Dict[str, FrozenSet[Row]],
+        minus: Dict[str, FrozenSet[Row]],
+    ) -> None:
+        snapshot, _servable = self._published.get()
+        assert snapshot is not None
+        self._publish(
+            snapshot.apply_delta(plus, minus, self._generation + 1)
+        )
+
+    def _publish_stale(self) -> None:
+        snapshot, _servable = self._published.get()
+        if snapshot is not None and not snapshot.stale:
+            self._publish(snapshot.as_stale(self._generation + 1))
+
+    def _invalidate_snapshot(self) -> None:
+        """Mark the snapshot unservable (model trails the database)."""
+        snapshot, _servable = self._published.get()
+        self._published.set((snapshot, False))
+
+    def read_snapshot(self) -> Optional[ModelSnapshot]:
+        """The currently served model snapshot, or None when a
+        recompute is pending (or nothing was ever materialized).
+
+        Lock-free: safe to call from any thread at any time.  The
+        returned snapshot is immutable — holding it across later
+        updates keeps serving the same consistent version.
+        """
+        snapshot, servable = self._published.get()
+        return snapshot if servable else None
+
+    def snapshot_generation(self) -> int:
+        """The published snapshot's generation (monotone per view)."""
+        return self._generation
+
+    def _served_snapshot(self) -> ModelSnapshot:
+        snapshot, _servable = self._published.get()
+        assert snapshot is not None
+        return snapshot
+
     # -- queries --------------------------------------------------------------
 
     def rows(self, predicate: str) -> FrozenSet[Row]:
         """Rows of a predicate that are certainly true.
 
-        In degraded mode this serves the last consistent model — check
-        :attr:`stale` (the server surfaces it on the wire)."""
+        In degraded mode this serves the last consistent snapshot —
+        check :attr:`stale` (the server surfaces it on the wire)."""
         self.metrics.bump("queries")
         if self.stale:
             self.metrics.bump("stale_queries")
-            assert self._last_good is not None
-            return self._last_good.get(predicate, frozenset())
+            return self._served_snapshot().rows(predicate)
         if self.engine is not None:
             return self.engine.rows(predicate)
         try:
             return self._ensure_result().true_rows(predicate)
         except ViewDegraded:
             # The recompute just failed; degrade in place and answer
-            # from the last consistent model rather than erroring.
+            # from the last consistent snapshot rather than erroring.
             self.metrics.bump("stale_queries")
-            assert self._last_good is not None
-            return self._last_good.get(predicate, frozenset())
+            return self._served_snapshot().rows(predicate)
 
     def undefined_rows(self, predicate: str) -> FrozenSet[Row]:
-        """Rows with undefined status (stratified models are total)."""
-        if self.stale or self.engine is not None:
+        """Rows with undefined status (stratified models are total).
+
+        Degraded service preserves the three-valued answer: the stale
+        snapshot carries both truth statuses, so a valid/well-founded
+        view keeps distinguishing true from undefined while stale."""
+        if self.stale:
+            return self._served_snapshot().undefined_rows(predicate)
+        if self.engine is not None:
             return frozenset()
         try:
             return self._ensure_result().undefined_rows(predicate)
         except ViewDegraded:
-            return frozenset()
+            return self._served_snapshot().undefined_rows(predicate)
 
     def predicates(self) -> FrozenSet[str]:
         """Every predicate the view can answer about."""
@@ -198,17 +282,20 @@ class MaterializedView:
         except Cancelled:
             raise
         except ReproError as exc:
-            if self._last_good is None:
+            if self._published.get()[0] is None:
+                # Nothing consistent was ever materialized — there is no
+                # stale model to fall back to, so surface the failure.
                 raise
             self._enter_degraded(exc)
             raise ViewDegraded(
                 f"recompute failed ({exc}); serving last consistent model",
             ) from exc
         self._mark_healthy()
-        self._last_good = {
-            predicate: self._result.true_rows(predicate)
-            for predicate in self.predicates()
-        }
+        predicates = self.predicates()
+        self._publish_full(
+            {p: self._result.true_rows(p) for p in predicates},
+            {p: self._result.undefined_rows(p) for p in predicates},
+        )
         return self._result
 
     def _enter_degraded(self, exc: BaseException) -> None:
@@ -216,6 +303,10 @@ class MaterializedView:
         self._last_error = f"{type(exc).__name__}: {exc}"
         self.metrics.bump("degraded_entries")
         self.metrics.mark_degraded()
+        # Copy-on-degrade: re-publish the last consistent snapshot
+        # flagged stale, so lock-free readers keep serving it (both
+        # truth statuses) without ever touching the broken live model.
+        self._publish_stale()
 
     def _mark_healthy(self) -> None:
         """Leave degraded mode (no-op when already healthy)."""
@@ -261,11 +352,16 @@ class MaterializedView:
                 self.database.add(predicate, *row)
                 applied_inserts += 1
         self._result = None
+        # The model now trails the database: readers must re-evaluate
+        # on the locked path instead of serving the outdated snapshot.
+        self._invalidate_snapshot()
         # The database moved on; give the next query a fresh chance to
         # recompute instead of pinning the view to its stale snapshot.
         self._mark_healthy()
         self.metrics.bump("update_batches")
-        self.metrics.bump("recompute_fallbacks")
+        # Routine recompute-mode traffic is *not* a fallback — only a
+        # genuine incremental-path failure bumps recompute_fallbacks.
+        self.metrics.bump("recompute_batches")
         self.metrics.bump("inserts_applied", applied_inserts)
         self.metrics.bump("deletes_applied", applied_deletes)
         return {
@@ -331,7 +427,11 @@ class MaterializedView:
         finally:
             engine.budget = None
         self._mark_healthy()
-        self._last_good = engine.model()
+        # Incremental snapshot maintenance: apply the engine's net
+        # plus/minus delta to the previous snapshot — O(|delta|), not a
+        # full model copy.
+        with self.metrics.phase("snapshot"):
+            self._publish_delta(summary["plus"], summary["minus"])
         return {"mode": "incremental", **summary}
 
     def _rollback(
@@ -367,7 +467,7 @@ class MaterializedView:
             self._enter_degraded(exc)
             return False
         self._mark_healthy()
-        self._last_good = engine.model()
+        self._publish_full(engine.model())
         return True
 
     def _degraded_summary(
@@ -385,15 +485,16 @@ class MaterializedView:
     def recover(self) -> bool:
         """Try to leave degraded mode by rebuilding the model.
 
-        Returns True when the view is healthy again.  Recompute-mode
-        views just drop the poisoned result and retry on next query.
+        Returns True when the view is healthy again.  The view reports
+        healthy — and the time-in-degraded clock stops — only once the
+        rebuild has actually succeeded; a failed recovery leaves the
+        degraded flag and clock untouched.
         """
         if not self.stale:
             return True
         if self.engine is not None:
             return self._reinitialize()
         self._result = None
-        self._mark_healthy()
         try:
             self._ensure_result()
         except ReproError:
@@ -429,6 +530,13 @@ class MaterializedView:
                 "ground_cache_misses": self.prepared.ground_cache_misses,
             }
         )
+        published, servable = self._published.get()
+        snapshot["snapshot_generation"] = self._generation
+        snapshot["snapshot_servable"] = servable
+        if published is not None:
+            snapshot["snapshot_age_seconds"] = round(
+                time.monotonic() - published.published_at, 6
+            )
         if self._last_error is not None:
             snapshot["last_error"] = self._last_error
         if self.engine is not None:

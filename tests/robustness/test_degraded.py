@@ -155,6 +155,58 @@ class TestDegradedRecompute:
                 view.rows("tc")
         assert not view.stale  # nothing to serve, so no degraded mode
 
+    def test_stale_service_preserves_undefined_rows(self):
+        # Regression: the degraded snapshot used to keep only the
+        # certainly-true rows, so undefined_rows() answered empty while
+        # stale — collapsing the three-valued distinction the valid
+        # semantics (Theorem 4.2) turns on.
+        prepared = prepare_program(
+            "win", "win(X) :- move(X, Y), not win(Y).\n"
+        )
+        database = (
+            Database()
+            .add("move", Atom("a"), Atom("b"))
+            .add("move", Atom("b"), Atom("c"))
+            .add("move", Atom("d"), Atom("d"))
+        )
+        view = MaterializedView(prepared, database, semantics="valid")
+        healthy_true = view.rows("win")
+        healthy_undefined = view.undefined_rows("win")
+        assert healthy_true == {(Atom("b"),)}
+        assert healthy_undefined == {(Atom("d"),)}  # the d→d loop
+        view.apply(inserts=[("move", (Atom("c"), Atom("e")))])
+        with inject_faults(
+            FaultInjector([FaultRule("view.recompute", times=None)])
+        ):
+            stale_true = view.rows("win")
+            stale_undefined = view.undefined_rows("win")
+        assert view.stale
+        # Both truth statuses of the last healthy model survive.
+        assert stale_true == healthy_true
+        assert stale_undefined == healthy_undefined
+
+    def test_failed_recovery_stays_degraded(self):
+        # Regression: recover() used to mark the view healthy *before*
+        # attempting the rebuild, so a failed recovery briefly reported
+        # healthy and reset the time-in-degraded clock.
+        view = _tc_view(semantics="valid", incremental=False)
+        view.rows("tc")
+        view.apply(inserts=[("edge", (Atom("c"), Atom("d")))])
+        with inject_faults(
+            FaultInjector([FaultRule("view.recompute", times=None)])
+        ):
+            view.rows("tc")
+            assert view.stale
+            degraded_since = view.metrics._degraded_since
+            assert degraded_since is not None
+            assert view.recover() is False
+            assert view.stale
+            # The degraded clock kept running through the whole failed
+            # attempt — it was never stopped and restarted.
+            assert view.metrics._degraded_since == degraded_since
+        assert view.recover() is True
+        assert not view.stale
+
 
 class TestWireProtocol:
     def _serve(self, service, script):

@@ -144,7 +144,8 @@ class TestLineProtocol:
         assert "undef win(d)" in replies
         stats_line = replies[-1]
         payload = json.loads(stats_line[len("ok ") :])
-        assert payload["counters"]["recompute_fallbacks"] == 1
+        assert payload["counters"]["recompute_batches"] == 1
+        assert payload["counters"]["recompute_fallbacks"] == 0
 
     def test_errors_do_not_kill_the_stream(self):
         service = QueryService()
@@ -204,8 +205,14 @@ class TestLineProtocol:
         assert payload["gauges"]["views_registered"] == 1
         assert payload["gauges"]["stale_views"] == 0
         assert payload["lock_mode"] == "view"
-        # One lock acquisition per query/update that resolved a view.
-        assert payload["counters"]["lock_acquisitions"] >= 3
+        assert payload["read_mode"] == "snapshot"
+        # Queries are lock-free (served from the published snapshot);
+        # only the update batch takes the view lock.
+        assert payload["counters"]["lock_acquisitions"] == 1
+        assert payload["rollup"]["snapshot_reads"] == 2
+        # Registration publishes once, the update batch republishes.
+        assert payload["rollup"]["snapshot_swaps"] == 2
+        assert payload["gauges"]["snapshot_age"]["tc"] >= 0
         assert payload["locks"]["wait"]["count"] == payload["counters"][
             "lock_acquisitions"
         ]

@@ -211,6 +211,120 @@ class TestUnregisterOrdering:
             service.unregister("tc")
 
 
+TC_PROGRAM = (
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+)
+
+
+def _chain_database():
+    database = Database()
+    database.declare("edge")
+    database.add("edge", Atom("a"), Atom("b"))
+    database.add("edge", Atom("b"), Atom("c"))
+    return database
+
+
+class TestSnapshotReadsUnderChurn:
+    def test_pinned_snapshot_stays_consistent_under_churn(self):
+        """A reader pinned to an old snapshot — and a reader following
+        the live snapshot path — must only ever observe *complete*
+        model versions while updates and register/unregister churn run:
+        no torn mid-batch states, generations monotone per view, and
+        the pinned snapshot bit-identical forever."""
+
+        def atoms(*pairs):
+            return frozenset(
+                (Atom(x), Atom(y)) for x, y in pairs
+            )
+
+        # The only two consistent models the churn below can produce:
+        # the chain closure, and the closure with the c→d→e extension
+        # (always inserted and deleted as ONE batch, so any other
+        # answer is a torn read).
+        without = atoms(("a", "b"), ("b", "c"), ("a", "c"))
+        with_extension = without | atoms(
+            ("c", "d"), ("d", "e"), ("c", "e"),
+            ("b", "d"), ("b", "e"), ("a", "d"), ("a", "e"),
+        )
+        legal = (without, with_extension)
+        extension = [
+            ("edge", (Atom("c"), Atom("d"))),
+            ("edge", (Atom("d"), Atom("e"))),
+        ]
+
+        service = QueryService()
+        service.register("tc", TC_PROGRAM, database=_chain_database())
+        pinned = service.view("tc").read_snapshot()
+        assert pinned is not None
+        pinned_generation = pinned.generation
+        assert pinned.rows("tc") == without
+
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                for round_number in range(30):
+                    service.update("tc", inserts=extension)
+                    service.update("tc", deletes=extension)
+                    if round_number % 10 == 5:
+                        # Replace the registration outright ...
+                        service.register(
+                            "tc", TC_PROGRAM, database=_chain_database()
+                        )
+                    if round_number % 10 == 9:
+                        # ... and cycle it through a full unregister.
+                        service.unregister("tc")
+                        service.register(
+                            "tc", TC_PROGRAM, database=_chain_database()
+                        )
+            except Exception as exc:
+                errors.append(f"churn: {type(exc).__name__}: {exc}")
+            finally:
+                stop.set()
+
+        def read():
+            last_generation = {}
+            try:
+                while not stop.is_set():
+                    # The pinned snapshot is immutable: same version,
+                    # same rows, no matter what the writers do.
+                    assert pinned.generation == pinned_generation
+                    assert pinned.rows("tc") == without
+                    try:
+                        view = service.view("tc")
+                    except KeyError:
+                        continue  # mid unregister/register cycle
+                    snapshot = view.read_snapshot()
+                    if snapshot is not None:
+                        rows = snapshot.rows("tc")
+                        assert rows in legal, f"torn snapshot read: {rows}"
+                        previous = last_generation.get(id(view))
+                        if previous is not None:
+                            assert snapshot.generation >= previous
+                        last_generation[id(view)] = snapshot.generation
+                    try:
+                        rows = service.query("tc", "tc")
+                    except KeyError:
+                        continue
+                    assert rows in legal, f"torn service read: {rows}"
+            except Exception as exc:
+                errors.append(f"reader: {type(exc).__name__}: {exc}")
+
+        reader = threading.Thread(target=read)
+        churner = threading.Thread(target=churn)
+        reader.start()
+        churner.start()
+        churner.join(timeout=60)
+        reader.join(timeout=60)
+        assert not churner.is_alive() and not reader.is_alive()
+        assert not errors, errors
+        # The pinned snapshot survived the whole run unchanged.
+        assert pinned.generation == pinned_generation
+        assert pinned.rows("tc") == without
+
+
 class TestRollupMonotoneUnderChurn:
     def test_rollup_never_decreases_while_views_churn(self):
         """Snapshots taken while views register/update/unregister must

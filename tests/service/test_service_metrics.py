@@ -76,6 +76,9 @@ def _check_internal_consistency(snapshot):
         1 for stats in snapshot["views"].values() if stats["stale"]
     )
     assert set(gauges["time_in_degraded"]) == set(snapshot["views"])
+    assert set(gauges["snapshot_age"]) == set(snapshot["views"])
+    for age in gauges["snapshot_age"].values():
+        assert age is None or age >= 0.0
 
 
 def _flat_counters(snapshot):
@@ -215,6 +218,48 @@ class TestInternalConsistency:
         final = service.metrics_snapshot()
         _check_internal_consistency(final)
         assert final["retired_degraded_seconds"] > 0.0
+
+
+class TestFallbackDistinction:
+    """recompute_fallbacks counts only genuine incremental-path
+    failures; routine recompute-mode traffic lands in
+    recompute_batches."""
+
+    def test_routine_recompute_batches_are_not_fallbacks(self):
+        service = QueryService()
+        # The valid semantics routes every batch through the recompute
+        # path by design — none of that traffic is a fallback.
+        service.register("win", TC, semantics="valid")
+        for node in ("p", "q", "r"):
+            service.insert("win", "edge", node, node + "2")
+        counters = service.metrics_snapshot()["views"]["win"]["counters"]
+        assert counters["recompute_batches"] == 3
+        assert counters["recompute_fallbacks"] == 0
+
+    def test_only_genuine_incremental_failures_count_as_fallbacks(self):
+        from repro.service import IncrementalMaintenanceError
+
+        service = QueryService()
+        service.register("tc", TC)
+        view = service.view("tc")
+        assert view.mode == "incremental"
+
+        def broken_apply(**_kwargs):
+            raise IncrementalMaintenanceError("forced inconsistency")
+
+        original = view.engine.apply
+        view.engine.apply = broken_apply
+        try:
+            summary = service.insert("tc", "edge", "c", "d")
+        finally:
+            view.engine.apply = original
+        # The maintenance error triggered the correctness valve...
+        assert summary["mode"] == "reinitialized"
+        counters = service.metrics_snapshot()["views"]["tc"]["counters"]
+        assert counters["recompute_fallbacks"] == 1
+        # ...without being misfiled as routine recompute-mode traffic.
+        assert counters["recompute_batches"] == 0
+        assert not view.stale
 
 
 class TestHistogramUnit:

@@ -1,0 +1,130 @@
+"""Unit tests for the immutable model snapshots (the RCU read path)."""
+
+from repro.relations import Atom
+from repro.service import ModelSnapshot
+from repro.service.snapshot import MAX_DELTA_DEPTH, _Cell
+
+a, b, c, d = Atom("a"), Atom("b"), Atom("c"), Atom("d")
+
+
+def _snap(**tables):
+    return ModelSnapshot.full({name: rows for name, rows in tables.items()})
+
+
+class TestConstruction:
+    def test_full_snapshot_serves_both_truth_statuses(self):
+        snapshot = ModelSnapshot.full(
+            {"win": {(b,)}}, {"win": {(d,)}}, generation=3
+        )
+        assert snapshot.rows("win") == {(b,)}
+        assert snapshot.undefined_rows("win") == {(d,)}
+        assert snapshot.generation == 3
+        assert not snapshot.stale
+        assert snapshot.predicates() == {"win"}
+
+    def test_unknown_predicates_answer_empty(self):
+        snapshot = _snap(p={(a,)})
+        assert snapshot.rows("q") == frozenset()
+        assert snapshot.undefined_rows("q") == frozenset()
+
+    def test_empty_undefined_tables_are_dropped(self):
+        snapshot = ModelSnapshot.full({"p": {(a,)}}, {"p": frozenset()})
+        assert snapshot.predicates() == {"p"}
+
+
+class TestDeltaMaintenance:
+    def test_apply_delta_adds_and_removes(self):
+        base = _snap(tc={(a, b), (b, c)})
+        successor = base.apply_delta(
+            {"tc": {(a, c)}}, {"tc": {(b, c)}}, generation=2
+        )
+        assert successor.rows("tc") == {(a, b), (a, c)}
+        assert successor.generation == 2
+        # The parent is immutable: unchanged by its successor.
+        assert base.rows("tc") == {(a, b), (b, c)}
+
+    def test_untouched_predicates_share_cells(self):
+        base = _snap(p={(a,)}, q={(b,)})
+        successor = base.apply_delta({"p": {(c,)}}, {}, generation=2)
+        assert successor._true["q"] is base._true["q"]
+        assert successor._true["p"] is not base._true["p"]
+
+    def test_delta_for_new_predicate(self):
+        base = _snap(p={(a,)})
+        successor = base.apply_delta({"fresh": {(d,)}}, {}, generation=2)
+        assert successor.rows("fresh") == {(d,)}
+
+    def test_empty_net_delta_is_a_noop_cellwise(self):
+        base = _snap(p={(a,)})
+        successor = base.apply_delta(
+            {"p": frozenset()}, {"p": frozenset()}, generation=2
+        )
+        assert successor._true["p"] is base._true["p"]
+
+    def test_long_chains_compact_at_the_depth_cap(self):
+        snapshot = _snap(p=frozenset())
+        for i in range(3 * MAX_DELTA_DEPTH):
+            snapshot = snapshot.apply_delta(
+                {"p": {(Atom(f"n{i}"),)}}, {}, generation=i + 2
+            )
+            assert snapshot._true["p"].depth <= MAX_DELTA_DEPTH
+        assert snapshot.rows("p") == {
+            (Atom(f"n{i}"),) for i in range(3 * MAX_DELTA_DEPTH)
+        }
+
+    def test_materialization_is_memoized(self):
+        base = _snap(p={(a,)})
+        successor = base.apply_delta({"p": {(b,)}}, {}, generation=2)
+        first = successor.rows("p")
+        assert successor.rows("p") is first  # the frozen swap happened
+        assert successor._true["p"].depth == 0
+
+
+class TestStaleness:
+    def test_as_stale_shares_cells_and_flags(self):
+        base = ModelSnapshot.full({"p": {(a,)}}, {"p": {(b,)}}, generation=4)
+        stale = base.as_stale(generation=5)
+        assert stale.stale and not base.stale
+        assert stale.generation == 5
+        assert stale._true["p"] is base._true["p"]
+        assert stale.rows("p") == base.rows("p")
+        assert stale.undefined_rows("p") == {(b,)}
+
+
+class TestFingerprint:
+    def test_identical_models_share_a_fingerprint(self):
+        one = _snap(p={(a,), (b,)})
+        other = _snap(p={(b,), (a,)})
+        assert one.fingerprint == other.fingerprint
+
+    def test_fingerprint_is_delta_path_independent(self):
+        direct = _snap(tc={(a, b), (a, c)})
+        routed = _snap(tc={(a, b), (b, c)}).apply_delta(
+            {"tc": {(a, c)}}, {"tc": {(b, c)}}, generation=2
+        )
+        assert direct.fingerprint == routed.fingerprint
+
+    def test_fingerprint_covers_undefined_rows(self):
+        total = ModelSnapshot.full({"win": {(b,)}})
+        partial = ModelSnapshot.full({"win": {(b,)}}, {"win": {(d,)}})
+        assert total.fingerprint != partial.fingerprint
+
+    def test_fingerprint_is_memoized(self):
+        snapshot = _snap(p={(a,)})
+        assert snapshot.fingerprint is snapshot.fingerprint
+
+
+class TestCellUnit:
+    def test_frozen_cell_roundtrip(self):
+        cell = _Cell.frozen([(a,), (b,)])
+        assert cell.rows() == {(a,), (b,)}
+        assert cell.depth == 0
+
+    def test_delta_cell_resolves_through_parents(self):
+        root = _Cell.frozen([(a,), (b,)])
+        middle = _Cell.delta(root, frozenset([(c,)]), frozenset([(a,)]), 1)
+        top = _Cell.delta(middle, frozenset([(d,)]), frozenset(), 2)
+        assert top.depth == 2
+        assert top.rows() == {(b,), (c,), (d,)}
+        # Reading the top memoizes it to a frozen cell.
+        assert top.depth == 0

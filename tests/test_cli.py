@@ -241,7 +241,8 @@ class TestServeCommand:
 
         payload = json.loads(out[-1][len("ok ") :])
         assert payload["mode"] == "recompute"
-        assert payload["counters"]["recompute_fallbacks"] == 1
+        assert payload["counters"]["recompute_batches"] == 1
+        assert payload["counters"]["recompute_fallbacks"] == 0
 
     def test_bad_requests_keep_serving(self, monkeypatch, capsys):
         out = self._serve(
