@@ -253,20 +253,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_atoms=args.max_atoms,
         deadline_ms=args.deadline_ms,
         read_mode=args.read_mode,
+        compactor=args.compactor,
     )
-    if args.socket:
-        print(f"serving on unix socket {args.socket}", file=sys.stderr)
-        serve_unix_socket(
-            service,
-            args.socket,
-            max_connections=args.max_connections,
-            max_concurrent=args.max_concurrent,
-            max_request_bytes=args.max_request_bytes,
-        )
-    else:
-        serve_stream(
-            service, sys.stdin, print, max_request_bytes=args.max_request_bytes
-        )
+    try:
+        if args.socket:
+            print(f"serving on unix socket {args.socket}", file=sys.stderr)
+            serve_unix_socket(
+                service,
+                args.socket,
+                max_connections=args.max_connections,
+                max_concurrent=args.max_concurrent,
+                max_request_bytes=args.max_request_bytes,
+            )
+        else:
+            serve_stream(
+                service, sys.stdin, print, max_request_bytes=args.max_request_bytes
+            )
+    finally:
+        # Stop the background compactor thread (if any) on the way out.
+        service.close()
     if args.metrics_snapshot:
         # The final observability snapshot, one JSON document on
         # stdout — what a supervisor scrapes when the server exits.
@@ -375,6 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "query path: lock-free published-snapshot reads (default) "
             "or the locked per-view path"
+        ),
+    )
+    p_srv.add_argument(
+        "--compactor",
+        choices=("off", "on-publish", "thread"),
+        default="on-publish",
+        help=(
+            "snapshot delta-chain compaction: flatten on every Nth "
+            "publish (default), from a background thread, or never"
         ),
     )
     p_srv.add_argument(

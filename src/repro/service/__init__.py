@@ -10,6 +10,7 @@ served from an LRU cache (:mod:`cache`), and the whole thing observable
 """
 
 from .cache import LRUCache
+from .compactor import SnapshotCompactor
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
 from .locks import AtomicReference, InstrumentedLock, ReadWriteLock
 from .metrics import Histogram, ServiceMetrics, ViewMetrics
@@ -39,6 +40,7 @@ __all__ = [
     "QueryService",
     "ReadWriteLock",
     "ServiceMetrics",
+    "SnapshotCompactor",
     "ViewMetrics",
     "parse_fact",
     "prepare_program",

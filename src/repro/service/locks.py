@@ -4,8 +4,13 @@ The service used to serialise every request through one big lock; now
 it holds
 
 * one :class:`ReadWriteLock` over the **registry** — register and
-  unregister take the write side, every query/update takes the (shared)
-  read side just long enough to resolve a view name; and
+  unregister take the write side; locked-path reads, updates, and
+  admin verbs take the (shared) read side just long enough to resolve
+  a view name.  Snapshot-mode queries do not take it at all: they
+  resolve against the **copy-on-write name table**, an immutable
+  ``name → (view, generation)`` dict the writers rebuild under the
+  write lock and publish through an :class:`AtomicReference` — one
+  atomic load per resolution, zero lock acquisitions; and
 * one :class:`InstrumentedLock` per **view** — held by *writers*
   (updates, recompute, recovery), so update batches on the same view
   stay serialised; and

@@ -51,6 +51,8 @@ _COUNTERS = (
     "snapshot_swaps",
     "snapshot_reads",
     "stale_queries",
+    "compactions",
+    "compaction_rows",
 )
 
 #: Counter names every service snapshot reports, even when still zero.

@@ -7,18 +7,24 @@ per-view plus service-level metrics.
 
 Concurrency model (snapshot reads over per-view write locks):
 
-* **queries are lock-free**: every view publishes an immutable,
-  versioned :class:`~repro.service.snapshot.ModelSnapshot` through an
-  atomic reference; a query resolves the view name under the registry
-  read lock, picks up the published snapshot, and answers from it
-  without ever taking the view lock — so readers on a hot view never
-  wait behind an update batch.  A query that cannot be served from a
+* **queries are wait-free end to end**: every view publishes an
+  immutable, versioned :class:`~repro.service.snapshot.ModelSnapshot`
+  through an atomic reference, and the **name table** itself is
+  copy-on-write — writers build a new immutable ``dict`` of
+  ``name → (view, generation)`` under the registry write lock and
+  publish it via a single atomic reference swap, so a query resolves
+  its view name, picks up the published snapshot, and answers with
+  **zero lock acquisitions**.  A query that cannot be served from a
   snapshot (recompute-mode view whose model trails its database) falls
   back to the locked path below;
 * a registry-level :class:`~repro.service.locks.ReadWriteLock` guards
-  the name → view table — ``register``/``unregister`` take the write
-  side, every other request takes the read side just long enough to
-  resolve the name;
+  the mutable registry structures — ``register``/``unregister`` take
+  the write side (and republish the name table before releasing it,
+  so the table can never disagree with the registry), while locked
+  fallback reads, updates, and admin verbs take the read side just
+  long enough to resolve the name (``read_mode="locked"`` keeps this
+  as the whole read path, the benchmark baseline for
+  ``benchmarks/bench_p09_wait_free_reads.py``);
 * each view carries its own
   :class:`~repro.service.locks.InstrumentedLock`, held by **writers**
   (updates, recompute, recovery) and by fallback reads — update
@@ -91,7 +97,8 @@ from ..robustness import (
     fault_point,
 )
 from .cache import LRUCache
-from .locks import InstrumentedLock, ReadWriteLock
+from .compactor import SnapshotCompactor
+from .locks import AtomicReference, InstrumentedLock, ReadWriteLock
 from .metrics import ServiceMetrics, ViewMetrics
 from .registry import ProgramRegistry, prepare_program
 from .views import MaterializedView
@@ -133,11 +140,22 @@ class QueryService:
     (``benchmarks/bench_p07_concurrent_throughput.py``).
 
     ``read_mode`` picks the read path: ``"snapshot"`` (the default)
-    serves queries lock-free from each view's published model snapshot,
+    serves queries wait-free — name resolution off the copy-on-write
+    name table, the answer off the view's published model snapshot —
     falling back to the locked path only when no servable snapshot
-    exists; ``"locked"`` forces every query through the view lock —
-    the pre-snapshot behaviour, kept as the benchmark baseline
-    (``benchmarks/bench_p08_snapshot_reads.py``).
+    exists; ``"locked"`` forces every query through the registry read
+    lock and the view lock — the pre-snapshot behaviour, kept as the
+    benchmark baseline (``benchmarks/bench_p08_snapshot_reads.py``,
+    ``benchmarks/bench_p09_wait_free_reads.py``).
+
+    ``compactor`` bounds the delta-chain walk a write burst leaves for
+    the first reader: ``"on-publish"`` (the default) flattens chains
+    past ``compact_depth`` every ``compact_interval``-th snapshot
+    publish, inside the write path; ``"thread"`` leaves the write path
+    untouched and sweeps from a background
+    :class:`~repro.service.compactor.SnapshotCompactor` daemon (stop it
+    with :meth:`close`); ``"off"`` disables compaction below the hard
+    publish-time cap (the bench baseline).
     """
 
     def __init__(
@@ -149,11 +167,16 @@ class QueryService:
         deadline_ms: Optional[float] = None,
         lock_mode: str = "view",
         read_mode: str = "snapshot",
+        compactor: str = "on-publish",
+        compact_depth: int = 4,
+        compact_interval: int = 8,
     ):
         if lock_mode not in ("view", "global"):
             raise ValueError(f"unknown lock_mode {lock_mode!r}")
         if read_mode not in ("snapshot", "locked"):
             raise ValueError(f"unknown read_mode {read_mode!r}")
+        if compactor not in ("off", "on-publish", "thread"):
+            raise ValueError(f"unknown compactor {compactor!r}")
         self.registry = ProgramRegistry()
         self.views: Dict[str, MaterializedView] = {}
         self.cache = LRUCache(cache_capacity)
@@ -163,9 +186,20 @@ class QueryService:
         self.deadline_ms = deadline_ms
         self.lock_mode = lock_mode
         self.read_mode = read_mode
+        self.compactor_mode = compactor
+        self.compact_depth = compact_depth
+        self.compact_interval = compact_interval
         self.metrics = ServiceMetrics()
         self._registry_lock = ReadWriteLock()
         self._locks: Dict[str, InstrumentedLock] = {}
+        # The copy-on-write name table: an immutable dict of
+        # name → (view, generation), rebuilt by register/unregister
+        # under the registry write lock and published with one atomic
+        # reference swap.  Snapshot-mode queries resolve names here
+        # with zero lock acquisitions; the dict behind the reference is
+        # never mutated, so a resolver holding an old table keeps a
+        # complete, consistent view of the world it was published in.
+        self._name_table: AtomicReference = AtomicReference({})
         # Per-registration generation tokens (guarded by the registry
         # write lock).  Cache keys embed the generation, so entries put
         # on behalf of a replaced registration are unreachable from the
@@ -177,6 +211,19 @@ class QueryService:
             if lock_mode == "global"
             else None
         )
+        self._background_compactor: Optional[SnapshotCompactor] = None
+        if compactor == "thread":
+            self._background_compactor = SnapshotCompactor(self)
+            self._background_compactor.start()
+
+    def close(self) -> None:
+        """Release background machinery (the compactor thread, if any).
+
+        Idempotent; the service keeps answering requests afterwards —
+        only the background sweeps stop.
+        """
+        if self._background_compactor is not None:
+            self._background_compactor.stop()
 
     def _budget_factory(self) -> Optional[Callable[[], EvaluationBudget]]:
         if self.deadline_ms is None:
@@ -216,6 +263,9 @@ class QueryService:
             max_rounds=self.max_rounds,
             max_atoms=self.max_atoms,
             budget_factory=self._budget_factory(),
+            compact_on_publish=self.compactor_mode == "on-publish",
+            compact_depth=self.compact_depth,
+            compact_interval=self.compact_interval,
         )
         with self._registry_lock.write_locked():
             self.registry.store(name, prepared)
@@ -231,6 +281,7 @@ class QueryService:
                 # snapshot never sees the old view's counters in both
                 # (or neither of) the live and retired sections.
                 self.metrics.absorb(replaced.metrics)
+            self._publish_name_table()
         # The generation bump already makes old entries unreachable;
         # dropping them here is memory hygiene, not correctness.
         self.cache.invalidate(name)
@@ -264,6 +315,12 @@ class QueryService:
                     self.registry.unregister(name)
                     # Absorbed atomically with the pop — see register().
                     self.metrics.absorb(view.metrics)
+                    # Republish the name table with the entry gone: a
+                    # lock-free resolver must find either the full old
+                    # table or the full new one, never a half-removed
+                    # entry — mutating the published dict in place
+                    # could tear a concurrent iteration.
+                    self._publish_name_table()
                 break
         self.cache.invalidate(name)
         self.metrics.bump("unregistrations")
@@ -272,6 +329,30 @@ class QueryService:
             "mode": view.mode,
             "facts": view.database.fact_count(),
         }
+
+    def _publish_name_table(self) -> None:
+        """Rebuild and swap in the copy-on-write name table.
+
+        Must be called under the registry write lock, after the
+        ``views``/``_generations`` mutation it mirrors — so every
+        published table is a complete, immutable image of some state
+        the registry actually passed through.
+        """
+        self._name_table.set(
+            {
+                name: (view, self._generations[name])
+                for name, view in self.views.items()
+            }
+        )
+
+    def name_table(self) -> Dict[str, Tuple[MaterializedView, int]]:
+        """The published name table (lock-free; treat as immutable).
+
+        The returned dict is the live published object: never mutate
+        it.  Holding it across registrations is safe — it keeps
+        describing the world it was published in.
+        """
+        return self._name_table.get()
 
     def view(self, name: str) -> MaterializedView:
         """Look up a registered view; raises ``KeyError`` when absent."""
@@ -321,28 +402,34 @@ class QueryService:
     # -- queries --------------------------------------------------------------
 
     def _resolve_snapshot(self, name: str):
-        """The lock-free read resolution: ``(view, generation, snapshot)``.
+        """The wait-free read resolution: ``(view, generation, snapshot)``.
 
-        Resolves the name under the registry read lock (the only lock a
-        snapshot read ever takes), then picks the view's published
-        snapshot off its atomic reference.  Returns ``None`` for the
-        snapshot when the view cannot serve one right now — a
-        recompute-mode view whose model trails its database — or when
-        the service runs with ``read_mode="locked"``; callers then take
-        the locked fallback path.
+        Resolves the name off the published copy-on-write name table —
+        one atomic reference load, zero lock acquisitions — then picks
+        the view's published snapshot off its own atomic reference.
+        Returns ``None`` for the snapshot when the view cannot serve
+        one right now — a recompute-mode view whose model trails its
+        database — or when the service runs with ``read_mode="locked"``
+        (which resolves under the registry read lock, the baseline
+        path); callers then take the locked fallback path.
         """
-        while True:
+        if self.read_mode != "snapshot":
             view, _lock, generation = self._view_and_lock(name)
-            if self.read_mode != "snapshot":
-                return view, generation, None
+            return view, generation, None
+        while True:
+            try:
+                view, generation = self._name_table.get()[name]
+            except KeyError:
+                raise KeyError(f"no view registered under {name!r}") from None
             snapshot = view.read_snapshot()
             # Verify the binding is still current now that the snapshot
             # is in hand — a register/unregister that completed between
             # resolve and pickup must not have its replaced view served
-            # (same verify-after-acquire discipline as _locked_view).
-            with self._registry_lock.read_locked():
-                if self.views.get(name) is not view:
-                    continue
+            # (same verify-after-acquire discipline as _locked_view,
+            # but against the republished table, still without a lock).
+            current = self._name_table.get().get(name)
+            if current is None or current[0] is not view:
+                continue
             if snapshot is not None:
                 view.metrics.bump("snapshot_reads")
             return view, generation, snapshot
@@ -576,11 +663,18 @@ class QueryService:
                 name: stats.get("snapshot_age_seconds")
                 for name, stats in view_stats.items()
             },
+            # Deepest published delta chain per view: what the first
+            # cold read after a write burst would have to walk.
+            "chain_depth": {
+                name: stats.get("chain_depth", 0)
+                for name, stats in view_stats.items()
+            },
         }
         snapshot["views"] = view_stats
         snapshot["cache"] = self.cache.stats()
         snapshot["lock_mode"] = self.lock_mode
         snapshot["read_mode"] = self.read_mode
+        snapshot["compactor"] = self.compactor_mode
         return snapshot
 
 
@@ -656,8 +750,8 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
             f"ok {json.dumps(service.metrics_snapshot(), sort_keys=True)}"
         ]
     if command == "views":
-        with service._registry_lock.read_locked():
-            names = sorted(service.views)
+        # Served off the published name table — wait-free, like queries.
+        names = sorted(service.name_table())
         return [f"ok {json.dumps(names)}"]
     return [f"error unknown command {command!r}"]
 

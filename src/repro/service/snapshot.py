@@ -23,6 +23,18 @@ changed predicates get a thin delta cell whose full row set is
 materialized lazily (and memoized) on first read.  A depth cap bounds
 the delta chains, so a long unread update burst compacts periodically
 instead of accumulating unboundedly.
+
+**Compaction** (:meth:`ModelSnapshot.compact`) flattens delta chains
+proactively: it forces the lazy materialization of every cell deeper
+than a cap, so the first read after a write-heavy/read-light burst
+does not pay the chain walk.  Because a cell memoizes its row set with
+one atomic state swap, compaction changes no observable value —
+``rows()`` and ``fingerprint`` are identical before and after — and is
+safe to run concurrently with lock-free readers (a racing reader
+either recomputes the same frozenset or picks up the memoized one).
+The :class:`~repro.service.views.MaterializedView` publish path runs
+it every Nth publish, and :class:`~repro.service.compactor.
+SnapshotCompactor` runs it from a background thread.
 """
 
 from __future__ import annotations
@@ -177,6 +189,35 @@ class ModelSnapshot:
                     parent, plus_rows, minus_rows, parent.depth + 1
                 )
         return ModelSnapshot(cells, self._undefined, generation, False)
+
+    # -- compaction -----------------------------------------------------------
+
+    def max_chain_depth(self) -> int:
+        """The deepest delta chain any predicate currently carries.
+
+        0 means every cell is materialized (reads are one dict lookup).
+        Already-read delta cells report 0 too: materialization collapses
+        the whole chain in place.
+        """
+        return max(
+            (cell.depth for cell in self._true.values()), default=0
+        )
+
+    def compact(self, depth_cap: int = 0) -> Tuple[int, int]:
+        """Flatten every delta chain deeper than ``depth_cap``.
+
+        Forces the lazy materialization of the affected cells, exactly
+        as a reader would — so the snapshot's observable contents
+        (``rows()``, ``fingerprint``) are unchanged, and racing readers
+        are safe.  Returns ``(cells_compacted, rows_materialized)`` for
+        the ``compactions`` / ``compaction_rows`` counters.
+        """
+        cells = rows_total = 0
+        for cell in self._true.values():
+            if cell.depth > depth_cap:
+                rows_total += len(cell.rows())
+                cells += 1
+        return cells, rows_total
 
     def as_stale(self, generation: int) -> "ModelSnapshot":
         """Copy-on-degrade: the same model, flagged stale.

@@ -73,6 +73,15 @@ class MaterializedView:
     :class:`~repro.robustness.EvaluationBudget` per expensive operation
     (recompute, incremental batch) — the hook the service layer uses to
     impose per-request deadlines.
+
+    ``compact_on_publish`` turns on the in-line snapshot compactor:
+    every ``compact_interval``-th publish flattens delta chains deeper
+    than ``compact_depth`` (see :meth:`maybe_compact`), so a write
+    burst with no interleaved reads cannot leave the next reader a deep
+    chain walk.  Off by default for directly-constructed views; the
+    :class:`~repro.service.server.QueryService` turns it on under its
+    ``compactor="on-publish"`` mode (and its ``"thread"`` mode calls
+    :meth:`maybe_compact` from a background thread instead).
     """
 
     def __init__(
@@ -87,6 +96,9 @@ class MaterializedView:
         max_atoms: int = 1_000_000,
         budget_factory: Optional[Callable[[], EvaluationBudget]] = None,
         recovery_attempts: int = 3,
+        compact_on_publish: bool = False,
+        compact_depth: int = 4,
+        compact_interval: int = 8,
     ):
         if semantics not in SEMANTICS:
             raise ValueError(
@@ -105,6 +117,10 @@ class MaterializedView:
         self.max_atoms = max_atoms
         self.budget_factory = budget_factory
         self.recovery_attempts = recovery_attempts
+        self.compact_on_publish = compact_on_publish
+        self.compact_depth = compact_depth
+        self.compact_interval = max(1, compact_interval)
+        self._publish_count = 0
         # Degraded-mode state: when ``stale`` is True, queries answer
         # from the published snapshot (the last consistent model, both
         # truth statuses) instead of the (unavailable or rebuilding)
@@ -156,6 +172,38 @@ class MaterializedView:
         self._generation = snapshot.generation
         self._published.set((snapshot, True))
         self.metrics.bump("snapshot_swaps")
+        # Compact-on-Nth-publish: bound the chain walk a write-heavy /
+        # read-light burst would otherwise leave for the first reader.
+        self._publish_count += 1
+        if (
+            self.compact_on_publish
+            and self._publish_count % self.compact_interval == 0
+        ):
+            self.maybe_compact()
+
+    def maybe_compact(self) -> int:
+        """Flatten the published snapshot's delta chains past the cap.
+
+        Safe from any thread at any time: compaction only forces the
+        same lazy materialization a reader performs, so the snapshot's
+        observable contents (rows, fingerprint) never change.  Returns
+        the number of cells compacted (0 when the chains are already
+        within ``compact_depth``).
+        """
+        snapshot, _servable = self._published.get()
+        if snapshot is None or snapshot.max_chain_depth() <= self.compact_depth:
+            return 0
+        with self.metrics.phase("compact"):
+            cells, rows = snapshot.compact(self.compact_depth)
+        if cells:
+            self.metrics.bump("compactions")
+            self.metrics.bump("compaction_rows", rows)
+        return cells
+
+    def chain_depth(self) -> int:
+        """The published snapshot's deepest delta chain (the gauge)."""
+        snapshot, _servable = self._published.get()
+        return snapshot.max_chain_depth() if snapshot is not None else 0
 
     def _publish_full(
         self,
@@ -533,6 +581,9 @@ class MaterializedView:
         published, servable = self._published.get()
         snapshot["snapshot_generation"] = self._generation
         snapshot["snapshot_servable"] = servable
+        snapshot["chain_depth"] = (
+            published.max_chain_depth() if published is not None else 0
+        )
         if published is not None:
             snapshot["snapshot_age_seconds"] = round(
                 time.monotonic() - published.published_at, 6

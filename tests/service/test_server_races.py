@@ -183,8 +183,10 @@ class TestUnregisterOrdering:
 
     def test_query_retries_when_view_replaced_between_resolve_and_lock(self):
         """_locked_view re-verifies the binding after acquiring the
-        lock and re-resolves when it lost a race with register."""
-        service = QueryService()
+        lock and re-resolves when it lost a race with register.
+        (``read_mode="locked"`` — the snapshot path resolves off the
+        name table instead; see TestNameTable for its analogue.)"""
+        service = QueryService(read_mode="locked")
         service.register("tc", PROGRAM, database=_database("a"))
         original = service._view_and_lock
 
@@ -209,6 +211,154 @@ class TestUnregisterOrdering:
         service.unregister("tc")
         with pytest.raises(KeyError, match="no view registered"):
             service.unregister("tc")
+
+
+class _PoisonedRegistryLock:
+    """A registry lock stand-in that fails the test on any acquisition."""
+
+    def read_locked(self):
+        raise AssertionError("registry read lock taken on the wait-free path")
+
+    def write_locked(self):
+        raise AssertionError("registry write lock taken on the wait-free path")
+
+
+class TestNameTable:
+    """The copy-on-write name table: wait-free resolution under churn."""
+
+    def test_snapshot_query_takes_no_registry_lock(self):
+        """The whole snapshot read path — name resolution included —
+        must complete without a single registry-lock acquisition."""
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        service.query("tc", "p")  # warm the cache path too
+        service._registry_lock = _PoisonedRegistryLock()
+        assert service.query("tc", "p") == {(Atom("a"),)}
+        assert service.undefined("tc", "p") == frozenset()
+        rows, undefined, stale = service.query_state("tc", "p")
+        assert rows == {(Atom("a"),)} and undefined == frozenset()
+        assert not stale
+
+    def test_unregister_publishes_fresh_table(self):
+        """Regression: ``unregister`` must publish a *new* table, not
+        mutate the published dict — a lock-free resolver iterating the
+        old table must never see a half-removed entry."""
+        service = QueryService()
+        service.register("keep", PROGRAM, database=_database("a"))
+        service.register("drop", PROGRAM, database=_database("b"))
+        before = service.name_table()
+        assert set(before) == {"keep", "drop"}
+        service.unregister("drop")
+        after = service.name_table()
+        # A fresh object was published, with the entry gone ...
+        assert after is not before
+        assert set(after) == {"keep"}
+        # ... and the pinned table is untouched: both entries complete.
+        assert set(before) == {"keep", "drop"}
+        view, generation = before["drop"]
+        assert view.rows("p") == {(Atom("b"),)}
+        assert isinstance(generation, int)
+
+    def test_register_replacement_publishes_fresh_table(self):
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        before = service.name_table()
+        old_view = before["tc"][0]
+        service.register("tc", PROGRAM, database=_database("b"))
+        after = service.name_table()
+        assert after is not before
+        assert before["tc"][0] is old_view  # pinned table unchanged
+        assert after["tc"][0] is not old_view
+        assert after["tc"][1] > before["tc"][1]  # generation bumped
+
+    def test_query_retries_when_replaced_between_resolve_and_pickup(self):
+        """The wait-free analogue of the _locked_view retry: a register
+        that lands between the table resolution and the snapshot pickup
+        must not have its replaced view's snapshot served."""
+        service = QueryService()
+        service.register("tc", PROGRAM, database=_database("a"))
+        old_view = service.view("tc")
+        real_read = old_view.read_snapshot
+        fired = {"count": 0}
+
+        def racing_read():
+            snapshot = real_read()
+            if fired["count"] == 0:
+                fired["count"] += 1
+                service.register("tc", PROGRAM, database=_database("b"))
+            return snapshot
+
+        old_view.read_snapshot = racing_read
+        assert service.query("tc", "p") == {(Atom("b"),)}
+        assert fired["count"] == 1
+
+    def test_pinned_table_never_tears_under_churn(self):
+        """A resolver holding the old table during register/unregister
+        churn keeps a complete, immutable image: same names, same view
+        identities, every entry a well-formed (view, generation) pair —
+        while live resolutions stay well-formed too."""
+        service = QueryService()
+        for i in range(3):
+            service.register(f"fixed{i}", PROGRAM, database=_database("a"))
+        pinned = service.name_table()
+        pinned_entries = {
+            name: (view, generation)
+            for name, (view, generation) in pinned.items()
+        }
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                for round_number in range(40):
+                    service.register(
+                        "churn", PROGRAM, database=_database("a")
+                    )
+                    service.register(  # replace one of the pinned names
+                        "fixed1", PROGRAM, database=_database("b")
+                    )
+                    service.unregister("churn")
+            except Exception as exc:
+                errors.append(f"churn: {type(exc).__name__}: {exc}")
+            finally:
+                stop.set()
+
+        def resolve():
+            try:
+                while not stop.is_set():
+                    # The pinned table is frozen in time.
+                    assert set(pinned) == set(pinned_entries)
+                    for name, (view, generation) in pinned.items():
+                        assert pinned_entries[name][0] is view
+                        assert pinned_entries[name][1] == generation
+                    # Live tables are always complete and well-formed.
+                    live = service.name_table()
+                    for name, entry in live.items():
+                        assert len(entry) == 2
+                        view, generation = entry
+                        assert isinstance(generation, int)
+                        assert view.rows("p") is not None
+                    # And the service resolves through them cleanly.
+                    try:
+                        service.query("fixed0", "p")
+                        service.query("churn", "p")
+                    except KeyError:
+                        pass  # mid unregister/register cycle
+            except Exception as exc:
+                errors.append(f"resolver: {type(exc).__name__}: {exc}")
+
+        resolver = threading.Thread(target=resolve)
+        churner = threading.Thread(target=churn)
+        resolver.start()
+        churner.start()
+        churner.join(timeout=60)
+        resolver.join(timeout=60)
+        assert not churner.is_alive() and not resolver.is_alive()
+        assert not errors, errors
+        # The pinned table still serves its world: the replaced
+        # registration's *old* view is reachable and consistent.
+        assert pinned["fixed1"][0].rows("p") == {(Atom("a"),)}
+        assert service.query("fixed1", "p") == {(Atom("b"),)}
 
 
 TC_PROGRAM = (

@@ -79,6 +79,9 @@ def _check_internal_consistency(snapshot):
     assert set(gauges["snapshot_age"]) == set(snapshot["views"])
     for age in gauges["snapshot_age"].values():
         assert age is None or age >= 0.0
+    assert set(gauges["chain_depth"]) == set(snapshot["views"])
+    for depth in gauges["chain_depth"].values():
+        assert depth >= 0
 
 
 def _flat_counters(snapshot):
@@ -133,6 +136,67 @@ class TestMonotonicity:
         # Everything now lives in the retired section.
         retired = service.metrics_snapshot()["retired"]
         assert retired["queries"] == after["queries"]
+
+
+class TestCompactorMetrics:
+    """Metamorphic coverage for the compactor's counters and gauge."""
+
+    def _burst(self, service, name, tag, count=12):
+        for i in range(count):
+            service.insert(name, "edge", f"{tag}{i}", f"{tag}{i + 1}")
+
+    def test_compactions_counter_is_monotone(self):
+        service = QueryService(
+            compactor="on-publish", compact_depth=2, compact_interval=3
+        )
+        service.register("tc", TC)
+        previous = 0
+        for round_number in range(4):
+            self._burst(service, "tc", f"r{round_number}n", count=8)
+            rollup = service.metrics_snapshot()["rollup"]
+            assert rollup["compactions"] >= previous
+            assert rollup["compactions"] >= 1
+            assert rollup["compaction_rows"] >= rollup["compactions"]
+            previous = rollup["compactions"]
+
+    def test_chain_depth_gauge_within_cap_after_compaction_cycle(self):
+        cap = 3
+        service = QueryService(compactor="off", compact_depth=cap)
+        service.register("tc", TC)
+        self._burst(service, "tc", "m")
+        before = service.metrics_snapshot()["gauges"]["chain_depth"]["tc"]
+        assert before > cap
+        service.view("tc").maybe_compact()
+        after = service.metrics_snapshot()["gauges"]["chain_depth"]["tc"]
+        assert after <= cap
+        # Compacting an already-flat view is a no-op, not a bump.
+        compactions = service.metrics_snapshot()["rollup"]["compactions"]
+        service.view("tc").maybe_compact()
+        assert (
+            service.metrics_snapshot()["rollup"]["compactions"] == compactions
+        )
+
+    def test_retired_rollup_monotone_when_compacted_view_unregisters(self):
+        service = QueryService(
+            compactor="on-publish", compact_depth=2, compact_interval=3
+        )
+        service.register("tc", TC)
+        service.register("keeper", TC)
+        self._burst(service, "tc", "k")
+        before = service.metrics_snapshot()["rollup"]
+        assert before["compactions"] >= 1
+        service.unregister("tc")
+        after = service.metrics_snapshot()
+        for counter, value in before.items():
+            assert after["rollup"].get(counter, 0) >= value, counter
+        # The departed view's compaction work moved to the retired
+        # section wholesale.
+        assert after["retired"]["compactions"] >= before["compactions"]
+        assert (
+            after["retired"]["compaction_rows"]
+            >= before["compaction_rows"]
+        )
+        _check_internal_consistency(after)
 
 
 class TestGaugeRecovery:
