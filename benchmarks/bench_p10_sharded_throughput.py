@@ -1,0 +1,232 @@
+"""P10 — multi-process sharding vs the single-process serving tier.
+
+The cluster tentpole exists because the GIL caps a single
+``QueryService`` process: past one saturated core, more writer threads
+only queue.  N worker processes behind the consistent-hash router can
+apply updates to views on different shards truly in parallel — write
+throughput should scale with cores, which the GIL forbids in-process.
+
+Two measurements:
+
+* **write throughput**: the identical multi-view pipelined insert load
+  pushed through a 1-shard cluster and an N-shard cluster (same
+  router, same framing — the only variable is how many worker
+  processes share the work).  The issue's bar is >=2x at 4 shards on
+  4 cores; the bar below scales honestly with the cores this machine
+  actually has (``len(os.sched_getaffinity(0))``), because worker
+  processes pinned to one core cannot beat physics: on a single-core
+  box the N-shard run only has to stay within sanity range (0.4x) of
+  the 1-shard run, i.e. sharding must not *collapse* throughput.
+
+* **router-hop read latency**: the same ``query`` measured against a
+  worker's line-protocol socket directly and through the router's
+  framed front door.  The router adds one unix-socket round trip plus
+  framing; the bar is a loose sanity cap, not a target.
+"""
+
+import os
+import statistics
+import threading
+import time
+
+from repro.service.cluster import ClusterClient, cluster
+
+from support import ExperimentTable
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE") == "smoke"
+
+CORES = len(os.sched_getaffinity(0))
+SHARDS = 2 if SMOKE else 4
+WRITERS = 4
+DURATION = 2.0 if SMOKE else 6.0
+BATCH = 20
+LATENCY_SAMPLES = 100 if SMOKE else 300
+
+#: The issue's bar (2x at 4 shards) presumes >=4 cores.  Scale it to
+#: the hardware: with fewer cores true parallel speedup is impossible,
+#: so the bar degrades to "sharding does not collapse throughput".
+if CORES >= 4:
+    SPEEDUP_BAR = 2.0
+elif CORES >= 2:
+    SPEEDUP_BAR = 1.2
+else:
+    SPEEDUP_BAR = 0.4
+
+#: Router adds a second unix-socket round trip per query; anything
+#: beyond this multiple (or 10ms absolute) means the front door itself
+#: became the bottleneck.
+LATENCY_OVERHEAD_CAP = 8.0
+LATENCY_ABSOLUTE_CAP_S = 0.010
+
+TC = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- edge(X, Y), tc(Y, Z)."
+
+table = ExperimentTable(
+    "P10-sharded-throughput",
+    f"{SHARDS}-shard writes >= {SPEEDUP_BAR}x 1-shard on {CORES} core(s); "
+    "router hop adds bounded read latency",
+    [
+        "scenario",
+        "shards",
+        "cores",
+        "writers",
+        "acked-ops",
+        "elapsed-s",
+        "ops-per-sec",
+        "factor",
+    ],
+)
+
+
+def _write_load(socket_path):
+    """(acked_ops, elapsed) for the standard pipelined insert load."""
+    views = [f"w{index}" for index in range(WRITERS)]
+    with ClusterClient(socket_path, timeout=120.0) as setup:
+        for view in views:
+            setup.register(view, TC)
+    counts = [0] * WRITERS
+    stop = threading.Event()
+
+    def writer(slot):
+        view = views[slot]
+        with ClusterClient(socket_path, timeout=120.0) as mine:
+            tick = 0
+            while not stop.is_set():
+                lines = [
+                    f"+{view} edge(n{tick + i}, n{tick + i + 1})"
+                    for i in range(BATCH)
+                ]
+                tick += BATCH
+                replies = mine.pipeline(lines)
+                counts[slot] += sum(
+                    1 for reply in replies if reply[-1].startswith("ok")
+                )
+
+    threads = [
+        threading.Thread(target=writer, args=(slot,))
+        for slot in range(WRITERS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(DURATION)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    assert not any(thread.is_alive() for thread in threads)
+    # The acked writes actually landed: each view's chain closed over
+    # at least the first batch.
+    with ClusterClient(socket_path, timeout=120.0) as check:
+        for slot, view in enumerate(views):
+            if counts[slot]:
+                rows, _ = check.query(view, "edge")
+                assert len(rows) >= min(counts[slot], BATCH)
+    return sum(counts), elapsed
+
+
+def _scenario(shards, tmp_base):
+    os.makedirs(tmp_base, exist_ok=True)
+    socket_path = f"{tmp_base}/fd{shards}"
+    with cluster(socket_path, shards=shards):
+        return _write_load(socket_path)
+
+
+def _read_latencies(tmp_base):
+    """(direct_mean_s, routed_mean_s) for one warm query."""
+    import socket as socket_module
+
+    socket_path = f"{tmp_base}/lat"
+    with cluster(socket_path, shards=1) as router:
+        with ClusterClient(socket_path, timeout=120.0) as client:
+            client.register("lat_tc", TC)
+            for index in range(8):
+                client.insert("lat_tc", f"edge(m{index}, m{index + 1})")
+            client.query("lat_tc", "tc")  # warm both paths
+
+            # Direct: line protocol straight to the worker's socket.
+            worker_socket = router._workers["shard-0"].socket_path
+            raw = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            raw.settimeout(120.0)
+            raw.connect(worker_socket)
+            reader = raw.makefile("r")
+
+            def direct_query():
+                raw.sendall(b"query lat_tc tc\n")
+                while True:
+                    line = reader.readline().strip()
+                    if line.startswith("ok") or line.startswith("error"):
+                        return
+
+            def routed_query():
+                client.query("lat_tc", "tc")
+
+            direct_query()
+            direct = []
+            for _ in range(LATENCY_SAMPLES):
+                tick = time.perf_counter()
+                direct_query()
+                direct.append(time.perf_counter() - tick)
+            routed = []
+            for _ in range(LATENCY_SAMPLES):
+                tick = time.perf_counter()
+                routed_query()
+                routed.append(time.perf_counter() - tick)
+            raw.close()
+    return statistics.mean(direct), statistics.mean(routed)
+
+
+def test_sharded_write_throughput(benchmark, tmp_path):
+    base = str(tmp_path)
+    # Warm both topologies once (cold spawn pays interpreter start-up).
+    _scenario(1, base + "/warm1")
+    _scenario(SHARDS, base + f"/warm{SHARDS}")
+
+    single_ops, single_elapsed = _scenario(1, base + "/run1")
+    sharded_ops, sharded_elapsed = benchmark.pedantic(
+        lambda: _scenario(SHARDS, base + f"/run{SHARDS}"),
+        rounds=1,
+        iterations=1,
+    )
+    single_rate = single_ops / max(single_elapsed, 1e-9)
+    sharded_rate = sharded_ops / max(sharded_elapsed, 1e-9)
+    speedup = sharded_rate / max(single_rate, 1e-9)
+
+    table.add(
+        "writes-1-shard", 1, CORES, WRITERS, single_ops,
+        f"{single_elapsed:.2f}", f"{single_rate:.0f}", "1.0x",
+    )
+    table.add(
+        f"writes-{SHARDS}-shard", SHARDS, CORES, WRITERS, sharded_ops,
+        f"{sharded_elapsed:.2f}", f"{sharded_rate:.0f}",
+        f"{speedup:.2f}x",
+    )
+    assert speedup >= SPEEDUP_BAR, (
+        f"{SHARDS}-shard throughput only reached {speedup:.2f}x the "
+        f"1-shard rate ({sharded_rate:.0f} vs {single_rate:.0f} "
+        f"acked ops/sec) on {CORES} core(s); bar {SPEEDUP_BAR}x"
+    )
+
+
+def test_router_hop_read_latency(benchmark, tmp_path):
+    direct_mean, routed_mean = benchmark.pedantic(
+        lambda: _read_latencies(str(tmp_path)), rounds=1, iterations=1
+    )
+    overhead = routed_mean / max(direct_mean, 1e-9)
+    table.add(
+        "read-direct-worker", 1, CORES, 1, LATENCY_SAMPLES,
+        f"{direct_mean * 1e6:.0f}us", "-", "1.0x",
+    )
+    table.add(
+        "read-via-router", 1, CORES, 1, LATENCY_SAMPLES,
+        f"{routed_mean * 1e6:.0f}us", "-", f"{overhead:.2f}x",
+    )
+    assert routed_mean < LATENCY_ABSOLUTE_CAP_S, (
+        f"routed query mean {routed_mean * 1e3:.2f}ms exceeds "
+        f"{LATENCY_ABSOLUTE_CAP_S * 1e3:.0f}ms"
+    )
+    assert overhead < LATENCY_OVERHEAD_CAP, (
+        f"router hop costs {overhead:.1f}x the direct worker query "
+        f"(cap {LATENCY_OVERHEAD_CAP}x)"
+    )

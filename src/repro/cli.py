@@ -8,6 +8,7 @@
     repro translate --to algebra PROGRAM.dl
     repro check    PROGRAM.dl            (safety + stratification report)
     repro serve    [--socket PATH]       (incremental query service)
+    repro serve    --shards N --socket PATH   (sharded serving tier)
 
 Programs are text files in the package's concrete syntaxes
 (:mod:`repro.datalog.parser`, :mod:`repro.lang.parser`).  Facts files are
@@ -243,8 +244,73 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """The sharded serving tier: N worker processes behind one router."""
+    import asyncio
+
+    from .service.cluster import ClusterClient, ClusterRouter
+    from .service.prometheus import PrometheusExporter
+
+    if not args.socket:
+        raise SystemExit("--shards requires --socket PATH (the front door)")
+    worker_options = {
+        "cache_capacity": args.cache_capacity,
+        "max_rounds": args.max_rounds,
+        "max_atoms": args.max_atoms,
+        "deadline_ms": args.deadline_ms,
+        "read_mode": args.read_mode,
+        "compactor": args.compactor,
+        "max_concurrent": args.max_concurrent,
+        "max_request_bytes": args.max_request_bytes,
+    }
+
+    def cluster_snapshot():
+        # The exporter thread scrapes the router through its own front
+        # door, so the file always shows the same rollup clients see.
+        with ClusterClient(args.socket, timeout=30.0) as client:
+            return client.metrics()
+
+    async def main() -> None:
+        router = ClusterRouter(
+            args.socket,
+            shards=args.shards,
+            worker_options=worker_options,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+        await router.start()
+        print(
+            f"serving {args.shards} shard(s) on unix socket {args.socket} "
+            f"(framed protocol)",
+            file=sys.stderr,
+        )
+        exporter = None
+        if args.metrics_prometheus:
+            exporter = PrometheusExporter(
+                cluster_snapshot,
+                args.metrics_prometheus,
+                interval=args.metrics_interval,
+            )
+            exporter.start()
+        try:
+            await router.serve_forever()
+        finally:
+            if exporter is not None:
+                exporter.stop()
+            await router.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import QueryService, serve_stream, serve_unix_socket
+    from .service.prometheus import PrometheusExporter
+
+    if args.shards > 1:
+        return _cmd_serve_cluster(args)
 
     service = QueryService(
         function_registry=translation_registry(),
@@ -255,6 +321,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         read_mode=args.read_mode,
         compactor=args.compactor,
     )
+    exporter = None
+    if args.metrics_prometheus:
+        exporter = PrometheusExporter(
+            service.metrics_snapshot,
+            args.metrics_prometheus,
+            interval=args.metrics_interval,
+        )
+        exporter.start()
     try:
         if args.socket:
             print(f"serving on unix socket {args.socket}", file=sys.stderr)
@@ -270,7 +344,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 service, sys.stdin, print, max_request_bytes=args.max_request_bytes
             )
     finally:
-        # Stop the background compactor thread (if any) on the way out.
+        # Stop the exporter and background compactor on the way out.
+        if exporter is not None:
+            exporter.stop()
         service.close()
     if args.metrics_snapshot:
         # The final observability snapshot, one JSON document on
@@ -395,6 +471,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-snapshot",
         action="store_true",
         help="dump the service metrics snapshot as JSON on exit",
+    )
+    p_srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "run the sharded serving tier: N worker processes behind an "
+            "asyncio router on --socket (default: 1 = single process)"
+        ),
+    )
+    p_srv.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between worker health checks (cluster mode)",
+    )
+    p_srv.add_argument(
+        "--metrics-prometheus",
+        metavar="PATH",
+        default=None,
+        help=(
+            "periodically export metrics in Prometheus text format to "
+            "this file (atomic replace)"
+        ),
+    )
+    p_srv.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="seconds between Prometheus exports (default: 5)",
     )
     p_srv.set_defaults(func=_cmd_serve)
 

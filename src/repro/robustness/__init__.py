@@ -26,11 +26,13 @@ from .budget import CancellationToken, EvaluationBudget, EvaluationProgress
 from .errors import (
     BudgetExceeded,
     Cancelled,
+    ClusterError,
     DeadlineExceeded,
     NonTerminating,
     ReproError,
     RequestTooLarge,
     ViewDegraded,
+    WorkerUnavailable,
 )
 from .faults import (
     ALL_POINTS,
@@ -47,6 +49,7 @@ __all__ = [
     "BudgetExceeded",
     "Cancelled",
     "CancellationToken",
+    "ClusterError",
     "DeadlineExceeded",
     "EvaluationBudget",
     "EvaluationProgress",
@@ -57,6 +60,7 @@ __all__ = [
     "ReproError",
     "RequestTooLarge",
     "ViewDegraded",
+    "WorkerUnavailable",
     "fault_point",
     "inject_faults",
     "retry_with_backoff",

@@ -44,6 +44,8 @@ __all__ = [
     "NonTerminating",
     "ViewDegraded",
     "RequestTooLarge",
+    "ClusterError",
+    "WorkerUnavailable",
 ]
 
 
@@ -115,3 +117,26 @@ class RequestTooLarge(ReproError):
     """A protocol request exceeded the configured size limit."""
 
     code = "request-too-large"
+
+
+class ClusterError(ReproError):
+    """A sharded-serving-tier operation could not be carried out.
+
+    Raised by the cluster router for topology mistakes — draining an
+    unknown or already-drained shard, registering when no shard is
+    available to take the view.
+    """
+
+    code = "cluster-error"
+
+
+class WorkerUnavailable(ClusterError):
+    """A shard's worker process could not serve the request.
+
+    The router raises this when the connection to a worker dies
+    mid-request or cannot be established: the client sees a wire-coded
+    error instead of a hang, and may retry once the supervisor has
+    respawned the worker.
+    """
+
+    code = "worker-unavailable"

@@ -14,6 +14,7 @@ from .compactor import SnapshotCompactor
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
 from .locks import AtomicReference, InstrumentedLock, ReadWriteLock
 from .metrics import Histogram, ServiceMetrics, ViewMetrics
+from .prometheus import PrometheusExporter, render_prometheus
 from .snapshot import ModelSnapshot
 from .registry import (
     Component,
@@ -36,6 +37,7 @@ __all__ = [
     "MaterializedView",
     "ModelSnapshot",
     "PreparedProgram",
+    "PrometheusExporter",
     "ProgramRegistry",
     "QueryService",
     "ReadWriteLock",
@@ -44,6 +46,7 @@ __all__ = [
     "ViewMetrics",
     "parse_fact",
     "prepare_program",
+    "render_prometheus",
     "serve_stream",
     "serve_unix_socket",
     "split_program_and_facts",

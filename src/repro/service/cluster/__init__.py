@@ -1,0 +1,66 @@
+"""The multi-process sharded serving tier (``repro serve --shards N``).
+
+Everything below :mod:`repro.service` scales within one process; the
+GIL caps true parallel write throughput there.  This package crosses
+the process boundary: N worker processes each host a full
+single-process :class:`~repro.service.server.QueryService` behind the
+existing line protocol on a per-worker unix socket, fronted by one
+asyncio router speaking a pipelined length-prefixed binary framing.
+
+* :mod:`.framing` — the client ↔ router wire format;
+* :mod:`.hashring` — consistent-hash view placement;
+* :mod:`.worker` — worker process entry points;
+* :mod:`.router` — the asyncio front door: routing, fan-out,
+  heartbeats, respawn, drain;
+* :mod:`.rollup` — per-shard ``ServiceMetrics`` → one aggregate;
+* :mod:`.client` — a blocking framed client for tests, benchmarks,
+  and scripting.
+
+See the "Sharded serving" section of ``docs/SERVICE.md`` for the
+topology, drain semantics, and metrics rollup rules.
+"""
+
+from .client import ClusterClient, ClusterReplyError
+from .framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    read_frame,
+    read_frame_async,
+    write_frame,
+    write_frame_async,
+)
+from .hashring import HashRing
+from .rollup import merge_counters, merge_histograms, rollup_metrics
+from .router import (
+    ClusterRouter,
+    ViewRecord,
+    WorkerHandle,
+    canonical_fact_text,
+    cluster,
+)
+from .worker import DEFAULT_START_METHOD, spawn_worker, worker_main
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ClusterClient",
+    "ClusterReplyError",
+    "ClusterRouter",
+    "DEFAULT_START_METHOD",
+    "FrameError",
+    "HashRing",
+    "ViewRecord",
+    "WorkerHandle",
+    "canonical_fact_text",
+    "cluster",
+    "encode_frame",
+    "merge_counters",
+    "merge_histograms",
+    "read_frame",
+    "read_frame_async",
+    "rollup_metrics",
+    "spawn_worker",
+    "worker_main",
+    "write_frame",
+    "write_frame_async",
+]

@@ -1,0 +1,133 @@
+"""The length-prefixed binary framing of the cluster front door.
+
+The sharded serving tier keeps the workers on the existing newline
+protocol (:mod:`repro.service.server`) and puts the framing only on
+the client ↔ router hop, where pipelining matters:
+
+* a **frame** is a 4-byte big-endian unsigned length followed by that
+  many bytes of UTF-8 payload;
+* a **request payload** is exactly one line-protocol request (no
+  trailing newline, no embedded newlines — the router rejects those
+  with a structured error rather than forwarding a torn request);
+* a **response payload** is the full multi-line reply of that request,
+  lines joined with ``\\n`` (``row ...`` lines, then the terminal
+  ``ok ...`` / ``error ...`` line — the same grammar the line protocol
+  emits, just delivered as one atomic unit);
+* frames are **pipelined**: a client may write any number of request
+  frames before reading; the router executes a connection's requests
+  strictly serially in arrival order (so a pipelined query always sees
+  the pipelined inserts before it) and writes one response frame per
+  request, in order.  Requests on *different* connections run
+  concurrently on the event loop.
+
+Both asyncio (router-side) and blocking-socket (client-side) helpers
+live here so the two ends cannot drift apart on the wire format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "read_frame_async",
+    "write_frame_async",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames before allocating for them (16 MiB default).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A malformed or oversized frame on the cluster wire."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """``payload`` with its 4-byte big-endian length prefix."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+# -- blocking-socket side (the ClusterClient) -------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly ``count`` bytes, or ``None`` on clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[bytes]:
+    """One frame payload off a blocking socket (``None`` on EOF)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameError(f"frame of {length} bytes exceeds {max_bytes}")
+    if length == 0:
+        return b""
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise FrameError("connection closed mid-frame")
+    return payload
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one frame on a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+# -- asyncio side (the router) ----------------------------------------------
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[bytes]:
+    """One frame payload off an asyncio stream (``None`` on EOF)."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameError(f"frame of {length} bytes exceeds {max_bytes}")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed mid-frame") from None
+
+
+async def write_frame_async(
+    writer: asyncio.StreamWriter, payload: bytes
+) -> None:
+    """Send one frame on an asyncio stream and drain the buffer."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

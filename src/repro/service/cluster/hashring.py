@@ -1,0 +1,92 @@
+"""Consistent hashing of view names onto worker shards.
+
+The router assigns each registered view to a shard at ``register``
+time and the assignment must survive topology churn gracefully: when a
+shard is drained, *only its own* views move (onto the survivors), and
+every view that was not on the drained shard keeps its placement — the
+consistent-hashing invariant that makes drain a local event instead of
+a full reshuffle.
+
+The ring is immutable, like every published structure in this service
+(PR 4's snapshots, PR 5's name table): topology changes build a *new*
+ring with :meth:`without_shard` / :meth:`with_shard` and the router
+republishes its routing table in one atomic swap.
+
+Hashing is :func:`hashlib.sha256` (stable across processes and Python
+releases, unlike built-in ``hash``), with ``replicas`` virtual nodes
+per shard smoothing the key distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _position(token: str) -> int:
+    """A stable 64-bit ring position for one token."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring of shard identifiers.
+
+    ``assign(key)`` walks clockwise from the key's position to the
+    first virtual node and returns that node's shard.  Equal keys map
+    to equal shards for the life of the ring, and across rings that
+    share the shard set.
+    """
+
+    __slots__ = ("_points", "_shards")
+
+    def __init__(self, shards: Iterable[str], replicas: int = 64):
+        self._shards: Tuple[str, ...] = tuple(sorted(set(shards)))
+        points: List[Tuple[int, str]] = []
+        for shard in self._shards:
+            for replica in range(replicas):
+                points.append((_position(f"{shard}#{replica}"), shard))
+        points.sort()
+        self._points = points
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """The shard identifiers on the ring, sorted."""
+        return self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def assign(self, key: str) -> str:
+        """The shard owning ``key`` (raises when the ring is empty)."""
+        if not self._points:
+            raise ValueError("cannot assign on an empty ring")
+        index = bisect.bisect_right(self._points, (_position(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def without_shard(self, shard: str) -> "HashRing":
+        """A new ring with ``shard`` removed (drain)."""
+        replicas = len(self._points) // max(1, len(self._shards))
+        return HashRing(
+            (s for s in self._shards if s != shard), replicas=replicas
+        )
+
+    def with_shard(self, shard: str) -> "HashRing":
+        """A new ring with ``shard`` added (scale-out)."""
+        replicas = (
+            len(self._points) // max(1, len(self._shards))
+            if self._shards
+            else 64
+        )
+        return HashRing((*self._shards, shard), replicas=replicas)
+
+    def __repr__(self) -> str:
+        return f"<HashRing shards={list(self._shards)}>"

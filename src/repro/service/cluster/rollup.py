@@ -1,0 +1,120 @@
+"""Rolling per-shard ``ServiceMetrics`` snapshots into one aggregate.
+
+The router's ``metrics`` verb fans out to every live shard and merges
+the JSON snapshots each worker's
+:meth:`~repro.service.server.QueryService.metrics_snapshot` returns.
+The rollup rules:
+
+* **monotone counters are summed** — the service-level ``counters``
+  section, the per-view ``rollup`` section, and the ``retired``
+  section each become the element-wise sum across shards, plus the
+  *router-retired* totals: when a shard is drained or its worker
+  crashes, the router absorbs the shard's last-reported counters
+  (exactly the discipline ``ServiceMetrics.absorb`` applies to
+  unregistered views), so the cluster-wide rollup stays monotone
+  across shard drain and respawn even though a fresh worker restarts
+  its own counters at zero;
+* **gauges are labeled per shard** — a gauge describes *current*
+  state, so summing would hide which shard is hot; the aggregate keeps
+  ``gauges.per_shard[shard]`` verbatim and adds the three cheap
+  cluster totals (``views_registered``, ``stale_views``,
+  ``inflight_requests``) where a sum is meaningful;
+* **histograms are merged bucket-wise** — equal bucket bounds across
+  shards make lock-wait/hold and phase histograms summable without
+  loss;
+* **view sections merge flat** — view names are unique cluster-wide
+  (the router owns the namespace), each entry annotated with the shard
+  that served it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["merge_counters", "merge_histograms", "rollup_metrics"]
+
+
+def merge_counters(
+    into: Dict[str, int], source: Mapping[str, int]
+) -> Dict[str, int]:
+    """Element-wise sum ``source`` into ``into`` (returned)."""
+    for name, value in source.items():
+        into[name] = into.get(name, 0) + int(value)
+    return into
+
+
+def merge_histograms(into: Dict, source: Mapping) -> Dict:
+    """Bucket-wise sum of one histogram snapshot into another."""
+    if not into:
+        into.update({"count": 0, "sum": 0.0, "buckets": {}})
+    into["count"] += source.get("count", 0)
+    into["sum"] = round(into["sum"] + source.get("sum", 0.0), 6)
+    buckets = into["buckets"]
+    for bound, count in source.get("buckets", {}).items():
+        buckets[bound] = buckets.get(bound, 0) + count
+    return into
+
+
+def rollup_metrics(
+    shard_snapshots: Mapping[str, Mapping],
+    router_retired: Optional[Mapping[str, int]] = None,
+    drained: Optional[Mapping[str, str]] = None,
+) -> Dict[str, object]:
+    """One aggregate snapshot from per-shard ``metrics_snapshot`` dicts.
+
+    ``router_retired`` is the router's absorbed-counter table for
+    departed worker incarnations (drained shards, crashed-and-respawned
+    workers); ``drained`` maps drained shard ids to a human-readable
+    status.  The invariant the metamorphic suite checks:
+    ``aggregate["rollup"]`` and ``aggregate["counters"]`` never
+    decrease across any sequence of updates, drains, crashes, and
+    respawns.
+    """
+    counters: Dict[str, int] = {}
+    rollup: Dict[str, int] = dict(router_retired or {})
+    retired: Dict[str, int] = {}
+    views: Dict[str, object] = {}
+    gauges_per_shard: Dict[str, object] = {}
+    phase_histograms: Dict[str, Dict] = {}
+    locks = {"wait": {}, "hold": {}}
+    caches: Dict[str, object] = {}
+    totals = {"views_registered": 0, "stale_views": 0, "inflight_requests": 0}
+
+    for shard in sorted(shard_snapshots):
+        snapshot = shard_snapshots[shard]
+        merge_counters(counters, snapshot.get("counters", {}))
+        merge_counters(rollup, snapshot.get("rollup", {}))
+        merge_counters(retired, snapshot.get("retired", {}))
+        for view_name, stats in snapshot.get("views", {}).items():
+            entry = dict(stats)
+            entry["shard"] = shard
+            views[view_name] = entry
+        shard_gauges = snapshot.get("gauges", {})
+        gauges_per_shard[shard] = shard_gauges
+        for total in totals:
+            totals[total] += int(shard_gauges.get(total, 0) or 0)
+        for name, histogram in snapshot.get("phase_histograms", {}).items():
+            merge_histograms(
+                phase_histograms.setdefault(name, {}), histogram
+            )
+        for side in ("wait", "hold"):
+            merge_histograms(
+                locks[side], snapshot.get("locks", {}).get(side, {})
+            )
+        caches[shard] = snapshot.get("cache", {})
+
+    gauges: Dict[str, object] = dict(totals)
+    gauges["per_shard"] = gauges_per_shard
+    return {
+        "shards": sorted(shard_snapshots),
+        "drained": dict(drained or {}),
+        "counters": counters,
+        "rollup": rollup,
+        "retired": retired,
+        "router_retired": dict(router_retired or {}),
+        "gauges": gauges,
+        "views": views,
+        "phase_histograms": phase_histograms,
+        "locks": locks,
+        "cache": caches,
+    }

@@ -1,0 +1,955 @@
+"""The asyncio front door of the multi-process sharded serving tier.
+
+Topology::
+
+    client ──frames──▶ ClusterRouter (asyncio, one process)
+                          │  consistent-hash routing table (COW)
+                          ├──line protocol──▶ worker shard-0 (QueryService)
+                          ├──line protocol──▶ worker shard-1 (QueryService)
+                          └──line protocol──▶ worker shard-N (QueryService)
+
+The router owns the cluster's control plane and nothing else — every
+query, update, and registration is executed by exactly one worker's
+:class:`~repro.service.server.QueryService`, each in its own process
+with its own GIL, which is what finally buys true multi-core write
+parallelism (incremental view maintenance is embarrassingly shardable
+by view: each MaterializedView is already an independent lock domain).
+
+Responsibilities:
+
+* **routing** — views are consistent-hash-assigned to shards at
+  ``register`` time (:mod:`.hashring`) and the assignment is published
+  in a copy-on-write routing table (an immutable ``view → shard`` dict
+  behind an :class:`~repro.service.locks.AtomicReference`, mirroring
+  the PR 5 name table): the data path reads it with zero locks, and
+  topology changes republish it in one swap;
+* **single-view verbs** (``query``, ``+``/``-`` updates, ``stats
+  <view>``, ``register``, ``unregister``) forward to the owning
+  worker over a pooled line-protocol connection;
+* **fan-out verbs** — ``metrics`` collects every live shard's
+  ``ServiceMetrics`` snapshot and rolls them up (:mod:`.rollup`:
+  counters summed, gauges labeled per shard); ``views``/``list`` union
+  the shards' listings with the routing table;
+* **lifecycle** — workers are spawned via :mod:`multiprocessing`,
+  health-checked by heartbeat, and respawned on crash with
+  retry-with-backoff socket probing
+  (:func:`~repro.robustness.retry_with_backoff`); a respawned worker
+  is restored from the router's **view records** (the registered
+  program plus the net acked base-fact delta), so an acked update
+  never silently disappears from a surviving shard;
+* **drain** (``drain <shard>``) — stop routing to the shard, flush its
+  in-flight requests, absorb its final metrics into the router-retired
+  rollup, re-hash its views onto the survivors by replaying their
+  records, republish the routing table, and stop the worker.  Requests
+  for a moving view wait on the drain instead of racing it, so
+  drain-then-query re-routes correctly and no acked update lands on a
+  worker that is about to disappear.
+
+Failure contract: a request in flight to a worker that dies resolves
+with a wire-coded ``worker-unavailable`` error (never a hang); the
+supervisor respawns the worker and replays its views, after which
+retries succeed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import os
+import socket as socket_module
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ...robustness import ClusterError, WorkerUnavailable, retry_with_backoff
+from ..locks import AtomicReference
+from ..server import _error_reply
+from .framing import FrameError, read_frame_async, write_frame_async
+from .hashring import HashRing
+from .rollup import merge_counters, rollup_metrics
+from .worker import DEFAULT_START_METHOD, spawn_worker
+
+__all__ = ["ClusterRouter", "ViewRecord", "WorkerHandle", "cluster", "canonical_fact_text"]
+
+logger = logging.getLogger(__name__)
+
+
+def canonical_fact_text(text: str) -> str:
+    """A spelling-independent key for one ground-fact literal.
+
+    ``edge(a, b)``, ``edge(a,b)`` and ``edge(a, b).`` must replay as
+    the *same* fact, so the router's view records strip whitespace
+    outside double-quoted strings and the trailing period — without
+    paying a full parse on the write hot path (the worker parses
+    anyway; the router only needs a stable identity).
+    """
+    out = []
+    in_string = False
+    for ch in text.strip():
+        if ch == '"':
+            in_string = not in_string
+            out.append(ch)
+        elif in_string or not ch.isspace():
+            out.append(ch)
+    canonical = "".join(out)
+    return canonical[:-1] if canonical.endswith(".") else canonical
+
+
+class ViewRecord:
+    """What the router must remember to rebuild a view elsewhere.
+
+    ``semantics`` and ``source`` replay the original ``register`` (the
+    program text carries its own inline base facts); ``added`` and
+    ``removed`` are the *net* acked base-fact delta applied since, as
+    canonical fact texts — replaying register + removals + additions
+    reconstructs the view's exact database on a fresh worker.
+    """
+
+    __slots__ = ("semantics", "source", "added", "removed")
+
+    def __init__(self, semantics: str, source: str):
+        self.semantics = semantics
+        self.source = source
+        self.added: Set[str] = set()
+        self.removed: Set[str] = set()
+
+    def record_insert(self, fact: str) -> None:
+        self.added.add(fact)
+        self.removed.discard(fact)
+
+    def record_delete(self, fact: str) -> None:
+        self.removed.add(fact)
+        self.added.discard(fact)
+
+
+class WorkerHandle:
+    """One shard: its process, socket, connection pool, and liveness.
+
+    ``call`` forwards one line-protocol request and collects the reply
+    lines (terminated by ``ok``/``error``) over a pooled connection.
+    Any transport failure — refused connect, EOF mid-reply, timeout —
+    marks the incarnation dead, wakes the supervisor, and surfaces as
+    :class:`~repro.robustness.WorkerUnavailable`, so a caller is never
+    left hanging on a corpse.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        socket_path: str,
+        options: Optional[Dict] = None,
+        start_method: str = DEFAULT_START_METHOD,
+        pool_size: int = 4,
+        max_concurrent: int = 8,
+        request_timeout: float = 60.0,
+        # ~25s of backoff in total: a cold interpreter spawn on a
+        # loaded single-core box can take >10s to import and bind.
+        connect_attempts: int = 28,
+    ):
+        self.shard_id = shard_id
+        self.socket_path = socket_path
+        self.options = dict(options or {})
+        self.options.setdefault("max_concurrent", max_concurrent)
+        self.start_method = start_method
+        self.pool_size = pool_size
+        self.request_timeout = request_timeout
+        self.connect_attempts = connect_attempts
+        self.process = None
+        self.live = False
+        self.draining = False
+        self.inflight = 0
+        self.incarnation = 0
+        #: Last counters this worker reported through a ``metrics``
+        #: fan-out — absorbed into the router-retired rollup when the
+        #: incarnation dies, keeping the aggregate monotone.
+        self.last_counters: Dict[str, Dict[str, int]] = {}
+        self.dead = asyncio.Event()
+        #: Cleared while the incarnation is dead or mid-replay; the
+        #: router's data path waits on it so a client can never observe
+        #: a half-replayed view on a fresh worker.
+        self.ready = asyncio.Event()
+        # At most as many concurrent calls as the worker accepts
+        # connections, so the listen backlog can never overflow.
+        self._slots = asyncio.Semaphore(self.options["max_concurrent"])
+        self._pool: "asyncio.Queue[Tuple]" = asyncio.Queue()
+        self._conns: Set[Tuple] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, ready: bool = True) -> None:
+        """Spawn the worker process and wait until its socket accepts.
+
+        ``ready=False`` leaves :attr:`ready` cleared — the respawn path
+        uses it to keep clients parked until the view replay finishes.
+        """
+        self.incarnation += 1
+        self.process = spawn_worker(
+            self.socket_path, self.options, self.start_method
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self._probe)
+        except OSError as exc:
+            raise WorkerUnavailable(
+                f"shard {self.shard_id}: worker socket never came up: {exc}"
+            ) from exc
+        self.live = True
+        self.dead = asyncio.Event()
+        if ready:
+            self.ready.set()
+
+    def _probe(self) -> None:
+        """Block until the worker socket accepts, with backoff retries."""
+
+        def attempt() -> None:
+            probe = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            probe.settimeout(2.0)
+            try:
+                probe.connect(self.socket_path)
+            finally:
+                probe.close()
+
+        retry_with_backoff(
+            attempt,
+            attempts=self.connect_attempts,
+            base_delay=0.05,
+            max_delay=1.0,
+            retry_on=(OSError,),
+        )
+
+    async def restart(self) -> None:
+        """Tear down the dead incarnation and bring up a fresh one.
+
+        The new incarnation is *live* (accepts calls — the replay needs
+        that) but not *ready*: the caller flips :attr:`ready` once the
+        shard's views are replayed.
+        """
+        self.stop_process()
+        await self.start(ready=False)
+
+    def mark_dead(self) -> None:
+        """Flag the incarnation dead and wake the supervisor."""
+        self.live = False
+        self.ready.clear()
+        self._close_pool()
+        self.dead.set()
+
+    def _close_pool(self) -> None:
+        while True:
+            try:
+                conn = self._pool.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        for conn in list(self._conns):
+            self._discard(conn)
+
+    def _discard(self, conn: Tuple) -> None:
+        self._conns.discard(conn)
+        _reader, writer = conn
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    def stop_process(self, timeout: float = 5.0) -> None:
+        """Terminate the worker process (idempotent)."""
+        self.live = False
+        self._close_pool()
+        process = self.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout)
+        self.process = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    # -- the forwarding path ------------------------------------------------
+
+    async def _checkout(self) -> Tuple:
+        try:
+            while True:
+                conn = self._pool.get_nowait()
+                if conn in self._conns:
+                    return conn
+        except asyncio.QueueEmpty:
+            pass
+        try:
+            conn = await asyncio.open_unix_connection(self.socket_path)
+        except OSError as exc:
+            self.mark_dead()
+            raise WorkerUnavailable(
+                f"shard {self.shard_id}: connect failed: {exc}"
+            ) from exc
+        self._conns.add(conn)
+        return conn
+
+    def _checkin(self, conn: Tuple) -> None:
+        if conn in self._conns and self._pool.qsize() < self.pool_size:
+            self._pool.put_nowait(conn)
+        else:
+            self._discard(conn)
+
+    async def call(
+        self, line: str, timeout: Optional[float] = None
+    ) -> List[str]:
+        """Forward one request line; the reply lines, terminator last."""
+        timeout = self.request_timeout if timeout is None else timeout
+        if not self.live:
+            raise WorkerUnavailable(
+                f"shard {self.shard_id} is down (respawn in progress)"
+            )
+        async with self._slots:
+            if not self.live:
+                raise WorkerUnavailable(
+                    f"shard {self.shard_id} is down (respawn in progress)"
+                )
+            self.inflight += 1
+            try:
+                conn = await self._checkout()
+                reader, _writer = conn
+                try:
+                    _writer.write(line.encode("utf-8") + b"\n")
+                    await _writer.drain()
+                    replies: List[str] = []
+                    while True:
+                        raw = await asyncio.wait_for(
+                            reader.readline(), timeout
+                        )
+                        if not raw:
+                            raise ConnectionResetError(
+                                "worker closed the connection mid-reply"
+                            )
+                        text = raw.decode("utf-8").rstrip("\r\n")
+                        replies.append(text)
+                        if (
+                            text == "ok"
+                            or text.startswith("ok ")
+                            or text.startswith("error")
+                        ):
+                            self._checkin(conn)
+                            return replies
+                except (
+                    OSError,
+                    ConnectionError,
+                    asyncio.TimeoutError,
+                    UnicodeDecodeError,
+                ) as exc:
+                    self._discard(conn)
+                    self.mark_dead()
+                    raise WorkerUnavailable(
+                        f"shard {self.shard_id}: {type(exc).__name__}: {exc}"
+                    ) from exc
+            finally:
+                self.inflight -= 1
+
+    def __repr__(self) -> str:
+        state = (
+            "draining"
+            if self.draining
+            else ("live" if self.live else "dead")
+        )
+        return f"<WorkerHandle {self.shard_id} {state} pid={self.pid}>"
+
+
+class ClusterRouter:
+    """The sharded serving tier: N workers behind one asyncio router.
+
+    ``socket_path`` is the front door (binary framing, see
+    :mod:`.framing`); worker sockets live next to it as
+    ``<socket_path>.<shard-id>``.  Use :meth:`start` / :meth:`stop`
+    from an event loop, or the :func:`cluster` context manager /
+    ``repro serve --shards N`` from synchronous code.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        shards: int = 2,
+        worker_options: Optional[Dict] = None,
+        start_method: str = DEFAULT_START_METHOD,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 5.0,
+        request_timeout: float = 60.0,
+        pool_size: int = 4,
+        max_request_bytes: int = 1 << 20,
+        hash_replicas: int = 64,
+    ):
+        if shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.socket_path = socket_path
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_request_bytes = max_request_bytes
+        self._workers: Dict[str, WorkerHandle] = {}
+        for index in range(shards):
+            shard_id = f"shard-{index}"
+            self._workers[shard_id] = WorkerHandle(
+                shard_id,
+                f"{socket_path}.{shard_id}",
+                options=worker_options,
+                start_method=start_method,
+                pool_size=pool_size,
+                request_timeout=request_timeout,
+            )
+        self._ring = HashRing(self._workers, replicas=hash_replicas)
+        #: The COW routing table: immutable ``view → shard`` dict,
+        #: republished in one atomic swap by register/unregister/drain.
+        self._routes = AtomicReference({})
+        self._records: Dict[str, ViewRecord] = {}
+        self._registry_lock = asyncio.Lock()
+        self._draining: Dict[str, asyncio.Event] = {}
+        self._drained: Dict[str, str] = {}
+        self._retired: Dict[str, Dict[str, int]] = {
+            "counters": {},
+            "rollup": {},
+        }
+        self.counters: Dict[str, int] = {
+            "requests_total": 0,
+            "errors_total": 0,
+            "forwarded_total": 0,
+            "fanouts_total": 0,
+            "respawns": 0,
+            "drains": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._supervisors: List[asyncio.Task] = []
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker, then open the front door."""
+        await asyncio.gather(
+            *(handle.start() for handle in self._workers.values())
+        )
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._server = await asyncio.start_unix_server(
+            self._serve_client, path=self.socket_path
+        )
+        self._supervisors = [
+            asyncio.get_running_loop().create_task(self._supervise(handle))
+            for handle in self._workers.values()
+        ]
+
+    async def stop(self) -> None:
+        """Close the front door and terminate every worker."""
+        self._stopping = True
+        for task in self._supervisors:
+            task.cancel()
+        for task in self._supervisors:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        for handle in self._workers.values():
+            await loop.run_in_executor(None, handle.stop_process)
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI entry point's main loop)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- supervision --------------------------------------------------------
+
+    async def _supervise(self, handle: WorkerHandle) -> None:
+        """Heartbeat one shard; respawn-with-replay when it dies."""
+        backoff = self.heartbeat_interval
+        while not self._stopping:
+            try:
+                await asyncio.wait_for(
+                    handle.dead.wait(), timeout=self.heartbeat_interval
+                )
+            except asyncio.TimeoutError:
+                if handle.live and not handle.draining:
+                    try:
+                        await handle.call(
+                            "views", timeout=self.heartbeat_timeout
+                        )
+                    except WorkerUnavailable:
+                        continue  # dead event is set; respawn next turn
+                continue
+            if self._stopping or handle.draining:
+                return
+            if handle.shard_id in self._drained:
+                return
+            try:
+                await self._respawn(handle)
+                backoff = self.heartbeat_interval
+            except Exception:
+                logger.exception(
+                    "respawn of %s failed; retrying", handle.shard_id
+                )
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 10.0)
+
+    async def _respawn(self, handle: WorkerHandle) -> None:
+        """Replace a dead incarnation and replay its views onto it."""
+        async with self._registry_lock:
+            if handle.draining or self._stopping:
+                return
+            self._absorb_last_counters(handle)
+            await handle.restart()
+            names = [
+                name
+                for name, shard in self._routes.get().items()
+                if shard == handle.shard_id
+            ]
+            for name in sorted(names):
+                await self._replay_view(name, handle)
+            handle.ready.set()
+            self.counters["respawns"] += 1
+            logger.warning(
+                "respawned %s (incarnation %d, %d views replayed)",
+                handle.shard_id,
+                handle.incarnation,
+                len(names),
+            )
+
+    def _absorb_last_counters(self, handle: WorkerHandle) -> None:
+        """Bank a dead incarnation's last-reported counters.
+
+        ``last_counters`` is updated on every successful ``metrics``
+        fan-out, so everything the aggregate ever *reported* for this
+        incarnation is preserved — the rollup can only grow.
+        """
+        for section in ("counters", "rollup"):
+            merge_counters(
+                self._retired[section],
+                handle.last_counters.get(section, {}),
+            )
+        handle.last_counters = {}
+
+    async def _replay_view(self, name: str, handle: WorkerHandle) -> None:
+        """Rebuild one view on ``handle`` from the router's record."""
+        record = self._records[name]
+        replies = await handle.call(
+            f"register {name} {record.semantics} {record.source}"
+        )
+        if replies[-1].startswith("error"):
+            raise ClusterError(
+                f"replaying view {name!r} on {handle.shard_id} failed: "
+                f"{replies[-1]}"
+            )
+        for fact in sorted(record.removed):
+            await handle.call(f"-{name} {fact}")
+        for fact in sorted(record.added):
+            await handle.call(f"+{name} {fact}")
+
+    # -- drain --------------------------------------------------------------
+
+    async def drain(self, shard_id: str) -> Dict[str, object]:
+        """Gracefully remove one shard, re-hashing its views.
+
+        Rejected cleanly (``ClusterError``) for unknown shards, double
+        drains, and the last live shard.
+        """
+        async with self._registry_lock:
+            if shard_id not in self._workers:
+                raise ClusterError(f"unknown shard {shard_id!r}")
+            if shard_id in self._drained or (
+                self._workers[shard_id].draining
+            ):
+                raise ClusterError(f"shard {shard_id!r} already drained")
+            if len(self._ring) <= 1:
+                raise ClusterError("cannot drain the last live shard")
+            handle = self._workers[shard_id]
+            event = asyncio.Event()
+            self._draining[shard_id] = event
+            handle.draining = True
+            # Stop routing *new* registrations at the drained shard.
+            self._ring = self._ring.without_shard(shard_id)
+            moved: List[str] = []
+            try:
+                # Flush in-flight requests (new ones wait on the event).
+                while handle.inflight:
+                    await asyncio.sleep(0.005)
+                # Absorb the shard's final counters so the rolled-up
+                # metrics stay monotone after it disappears.
+                if handle.live:
+                    try:
+                        replies = await handle.call("metrics")
+                        snapshot = json.loads(replies[-1][3:])
+                        handle.last_counters = {
+                            "counters": snapshot.get("counters", {}),
+                            "rollup": snapshot.get("rollup", {}),
+                        }
+                    except (WorkerUnavailable, ValueError):
+                        pass
+                self._absorb_last_counters(handle)
+                # Re-hash the shard's views onto the survivors by
+                # replaying their programs and net base facts.
+                routes = dict(self._routes.get())
+                moved = sorted(
+                    name
+                    for name, shard in routes.items()
+                    if shard == shard_id
+                )
+                for name in moved:
+                    target = self._ring.assign(name)
+                    await self._replay_view(name, self._workers[target])
+                    routes[name] = target
+                self._routes.set(routes)
+                self._drained[shard_id] = "drained"
+                handle.stop_process()
+                self.counters["drains"] += 1
+            finally:
+                event.set()
+                self._draining.pop(shard_id, None)
+        return {"shard": shard_id, "moved_views": moved}
+
+    # -- routing ------------------------------------------------------------
+
+    def routing_table(self) -> Dict[str, str]:
+        """The published routing table (treat as immutable)."""
+        return self._routes.get()
+
+    async def _route(self, name: str) -> WorkerHandle:
+        """The worker owning ``name`` — waiting out an active drain."""
+        while True:
+            shard = self._routes.get().get(name)
+            if shard is None:
+                raise KeyError(f"no view registered under {name!r}")
+            event = self._draining.get(shard)
+            if event is not None:
+                await event.wait()
+                continue  # re-resolve: the view moved
+            handle = self._workers[shard]
+            if handle.live and not handle.ready.is_set():
+                # A fresh incarnation is mid-replay; park until its
+                # views are whole so no client sees a partial rebuild.
+                waiter = handle.ready.wait()
+                try:
+                    await asyncio.wait_for(
+                        waiter, timeout=self.request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise WorkerUnavailable(
+                        f"shard {shard}: replay still in progress"
+                    )
+                except RuntimeError as exc:
+                    # The loop is shutting down; wait_for can bail out
+                    # before ever scheduling the waiter.
+                    with contextlib.suppress(Exception):
+                        waiter.close()
+                    raise WorkerUnavailable(
+                        f"shard {shard}: router shutting down"
+                    ) from exc
+                continue  # re-resolve: routing may have changed
+            return handle
+
+    def _live_handles(self) -> List[WorkerHandle]:
+        return [
+            handle
+            for handle in self._workers.values()
+            if handle.live and not handle.draining
+        ]
+
+    # -- the front door -----------------------------------------------------
+
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One framed client connection.
+
+        Pipelining happens at the transport: a client may send any
+        number of request frames without waiting for replies (they
+        accumulate in the stream buffer), which removes per-request
+        round trips.  Execution stays strictly serial and in order per
+        connection — Redis-pipeline semantics — so a pipelined query
+        always observes the connection's earlier acked updates.
+        Cross-connection requests run concurrently on the event loop.
+        """
+        try:
+            while True:
+                try:
+                    payload = await read_frame_async(
+                        reader, self.max_request_bytes
+                    )
+                except FrameError as exc:
+                    await self._reply(writer, [_error_reply(exc)])
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if payload is None:
+                    break
+                line = payload.decode("utf-8", errors="replace").strip()
+                if line in ("quit", "exit"):
+                    await self._reply(writer, ["ok bye"])
+                    break
+                if not await self._reply(writer, await self._dispatch(line)):
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, lines: List[str]) -> bool:
+        try:
+            await write_frame_async(writer, "\n".join(lines).encode("utf-8"))
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    async def _dispatch(self, line: str) -> List[str]:
+        """Handle one request line, never letting an exception escape."""
+        self.counters["requests_total"] += 1
+        try:
+            return await self._handle(line)
+        except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+            raise
+        except (ClusterError, KeyError, ValueError) as exc:
+            self.counters["errors_total"] += 1
+            logger.warning("cluster request failed %r: %s", line, exc)
+            return [_error_reply(exc)]
+        except Exception as exc:  # the router must survive bad requests
+            self.counters["errors_total"] += 1
+            logger.exception("cluster request failed: %r", line)
+            return [_error_reply(exc)]
+
+    async def _handle(self, line: str) -> List[str]:
+        if not line or line.startswith("#"):
+            return ["ok"]
+        if "\n" in line or "\r" in line:
+            raise ValueError(
+                "frame payloads must be single line-protocol requests"
+            )
+        if line.startswith("+") or line.startswith("-"):
+            return await self._handle_update(line)
+        command, _, rest = line.partition(" ")
+        if command == "register":
+            return await self._handle_register(line, rest)
+        if command == "unregister":
+            return await self._handle_unregister(line, rest)
+        if command in ("query", "stats") and rest.strip():
+            return await self._forward_single(rest.split()[0], line)
+        if command == "stats":
+            return await self._handle_stats_fanout()
+        if command == "metrics":
+            return await self._handle_metrics(rest.strip())
+        if command in ("views", "list"):
+            return await self._handle_views()
+        if command == "drain":
+            shard_id = rest.strip()
+            if not shard_id:
+                return ["error usage: drain <shard>"]
+            summary = await self.drain(shard_id)
+            return [f"ok {json.dumps(summary, sort_keys=True)}"]
+        if command == "shards":
+            return [f"ok {json.dumps(self.describe(), sort_keys=True)}"]
+        return [f"error unknown command {command!r}"]
+
+    async def _forward_single(self, view_name: str, line: str) -> List[str]:
+        handle = await self._route(view_name)
+        self.counters["forwarded_total"] += 1
+        return await handle.call(line)
+
+    async def _handle_update(self, line: str) -> List[str]:
+        parts = line[1:].split(None, 1)
+        if len(parts) != 2:
+            return [f"error usage: {line[0]}<view> <fact>"]
+        view_name, fact_text = parts
+        handle = await self._route(view_name)
+        self.counters["forwarded_total"] += 1
+        replies = await handle.call(line)
+        if replies[-1].startswith("ok"):
+            record = self._records.get(view_name)
+            if record is not None:
+                fact = canonical_fact_text(fact_text)
+                if line.startswith("+"):
+                    record.record_insert(fact)
+                else:
+                    record.record_delete(fact)
+        return replies
+
+    async def _handle_register(self, line: str, rest: str) -> List[str]:
+        parts = rest.split(None, 2)
+        if len(parts) < 3:
+            return ["error usage: register <view> <semantics> <program>"]
+        view_name, semantics, source = parts
+        async with self._registry_lock:
+            routes = self._routes.get()
+            target = routes.get(view_name)
+            if target is None or target in self._drained:
+                target = self._ring.assign(view_name)
+            handle = self._workers[target]
+            self.counters["forwarded_total"] += 1
+            replies = await handle.call(line)
+            if replies[-1].startswith("ok"):
+                self._records[view_name] = ViewRecord(semantics, source)
+                new_routes = dict(self._routes.get())
+                new_routes[view_name] = target
+                self._routes.set(new_routes)
+        return replies
+
+    async def _handle_unregister(self, line: str, rest: str) -> List[str]:
+        view_name = rest.strip()
+        if not view_name:
+            return ["error usage: unregister <view>"]
+        async with self._registry_lock:
+            handle = await self._route(view_name)
+            self.counters["forwarded_total"] += 1
+            replies = await handle.call(line)
+            if replies[-1].startswith("ok"):
+                self._records.pop(view_name, None)
+                new_routes = dict(self._routes.get())
+                new_routes.pop(view_name, None)
+                self._routes.set(new_routes)
+        return replies
+
+    async def _fan_out(self, line: str) -> Dict[str, List[str]]:
+        """``line`` to every live, non-draining shard, concurrently."""
+        handles = self._live_handles()
+        self.counters["fanouts_total"] += 1
+        results = await asyncio.gather(
+            *(handle.call(line) for handle in handles),
+            return_exceptions=True,
+        )
+        replies: Dict[str, List[str]] = {}
+        for handle, result in zip(handles, results):
+            if isinstance(result, BaseException):
+                if not isinstance(result, WorkerUnavailable):
+                    raise result
+                continue  # a crashed shard is simply absent this round
+            replies[handle.shard_id] = result
+        return replies
+
+    async def _handle_metrics(self, rest: str) -> List[str]:
+        fanned = await self._fan_out("metrics")
+        shard_snapshots: Dict[str, Dict] = {}
+        for shard_id, replies in fanned.items():
+            if not replies[-1].startswith("ok "):
+                continue
+            snapshot = json.loads(replies[-1][3:])
+            shard_snapshots[shard_id] = snapshot
+            self._workers[shard_id].last_counters = {
+                "counters": snapshot.get("counters", {}),
+                "rollup": snapshot.get("rollup", {}),
+            }
+        aggregate = rollup_metrics(
+            shard_snapshots,
+            router_retired=self._retired["rollup"],
+            drained=self._drained,
+        )
+        merge_counters(aggregate["counters"], self._retired["counters"])
+        aggregate["router"] = {"counters": dict(self.counters)}
+        if rest in ("--format=prometheus", "--format prometheus"):
+            from ..prometheus import render_prometheus
+
+            text = render_prometheus(aggregate)
+            return text.splitlines() + ["ok prometheus"]
+        if rest and rest not in ("--format=json", "--format json"):
+            return [f"error unknown metrics format {rest!r}"]
+        return [f"ok {json.dumps(aggregate, sort_keys=True)}"]
+
+    async def _handle_stats_fanout(self) -> List[str]:
+        fanned = await self._fan_out("stats")
+        shards = {
+            shard_id: json.loads(replies[-1][3:])
+            for shard_id, replies in fanned.items()
+            if replies[-1].startswith("ok ")
+        }
+        return [f"ok {json.dumps({'shards': shards}, sort_keys=True)}"]
+
+    async def _handle_views(self) -> List[str]:
+        fanned = await self._fan_out("views")
+        names = set(self._routes.get())
+        for replies in fanned.values():
+            if replies[-1].startswith("ok "):
+                names.update(json.loads(replies[-1][3:]))
+        return [f"ok {json.dumps(sorted(names))}"]
+
+    def describe(self) -> Dict[str, object]:
+        """Topology for the ``shards`` verb and the harness."""
+        routes = self._routes.get()
+        per_shard: Dict[str, int] = {}
+        for shard in routes.values():
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+        return {
+            "shards": {
+                shard_id: {
+                    "live": handle.live,
+                    "draining": handle.draining,
+                    "drained": shard_id in self._drained,
+                    "pid": handle.pid,
+                    "incarnation": handle.incarnation,
+                    "views": per_shard.get(shard_id, 0),
+                }
+                for shard_id, handle in self._workers.items()
+            },
+            "views": len(routes),
+            "router": dict(self.counters),
+        }
+
+
+@contextmanager
+def cluster(
+    socket_path: str, shards: int = 2, **router_kwargs
+) -> Iterator[ClusterRouter]:
+    """Run a cluster (router + workers) from synchronous code.
+
+    The router's event loop runs on a daemon thread; the yielded
+    :class:`ClusterRouter` is fully started when the body begins, and
+    torn down (front door closed, workers terminated) on the way out.
+    Tests and benchmarks drive it through a
+    :class:`~repro.service.cluster.client.ClusterClient` against
+    ``socket_path``.
+    """
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="cluster-router", daemon=True
+    )
+    thread.start()
+    router = ClusterRouter(socket_path, shards=shards, **router_kwargs)
+    try:
+        asyncio.run_coroutine_threadsafe(router.start(), loop).result(
+            timeout=180
+        )
+        yield router
+    finally:
+        try:
+            asyncio.run_coroutine_threadsafe(router.stop(), loop).result(
+                timeout=60
+            )
+            # Settle leftover client-handler tasks before stopping the
+            # loop, so none is destroyed with an unstarted coroutine.
+            asyncio.run_coroutine_threadsafe(
+                _cancel_pending_tasks(), loop
+            ).result(timeout=10)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
+
+
+async def _cancel_pending_tasks() -> None:
+    current = asyncio.current_task()
+    tasks = [
+        task
+        for task in asyncio.all_tasks()
+        if task is not current and not task.done()
+    ]
+    for task in tasks:
+        task.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)

@@ -1,0 +1,252 @@
+"""Prometheus text-format export of the service observability plane.
+
+:func:`render_prometheus` turns a metrics snapshot — either a
+single-process :meth:`~repro.service.server.QueryService.
+metrics_snapshot` or the cluster router's rolled-up aggregate
+(:mod:`repro.service.cluster.rollup`) — into the Prometheus exposition
+format (text/plain; version 0.0.4):
+
+* monotone counters become ``repro_service_<name>_total`` (the
+  service-level section) and ``repro_<name>_total`` (the per-view
+  rollup section);
+* gauges become ``repro_<name>`` with ``view=`` / ``shard=`` labels
+  where the snapshot carries them per entity;
+* phase and lock histograms become native Prometheus histograms
+  (cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``) —
+  the internal :class:`~repro.service.metrics.Histogram` stores
+  non-cumulative buckets, so the renderer re-accumulates.
+
+Two delivery surfaces use this renderer:
+
+* the line protocol's ``metrics --format=prometheus`` verb argument
+  (single service and cluster router alike), and
+* ``repro serve --metrics-prometheus PATH`` — a
+  :class:`PrometheusExporter` daemon thread that rewrites ``PATH``
+  atomically every ``interval`` seconds, the file a node-exporter
+  textfile collector or a sidecar scraper tails.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["render_prometheus", "PrometheusExporter"]
+
+logger = logging.getLogger(__name__)
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def _counter_metric(prefix: str, name: str) -> str:
+    """``<prefix>_<name>_total`` without doubling an existing suffix."""
+    base = _sanitize(name)
+    if base.endswith("_total"):
+        base = base[: -len("_total")]
+    return f"{prefix}_{base}_total"
+
+
+def _bucket_bound(key: str) -> float:
+    suffix = key[3:] if key.startswith("le_") else key
+    return float("inf") if suffix == "inf" else float(suffix)
+
+
+def _render_histogram(
+    lines: List[str],
+    metric: str,
+    snapshot: Mapping,
+    labels: Mapping[str, str],
+    typed: set,
+) -> None:
+    """One histogram snapshot as cumulative Prometheus series."""
+    if not snapshot or not snapshot.get("count"):
+        return
+    if metric not in typed:
+        lines.append(f"# TYPE {metric} histogram")
+        typed.add(metric)
+    buckets: List[Tuple[float, int]] = sorted(
+        (_bucket_bound(key), count)
+        for key, count in snapshot.get("buckets", {}).items()
+    )
+    cumulative = 0
+    for bound, count in buckets:
+        cumulative += count
+        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = le
+        lines.append(f"{metric}_bucket{_labels(bucket_labels)} {cumulative}")
+    lines.append(f"{metric}_sum{_labels(labels)} {snapshot.get('sum', 0)}")
+    lines.append(
+        f"{metric}_count{_labels(labels)} {snapshot.get('count', 0)}"
+    )
+
+
+def _render_gauge_entry(
+    lines: List[str],
+    name: str,
+    value,
+    labels: Mapping[str, str],
+    typed: set,
+) -> None:
+    """One gauge scalar or per-entity dict, labeled accordingly."""
+    metric = f"repro_{_sanitize(name)}"
+    if isinstance(value, Mapping):
+        for entity, entry in sorted(value.items()):
+            entity_labels = dict(labels)
+            entity_labels["view"] = str(entity)
+            _render_gauge_entry(lines, name, entry, entity_labels, typed)
+        return
+    if value is None:
+        return
+    if metric not in typed:
+        lines.append(f"# TYPE {metric} gauge")
+        typed.add(metric)
+    lines.append(f"{metric}{_labels(labels)} {value}")
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """The exposition-format text for one metrics snapshot."""
+    lines: List[str] = []
+    typed: set = set()
+
+    # Service-level counters (requests, errors, registrations, ...).
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _counter_metric("repro_service", name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    # The per-view rollup: monotone across view churn (and, in the
+    # cluster aggregate, across shard drain/respawn).
+    for name, value in sorted(snapshot.get("rollup", {}).items()):
+        metric = _counter_metric("repro", name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    # Router counters, when this is a cluster aggregate.
+    router = snapshot.get("router", {})
+    for name, value in sorted(router.get("counters", {}).items()):
+        metric = _counter_metric("repro_router", name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    # Gauges.  A cluster aggregate labels per shard; a single service
+    # labels per view where the entry is a per-view dict.
+    gauges = snapshot.get("gauges", {})
+    for name, value in sorted(gauges.items()):
+        if name == "per_shard":
+            for shard, shard_gauges in sorted(value.items()):
+                for gauge_name, gauge_value in sorted(shard_gauges.items()):
+                    _render_gauge_entry(
+                        lines,
+                        gauge_name,
+                        gauge_value,
+                        {"shard": str(shard)},
+                        typed,
+                    )
+            continue
+        _render_gauge_entry(lines, name, value, {}, typed)
+
+    # Histograms: lock wait/hold plus the per-phase family.
+    locks = snapshot.get("locks", {})
+    for side in ("wait", "hold"):
+        _render_histogram(
+            lines,
+            f"repro_lock_{side}_seconds",
+            locks.get(side, {}),
+            {},
+            typed,
+        )
+    for phase, histogram in sorted(
+        snapshot.get("phase_histograms", {}).items()
+    ):
+        _render_histogram(
+            lines,
+            "repro_phase_seconds",
+            histogram,
+            {"phase": phase},
+            typed,
+        )
+
+    return "\n".join(lines) + "\n"
+
+
+class PrometheusExporter:
+    """Periodically write the rendered snapshot to a textfile.
+
+    ``snapshot_source`` is any zero-argument callable returning a
+    metrics snapshot dict (``QueryService.metrics_snapshot``, or a
+    closure fetching the cluster rollup).  The file is written
+    atomically (tmp + rename) every ``interval`` seconds and once more
+    on :meth:`stop`, so scrapers never observe a torn export.
+    """
+
+    def __init__(
+        self,
+        snapshot_source: Callable[[], Mapping],
+        path: str,
+        interval: float = 5.0,
+    ):
+        self.snapshot_source = snapshot_source
+        self.path = path
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def export_once(self) -> None:
+        """Render and atomically replace the export file."""
+        try:
+            text = render_prometheus(self.snapshot_source())
+        except Exception:  # the exporter must never kill the server
+            logger.exception("prometheus export failed; keeping last file")
+            return
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, self.path)
+
+    def start(self) -> None:
+        """Start the export thread (no-op when already running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="prometheus-exporter", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the thread and write one final export (idempotent)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self.export_once()
+
+    def _run(self) -> None:
+        self.export_once()
+        while not self._stop.wait(self.interval):
+            self.export_once()

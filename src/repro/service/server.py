@@ -55,8 +55,8 @@ servable from stdin/stdout or a unix socket::
     -<view> <fact>           e.g.  -tc edge(a, b).
     query <view> <predicate>
     stats [<view>]
-    metrics
-    views
+    metrics [--format=prometheus]
+    views                    (alias: list)
     quit
 
 Replies are one or more lines: ``row <atom>`` lines for queries,
@@ -219,11 +219,20 @@ class QueryService:
     def close(self) -> None:
         """Release background machinery (the compactor thread, if any).
 
-        Idempotent; the service keeps answering requests afterwards —
-        only the background sweeps stop.
+        Idempotent — safe to call twice, from competing shutdown paths,
+        or after a failed construction (e.g. the compactor thread never
+        came up): the compactor reference is detached *before* the stop
+        so a second caller finds nothing left to do, and a stop that
+        raises still leaves the service closed.  The service keeps
+        answering requests afterwards — only the background sweeps
+        stop.
         """
-        if self._background_compactor is not None:
-            self._background_compactor.stop()
+        # getattr: a service whose __init__ died before the attribute
+        # was assigned must still close cleanly.
+        compactor = getattr(self, "_background_compactor", None)
+        self._background_compactor = None
+        if compactor is not None:
+            compactor.stop()
 
     def _budget_factory(self) -> Optional[Callable[[], EvaluationBudget]]:
         if self.deadline_ms is None:
@@ -746,10 +755,18 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
         name = rest.strip() or None
         return [f"ok {json.dumps(service.stats(name), sort_keys=True)}"]
     if command == "metrics":
+        fmt = rest.strip()
+        if fmt in ("--format=prometheus", "--format prometheus"):
+            from .prometheus import render_prometheus
+
+            text = render_prometheus(service.metrics_snapshot())
+            return text.splitlines() + ["ok prometheus"]
+        if fmt and fmt not in ("--format=json", "--format json"):
+            return [f"error unknown metrics format {fmt!r}"]
         return [
             f"ok {json.dumps(service.metrics_snapshot(), sort_keys=True)}"
         ]
-    if command == "views":
+    if command in ("views", "list"):
         # Served off the published name table — wait-free, like queries.
         names = sorted(service.name_table())
         return [f"ok {json.dumps(names)}"]

@@ -1,0 +1,314 @@
+"""Router failure paths: crashes, drains, respawn — never a hang.
+
+Every test here spins its own small cluster (these tests kill or drain
+shards, so they cannot share topology).  Anti-hang protection is the
+framed client's socket timeout — a hang surfaces as ``socket.timeout``
+and fails the test — so the suite needs no external timeout plugin.
+
+The acceptance invariants from the sharding issue live here:
+
+* a worker crash mid-request returns a wire-coded structured error
+  (``worker-unavailable``) to the client, never a hang;
+* killing a worker under load never loses an acked update on the
+  surviving shards, and the crashed shard's acked updates reappear
+  after respawn-with-replay;
+* drain re-routes the drained shard's views onto survivors with no
+  acked update lost, a second drain of the same shard is rejected
+  cleanly, and rolled-up counters stay monotone across the drain.
+"""
+
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.service.cluster import ClusterClient, ClusterReplyError, cluster
+
+TC = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- edge(X, Y), tc(Y, Z)."
+
+CLIENT_TIMEOUT = 60.0
+
+
+@pytest.fixture
+def fresh_cluster():
+    directory = tempfile.mkdtemp(prefix="repro-cluf-")
+    socket_path = os.path.join(directory, "fd")
+    with cluster(
+        socket_path, shards=2, heartbeat_interval=0.2
+    ) as router:
+        yield router, socket_path
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def _client(socket_path):
+    return ClusterClient(socket_path, timeout=CLIENT_TIMEOUT)
+
+
+def _views_on_both_shards(client, router, prefix):
+    """Register views until both shards own at least one; return a
+    ``{shard_id: view_name}`` pick per shard."""
+    picks = {}
+    for index in range(32):
+        name = f"{prefix}{index}"
+        client.register(name, TC)
+        picks.setdefault(router.routing_table()[name], name)
+        if len(picks) == 2:
+            return picks
+    raise AssertionError("consistent hash never hit both shards")
+
+
+def _kill_worker(router, shard_id):
+    process = router._workers[shard_id].process
+    os.kill(process.pid, signal.SIGKILL)
+    process.join(timeout=10)
+
+
+def _await_respawn(router, shard_id, incarnation, deadline=30.0):
+    handle = router._workers[shard_id]
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if handle.incarnation > incarnation and handle.live:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"{shard_id} never respawned")
+
+
+class TestCrash:
+    def test_crash_returns_wire_coded_error_not_hang(self):
+        # A slow heartbeat makes the test deterministic: nothing
+        # notices the kill until *our* request hits the dead worker, so
+        # that request must surface the structured error.  (The failing
+        # call itself wakes the supervisor, so respawn is still fast.)
+        directory = tempfile.mkdtemp(prefix="repro-cluf-")
+        socket_path = os.path.join(directory, "fd")
+        try:
+            with cluster(
+                socket_path, shards=2, heartbeat_interval=30.0
+            ) as router:
+                self._check_crash_error_then_recovery(router, socket_path)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def _check_crash_error_then_recovery(self, router, socket_path):
+        with _client(socket_path) as client:
+            picks = _views_on_both_shards(client, router, "crash")
+            victim_shard, victim_view = next(iter(picks.items()))
+            client.insert(victim_view, "edge(a, b)")
+            incarnation = router._workers[victim_shard].incarnation
+            _kill_worker(router, victim_shard)
+            # The next request to the dead shard fails fast with the
+            # structured wire code, not a hang, not a raw disconnect.
+            with pytest.raises(ClusterReplyError) as excinfo:
+                client.query(victim_view, "tc")
+            assert excinfo.value.code == "worker-unavailable"
+            # Supervision respawns the worker and replays its views:
+            # the acked insert is queryable again.
+            _await_respawn(router, victim_shard, incarnation)
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    rows, _ = client.query(victim_view, "tc")
+                    break
+                except ClusterReplyError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            assert rows == ["tc(a, b)"]
+
+    def test_crash_under_load_loses_no_acked_update(self, fresh_cluster):
+        """Writers hammer both shards; one worker dies mid-stream.
+
+        Every insert the cluster *acked* must be queryable afterwards —
+        on the surviving shard trivially, on the crashed shard via
+        respawn-with-replay — and no client may hang (socket timeouts
+        would fail the test)."""
+        router, socket_path = fresh_cluster
+        with _client(socket_path) as setup:
+            picks = _views_on_both_shards(setup, router, "load")
+        (victim_shard, victim_view), (_, survivor_view) = sorted(
+            picks.items()
+        )
+        acked = {victim_view: [], survivor_view: []}
+        unexpected = []
+        stop = threading.Event()
+
+        def writer(view):
+            try:
+                with _client(socket_path) as mine:
+                    tick = 0
+                    while not stop.is_set():
+                        fact = f"edge(k{tick}, v{tick})"
+                        tick += 1
+                        try:
+                            mine.insert(view, fact)
+                        except ClusterReplyError:
+                            continue  # unacked: allowed to be lost
+                        acked[view].append(fact)
+            except (socket.timeout, ConnectionError, OSError) as exc:
+                # A transport drop mid-reply is fine (the write was not
+                # acked); a *timeout* means a hang — record it.
+                if isinstance(exc, socket.timeout):
+                    unexpected.append(("hang", view, exc))
+
+        threads = [
+            threading.Thread(target=writer, args=(view,))
+            for view in (victim_view, survivor_view)
+        ]
+        incarnation = router._workers[victim_shard].incarnation
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        _kill_worker(router, victim_shard)
+        time.sleep(0.6)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=CLIENT_TIMEOUT + 30)
+            assert not thread.is_alive(), "writer hung"
+        assert not unexpected, unexpected
+        _await_respawn(router, victim_shard, incarnation)
+
+        with _client(socket_path) as check:
+            for view, facts in acked.items():
+                deadline = time.monotonic() + 30
+                while True:
+                    try:
+                        rows, _ = check.query(view, "edge")
+                        break
+                    except ClusterReplyError:
+                        if time.monotonic() > deadline:
+                            raise
+                        time.sleep(0.05)
+                present = set(rows)
+                missing = [
+                    fact for fact in facts if fact not in present
+                ]
+                assert not missing, (view, missing[:5], len(missing))
+        # Load actually exercised both shards.
+        assert acked[survivor_view] and acked[victim_view]
+
+
+class TestDrain:
+    def test_drain_reroutes_views_and_keeps_answers(self, fresh_cluster):
+        router, socket_path = fresh_cluster
+        with _client(socket_path) as client:
+            picks = _views_on_both_shards(client, router, "drain")
+            (drained_shard, moved_view), (survivor_shard, kept_view) = (
+                sorted(picks.items())
+            )
+            client.insert(moved_view, "edge(a, b)")
+            client.insert(moved_view, "edge(b, c)")
+            client.delete(moved_view, "edge(b, c)")
+            client.insert(kept_view, "edge(p, q)")
+            report = client.drain(drained_shard)
+            assert report["shard"] == drained_shard
+            # Every view now routes to the survivor...
+            table = router.routing_table()
+            assert set(table.values()) == {survivor_shard}
+            assert table[moved_view] == survivor_shard
+            # ...and the moved view's acked state survived the hop,
+            # including the delete (replay is the *net* delta).
+            rows, _ = client.query(moved_view, "tc")
+            assert rows == ["tc(a, b)"]
+            rows, _ = client.query(kept_view, "tc")
+            assert rows == ["tc(p, q)"]
+            # New registrations avoid the drained shard.
+            client.register("post_drain", TC)
+            assert router.routing_table()["post_drain"] == survivor_shard
+
+    def test_double_drain_rejected_cleanly(self, fresh_cluster):
+        _router, socket_path = fresh_cluster
+        with _client(socket_path) as client:
+            client.register("dd", TC)
+            client.drain("shard-0")
+            with pytest.raises(ClusterReplyError) as excinfo:
+                client.drain("shard-0")
+            assert excinfo.value.code == "cluster-error"
+            # The cluster still serves after the rejected drain.
+            rows, _ = client.query("dd", "tc")
+            assert rows == []
+
+    def test_drain_unknown_and_last_shard_rejected(self, fresh_cluster):
+        _router, socket_path = fresh_cluster
+        with _client(socket_path) as client:
+            with pytest.raises(ClusterReplyError):
+                client.drain("shard-99")
+            client.drain("shard-1")
+            # Draining the last shard would strand every view.
+            with pytest.raises(ClusterReplyError) as excinfo:
+                client.drain("shard-0")
+            assert excinfo.value.code == "cluster-error"
+
+    def test_rollup_monotone_across_drain_and_respawn(self, fresh_cluster):
+        """The metamorphic acceptance check: rolled-up monotone counters
+        never decrease across updates, a drain, a crash, and a respawn."""
+        router, socket_path = fresh_cluster
+        watched = (
+            "inserts_applied",  # per-view rollup section
+            "queries",
+            "registrations",  # service-level counters section
+            "requests_total",
+        )
+
+        def rollup(client):
+            aggregate = client.metrics()
+            merged = dict(aggregate["counters"])
+            merged.update(aggregate["rollup"])
+            return {name: merged.get(name, 0) for name in watched}
+
+        with _client(socket_path) as client:
+            picks = _views_on_both_shards(client, router, "mono")
+            (drained_shard, moved_view), (_, kept_view) = sorted(
+                picks.items()
+            )
+            series = [rollup(client)]
+            for tick in range(5):
+                client.insert(moved_view, f"edge(a{tick}, b{tick})")
+                client.insert(kept_view, f"edge(a{tick}, b{tick})")
+            client.query(moved_view, "tc")
+            series.append(rollup(client))
+            client.drain(drained_shard)
+            series.append(rollup(client))  # drained counters retired
+            client.query(moved_view, "tc")
+            series.append(rollup(client))
+            for before, after in zip(series, series[1:]):
+                for name in watched:
+                    assert after[name] >= before[name], (
+                        name,
+                        series,
+                    )
+            # The drained shard's work is preserved in the aggregate:
+            # at least the 10 inserts and the registrations show up.
+            assert series[-1]["inserts_applied"] >= 10
+
+    def test_rollup_monotone_across_crash(self, fresh_cluster):
+        router, socket_path = fresh_cluster
+        watched = ("inserts_applied",)
+        with _client(socket_path) as client:
+            picks = _views_on_both_shards(client, router, "cmono")
+            victim_shard, victim_view = sorted(picks.items())[0]
+            for tick in range(4):
+                client.insert(victim_view, f"edge(c{tick}, d{tick})")
+            before = client.metrics()["rollup"]
+            incarnation = router._workers[victim_shard].incarnation
+            _kill_worker(router, victim_shard)
+            _await_respawn(router, victim_shard, incarnation)
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    after = client.metrics()["rollup"]
+                    break
+                except ClusterReplyError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            for name in watched:
+                assert after.get(name, 0) >= before.get(name, 0), (
+                    name,
+                    before,
+                    after,
+                )

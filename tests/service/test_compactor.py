@@ -226,9 +226,11 @@ class TestThreadMode:
             }
         finally:
             service.close()
-        # close() is idempotent and really stops the thread.
+        # close() is idempotent, detaches the sweeper, and really
+        # stops its thread.
         service.close()
-        assert service._background_compactor._thread is None
+        assert service._background_compactor is None
+        assert sweeper._thread is None
 
     def test_manual_sweep_compacts_every_view(self):
         service = QueryService(compactor="off")

@@ -276,3 +276,37 @@ class TestUnixSocket:
         finally:
             server.join(timeout=5)
         assert not server.is_alive()
+
+
+class TestCloseIdempotent:
+    """Regression: double close used to stop the compactor twice."""
+
+    def test_close_twice_with_thread_compactor(self):
+        service = QueryService(compactor="thread")
+        service.register("tc", TC)
+        compactor = service._background_compactor
+        assert compactor is not None
+        service.close()
+        assert service._background_compactor is None
+        service.close()  # second close finds nothing left to do
+        alive = compactor._thread is not None and compactor._thread.is_alive()
+        assert not alive
+
+    def test_close_twice_without_compactor(self):
+        service = QueryService()  # on-publish mode: no thread
+        service.close()
+        service.close()
+
+    def test_close_after_failed_construction(self):
+        # A service whose __init__ died before the compactor attribute
+        # existed must still close cleanly.
+        service = QueryService.__new__(QueryService)
+        service.close()
+
+    def test_service_still_answers_after_close(self):
+        service = QueryService(compactor="thread")
+        service.register("tc", TC)
+        service.close()
+        rows = {str(row) for row in service.query("tc", "tc")}
+        assert "(a, c)" in rows
+        service.close()
