@@ -43,7 +43,7 @@ class HashRing:
 
     __slots__ = ("_points", "_shards")
 
-    def __init__(self, shards: Iterable[str], replicas: int = 64):
+    def __init__(self, shards: Iterable[str], replicas: int = 160):
         self._shards: Tuple[str, ...] = tuple(sorted(set(shards)))
         points: List[Tuple[int, str]] = []
         for shard in self._shards:
@@ -84,7 +84,7 @@ class HashRing:
         replicas = (
             len(self._points) // max(1, len(self._shards))
             if self._shards
-            else 64
+            else 160
         )
         return HashRing((*self._shards, shard), replicas=replicas)
 

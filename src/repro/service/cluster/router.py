@@ -307,13 +307,21 @@ class WorkerHandle:
             raise WorkerUnavailable(
                 f"shard {self.shard_id} is down (respawn in progress)"
             )
-        async with self._slots:
-            if not self.live:
-                raise WorkerUnavailable(
-                    f"shard {self.shard_id} is down (respawn in progress)"
-                )
-            self.inflight += 1
-            try:
+        # Count the request in-flight *before* parking on a slot: the
+        # increment runs in the same synchronous segment as the
+        # caller's _route() resolution, so once drain() flips
+        # ``draining`` every already-routed request is visible to its
+        # inflight flush — even one still waiting for a slot.  Counting
+        # after the semaphore would let such a request slip past the
+        # flush and land an acked update on a worker whose views were
+        # already replayed elsewhere.
+        self.inflight += 1
+        try:
+            async with self._slots:
+                if not self.live:
+                    raise WorkerUnavailable(
+                        f"shard {self.shard_id} is down (respawn in progress)"
+                    )
                 conn = await self._checkout()
                 reader, _writer = conn
                 try:
@@ -348,8 +356,8 @@ class WorkerHandle:
                     raise WorkerUnavailable(
                         f"shard {self.shard_id}: {type(exc).__name__}: {exc}"
                     ) from exc
-            finally:
-                self.inflight -= 1
+        finally:
+            self.inflight -= 1
 
     def __repr__(self) -> str:
         state = (
@@ -381,13 +389,14 @@ class ClusterRouter:
         request_timeout: float = 60.0,
         pool_size: int = 4,
         max_request_bytes: int = 1 << 20,
-        hash_replicas: int = 64,
+        hash_replicas: int = 160,
     ):
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
         self.socket_path = socket_path
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.request_timeout = request_timeout
         self.max_request_bytes = max_request_bytes
         self._workers: Dict[str, WorkerHandle] = {}
         for index in range(shards):
@@ -477,6 +486,8 @@ class ClusterRouter:
                     handle.dead.wait(), timeout=self.heartbeat_interval
                 )
             except asyncio.TimeoutError:
+                if handle.shard_id in self._drained:
+                    return
                 if handle.live and not handle.draining:
                     try:
                         await handle.call(
@@ -485,10 +496,20 @@ class ClusterRouter:
                     except WorkerUnavailable:
                         continue  # dead event is set; respawn next turn
                 continue
-            if self._stopping or handle.draining:
+            if self._stopping:
                 return
             if handle.shard_id in self._drained:
                 return
+            if handle.draining:
+                # A drain is flushing this shard; wait for its outcome
+                # instead of racing the respawn against the replay.  On
+                # success the shard is retired (next turn returns via
+                # the _drained check); on a rolled-back drain the shard
+                # is live topology again and must keep its supervisor.
+                drain_event = self._draining.get(handle.shard_id)
+                if drain_event is not None:
+                    await drain_event.wait()
+                continue
             try:
                 await self._respawn(handle)
                 backoff = self.heartbeat_interval
@@ -592,7 +613,6 @@ class ClusterRouter:
                         }
                     except (WorkerUnavailable, ValueError):
                         pass
-                self._absorb_last_counters(handle)
                 # Re-hash the shard's views onto the survivors by
                 # replaying their programs and net base facts.
                 routes = dict(self._routes.get())
@@ -605,10 +625,29 @@ class ClusterRouter:
                     target = self._ring.assign(name)
                     await self._replay_view(name, self._workers[target])
                     routes[name] = target
+                # Retire the final counters only once the replay cannot
+                # fail anymore: a rolled-back drain leaves the shard
+                # live and still reporting, so absorbing earlier would
+                # double-count it (retired + live) in the aggregate.
+                self._absorb_last_counters(handle)
                 self._routes.set(routes)
                 self._drained[shard_id] = "drained"
                 handle.stop_process()
                 self.counters["drains"] += 1
+            except BaseException:
+                # Roll back: the routing table was never republished
+                # (the swap above is all-or-nothing), so every view
+                # still points at this shard and the shard still holds
+                # all its data — put it back on the ring and make it
+                # routable again.  Views already replayed onto a
+                # survivor are harmless stale copies; register is
+                # register-or-replace, so a retried drain replays them
+                # cleanly.  If the worker itself died mid-drain, its
+                # ``dead`` event is set and the supervisor (which waits
+                # out the drain instead of skipping it) respawns it.
+                self._ring = self._ring.with_shard(shard_id)
+                handle.draining = False
+                raise
             finally:
                 event.set()
                 self._draining.pop(shard_id, None)

@@ -17,6 +17,7 @@ The acceptance invariants from the sharding issue live here:
   cleanly, and rolled-up counters stay monotone across the drain.
 """
 
+import asyncio
 import os
 import shutil
 import signal
@@ -27,7 +28,13 @@ import time
 
 import pytest
 
+from repro.robustness import ClusterError, WorkerUnavailable
 from repro.service.cluster import ClusterClient, ClusterReplyError, cluster
+from repro.service.cluster.router import (
+    ClusterRouter,
+    ViewRecord,
+    WorkerHandle,
+)
 
 TC = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- edge(X, Y), tc(Y, Z)."
 
@@ -312,3 +319,128 @@ class TestDrain:
                     before,
                     after,
                 )
+
+
+# ---------------------------------------------------------------------------
+# router internals: the contracts the end-to-end suites race past
+# ---------------------------------------------------------------------------
+
+
+class TestRouterInternals:
+    """Asyncio-level regression tests against fabricated topology.
+
+    No worker processes are spawned; the tests pin down the ready-gate,
+    drain-rollback, and inflight-accounting contracts directly, where
+    the end-to-end suites can only hit them on a lucky interleaving.
+    """
+
+    @staticmethod
+    def _run(scenario):
+        directory = tempfile.mkdtemp(prefix="repro-cluri-")
+        try:
+            asyncio.run(scenario(os.path.join(directory, "fd")))
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def test_route_mid_replay_parks_then_times_out_cleanly(self):
+        # Regression: ClusterRouter never assigned self.request_timeout,
+        # so routing to a live-but-not-ready shard (respawn replay in
+        # progress) raised AttributeError instead of parking on the
+        # ready gate — breaking the documented guarantee that requests
+        # wait out the replay.
+        async def scenario(socket_path):
+            router = ClusterRouter(
+                socket_path, shards=2, request_timeout=0.2
+            )
+            assert router.request_timeout == 0.2
+            handle = router._workers["shard-0"]
+            handle.live = True  # fresh incarnation accepts calls...
+            assert not handle.ready.is_set()  # ...but is mid-replay
+            router._routes.set({"v": "shard-0"})
+            with pytest.raises(WorkerUnavailable, match="replay"):
+                await router._route("v")
+
+        self._run(scenario)
+
+    def test_route_resumes_once_replay_finishes(self):
+        async def scenario(socket_path):
+            router = ClusterRouter(
+                socket_path, shards=2, request_timeout=5.0
+            )
+            handle = router._workers["shard-0"]
+            handle.live = True
+            router._routes.set({"v": "shard-0"})
+
+            async def finish_replay():
+                await asyncio.sleep(0.02)
+                handle.ready.set()
+
+            task = asyncio.get_running_loop().create_task(finish_replay())
+            assert await router._route("v") is handle
+            await task
+
+        self._run(scenario)
+
+    def test_drain_rollback_on_replay_failure(self):
+        # Regression: a replay failure mid-drain used to leave the ring
+        # shrunk, handle.draining stuck True, and the shard wedged —
+        # undrainable ("already drained"), unrespawnable, and excluded
+        # from fan-outs while still owning routed views.
+        async def scenario(socket_path):
+            router = ClusterRouter(
+                socket_path, shards=2, request_timeout=0.5
+            )
+
+            async def fake_call(line, timeout=None):
+                return ["ok {}"]
+
+            for handle in router._workers.values():
+                handle.live = True
+                handle.ready.set()
+                handle.call = fake_call
+            router._records["v"] = ViewRecord("stratified", "p(X):-q(X).")
+            router._routes.set({"v": "shard-0"})
+
+            async def failing_replay(name, target):
+                raise ClusterError("survivor rejected the replay")
+
+            router._replay_view = failing_replay
+            with pytest.raises(ClusterError, match="survivor rejected"):
+                await router.drain("shard-0")
+
+            handle = router._workers["shard-0"]
+            assert "shard-0" in router._ring  # back on the ring
+            assert not handle.draining  # routable and supervisable again
+            assert router.routing_table() == {"v": "shard-0"}
+            assert "shard-0" not in router._drained
+            assert not router._draining  # no waiter left parked
+            assert router.counters["drains"] == 0
+            assert await router._route("v") is handle
+            # A retried drain is a fresh attempt, not "already drained".
+            with pytest.raises(ClusterError) as excinfo:
+                await router.drain("shard-0")
+            assert "already drained" not in str(excinfo.value)
+
+        self._run(scenario)
+
+    def test_inflight_counts_requests_parked_on_the_slot_semaphore(self):
+        # Regression: inflight was incremented only after acquiring the
+        # concurrency slot, so drain's in-flight flush could miss a
+        # parked request and replay its view onto a survivor before
+        # the request's acked update landed on the old worker.
+        async def scenario(socket_path):
+            handle = WorkerHandle("shard-x", socket_path, max_concurrent=1)
+            handle.live = True
+            await handle._slots.acquire()  # occupy the only slot
+            task = asyncio.get_running_loop().create_task(
+                handle.call("views")
+            )
+            for _ in range(5):
+                await asyncio.sleep(0)
+            assert handle.inflight == 1  # the parked request is visible
+            handle._slots.release()
+            with pytest.raises(WorkerUnavailable):  # no socket behind it
+                await task
+            assert handle.inflight == 0
+
+        self._run(scenario)
