@@ -1,0 +1,159 @@
+"""P11 — the cost of durability: WAL overhead and cold-start recovery.
+
+The durability tentpole claims the write-ahead log is cheap relative
+to incremental maintenance: journaling is one buffered-JSON append per
+acked batch, so with ``fsync=off`` the durable write path must stay
+within **15%** of the pure in-memory service on the P06-style
+incremental workload.  ``fsync=batch`` and ``fsync=always`` buy their
+extra guarantees with real disk flushes — recorded here so the price
+is a measured number, not folklore.
+
+The second half times cold-start recovery against the WAL length: a
+crashed service with N journaled operations must replay exactly N
+records through the normal update path, so recovery time scales with
+the log, and a checkpoint resets that cost to near zero.
+
+``REPRO_BENCH_SCALE=smoke`` runs the small sizes (the CI bench-smoke
+job); the overhead bar applies at every scale.
+"""
+
+import os
+
+import pytest
+
+from repro.service import QueryService
+
+from support import ExperimentTable, timed
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE") == "smoke"
+
+#: Acked single-fact updates per measured stream.
+OPS = 240 if SMOKE else 800
+#: Nodes per chain — every insert extends a live transitive closure.
+CHAIN = 30
+#: WAL lengths for the recovery-time curve.
+RECOVERY_SIZES = (100, 400) if SMOKE else (100, 400, 1600)
+#: The headline acceptance bar: fsync=off overhead vs pure in-memory.
+MAX_OFF_OVERHEAD = 0.15
+
+RULES = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)."
+
+table = ExperimentTable(
+    "P11-durability",
+    "fsync=off WAL overhead <= 15% on the incremental write path; "
+    "cold recovery replays the log through the normal update path",
+    [
+        "scenario",
+        "fsync",
+        "ops",
+        "seconds",
+        "ops-per-sec",
+        "overhead-vs-memory",
+        "replayed",
+        "recovery-sec",
+    ],
+)
+
+
+def _edges(count):
+    """``count`` chain edges: disjoint chains of ``CHAIN`` hops, so each
+    insert triggers incremental maintenance over one growing chain."""
+    edges = []
+    chain = 0
+    while len(edges) < count:
+        nodes = [f"c{chain}n{i}" for i in range(CHAIN + 1)]
+        edges.extend(zip(nodes, nodes[1:]))
+        chain += 1
+    return edges[:count]
+
+
+def _run_stream(service, edges):
+    service.register("g", RULES)
+    for x, y in edges:
+        service.insert("g", "edge", x, y)
+
+
+def _time_stream(edges, data_dir=None, fsync="off"):
+    """Seconds to push the whole op stream through one fresh service."""
+    if data_dir is None:
+        service = QueryService()
+    else:
+        service = QueryService(
+            data_dir=str(data_dir), fsync=fsync, checkpoint_every=10**9
+        )
+    try:
+        _, seconds = timed(_run_stream, service, edges)
+    finally:
+        service.close()
+    return seconds
+
+
+@pytest.mark.parametrize("fsync", ["off", "batch", "always"])
+def test_wal_write_path_overhead(benchmark, tmp_path, fsync):
+    edges = _edges(OPS)
+    # Best-of-2 for both arms: the comparison is overhead, so both
+    # sides get the same favourable treatment.
+    baseline = min(_time_stream(edges) for _ in range(2))
+    counter = iter(range(100))
+
+    def durable_run():
+        return _time_stream(
+            edges, tmp_path / f"run-{next(counter)}", fsync
+        )
+
+    durable = min(durable_run() for _ in range(2))
+    benchmark.pedantic(durable_run, rounds=1, iterations=1)
+    overhead = durable / baseline - 1.0
+    table.add(
+        "write-path",
+        fsync,
+        OPS,
+        f"{durable:.4f}",
+        f"{OPS / durable:.0f}",
+        f"{overhead * 100:+.1f}%",
+        "-",
+        "-",
+    )
+    if fsync == "off":
+        assert overhead <= MAX_OFF_OVERHEAD, (
+            f"fsync=off WAL overhead {overhead:.1%} exceeds "
+            f"{MAX_OFF_OVERHEAD:.0%} vs the in-memory write path "
+            f"({durable:.4f}s vs {baseline:.4f}s for {OPS} ops)"
+        )
+
+
+@pytest.mark.parametrize("records", RECOVERY_SIZES)
+def test_cold_recovery_time_scales_with_log(benchmark, tmp_path, records):
+    edges = _edges(records)
+    service = QueryService(
+        data_dir=str(tmp_path), fsync="off", checkpoint_every=10**9
+    )
+    _run_stream(service, edges)
+    expected_rows = len(service.query("g", "tc"))
+    # Crash: no final checkpoint, so every boot replays the whole log.
+    service.durability.close(final_checkpoint=False)
+
+    reports = []
+
+    def cold_boot():
+        recovered = QueryService(data_dir=str(tmp_path), fsync="off")
+        reports.append(recovered.last_recovery)
+        assert len(recovered.query("g", "tc")) == expected_rows
+        # Leave the directory exactly as found (no shutdown
+        # checkpoint), so every round replays the same log.
+        recovered.durability.close(final_checkpoint=False)
+        recovered.close()
+
+    _, recovery_sec = timed(cold_boot)
+    benchmark.pedantic(cold_boot, rounds=2, iterations=1)
+    assert all(r.replayed_records == records + 1 for r in reports)
+    table.add(
+        "cold-recovery",
+        "off",
+        records,
+        "-",
+        "-",
+        "-",
+        records + 1,
+        f"{recovery_sec:.4f}",
+    )

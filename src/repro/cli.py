@@ -247,7 +247,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     """The sharded serving tier: N worker processes behind one router."""
     import asyncio
+    import signal
 
+    from .robustness import RecoveryError
     from .service.cluster import ClusterClient, ClusterRouter
     from .service.prometheus import PrometheusExporter
 
@@ -276,8 +278,33 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
             shards=args.shards,
             worker_options=worker_options,
             heartbeat_interval=args.heartbeat_interval,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
         )
-        await router.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        try:
+            await router.start()
+        except BaseException:
+            await router.stop()
+            raise
+        if args.data_dir and router.last_recovery is not None:
+            report = router.last_recovery
+            print(
+                f"cluster recovered generation {report['generation']} "
+                f"from {args.data_dir}: {report['views_restored']} "
+                f"view(s), {report['replayed_records']} WAL record(s) "
+                f"replayed",
+                file=sys.stderr,
+            )
         print(
             f"serving {args.shards} shard(s) on unix socket {args.socket} "
             f"(framed protocol)",
@@ -291,9 +318,24 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
                 interval=args.metrics_interval,
             )
             exporter.start()
+        serving = asyncio.ensure_future(router.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
         try:
-            await router.serve_forever()
+            # Either the server dies on its own or a signal asks for a
+            # graceful stop; the ``finally`` takes the final checkpoint
+            # through router.stop() in both cases.
+            await asyncio.wait(
+                {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
+            for task in (serving, stopping):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             if exporter is not None:
                 exporter.stop()
             await router.stop()
@@ -302,25 +344,73 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+    except RecoveryError as exc:
+        return _print_repro_error(exc)
     return 0
 
 
+def _install_stop_signals(on_stop) -> dict:
+    """Route SIGTERM/SIGINT to ``on_stop`` (graceful shutdown).
+
+    Returns the previous handlers so the caller can restore them; an
+    empty dict when not on the main thread (the test harness drives
+    these commands from worker threads, where signal installation is
+    forbidden — and unnecessary).
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return {}
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, on_stop)
+    return previous
+
+
+def _restore_signals(previous: dict) -> None:
+    import signal
+
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .robustness import RecoveryError
     from .service import QueryService, serve_stream, serve_unix_socket
     from .service.prometheus import PrometheusExporter
 
     if args.shards > 1:
         return _cmd_serve_cluster(args)
 
-    service = QueryService(
-        function_registry=translation_registry(),
-        cache_capacity=args.cache_capacity,
-        max_rounds=args.max_rounds,
-        max_atoms=args.max_atoms,
-        deadline_ms=args.deadline_ms,
-        read_mode=args.read_mode,
-        compactor=args.compactor,
-    )
+    try:
+        service = QueryService(
+            function_registry=translation_registry(),
+            cache_capacity=args.cache_capacity,
+            max_rounds=args.max_rounds,
+            max_atoms=args.max_atoms,
+            deadline_ms=args.deadline_ms,
+            read_mode=args.read_mode,
+            compactor=args.compactor,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except RecoveryError as exc:
+        return _print_repro_error(exc)
+    if args.data_dir and service.last_recovery is not None:
+        report = service.last_recovery
+        print(
+            f"recovered generation {report.generation} from {args.data_dir}: "
+            f"{report.views_restored} view(s), "
+            f"{report.replayed_records} WAL record(s) replayed",
+            file=sys.stderr,
+        )
     exporter = None
     if args.metrics_prometheus:
         exporter = PrometheusExporter(
@@ -329,6 +419,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             interval=args.metrics_interval,
         )
         exporter.start()
+    stop_event = threading.Event()
+
+    def _socket_stop(_signum, _frame):
+        # Graceful: the accept loop notices, drains, and returns —
+        # then the ``finally`` below takes the final checkpoint.
+        stop_event.set()
+
+    def _stream_stop(_signum, _frame):
+        # Interrupt the blocking stdin read; caught below.
+        raise KeyboardInterrupt
+
+    previous = _install_stop_signals(
+        _socket_stop if args.socket else _stream_stop
+    )
     try:
         if args.socket:
             print(f"serving on unix socket {args.socket}", file=sys.stderr)
@@ -338,13 +442,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_connections=args.max_connections,
                 max_concurrent=args.max_concurrent,
                 max_request_bytes=args.max_request_bytes,
+                stop_event=stop_event,
             )
         else:
-            serve_stream(
-                service, sys.stdin, print, max_request_bytes=args.max_request_bytes
-            )
+            try:
+                serve_stream(
+                    service,
+                    sys.stdin,
+                    print,
+                    max_request_bytes=args.max_request_bytes,
+                )
+            except KeyboardInterrupt:
+                pass  # SIGTERM/SIGINT: fall through to the graceful close
     finally:
-        # Stop the exporter and background compactor on the way out.
+        _restore_signals(previous)
+        # Stop the exporter and background compactor on the way out,
+        # and flush the durability plane (final checkpoint).
         if exporter is not None:
             exporter.stop()
         service.close()
@@ -466,6 +579,34 @@ def build_parser() -> argparse.ArgumentParser:
             "snapshot delta-chain compaction: flatten on every Nth "
             "publish (default), from a background thread, or never"
         ),
+    )
+    p_srv.add_argument(
+        "--data-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "durable serving: journal every registration and update "
+            "batch to a write-ahead log under PATH, checkpoint "
+            "periodically, and recover the full serving state on a "
+            "cold start (default: in-memory only)"
+        ),
+    )
+    p_srv.add_argument(
+        "--fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help=(
+            "WAL flush policy: fsync every record (survives power "
+            "loss), every few records (default), or never (page cache "
+            "only — still survives kill -9, not power loss)"
+        ),
+    )
+    p_srv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="checkpoint after every N journaled records (default: 256)",
     )
     p_srv.add_argument(
         "--metrics-snapshot",

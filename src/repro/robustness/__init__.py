@@ -27,8 +27,10 @@ from .errors import (
     BudgetExceeded,
     Cancelled,
     ClusterError,
+    DataDirLocked,
     DeadlineExceeded,
     NonTerminating,
+    RecoveryError,
     ReproError,
     RequestTooLarge,
     ViewDegraded,
@@ -50,6 +52,7 @@ __all__ = [
     "Cancelled",
     "CancellationToken",
     "ClusterError",
+    "DataDirLocked",
     "DeadlineExceeded",
     "EvaluationBudget",
     "EvaluationProgress",
@@ -57,6 +60,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "NonTerminating",
+    "RecoveryError",
     "ReproError",
     "RequestTooLarge",
     "ViewDegraded",

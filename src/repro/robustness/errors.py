@@ -46,6 +46,8 @@ __all__ = [
     "RequestTooLarge",
     "ClusterError",
     "WorkerUnavailable",
+    "RecoveryError",
+    "DataDirLocked",
 ]
 
 
@@ -140,3 +142,25 @@ class WorkerUnavailable(ClusterError):
     """
 
     code = "worker-unavailable"
+
+
+class RecoveryError(ReproError):
+    """Cold-start recovery from a data directory could not complete.
+
+    Torn WAL tails are *not* errors — they are truncated silently (and
+    counted); this is raised for genuine contract violations, e.g. a
+    restored view whose database fingerprint disagrees with the
+    checkpoint that claims to describe it.
+    """
+
+    code = "recovery-failed"
+
+
+class DataDirLocked(RecoveryError):
+    """Another live process holds the data directory's writer lock.
+
+    Two servers journaling into one directory would interleave their
+    logs into nonsense, so the second opener is refused up front.
+    """
+
+    code = "data-dir-locked"

@@ -18,6 +18,10 @@ Instrumented points (see ``docs/ROBUSTNESS.md``):
 ``view.recompute``          entry of a recompute-mode evaluation
 ``cache.get`` / ``cache.put``  the LRU result cache
 ``service.lock``            before each per-view/registry lock acquisition
+``durability.append``       before each WAL record write
+``durability.fsync``        before each WAL fsync
+``durability.checkpoint``   entry of a checkpoint capture
+``durability.recover``      entry of cold-start recovery
 ==========================  ================================================
 
 Typical use::
@@ -64,6 +68,12 @@ ALL_POINTS = (
     # Appended last so seeded chaos plans over the older points keep
     # drawing the same random rules for them.
     "service.lock",
+    # The durability layer (PR 7) — appended after service.lock for the
+    # same seed-stability reason.
+    "durability.append",
+    "durability.fsync",
+    "durability.checkpoint",
+    "durability.recover",
 )
 
 

@@ -18,6 +18,7 @@ import json
 import socket
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...robustness import ClusterError, retry_with_backoff
 from .framing import MAX_FRAME_BYTES, read_frame, write_frame
 
 __all__ = ["ClusterClient", "ClusterReplyError"]
@@ -43,19 +44,53 @@ class ClusterReplyError(RuntimeError):
 
 
 class ClusterClient:
-    """One framed connection to a :class:`~.router.ClusterRouter`."""
+    """One framed connection to a :class:`~.router.ClusterRouter`.
+
+    Connecting retries transient failures — ``ConnectionRefusedError``
+    while the router (re)binds its front door, ``FileNotFoundError``
+    while the socket file does not exist yet (a router still starting,
+    or mid-restart after a crash) — with exponential backoff, up to
+    ``connect_attempts`` tries.  Exhaustion raises the wire-coded
+    :class:`~repro.robustness.ClusterError` instead of a raw OSError,
+    so supervising scripts see the same structured shape as protocol
+    errors.  Each attempt opens a *fresh* socket: a socket that failed
+    ``connect`` is dead, not retryable.
+    """
 
     def __init__(
         self,
         socket_path: str,
         timeout: Optional[float] = 60.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        connect_attempts: int = 8,
     ):
         self.socket_path = socket_path
         self.max_frame_bytes = max_frame_bytes
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(socket_path)
+        self._sock: Optional[socket.socket] = None
+
+        def attempt() -> socket.socket:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(socket_path)
+            except BaseException:
+                sock.close()
+                raise
+            return sock
+
+        try:
+            self._sock = retry_with_backoff(
+                attempt,
+                attempts=max(1, connect_attempts),
+                base_delay=0.02,
+                max_delay=0.5,
+                retry_on=(ConnectionRefusedError, FileNotFoundError),
+            )
+        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            raise ClusterError(
+                f"cluster front door {socket_path} unavailable after "
+                f"{max(1, connect_attempts)} connect attempts: {exc}"
+            ) from exc
 
     # -- transport ----------------------------------------------------------
 
@@ -89,6 +124,8 @@ class ClusterClient:
         return [self.receive() for _ in lines]
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:

@@ -63,7 +63,13 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ...robustness import ClusterError, WorkerUnavailable, retry_with_backoff
+from ...robustness import (
+    ClusterError,
+    RecoveryError,
+    WorkerUnavailable,
+    fault_point,
+    retry_with_backoff,
+)
 from ..locks import AtomicReference
 from ..server import _error_reply
 from .framing import FrameError, read_frame_async, write_frame_async
@@ -390,6 +396,9 @@ class ClusterRouter:
         pool_size: int = 4,
         max_request_bytes: int = 1 << 20,
         hash_replicas: int = 160,
+        data_dir: Optional[str] = None,
+        fsync: str = "batch",
+        checkpoint_every: int = 256,
     ):
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
@@ -428,18 +437,122 @@ class ClusterRouter:
             "fanouts_total": 0,
             "respawns": 0,
             "drains": 0,
+            "recoveries": 0,
+            "recovery_replay_records": 0,
         }
         self._server: Optional[asyncio.AbstractServer] = None
         self._supervisors: List[asyncio.Task] = []
         self._stopping = False
+        self._started = False
+        # The durable control plane (inert without a data directory):
+        # every accepted register/unregister, every acked base-fact
+        # update, and every completed drain is journaled; checkpoints
+        # snapshot the records + routing table + drain ledger + retired
+        # rollup.  All manager calls happen on the event-loop thread,
+        # so no extra locking is needed around them.
+        self.durability = None
+        self.last_recovery: Optional[Dict[str, object]] = None
+        if data_dir is not None:
+            from ..durability import DurabilityManager
+
+            self.durability = DurabilityManager(
+                data_dir,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+                capture=self._durability_capture,
+                on_event=self._bump_counter,
+            )
+
+    def _bump_counter(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def _journal(self, operation: Dict[str, object]) -> None:
+        """Journal one completed control-plane operation (durable mode).
+
+        Called on the event-loop thread after the operation was acked
+        by the owning worker — the same total order clients observe —
+        and before the reply frame leaves the router.
+        """
+        manager = self.durability
+        if manager is not None and not manager.replaying:
+            manager.append(operation)
+            manager.maybe_checkpoint()
+
+    def _durability_capture(self) -> Dict[str, object]:
+        """The full control plane, as a checkpoint document.
+
+        Runs synchronously on the event-loop thread, so it sees the
+        registry between requests — never a half-applied registration.
+        Each worker's ``last_counters`` rides along so a recovered
+        router can retire them: the pre-crash incarnations are gone,
+        and banking their last-reported counters keeps the aggregate
+        rollup monotone across the restart.
+        """
+        return {
+            "records": {
+                name: {
+                    "semantics": record.semantics,
+                    "source": record.source,
+                    "added": sorted(record.added),
+                    "removed": sorted(record.removed),
+                }
+                for name, record in self._records.items()
+            },
+            "routes": dict(self._routes.get()),
+            "drained": dict(self._drained),
+            "retired": {
+                section: dict(counters)
+                for section, counters in self._retired.items()
+            },
+            "last_counters": {
+                shard_id: {
+                    section: dict(counters)
+                    for section, counters in handle.last_counters.items()
+                }
+                for shard_id, handle in self._workers.items()
+                if handle.last_counters
+            },
+            "router_counters": dict(self.counters),
+        }
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn every worker, then open the front door."""
+        """Recover the control plane (durable mode), spawn every live
+        worker, replay recovered views onto them, then open the front
+        door."""
+        recovered = self._recover_control_plane()
+        spawning = [
+            handle
+            for shard_id, handle in self._workers.items()
+            if shard_id not in self._drained
+        ]
         await asyncio.gather(
-            *(handle.start() for handle in self._workers.values())
+            *(handle.start(ready=recovered is None) for handle in spawning)
         )
+        if recovered is not None:
+            await self._replay_recovered_views(recovered)
+            for handle in spawning:
+                handle.ready.set()
+            recovered["generation"] = self.durability.bump_generation()
+            self._bump_counter("recoveries")
+            if recovered["replayed_records"]:
+                self._bump_counter(
+                    "recovery_replay_records",
+                    int(recovered["replayed_records"]),
+                )
+            self.last_recovery = recovered
+            logger.info(
+                "cluster recovered generation %s: %s views "
+                "(checkpoint lsn %s, %s WAL records replayed, "
+                "%s skipped, %s torn dropped)",
+                recovered["generation"],
+                recovered["views_restored"],
+                recovered["checkpoint_lsn"],
+                recovered["replayed_records"],
+                recovered["skipped_records"],
+                recovered["torn_records_dropped"],
+            )
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
         self._server = await asyncio.start_unix_server(
@@ -447,8 +560,10 @@ class ClusterRouter:
         )
         self._supervisors = [
             asyncio.get_running_loop().create_task(self._supervise(handle))
-            for handle in self._workers.values()
+            for shard_id, handle in self._workers.items()
+            if shard_id not in self._drained
         ]
+        self._started = True
 
     async def stop(self) -> None:
         """Close the front door and terminate every worker."""
@@ -464,11 +579,184 @@ class ClusterRouter:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.durability is not None:
+            # The graceful-shutdown checkpoint: the next cold start
+            # restores the exact routing table without replaying the
+            # whole log.  Capture only reads router-owned dicts, so it
+            # does not care that the workers are about to die.  A
+            # router that never finished start() skips the checkpoint —
+            # a half-recovered control plane must not overwrite the
+            # good on-disk state.
+            try:
+                self.durability.close(final_checkpoint=self._started)
+            except Exception:  # pragma: no cover - shutdown best effort
+                logger.exception("final cluster checkpoint failed")
+            self.durability = None
         loop = asyncio.get_running_loop()
         for handle in self._workers.values():
             await loop.run_in_executor(None, handle.stop_process)
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
+
+    # -- cold-start recovery ------------------------------------------------
+
+    def _recover_control_plane(self) -> Optional[Dict[str, object]]:
+        """Restore records/routes/drains from the data directory.
+
+        Runs before any worker spawns: the checkpoint seeds the control
+        plane, the WAL suffix re-drives every later acked operation
+        onto it, and the drain ledger prunes the ring so a drained
+        shard stays gone across the restart.  Returns the recovery
+        report (``None`` when the router is not durable); the caller
+        spawns the surviving workers and replays the routed views.
+        """
+        manager = self.durability
+        if manager is None:
+            return None
+        fault_point("durability.recover")
+        state, records = manager.scan()
+        report: Dict[str, object] = {
+            "checkpoint_lsn": manager.last_checkpoint_lsn,
+            "views_restored": 0,
+            "replayed_records": 0,
+            "skipped_records": 0,
+            "torn_records_dropped": manager.torn_records_dropped,
+        }
+        manager.replaying = True
+        try:
+            if state:
+                for name, info in state.get("records", {}).items():
+                    record = ViewRecord(
+                        str(info.get("semantics", "stratified")),
+                        str(info.get("source", "")),
+                    )
+                    record.added = set(info.get("added", ()))
+                    record.removed = set(info.get("removed", ()))
+                    self._records[name] = record
+                self._routes.set(dict(state.get("routes", {})))
+                self._drained.update(state.get("drained", {}))
+                for section, counters in state.get("retired", {}).items():
+                    merge_counters(
+                        self._retired.setdefault(section, {}), counters
+                    )
+                # The pre-crash worker incarnations are gone; bank the
+                # counters they last reported so the aggregate rollup
+                # stays monotone across the restart.
+                for shard_counters in state.get("last_counters", {}).values():
+                    for section in ("counters", "rollup"):
+                        merge_counters(
+                            self._retired[section],
+                            shard_counters.get(section, {}),
+                        )
+                for name, value in state.get("router_counters", {}).items():
+                    if value:
+                        self._bump_counter(name, int(value))
+            for record in records:
+                try:
+                    self._apply_journal_record(record.operation)
+                    report["replayed_records"] = (
+                        int(report["replayed_records"]) + 1
+                    )
+                except (KeyError, ValueError) as exc:
+                    report["skipped_records"] = (
+                        int(report["skipped_records"]) + 1
+                    )
+                    logger.warning(
+                        "skipping unreplayable cluster WAL record "
+                        "lsn %d: %s: %s",
+                        record.lsn,
+                        type(exc).__name__,
+                        exc,
+                    )
+        finally:
+            manager.replaying = False
+        report["views_restored"] = len(self._records)
+        for shard_id in self._drained:
+            if shard_id in self._ring:
+                self._ring = self._ring.without_shard(shard_id)
+        if len(self._ring) < 1:
+            raise RecoveryError(
+                "the recovered drain ledger leaves no live shard; "
+                "restart with more shards"
+            )
+        return report
+
+    def _apply_journal_record(self, operation: Dict[str, object]) -> None:
+        """Re-drive one journaled control-plane operation."""
+        op = operation.get("op")
+        if op == "register":
+            name = str(operation["view"])
+            self._records[name] = ViewRecord(
+                str(operation.get("semantics", "stratified")),
+                str(operation.get("source", "")),
+            )
+            routes = dict(self._routes.get())
+            routes[name] = str(operation["shard"])
+            self._routes.set(routes)
+        elif op == "unregister":
+            name = str(operation["view"])
+            self._records.pop(name, None)
+            routes = dict(self._routes.get())
+            routes.pop(name, None)
+            self._routes.set(routes)
+        elif op in ("insert", "delete"):
+            record = self._records.get(str(operation["view"]))
+            if record is None:
+                raise KeyError(
+                    f"update journaled for unregistered view "
+                    f"{operation.get('view')!r}"
+                )
+            fact = str(operation["fact"])
+            if op == "insert":
+                record.record_insert(fact)
+            else:
+                record.record_delete(fact)
+        elif op == "drain":
+            self._drained[str(operation["shard"])] = "drained"
+            routes = dict(self._routes.get())
+            for name, target in dict(operation.get("moved", {})).items():
+                if name in routes:
+                    routes[name] = str(target)
+            self._routes.set(routes)
+        else:
+            raise ValueError(f"unknown cluster WAL operation {op!r}")
+
+    async def _replay_recovered_views(
+        self, report: Dict[str, object]
+    ) -> None:
+        """Rebuild every recovered view on its (fresh) owning worker.
+
+        A view routed at a shard that no longer exists — the cluster
+        restarted with fewer shards, or the route's owner is in the
+        drain ledger — is reassigned on the recovered ring, exactly as
+        a drain would have moved it.
+        """
+        routes = dict(self._routes.get())
+        reassigned = 0
+        for name in sorted(routes):
+            if name not in self._records:
+                logger.warning(
+                    "recovered route for %r has no view record; dropping",
+                    name,
+                )
+                routes.pop(name)
+                continue
+            shard = routes[name]
+            if shard not in self._workers or shard in self._drained:
+                target = self._ring.assign(name)
+                logger.warning(
+                    "view %r was routed at missing shard %s; "
+                    "reassigned to %s",
+                    name,
+                    shard,
+                    target,
+                )
+                routes[name] = target
+                shard = target
+                reassigned += 1
+            await self._replay_view(name, self._workers[shard])
+        self._routes.set(routes)
+        report["views_reassigned"] = reassigned
 
     async def serve_forever(self) -> None:
         """Block until cancelled (the CLI entry point's main loop)."""
@@ -634,6 +922,17 @@ class ClusterRouter:
                 self._drained[shard_id] = "drained"
                 handle.stop_process()
                 self.counters["drains"] += 1
+                # The moved map is journaled explicitly: re-hashing is
+                # not reproducible from the drain op alone (it depends
+                # on the ring the drain saw), and the next recovery
+                # must restore the exact post-drain routing table.
+                self._journal(
+                    {
+                        "op": "drain",
+                        "shard": shard_id,
+                        "moved": {name: routes[name] for name in moved},
+                    }
+                )
             except BaseException:
                 # Roll back: the routing table was never republished
                 # (the swap above is all-or-nothing), so every view
@@ -818,8 +1117,14 @@ class ClusterRouter:
                 fact = canonical_fact_text(fact_text)
                 if line.startswith("+"):
                     record.record_insert(fact)
+                    self._journal(
+                        {"op": "insert", "view": view_name, "fact": fact}
+                    )
                 else:
                     record.record_delete(fact)
+                    self._journal(
+                        {"op": "delete", "view": view_name, "fact": fact}
+                    )
         return replies
 
     async def _handle_register(self, line: str, rest: str) -> List[str]:
@@ -840,6 +1145,15 @@ class ClusterRouter:
                 new_routes = dict(self._routes.get())
                 new_routes[view_name] = target
                 self._routes.set(new_routes)
+                self._journal(
+                    {
+                        "op": "register",
+                        "view": view_name,
+                        "semantics": semantics,
+                        "source": source,
+                        "shard": target,
+                    }
+                )
         return replies
 
     async def _handle_unregister(self, line: str, rest: str) -> List[str]:
@@ -855,6 +1169,7 @@ class ClusterRouter:
                 new_routes = dict(self._routes.get())
                 new_routes.pop(view_name, None)
                 self._routes.set(new_routes)
+                self._journal({"op": "unregister", "view": view_name})
         return replies
 
     async def _fan_out(self, line: str) -> Dict[str, List[str]]:
@@ -893,6 +1208,11 @@ class ClusterRouter:
         )
         merge_counters(aggregate["counters"], self._retired["counters"])
         aggregate["router"] = {"counters": dict(self.counters)}
+        if self.durability is not None:
+            aggregate["router"]["durability"] = self.durability.describe()
+            gauges = aggregate.setdefault("gauges", {})
+            gauges["router_wal_size"] = self.durability.wal_size_bytes()
+            gauges["recovered_generation"] = self.durability.generation
         if rest in ("--format=prometheus", "--format prometheus"):
             from ..prometheus import render_prometheus
 
@@ -939,6 +1259,11 @@ class ClusterRouter:
             },
             "views": len(routes),
             "router": dict(self.counters),
+            "durability": (
+                self.durability.describe()
+                if self.durability is not None
+                else None
+            ),
         }
 
 

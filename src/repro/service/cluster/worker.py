@@ -40,6 +40,9 @@ def worker_main(socket_path: str, options: Optional[Dict] = None) -> None:
     """
     # Imports happen inside the function so a ``spawn``-ed child pays
     # them once, after the interpreter boots with a clean slate.
+    import signal
+    import threading
+
     from ...core.algebra_to_datalog import translation_registry
     from ..server import QueryService, serve_unix_socket
 
@@ -49,12 +52,19 @@ def worker_main(socket_path: str, options: Optional[Dict] = None) -> None:
     service = QueryService(
         function_registry=translation_registry(), **options
     )
+    # ``Process.terminate()`` is SIGTERM: drain in-flight requests and
+    # close the service (flushing any durability plane) instead of
+    # dying mid-reply.  The router tolerates either way — this just
+    # makes the common shutdown graceful.
+    stop_event = threading.Event()
+    signal.signal(signal.SIGTERM, lambda _signum, _frame: stop_event.set())
     try:
         serve_unix_socket(
             service,
             socket_path,
             max_concurrent=max_concurrent,
             max_request_bytes=max_request_bytes,
+            stop_event=stop_event,
         )
     finally:
         service.close()

@@ -1,0 +1,43 @@
+"""Durable serving: write-ahead log, checkpoints, crash recovery.
+
+The serving tiers are exactly reproducible from their operation
+streams — the paper's fixpoint semantics guarantees that replaying the
+same ``register``/``unregister``/``batch`` sequence reconverges to the
+same model — so durability reduces to three small, composable pieces:
+
+* :mod:`.wal` — a CRC32-framed, length-prefixed append-only log of
+  operations, with ``fsync`` policies ``always`` / ``batch`` / ``off``
+  and segment rotation;
+* :mod:`.checkpoint` — atomic write-tmp-rename snapshots of the full
+  state at a log position, after which older log segments are pruned;
+* :mod:`.manager` — the :class:`DurabilityManager` facade one serving
+  tier owns: journaling, checkpoint cadence, the single-writer data
+  directory lock, and the recovered-generation marker;
+* :mod:`.recovery` — cold-start recovery for the single-process
+  :class:`~repro.service.server.QueryService`: newest valid
+  checkpoint, torn-tail-truncated WAL suffix replayed through the
+  normal register/batch path, fingerprints verified.
+
+The cluster router journals its control plane through the same
+:class:`DurabilityManager` (see :mod:`repro.service.cluster.router`).
+The recovery contract is documented in ``docs/DURABILITY.md``.
+"""
+
+from .checkpoint import CheckpointStore
+from .manager import DataDirLocked, DurabilityManager, RecoveryError
+from .recovery import RecoveryReport, recover_service
+from .wal import FSYNC_MODES, WalRecord, WriteAheadLog, scan_segment, truncate_segment
+
+__all__ = [
+    "CheckpointStore",
+    "DataDirLocked",
+    "DurabilityManager",
+    "FSYNC_MODES",
+    "RecoveryError",
+    "RecoveryReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover_service",
+    "scan_segment",
+    "truncate_segment",
+]

@@ -1,0 +1,107 @@
+"""Atomic checkpoints: write-tmp-rename snapshots at a WAL position.
+
+A checkpoint file ``checkpoint-<lsn>.json`` carries the complete
+serving state as of log position ``lsn`` — recovery loads the newest
+valid one and replays only the WAL records past it.  Writing is
+crash-safe by construction: the JSON is written to a ``.tmp`` sibling,
+fsynced, and renamed into place (``os.replace`` is atomic on POSIX),
+then the directory entry is fsynced so the rename itself survives
+power loss.  A reader can therefore only ever observe a whole
+checkpoint or none; a half-written ``.tmp`` is ignored and eventually
+overwritten.
+
+Older checkpoint files are pruned after a successful save — at most
+the newest two are kept, so a save that itself crashes mid-rename
+still leaves a previous checkpoint to fall back to.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CheckpointStore"]
+
+logger = logging.getLogger(__name__)
+
+_PREFIX = "checkpoint-"
+_SUFFIX = ".json"
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (renames, unlinks) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all FSes support dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+class CheckpointStore:
+    """The checkpoint files of one data directory."""
+
+    def __init__(self, directory: Path, keep: int = 2):
+        self.directory = Path(directory)
+        self.keep = max(1, keep)
+
+    def _files(self) -> List[Path]:
+        """Checkpoint files, oldest first (lexicographic = lsn order)."""
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if path.name.startswith(_PREFIX) and path.name.endswith(_SUFFIX)
+        )
+
+    def save(self, state: Dict[str, object], lsn: int, durable: bool = True) -> Path:
+        """Atomically write ``state`` as the checkpoint at position ``lsn``.
+
+        ``durable=False`` (the ``fsync=off`` policy) skips the fsyncs
+        but keeps the tmp+rename dance, so even then a crash can only
+        lose the checkpoint, never tear it.
+        """
+        path = self.directory / f"{_PREFIX}{lsn:020d}{_SUFFIX}"
+        tmp_path = path.with_suffix(path.suffix + ".tmp")
+        document = {"lsn": lsn, "state": state}
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        if durable:
+            fsync_directory(self.directory)
+        self._prune(keep_at_least=path)
+        return path
+
+    def _prune(self, keep_at_least: Path) -> None:
+        files = self._files()
+        for path in files[: -self.keep]:
+            if path != keep_at_least:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+
+    def load_newest(self) -> Tuple[int, Optional[Dict[str, object]]]:
+        """``(lsn, state)`` of the newest *valid* checkpoint.
+
+        Unparsable files (a torn write on a filesystem without atomic
+        rename, manual tampering) are skipped with a warning, falling
+        back to the next older one; ``(0, None)`` when none is usable —
+        recovery then replays the WAL from the beginning.
+        """
+        for path in reversed(self._files()):
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+                return int(document["lsn"]), document["state"]
+            except (ValueError, KeyError, TypeError, OSError):
+                logger.warning("skipping unreadable checkpoint %s", path)
+        return 0, None

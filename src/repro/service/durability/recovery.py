@@ -1,0 +1,211 @@
+"""Cold-start recovery of a :class:`~repro.service.server.QueryService`.
+
+:func:`recover_service` rebuilds a freshly-constructed service from its
+data directory, in three steps:
+
+1. **Checkpoint restore** — every view in the newest valid checkpoint
+   is re-registered from its journaled program source (the same text
+   the original ``register`` saw), then its database is *reconciled*
+   to the checkpointed fact set through the normal update path: the
+   checkpoint stores the facts as canonical text and the declared
+   predicate set, the restore re-registers (seed facts and all),
+   diffs, and applies the difference as one insert/delete batch.  The
+   restored database's fingerprint must then equal the one recorded at
+   capture time — a mismatch means the serialize/parse roundtrip or
+   the restore path is broken, and recovery refuses to serve
+   (:class:`~repro.robustness.RecoveryError`) rather than hand out a
+   silently different model.
+
+2. **WAL replay** — every journaled operation past the checkpoint
+   boundary is re-driven through the public ``register`` /
+   ``unregister`` / ``update`` methods, in lsn order.  The checkpoint
+   may already contain the effects of a few records past its boundary
+   (capture races tail appends by design); replay is convergent —
+   fact-level inserts/deletes are last-writer-wins and a re-register
+   resets then rebuilds — so re-applying them is harmless.  A record
+   that fails to apply (e.g. an update for a view a later record
+   unregisters anyway) is skipped with a warning, not fatal: the log
+   is a history, and history can reference state that no longer
+   matters.
+
+3. **Generation bump** — the data directory's recovered-generation
+   marker advances, and the checkpoint's persisted service-counter
+   rollup is absorbed into the retired totals so service metrics stay
+   monotone across the crash (replayed operations bump live counters
+   again, so totals may over-count — never under-count or regress).
+
+The manager's ``replaying`` flag is held high throughout so the
+service's own journaling hooks stay quiet — recovery must not re-log
+the log.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ...robustness import RecoveryError, ReproError, fault_point
+from .manager import DurabilityManager
+from .wal import WalRecord
+
+__all__ = ["RecoveryReport", "recover_service"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RecoveryReport:
+    """What one cold-start recovery did (returned and kept on the
+    service as ``service.last_recovery``)."""
+
+    generation: int = 0
+    checkpoint_lsn: int = 0
+    views_restored: int = 0
+    facts_restored: int = 0
+    replayed_records: int = 0
+    skipped_records: int = 0
+    torn_records_dropped: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "views_restored": self.views_restored,
+            "facts_restored": self.facts_restored,
+            "replayed_records": self.replayed_records,
+            "skipped_records": self.skipped_records,
+            "torn_records_dropped": self.torn_records_dropped,
+            "errors": list(self.errors),
+        }
+
+
+def _fact_set(texts) -> Set[Tuple[str, tuple]]:
+    from ..server import parse_fact
+
+    return {parse_fact(text) for text in texts}
+
+
+def _restore_view(service, name: str, info: Dict[str, object]) -> int:
+    """Re-register one checkpointed view and reconcile its database."""
+    service.register(
+        name,
+        info["source"],
+        semantics=info.get("semantics", "stratified"),
+        incremental=bool(info.get("incremental", True)),
+    )
+    view = service.view(name)
+    target = _fact_set(info.get("facts", ()))
+    current = {(predicate, row) for predicate, row in view.database}
+    inserts = sorted(target - current)
+    deletes = sorted(current - target)
+    if inserts or deletes:
+        service.update(name, inserts=inserts, deletes=deletes)
+    # Reconciling through update cannot re-declare a predicate that
+    # ended the pre-crash epoch declared-but-empty (an insert-then-
+    # delete history), and the database fingerprint covers declared
+    # predicates — so restore the declarations explicitly before
+    # checking it.
+    for predicate in info.get("declared", ()):
+        if predicate not in view.database:
+            view.database.declare(predicate)
+    recorded = info.get("fingerprint")
+    if recorded and view.database.fingerprint() != recorded:
+        raise RecoveryError(
+            f"restored view {name!r} disagrees with its checkpoint: "
+            f"fingerprint {view.database.fingerprint()[:12]}… != "
+            f"recorded {str(recorded)[:12]}…"
+        )
+    return len(target)
+
+
+def _apply_record(service, record: WalRecord) -> None:
+    """Re-drive one journaled operation through the public service API."""
+    operation = record.operation
+    op = operation.get("op")
+    name = operation.get("view")
+    if op == "register":
+        service.register(
+            name,
+            operation["source"],
+            semantics=operation.get("semantics", "stratified"),
+            incremental=bool(operation.get("incremental", True)),
+        )
+    elif op == "unregister":
+        service.unregister(name)
+    elif op == "update":
+        service.update(
+            name,
+            inserts=sorted(_fact_set(operation.get("inserts", ()))),
+            deletes=sorted(_fact_set(operation.get("deletes", ()))),
+        )
+    else:
+        raise RecoveryError(f"unknown WAL operation {op!r} at lsn {record.lsn}")
+
+
+def recover_service(service, manager: DurabilityManager) -> RecoveryReport:
+    """Rebuild ``service`` from ``manager``'s data directory.
+
+    ``service`` must be freshly constructed (no views registered).
+    Raises :class:`~repro.robustness.RecoveryError` on a fingerprint
+    mismatch or an unreadable checkpointed view; tolerates individual
+    WAL records that no longer apply.
+    """
+    fault_point("durability.recover")
+    state, records = manager.scan()
+    report = RecoveryReport(
+        checkpoint_lsn=manager.last_checkpoint_lsn,
+        torn_records_dropped=manager.torn_records_dropped,
+    )
+    manager.replaying = True
+    try:
+        if state:
+            views = state.get("views", {})
+            for name in sorted(views):
+                report.facts_restored += _restore_view(service, name, views[name])
+                report.views_restored += 1
+            rollup = state.get("rollup")
+            if rollup:
+                # Absorbed into the retired totals: the rollup stays
+                # monotone across the restart even though the live
+                # views start from zero.
+                service.metrics.absorb_counters(
+                    {name: int(value) for name, value in rollup.items()}
+                )
+            # Service-level counters are re-seated directly, so
+            # requests_total & co. are monotone across the restart too
+            # (replay bumps some of them again — totals may over-count
+            # the crash window, never regress).
+            for name, value in state.get("service_counters", {}).items():
+                if value:
+                    service.metrics.bump(name, int(value))
+        for record in records:
+            try:
+                _apply_record(service, record)
+                report.replayed_records += 1
+            except (ReproError, KeyError, ValueError) as exc:
+                if isinstance(exc, RecoveryError):
+                    raise
+                report.skipped_records += 1
+                message = f"lsn {record.lsn}: {type(exc).__name__}: {exc}"
+                report.errors.append(message)
+                logger.warning("skipping unreplayable WAL record (%s)", message)
+    finally:
+        manager.replaying = False
+    report.generation = manager.bump_generation()
+    service.metrics.bump("recoveries")
+    if report.replayed_records:
+        service.metrics.bump("recovery_replay_records", report.replayed_records)
+    logger.info(
+        "recovered generation %d: %d views, %d facts from checkpoint lsn %d, "
+        "%d WAL records replayed (%d skipped, %d torn dropped)",
+        report.generation,
+        report.views_restored,
+        report.facts_restored,
+        report.checkpoint_lsn,
+        report.replayed_records,
+        report.skipped_records,
+        report.torn_records_dropped,
+    )
+    return report

@@ -64,6 +64,13 @@ _SERVICE_COUNTERS = (
     "updates_total",
     "queries_total",
     "lock_acquisitions",
+    # The durability plane (zero and inert without --data-dir).
+    "wal_appends",
+    "wal_fsyncs",
+    "wal_checkpoints",
+    "wal_torn_records_dropped",
+    "recoveries",
+    "recovery_replay_records",
 )
 
 #: Exponential latency buckets (seconds), Prometheus-style ``le`` bounds.
@@ -264,6 +271,20 @@ class ServiceMetrics:
     def inflight(self) -> int:
         """Requests currently being handled (the queue-depth gauge)."""
         return self._inflight
+
+    def absorb_counters(self, counters: Dict[str, int]) -> None:
+        """Roll a plain counter dict into the retired totals.
+
+        Cold-start recovery uses this to re-seat the rollup persisted
+        in a checkpoint, so service totals stay monotone across a
+        crash-restart cycle even though every live view restarts from
+        zero.
+        """
+        with self._lock:
+            for name, value in counters.items():
+                self.retired_counters[name] = (
+                    self.retired_counters.get(name, 0) + value
+                )
 
     def absorb(self, view_metrics: ViewMetrics) -> None:
         """Roll a departing view's counters into the retired totals."""

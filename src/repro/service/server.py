@@ -170,6 +170,9 @@ class QueryService:
         compactor: str = "on-publish",
         compact_depth: int = 4,
         compact_interval: int = 8,
+        data_dir: Optional[str] = None,
+        fsync: str = "batch",
+        checkpoint_every: int = 256,
     ):
         if lock_mode not in ("view", "global"):
             raise ValueError(f"unknown lock_mode {lock_mode!r}")
@@ -215,6 +218,34 @@ class QueryService:
         if compactor == "thread":
             self._background_compactor = SnapshotCompactor(self)
             self._background_compactor.start()
+        # The durability plane (inert without a data directory): program
+        # sources are remembered so checkpoints and the WAL can carry
+        # them; registrations/unregistrations/update batches are
+        # journaled inside the same holds that serialise them; and a
+        # fresh service on a non-empty data directory recovers before
+        # taking traffic.
+        self._sources: Dict[str, str] = {}
+        self.durability = None
+        self.last_recovery = None
+        if data_dir is not None:
+            from .durability import DurabilityManager, recover_service
+
+            self.durability = DurabilityManager(
+                data_dir,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+                on_event=self.metrics.bump,
+            )
+            try:
+                self.last_recovery = recover_service(self, self.durability)
+            except BaseException:
+                # Release the directory lock; no checkpoint of the
+                # half-recovered state.
+                self.durability.close(final_checkpoint=False)
+                raise
+            # Attached only after recovery succeeds, so a failed
+            # recovery can never checkpoint a half-restored world.
+            self.durability.attach(capture=self._durability_capture)
 
     def close(self) -> None:
         """Release background machinery (the compactor thread, if any).
@@ -233,6 +264,73 @@ class QueryService:
         self._background_compactor = None
         if compactor is not None:
             compactor.stop()
+        durability = getattr(self, "durability", None)
+        if durability is not None:
+            # Final checkpoint: a graceful shutdown leaves the data
+            # directory describing the exact serving state, so the next
+            # cold start replays nothing.
+            durability.close()
+
+    # -- durability hooks -----------------------------------------------------
+
+    def _journal(self, operation: Dict[str, object]) -> None:
+        """Append one completed operation to the WAL (durable mode only).
+
+        Called inside the hold that serialised the operation (the view
+        lock for updates, the registry write lock for registrations),
+        so per-entity log order matches apply order.  Quiet while
+        recovery replays the log through these same paths.
+        """
+        manager = self.durability
+        if manager is not None and not manager.replaying:
+            manager.append(operation)
+
+    def _maybe_checkpoint(self) -> None:
+        """The checkpoint cadence — called *after* lock release, because
+        the capture callback takes view locks itself."""
+        manager = self.durability
+        if manager is not None and not manager.replaying:
+            manager.maybe_checkpoint()
+
+    def _durability_capture(self) -> Dict[str, object]:
+        """The complete serving state, as a checkpoint document.
+
+        Each view is serialised under its own lock (program source,
+        semantics, mode, the full fact set as canonical text, the
+        declared predicate set, and the database fingerprint recovery
+        verifies against).  Views are captured one at a time — the
+        WAL suffix past the checkpoint boundary re-synchronises any
+        batches that land between two captures.
+        """
+        snapshot = self.metrics_snapshot()
+        rollup = dict(snapshot["rollup"])
+        service_counters = dict(snapshot["counters"])
+        views_state: Dict[str, object] = {}
+        for name in sorted(self.name_table()):
+            try:
+                with self._locked_view(name) as (view, _generation):
+                    source = self._sources.get(name)
+                    if source is None:  # pre-durability registration
+                        continue
+                    database = view.database
+                    views_state[name] = {
+                        "source": source,
+                        "semantics": view.semantics,
+                        "incremental": view.mode == "incremental",
+                        "facts": [
+                            _format_row(predicate, row)
+                            for predicate, row in database
+                        ],
+                        "declared": sorted(database.predicates()),
+                        "fingerprint": database.fingerprint(),
+                    }
+            except KeyError:
+                continue  # unregistered between listing and locking
+        return {
+            "views": views_state,
+            "rollup": rollup,
+            "service_counters": service_counters,
+        }
 
     def _budget_factory(self) -> Optional[Callable[[], EvaluationBudget]]:
         if self.deadline_ms is None:
@@ -261,6 +359,14 @@ class QueryService:
         hold, so the program table and the view table can never
         disagree and the service-wide rollup stays monotone.
         """
+        if self.durability is not None and not isinstance(source, str):
+            # The journal carries program *text* (the same text the
+            # wire protocol delivers); an AST has no canonical source
+            # to replay from.
+            raise ValueError(
+                "a durable service (data_dir set) registers programs "
+                "from source text, not pre-parsed ASTs"
+            )
         prepared = prepare_program(name, source)
         view = MaterializedView(
             prepared,
@@ -291,10 +397,27 @@ class QueryService:
                 # (or neither of) the live and retired sections.
                 self.metrics.absorb(replaced.metrics)
             self._publish_name_table()
+            if isinstance(source, str):
+                self._sources[name] = source
+            # Journaled under the same write hold as the swap: the log
+            # position of a registration totally orders it against
+            # every other registration and the updates that follow it.
+            # (In durable mode ``source`` is guaranteed text, see above.)
+            if isinstance(source, str):
+                self._journal(
+                    {
+                        "op": "register",
+                        "view": name,
+                        "source": source,
+                        "semantics": semantics,
+                        "incremental": incremental,
+                    }
+                )
         # The generation bump already makes old entries unreachable;
         # dropping them here is memory hygiene, not correctness.
         self.cache.invalidate(name)
         self.metrics.bump("registrations")
+        self._maybe_checkpoint()
         info = prepared.describe()
         info["semantics"] = semantics
         info["mode"] = view.mode
@@ -321,9 +444,11 @@ class QueryService:
                     del self.views[name]
                     self._locks.pop(name, None)
                     self._generations.pop(name, None)
+                    self._sources.pop(name, None)
                     self.registry.unregister(name)
                     # Absorbed atomically with the pop — see register().
                     self.metrics.absorb(view.metrics)
+                    self._journal({"op": "unregister", "view": name})
                     # Republish the name table with the entry gone: a
                     # lock-free resolver must find either the full old
                     # table or the full new one, never a half-removed
@@ -333,6 +458,7 @@ class QueryService:
                 break
         self.cache.invalidate(name)
         self.metrics.bump("unregistrations")
+        self._maybe_checkpoint()
         return {
             "name": name,
             "mode": view.mode,
@@ -605,11 +731,33 @@ class QueryService:
         replace semantics: the old view dies, replacement wins).
         """
         self.metrics.bump("updates_total")
+        inserts = [(predicate, tuple(row)) for predicate, row in inserts]
+        deletes = [(predicate, tuple(row)) for predicate, row in deletes]
         with self._locked_view(name) as (view, _generation):
             summary = view.apply(inserts=inserts, deletes=deletes)
             # Invalidate inside the hold so a concurrent query cannot
             # re-cache pre-batch rows between apply and invalidation.
             self.cache.invalidate(name)
+            # Journal after the apply succeeded (a failed batch never
+            # reaches the log), before the ack, inside the view hold
+            # (log order = apply order per view).  A crash in between
+            # loses only this never-acknowledged batch.
+            if self.durability is not None:
+                self._journal(
+                    {
+                        "op": "update",
+                        "view": name,
+                        "inserts": [
+                            _format_row(predicate, row)
+                            for predicate, row in inserts
+                        ],
+                        "deletes": [
+                            _format_row(predicate, row)
+                            for predicate, row in deletes
+                        ],
+                    }
+                )
+        self._maybe_checkpoint()
         return summary
 
     def insert(self, name: str, predicate: str, *args: Value) -> Dict[str, object]:
@@ -684,6 +832,12 @@ class QueryService:
         snapshot["lock_mode"] = self.lock_mode
         snapshot["read_mode"] = self.read_mode
         snapshot["compactor"] = self.compactor_mode
+        if self.durability is not None:
+            snapshot["durability"] = self.durability.describe()
+            snapshot["gauges"]["wal_size"] = self.durability.wal_size_bytes()
+            snapshot["gauges"]["recovered_generation"] = (
+                self.durability.generation
+            )
         return snapshot
 
 
@@ -856,6 +1010,7 @@ def serve_unix_socket(
     max_connections: Optional[int] = None,
     max_concurrent: int = 8,
     max_request_bytes: Optional[int] = None,
+    stop_event: Optional["threading.Event"] = None,
 ) -> None:
     """Serve the protocol on a unix socket.
 
@@ -868,6 +1023,13 @@ def serve_unix_socket(
     connections are accepted (None = until interrupted); on the way out
     the server stops accepting and **drains** — live connections finish
     their streams before the socket file is removed.
+
+    ``stop_event`` (optional) requests a graceful shutdown from
+    outside — a signal handler sets it, the accept loop notices within
+    its poll interval, drains in-flight connections (bounded joins, so
+    a wedged client cannot hold shutdown hostage forever), and
+    returns.  The caller then closes the service, which takes the
+    final durability checkpoint.
     """
     socket_path = Path(path)
     if socket_path.exists():
@@ -875,6 +1037,7 @@ def serve_unix_socket(
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     slots = threading.BoundedSemaphore(max(1, max_concurrent))
     workers: List[threading.Thread] = []
+    stopping = stop_event if stop_event is not None else threading.Event()
 
     def handle(connection: socket.socket) -> None:
         try:
@@ -896,11 +1059,20 @@ def serve_unix_socket(
     try:
         server.bind(str(socket_path))
         server.listen(max(1, max_concurrent))
+        # Poll so a stop request (signal handler, supervising thread)
+        # is noticed even while blocked waiting for clients.
+        server.settimeout(0.2)
         accepted = 0
         while max_connections is None or accepted < max_connections:
-            slots.acquire()
+            if stopping.is_set():
+                break
+            if not slots.acquire(timeout=0.2):
+                continue
             try:
                 connection, _address = server.accept()
+            except socket.timeout:
+                slots.release()
+                continue
             except BaseException:
                 slots.release()
                 raise
@@ -913,8 +1085,11 @@ def serve_unix_socket(
             workers = [w for w in workers if w.is_alive()]
     finally:
         # Graceful drain: stop accepting, let live connections finish.
+        # Joins are bounded on the stop path — SIGTERM must win even
+        # against a client that never closes its stream.
+        deadline = 10.0 if stopping.is_set() else None
         for worker in workers:
-            worker.join()
+            worker.join(deadline)
         server.close()
         if socket_path.exists():
             os.unlink(socket_path)

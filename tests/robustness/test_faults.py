@@ -123,6 +123,10 @@ class TestEnginePoints:
             "cache.get",
             "cache.put",
             "service.lock",
+            "durability.append",
+            "durability.fsync",
+            "durability.checkpoint",
+            "durability.recover",
         }
 
     def test_service_lock_is_injectable(self):

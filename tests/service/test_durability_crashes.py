@@ -1,0 +1,351 @@
+"""The seeded crash matrix: kill the service at every durability fault
+point, under every fsync mode, restart, and check the recovered state
+against a from-scratch oracle.
+
+The in-process matrix simulates ``kill -9`` by dropping the durability
+plane with no final checkpoint — faithful because WAL appends are
+single unbuffered writes (the file system already holds everything a
+killed process would have left).  The invariant:
+
+* every **acked** operation survives the crash (recovered state ⊇ the
+  acked history's state),
+* the one operation in flight when the fault fired may appear or not
+  (it was never acked), but nothing else may,
+* the recovered derived model equals a from-scratch evaluation over
+  the recovered base facts,
+* journal-covered rollup counters never regress past the last acked
+  observation.
+
+Two subprocess tests then run the real thing end-to-end: ``SIGKILL``
+with ``--fsync=always`` loses no acked update across a restart, and
+``SIGTERM`` checkpoints on the way out (cold start replays nothing).
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.robustness import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    inject_faults,
+)
+from repro.robustness.faults import ALL_POINTS
+from repro.service import QueryService
+
+RULES = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)."
+
+SCRIPT = (
+    ("insert", ("a", "b")),
+    ("insert", ("b", "c")),
+    ("delete", ("a", "b")),
+    ("insert", ("c", "d")),
+    ("insert", ("a", "e")),
+    ("delete", ("b", "c")),
+    ("insert", ("e", "f")),
+)
+
+MONOTONE_KEYS = ("inserts_applied", "deletes_applied")
+
+FSYNC_MODES = ("always", "batch", "off")
+CRASH_POINTS = (
+    "durability.append",
+    "durability.fsync",
+    "durability.checkpoint",
+)
+
+
+def _durable(data_dir, fsync):
+    return QueryService(
+        data_dir=str(data_dir), fsync=fsync, checkpoint_every=3
+    )
+
+
+def _run_script(service):
+    """Drive the fixed op script; returns the acked shadow state.
+
+    ``shadow`` is the base-fact set after the last acked operation;
+    ``pending`` the operation in flight when a fault fired (None when
+    the script completed); ``last_rollup`` the rollup after the last
+    ack."""
+    shadow = set()
+    pending = None
+    registered = False
+    last_rollup = {}
+    try:
+        pending = ("register", None)
+        service.register("g", RULES)
+        registered = True
+        pending = None
+        last_rollup = dict(service.metrics_snapshot()["rollup"])
+        for op, row in SCRIPT:
+            pending = (op, row)
+            if op == "insert":
+                service.insert("g", "edge", *row)
+                shadow.add(("edge", row))
+            else:
+                service.delete("g", "edge", *row)
+                shadow.discard(("edge", row))
+            pending = None
+            last_rollup = dict(service.metrics_snapshot()["rollup"])
+    except InjectedFault:
+        pass
+    return shadow, pending, registered, last_rollup
+
+
+def _crash(service):
+    """Simulate kill -9: drop the plane without a final checkpoint.
+
+    The close itself may hit an injected fsync fault — that is still a
+    crash (the unbuffered writes already reached the page cache), not
+    a test failure."""
+    try:
+        service.durability.close(final_checkpoint=False)
+    except InjectedFault:
+        pass
+
+
+def _verify_recovery(data_dir, fsync, shadow, pending, registered, rollup):
+    recovered = _durable(data_dir, fsync)
+    try:
+        names = recovered.name_table()
+        if "g" not in names:
+            # Only possible when the register itself was the operation
+            # that crashed — losing an unacked registration is fine,
+            # losing an acked one is not.
+            assert not registered or pending == ("register", None)
+            assert shadow == set()
+            return
+        got = {
+            (predicate, tuple(row))
+            for predicate, row in recovered.view("g").database
+        }
+        candidates = [frozenset(shadow)]
+        if pending is not None and pending[0] in ("insert", "delete"):
+            altered = set(shadow)
+            fact = ("edge", pending[1])
+            if pending[0] == "insert":
+                altered.add(fact)
+            else:
+                altered.discard(fact)
+            candidates.append(frozenset(altered))
+        assert frozenset(got) in candidates, (
+            f"recovered base facts {sorted(got)} match neither the "
+            f"acked state {sorted(shadow)} nor acked+pending {pending}"
+        )
+        # From-scratch oracle: the recovered derived model must equal a
+        # clean evaluation over the recovered base facts.
+        oracle = QueryService()
+        oracle.register("g", RULES)
+        if got:
+            oracle.update("g", inserts=sorted(got))
+        assert recovered.query("g", "tc") == oracle.query("g", "tc")
+        oracle.close()
+        # Monotone rollup for journal-covered counters.
+        post = recovered.metrics_snapshot()["rollup"]
+        for key in MONOTONE_KEYS:
+            assert post.get(key, 0) >= rollup.get(key, 0), key
+        assert recovered.metrics_snapshot()["counters"]["recoveries"] >= 1
+    finally:
+        recovered.close()
+
+
+def _count_hits(data_dir, fsync, point):
+    """How often ``point`` fires during a fault-free scripted run."""
+    counter = FaultInjector()
+    with inject_faults(counter):
+        service = _durable(data_dir, fsync)
+        _run_script(service)
+        _crash(service)
+    return counter.hits.get(point, 0)
+
+
+@pytest.mark.parametrize("fsync", FSYNC_MODES)
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_crash_matrix(tmp_path, fsync, point):
+    """Kill at the Nth reach of ``point``, for every N, then recover."""
+    assert point in ALL_POINTS
+    hits = _count_hits(tmp_path / "count", fsync, point)
+    if hits == 0:
+        pytest.skip(f"{point} is never reached under fsync={fsync}")
+    # hits+1 never fires: the full script runs, then the crash —
+    # recovery must restore the complete acked history.
+    for at_hit in range(1, hits + 2):
+        data_dir = tmp_path / f"hit-{at_hit}"
+        injector = FaultInjector([FaultRule(point, at_hit=at_hit, times=1)])
+        with inject_faults(injector):
+            service = _durable(data_dir, fsync)
+            shadow, pending, registered, rollup = _run_script(service)
+            _crash(service)
+        if at_hit > hits:
+            assert pending is None, "the out-of-range rule must not fire"
+        _verify_recovery(
+            data_dir, fsync, shadow, pending, registered, rollup
+        )
+
+
+def test_crash_during_recovery_is_retryable(tmp_path):
+    """A fault at ``durability.recover`` aborts the boot cleanly; the
+    next attempt recovers everything."""
+    service = _durable(tmp_path, "batch")
+    shadow, pending, registered, rollup = _run_script(service)
+    assert pending is None
+    _crash(service)
+    injector = FaultInjector([FaultRule("durability.recover", times=1)])
+    with inject_faults(injector):
+        with pytest.raises(InjectedFault):
+            _durable(tmp_path, "batch")
+    # The failed boot released the data-dir lock and wrote nothing.
+    _verify_recovery(tmp_path, "batch", shadow, None, registered, rollup)
+
+
+def test_repeated_crashes_converge(tmp_path):
+    """Crash-recover-crash-recover: each generation keeps the state."""
+    service = _durable(tmp_path, "off")
+    shadow, pending, _registered, _rollup = _run_script(service)
+    assert pending is None
+    _crash(service)
+    generations = []
+    for _round in range(3):
+        recovered = _durable(tmp_path, "off")
+        generations.append(recovered.last_recovery.generation)
+        got = {
+            (predicate, tuple(row))
+            for predicate, row in recovered.view("g").database
+        }
+        assert got == shadow
+        _crash(recovered)
+    assert generations == sorted(generations)
+    assert len(set(generations)) == 3
+
+
+# ---------------------------------------------------------------------------
+# subprocess end-to-end: real processes, real signals
+# ---------------------------------------------------------------------------
+
+
+class _LineClient:
+    """A minimal client for the single-process line protocol."""
+
+    def __init__(self, socket_path, timeout=30.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(socket_path)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+        self.writer = self.sock.makefile("w", encoding="utf-8")
+
+    def request(self, line):
+        self.writer.write(line + "\n")
+        self.writer.flush()
+        replies = []
+        while True:
+            reply = self.reader.readline()
+            if not reply:
+                raise ConnectionError("server closed mid-reply")
+            reply = reply.rstrip("\n")
+            replies.append(reply)
+            if reply == "ok" or reply.startswith(("ok ", "error")):
+                return replies
+
+    def request_ok(self, line):
+        replies = self.request(line)
+        assert not replies[-1].startswith("error"), replies[-1]
+        return replies
+
+    def close(self):
+        self.sock.close()
+
+
+def _spawn_server(socket_path, data_dir, fsync):
+    env = dict(os.environ)
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            socket_path,
+            "--data-dir",
+            data_dir,
+            f"--fsync={fsync}",
+            "--checkpoint-every=1000",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 60
+    while not os.path.exists(socket_path):
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died on startup: "
+                f"{process.stderr.read().decode(errors='replace')}"
+            )
+        assert time.monotonic() < deadline, "socket never appeared"
+        time.sleep(0.05)
+    return process
+
+
+def test_sigkill_loses_no_acked_update_with_fsync_always(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    data_dir = str(tmp_path / "data")
+    process = _spawn_server(socket_path, data_dir, "always")
+    try:
+        client = _LineClient(socket_path)
+        client.request_ok(f"register g stratified {RULES}")
+        client.request_ok("+g edge(a, b)")
+        client.request_ok("+g edge(b, c)")
+        client.close()
+    finally:
+        # kill -9: nothing flushes, nothing checkpoints.
+        process.kill()
+        process.wait(timeout=30)
+    os.unlink(socket_path)
+
+    process = _spawn_server(socket_path, data_dir, "always")
+    try:
+        client = _LineClient(socket_path)
+        replies = client.request_ok("query g tc")
+        rows = sorted(r for r in replies if r.startswith("row "))
+        assert rows == [
+            "row tc(a, b)",
+            "row tc(a, c)",
+            "row tc(b, c)",
+        ], rows
+        client.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+
+def test_sigterm_checkpoints_and_unlinks_the_socket(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    data_dir = str(tmp_path / "data")
+    process = _spawn_server(socket_path, data_dir, "batch")
+    client = _LineClient(socket_path)
+    client.request_ok(f"register g stratified {RULES}")
+    client.request_ok("+g edge(x, y)")
+    client.close()
+    process.send_signal(signal.SIGTERM)
+    assert process.wait(timeout=30) == 0
+    assert not os.path.exists(socket_path), "graceful exit unlinks"
+    # The shutdown checkpoint covered everything: a cold start replays
+    # no WAL records and still has the acked state.
+    service = QueryService(data_dir=data_dir, fsync="batch")
+    try:
+        assert service.last_recovery.replayed_records == 0
+        assert service.last_recovery.views_restored == 1
+        rows = {tuple(map(str, row)) for row in service.query("g", "tc")}
+        assert rows == {("x", "y")}
+    finally:
+        service.close()

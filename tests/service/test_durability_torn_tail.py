@@ -1,0 +1,143 @@
+"""Torn-tail property tests (the crash-mid-write contract).
+
+A crash can stop the final WAL write at any byte.  For **every**
+truncation offset inside the final record — and for corrupted bytes,
+not just missing ones — recovery must come back with exactly the state
+of the clean prefix: no exception, no phantom fact, no lost acked
+record before the tear.
+"""
+
+import pytest
+
+from repro.service import QueryService
+from repro.service.durability import scan_segment
+from repro.service.durability.wal import _HEADER, segment_files
+
+RULES = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)."
+EDGES = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]
+
+
+def _durable_service(data_dir):
+    return QueryService(
+        data_dir=str(data_dir), fsync="off", checkpoint_every=10_000
+    )
+
+
+def _build_log(data_dir):
+    """A service history whose WAL is: register + one insert per edge.
+
+    Returns the per-prefix oracle: ``oracle[k]`` is the set of ``tc``
+    rows after the register and the first ``k`` inserts.
+    """
+    service = _durable_service(data_dir)
+    oracle = {}
+    service.register("g", RULES)
+    oracle[0] = set(service.query("g", "tc"))
+    for k, (x, y) in enumerate(EDGES, start=1):
+        service.insert("g", "edge", x, y)
+        oracle[k] = set(service.query("g", "tc"))
+    # Crash: drop the durability plane with no final checkpoint.  The
+    # WAL handle is unbuffered, so this adds no writes — exactly what
+    # the file system holds after a kill -9.
+    service.durability.close(final_checkpoint=False)
+    return oracle
+
+
+def _frame_offsets(segment):
+    """Byte offset of each record's end, in order (0 prepended)."""
+    data = segment.read_bytes()
+    offsets = [0]
+    cursor = 0
+    while cursor < len(data):
+        length, _crc = _HEADER.unpack_from(data, cursor)
+        cursor += _HEADER.size + length
+        offsets.append(cursor)
+    return offsets
+
+
+def _recovered_rows(data_dir):
+    service = _durable_service(data_dir)
+    try:
+        names = service.name_table()
+        if "g" not in names:
+            return None, service.last_recovery
+        return set(service.query("g", "tc")), service.last_recovery
+    finally:
+        service.close()
+        # Recovery itself must not be journaled as new operations, and
+        # close() checkpoints — wipe nothing, the next boot re-reads.
+
+
+def test_truncation_at_every_byte_of_the_final_record(tmp_path):
+    """Cut the log after byte N of the last record, for every N."""
+    oracle = _build_log(tmp_path)
+    (segment,) = segment_files(tmp_path)
+    whole = segment.read_bytes()
+    offsets = _frame_offsets(segment)
+    last_start, last_end = offsets[-2], offsets[-1]
+    assert last_end == len(whole)
+    for cut in range(last_start, last_end + 1):
+        for path in segment_files(tmp_path):
+            path.unlink()
+        for checkpoint in tmp_path.glob("checkpoint-*.json"):
+            checkpoint.unlink()
+        segment.write_bytes(whole[:cut])
+        rows, report = _recovered_rows(tmp_path)
+        # A whole final record replays it; any partial byte of it must
+        # recover the exact prefix state — never an error, never a
+        # half-applied fact.
+        expected_k = len(EDGES) if cut == last_end else len(EDGES) - 1
+        assert rows == oracle[expected_k], (
+            f"cut at byte {cut} (record bytes {last_start}..{last_end})"
+        )
+        if cut not in (last_start, last_end):
+            assert report.torn_records_dropped >= 1
+
+
+def test_truncation_at_every_record_boundary(tmp_path):
+    """Cutting cleanly between records recovers that exact prefix."""
+    oracle = _build_log(tmp_path)
+    (segment,) = segment_files(tmp_path)
+    whole = segment.read_bytes()
+    offsets = _frame_offsets(segment)
+    # offsets[i] is the end of record i; record 1 is the register.
+    for i in range(1, len(offsets)):
+        for checkpoint in tmp_path.glob("checkpoint-*.json"):
+            checkpoint.unlink()
+        segment.write_bytes(whole[: offsets[i]])
+        rows, _report = _recovered_rows(tmp_path)
+        assert rows == oracle[i - 1], f"prefix of {i} records"
+    # Cutting before the register leaves no view at all — still clean.
+    segment.write_bytes(b"")
+    for checkpoint in tmp_path.glob("checkpoint-*.json"):
+        checkpoint.unlink()
+    rows, _report = _recovered_rows(tmp_path)
+    assert rows is None
+
+
+@pytest.mark.parametrize("byte_offset_from_end", [1, 3, 7])
+def test_corrupted_tail_bytes_recover_the_prefix(
+    tmp_path, byte_offset_from_end
+):
+    """Flipped (not missing) bytes in the final record are a torn tail."""
+    oracle = _build_log(tmp_path)
+    (segment,) = segment_files(tmp_path)
+    whole = bytearray(segment.read_bytes())
+    whole[-byte_offset_from_end] ^= 0x5A
+    segment.write_bytes(bytes(whole))
+    rows, report = _recovered_rows(tmp_path)
+    assert rows == oracle[len(EDGES) - 1]
+    assert report.torn_records_dropped >= 1
+
+
+def test_scan_never_raises_on_arbitrary_tails(tmp_path):
+    """scan_segment is total: any byte soup yields a clean prefix."""
+    _build_log(tmp_path)
+    (segment,) = segment_files(tmp_path)
+    whole = segment.read_bytes()
+    for cut in range(0, len(whole) + 1, 7):
+        segment.write_bytes(whole[:cut] + b"\xde\xad\xbe\xef")
+        records, clean_end, torn = scan_segment(segment)
+        assert clean_end <= cut + 4
+        assert torn >= 1
+        assert all(r.lsn >= 1 for r in records)
