@@ -262,6 +262,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         "deadline_ms": args.deadline_ms,
         "read_mode": args.read_mode,
         "compactor": args.compactor,
+        "maintenance": args.maintenance,
+        "coalesce": args.coalesce,
         "max_concurrent": args.max_concurrent,
         "max_request_bytes": args.max_request_bytes,
     }
@@ -397,6 +399,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             read_mode=args.read_mode,
             compactor=args.compactor,
+            maintenance=args.maintenance,
+            coalesce=args.coalesce,
             data_dir=args.data_dir,
             fsync=args.fsync,
             checkpoint_every=args.checkpoint_every,
@@ -561,6 +565,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="socket connections served concurrently (default: 8)",
+    )
+    p_srv.add_argument(
+        "--maintenance",
+        choices=("dbsp", "legacy"),
+        default="dbsp",
+        help=(
+            "view maintenance engine: the delta-stream circuit "
+            "(default) or the counting/DRed legacy baseline"
+        ),
+    )
+    p_srv.add_argument(
+        "--coalesce",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "absorb up to N queued update batches per circuit pass "
+            "(default: 64 under dbsp, 1 under legacy)"
+        ),
     )
     p_srv.add_argument(
         "--read-mode",

@@ -3,7 +3,8 @@
 Everything below this package exists so a query is *not* a full
 parse–ground–solve round trip: programs are compiled once into prepared
 plans (:mod:`registry`), their models kept resident and maintained
-under fact deltas (:mod:`incremental`, :mod:`views`), repeated answers
+as the integral of a delta stream (:mod:`dbsp`, :mod:`views` — with
+:mod:`incremental` as the legacy baseline), repeated answers
 served from an LRU cache (:mod:`cache`), and the whole thing observable
 (:mod:`metrics`) and scriptable over a line protocol (:mod:`server`,
 ``repro serve``).  See ``docs/SERVICE.md`` for the architecture.
@@ -11,6 +12,7 @@ served from an LRU cache (:mod:`cache`), and the whole thing observable
 
 from .cache import LRUCache
 from .compactor import SnapshotCompactor
+from .dbsp import DBSPEngine, UpdateQueue, ZSet
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
 from .locks import AtomicReference, InstrumentedLock, ReadWriteLock
 from .metrics import Histogram, ServiceMetrics, ViewMetrics
@@ -29,6 +31,7 @@ from .views import MaterializedView
 __all__ = [
     "AtomicReference",
     "Component",
+    "DBSPEngine",
     "Histogram",
     "IncrementalEngine",
     "IncrementalMaintenanceError",
@@ -43,7 +46,9 @@ __all__ = [
     "ReadWriteLock",
     "ServiceMetrics",
     "SnapshotCompactor",
+    "UpdateQueue",
     "ViewMetrics",
+    "ZSet",
     "parse_fact",
     "prepare_program",
     "render_prometheus",

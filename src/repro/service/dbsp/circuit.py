@@ -1,0 +1,121 @@
+"""Stream operators of the delta circuit: I, D, and incremental distinct.
+
+DBSP views a maintained relation as a *stream* of Z-sets and builds
+every incremental operator from four primitives: lifted pointwise
+operators, the **integrator** ``I`` (running sum), the
+**differentiator** ``D`` (consecutive difference), and a unit delay.
+This module keeps exactly the stream-level pieces the engine and the
+property suite need:
+
+* :func:`integrate` / :func:`running_integral` — ``I`` as a fold and as
+  a stream;
+* :func:`differentiate` — ``D``; ``differentiate`` after
+  ``running_integral`` is the identity (and vice versa), which is the
+  executable statement of the inversion law ``D ∘ I = id`` the property
+  suite checks;
+* :class:`IncrementalDistinct` — the incrementalized non-linear
+  operator ``D ∘ ↑distinct ∘ I`` fused into a stateful node: it holds
+  the integrated weights and turns each weighted delta into the
+  **set-level** delta (±1 per row whose integrated weight crossed
+  zero).  This is the node that sits at every non-recursive head
+  predicate of the engine's circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...relations.values import Value
+from .zset import ZSet
+
+__all__ = [
+    "integrate",
+    "running_integral",
+    "differentiate",
+    "IncrementalDistinct",
+    "NegativeWeightError",
+]
+
+Row = Tuple[Value, ...]
+
+
+def integrate(deltas: Iterable[ZSet]) -> ZSet:
+    """``I`` as a fold: the sum of a finite stream of changes."""
+    total = ZSet()
+    for delta in deltas:
+        total.update(delta)
+    return total
+
+
+def running_integral(deltas: Iterable[ZSet]) -> List[ZSet]:
+    """``I`` as a stream: prefix sums of the input stream."""
+    total = ZSet()
+    out: List[ZSet] = []
+    for delta in deltas:
+        total = total + delta
+        out.append(total)
+    return out
+
+
+def differentiate(values: Sequence[ZSet]) -> List[ZSet]:
+    """``D``: consecutive differences, with an implicit zero before
+    the first element (so ``differentiate(running_integral(s)) == s``)."""
+    out: List[ZSet] = []
+    previous = ZSet()
+    for value in values:
+        out.append(value - previous)
+        previous = value
+    return out
+
+
+class NegativeWeightError(ValueError):
+    """An integrated weight went negative — a retraction of a
+    derivation that was never counted.  The engine maps this onto its
+    maintenance valve (rebuild from scratch) rather than serving from a
+    corrupt integral."""
+
+
+class IncrementalDistinct:
+    """Stateful ``(distinct)^Δ``: weighted deltas in, set deltas out.
+
+    The node owns the integrated weight of every row (its ``I`` state).
+    Feeding it a delta moves the weights and emits ``+1`` for rows whose
+    total crossed from ≤0 to >0 and ``-1`` for the reverse — exactly
+    the change of ``distinct`` of the integral, computed in
+    O(|delta|).  Derivation counting à la counting-maintenance is this
+    node's state, re-derived from first principles.
+    """
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: Optional[Dict[Row, int]] = None):
+        self.weights: Dict[Row, int] = dict(weights or {})
+
+    def integral(self) -> ZSet:
+        """The current integrated Z-set (the ``I`` state)."""
+        return ZSet(dict(self.weights))
+
+    def output(self) -> ZSet:
+        """The current set-level output (``distinct`` of the integral)."""
+        return ZSet({row: 1 for row, weight in self.weights.items() if weight > 0})
+
+    def step(self, delta: ZSet) -> ZSet:
+        """Absorb one weighted delta; return the set-level delta."""
+        weights = self.weights
+        out = ZSet()
+        for row, change in delta.items():
+            before = weights.get(row, 0)
+            after = before + change
+            if after < 0:
+                raise NegativeWeightError(
+                    f"integrated weight for {row!r} fell to {after}"
+                )
+            if after:
+                weights[row] = after
+            else:
+                weights.pop(row, None)
+            if before <= 0 < after:
+                out.add(row, 1)
+            elif after <= 0 < before:
+                out.add(row, -1)
+        return out

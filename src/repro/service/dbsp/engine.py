@@ -1,0 +1,751 @@
+"""The delta-stream maintenance engine.
+
+:class:`DBSPEngine` is the DBSP-style replacement for the counting/DRed
+:class:`~repro.service.incremental.IncrementalEngine` (which remains as
+the ``maintenance="legacy"`` bench baseline).  The resident model is
+the *integral* of a stream of update batches; one call to
+:meth:`apply_stream` is one step of the incrementalized circuit:
+
+* the batch stream is **differentiated** into a single net Z-set of EDB
+  changes (a burst of N batches collapses into one delta — insertions
+  and retractions of the same fact cancel before any rule runs);
+* the prepared plan's component schedule is the circuit: every
+  **non-recursive** component is a linear rule-delta operator feeding an
+  :class:`~repro.service.dbsp.circuit.IncrementalDistinct` node.  The
+  rule delta is the bilinearity expansion
+  ``Δ(L₁ ⋈ … ⋈ Lₖ) = Σᵢ new₍<ᵢ₎ ⋈ ΔLᵢ ⋈ old₍>ᵢ₎`` — each body literal
+  takes its turn as the differentiated input, earlier literals are read
+  at the new view, later ones at the old view, and a negated literal
+  contributes the negated delta (``Δ(¬q) = −Δq``, the 3-valued
+  stratified reading);
+* every **recursive** component is a *nested fixpoint* operator: the
+  inner fixpoint's own delta stream is replayed as retraction closure
+  (weights ≤ 0 propagate until fixpoint), support re-derivation, and
+  insertion closure — the incrementalization of ``fix`` the DBSP
+  literature builds from ``δ₀``/``∫``, realised here set-at-a-time so
+  the nested stream is never materialised;
+* the net per-predicate set-level deltas are committed to the resident
+  state and returned, preserving the engine summary contract the view
+  layer feeds to ``ModelSnapshot.apply_delta``.
+
+Negative integrated weights (a retraction that was never counted) raise
+:class:`~repro.service.incremental.IncrementalMaintenanceError`, the
+same correctness valve the view layer already knows how to answer with
+a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ...datalog.ast import Const, Literal, Rule, Var, eval_term
+from ...datalog.database import Database
+from ...datalog.grounding import _compare
+from ...datalog.seminaive import DirectEvaluator
+from ...datalog.stratification import NotStratifiedError
+from ...relations.universe import FunctionRegistry
+from ...relations.values import Value
+from ...robustness import (
+    BudgetExceeded,
+    EvaluationBudget,
+    fault_point,
+)
+from ..incremental import IncrementalMaintenanceError
+from ..metrics import ViewMetrics
+from ..registry import Component, PreparedProgram
+from .circuit import IncrementalDistinct, NegativeWeightError
+from .zset import ZSet
+
+__all__ = ["DBSPEngine"]
+
+Row = Tuple[Value, ...]
+FactDelta = Dict[str, Set[Row]]
+Batch = Tuple[Iterable[Tuple[str, Row]], Iterable[Tuple[str, Row]]]
+
+# Row-source directives for the weighted variant walker.  For match
+# steps: NEW = current state, OLD = state rewound by the net deltas so
+# far, ("rows", S) = an explicit set, ("delta", Z) = the differentiated
+# input — rows drawn from a Z-set, each carrying its weight into the
+# product.  For negtest steps NEW/OLD test the ground atom against the
+# corresponding view, ("in", S) requires membership, and ("delta", Z)
+# contributes the atom's (already sign-flipped) delta weight.
+NEW = ("new",)
+OLD = ("old",)
+
+
+class DBSPEngine:
+    """A resident model maintained as the integral of a delta stream.
+
+    API-compatible with the legacy engine: ``edb``, ``state``,
+    ``model()``, ``rows()``, ``apply()``, ``initialize()``, ``budget``
+    — plus :meth:`apply_stream`, the burst entry point the coalescing
+    update queue drains into.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedProgram,
+        database: Optional[Database] = None,
+        registry: Optional[FunctionRegistry] = None,
+        metrics: Optional[ViewMetrics] = None,
+        max_rounds: int = 100_000,
+        budget: Optional[EvaluationBudget] = None,
+    ):
+        if not prepared.stratified:
+            raise NotStratifiedError(
+                f"program {prepared.name!r} is not stratified; delta-stream "
+                "maintenance requires the stratified fast path"
+            )
+        self.prepared = prepared
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else ViewMetrics()
+        self.max_rounds = max_rounds
+        self.budget = budget
+        self.edb = (database or Database()).copy()
+        for predicate, row in prepared.seed_facts:
+            if not self.edb.holds(predicate, *row):
+                self.edb.add(predicate, *row)
+        self.state = DirectEvaluator(registry)
+        # One IncrementalDistinct node per non-recursive rule head: its
+        # integrated weights count derivations (plus 1 per EDB row), so
+        # presence is simply "integrated weight > 0".
+        self.distinct_nodes: Dict[str, IncrementalDistinct] = {}
+        self._linear: Set[str] = {
+            predicate
+            for component in prepared.schedule
+            if component.has_rules() and not component.recursive
+            for predicate in component.predicates
+        }
+        self.initialize()
+
+    # -- initial evaluation ---------------------------------------------------
+
+    def initialize(self) -> None:
+        """(Re)compute the model from scratch, establishing integrals."""
+        fault_point("incremental.initialize")
+        self.state = DirectEvaluator(self.registry)
+        self.distinct_nodes = {
+            predicate: IncrementalDistinct() for predicate in self._linear
+        }
+        for predicate in self.edb.predicates():
+            node = self.distinct_nodes.get(predicate)
+            for row in self.edb.rows(predicate):
+                self.state.add(predicate, row)
+                if node is not None:
+                    node.weights[row] = node.weights.get(row, 0) + 1
+        for component in self.prepared.schedule:
+            if not component.has_rules():
+                continue
+            if component.recursive:
+                self._initial_fixpoint(component)
+            else:
+                self._initial_linear(component)
+
+    def _initial_linear(self, component: Component) -> None:
+        (predicate,) = component.predicates
+        node = self.distinct_nodes[predicate]
+        for rule, order in component.rules:
+            for head_row, weight in self._fire(rule, order, {}):
+                node.weights[head_row] = node.weights.get(head_row, 0) + weight
+                self.state.add(predicate, head_row)
+
+    def _initial_fixpoint(self, component: Component) -> None:
+        delta: FactDelta = {}
+        for rule, order in component.rules:
+            for row, _weight in self._fire(rule, order, {}):
+                if self.state.add(rule.head.predicate, row):
+                    delta.setdefault(rule.head.predicate, set()).add(row)
+        for _round in range(self.max_rounds):
+            if not delta:
+                return
+            if self.budget is not None:
+                self.budget.note_iteration(phase="dbsp-initialize")
+            next_delta: FactDelta = {}
+            for rule, order in component.rules:
+                for step, (kind, payload) in enumerate(order):
+                    if kind != "match":
+                        continue
+                    predicate = payload.atom.predicate
+                    if predicate not in component.predicates:
+                        continue
+                    rows = delta.get(predicate)
+                    if not rows:
+                        continue
+                    directives = {step: ("rows", rows)}
+                    for row, _weight in self._fire(rule, order, directives):
+                        if self.state.add(rule.head.predicate, row):
+                            next_delta.setdefault(
+                                rule.head.predicate, set()
+                            ).add(row)
+            delta = next_delta
+        raise BudgetExceeded(
+            f"component {sorted(component.predicates)} did not converge "
+            f"within {self.max_rounds} rounds",
+            progress=self.budget.progress if self.budget is not None else None,
+        )
+
+    # -- the model ------------------------------------------------------------
+
+    def model(self) -> Dict[str, FrozenSet[Row]]:
+        """The resident model, predicate → rows (EDB and IDB alike)."""
+        return {
+            predicate: frozenset(rows)
+            for predicate, rows in self.state.facts.items()
+        }
+
+    def rows(self, predicate: str) -> FrozenSet[Row]:
+        """Current rows of one predicate."""
+        return frozenset(self.state.facts.get(predicate, ()))
+
+    # -- update batches -------------------------------------------------------
+
+    def apply(
+        self,
+        inserts: Iterable[Tuple[str, Row]] = (),
+        deletes: Iterable[Tuple[str, Row]] = (),
+    ) -> Dict[str, object]:
+        """Maintain the model under one update batch.
+
+        A single-element stream: same contract as the legacy engine —
+        the returned ``plus``/``minus`` sets are net, and applying
+        ``(rows - minus) | plus`` to the pre-batch model yields the
+        post-batch model (load-bearing for snapshot maintenance).
+        """
+        return self.apply_stream([(inserts, deletes)])
+
+    def apply_stream(self, batches: Sequence[Batch]) -> Dict[str, object]:
+        """Absorb a burst of update batches in **one** circuit pass.
+
+        The batches are differentiated into a single net EDB delta
+        before any rule fires, so a fact inserted then deleted inside
+        the burst costs nothing downstream, and the whole burst yields
+        one net per-predicate delta for a single snapshot publish.
+        """
+        fault_point("incremental.apply")
+        if self.budget is not None:
+            self.budget.check(phase="dbsp-apply")
+        seed: Dict[str, ZSet] = {}
+        applied_inserts = applied_deletes = 0
+        for inserts, deletes in batches:
+            for predicate, row in deletes:
+                row = tuple(row)
+                if self.edb.holds(predicate, *row):
+                    self.edb.discard(predicate, *row)
+                    seed.setdefault(predicate, ZSet()).add(row, -1)
+                    applied_deletes += 1
+            for predicate, row in inserts:
+                row = tuple(row)
+                if not self.edb.holds(predicate, *row):
+                    self.edb.add(predicate, *row)
+                    seed.setdefault(predicate, ZSet()).add(row, 1)
+                    applied_inserts += 1
+        seed = {predicate: z for predicate, z in seed.items() if z}
+
+        plus: FactDelta = {}
+        minus: FactDelta = {}
+        self._plus = plus
+        self._minus = minus
+
+        try:
+            self._run_circuit(seed)
+        except NegativeWeightError as exc:
+            raise IncrementalMaintenanceError(str(exc)) from exc
+
+        batch_count = len(batches)
+        self.metrics.bump("update_batches", batch_count)
+        self.metrics.bump("incremental_batches", batch_count)
+        self.metrics.bump("circuit_steps")
+        if batch_count > 1:
+            self.metrics.bump("delta_batches_coalesced", batch_count - 1)
+        self.metrics.bump("inserts_applied", applied_inserts)
+        self.metrics.bump("deletes_applied", applied_deletes)
+        delta_plus = sum(len(rows) for rows in plus.values())
+        delta_minus = sum(len(rows) for rows in minus.values())
+        self.metrics.bump("delta_plus_total", delta_plus)
+        self.metrics.bump("delta_minus_total", delta_minus)
+        return {
+            "delta_plus": delta_plus,
+            "delta_minus": delta_minus,
+            "batches": batch_count,
+            "plus": {p: frozenset(rows) for p, rows in plus.items() if rows},
+            "minus": {p: frozenset(rows) for p, rows in minus.items() if rows},
+        }
+
+    def _run_circuit(self, seed: Dict[str, ZSet]) -> None:
+        """One step of the lifted circuit over the net EDB delta."""
+        scheduled: Set[str] = set()
+        for component in self.prepared.schedule:
+            scheduled |= component.predicates
+        # Predicates no rule mentions change the model directly.
+        for predicate, zset in seed.items():
+            if predicate not in scheduled:
+                self._commit_zset(predicate, zset)
+
+        for component in self.prepared.schedule:
+            if not component.has_rules():
+                for predicate in component.predicates:
+                    zset = seed.get(predicate)
+                    if zset:
+                        self._commit_zset(predicate, zset)
+                continue
+            touched = any(
+                self._plus.get(p) or self._minus.get(p) or seed.get(p)
+                for p in self._body_predicates(component) | component.predicates
+            )
+            if not touched:
+                continue
+            fault_point("incremental.component")
+            if self.budget is not None:
+                self.budget.note_iteration(phase="dbsp-maintain")
+            if component.recursive:
+                self._fixpoint_delta(component, seed)
+            else:
+                self._linear_delta(component, seed)
+
+    def _body_predicates(self, component: Component) -> Set[str]:
+        predicates: Set[str] = set()
+        for rule, _order in component.rules:
+            for literal in rule.positive_literals() + rule.negative_literals():
+                predicates.add(literal.atom.predicate)
+        return predicates
+
+    # -- net-delta bookkeeping ------------------------------------------------
+
+    def _commit_add(self, predicate: str, row: Row) -> bool:
+        if not self.state.add(predicate, row):
+            return False
+        minus = self._minus.get(predicate)
+        if minus is not None and row in minus:
+            minus.discard(row)
+        else:
+            self._plus.setdefault(predicate, set()).add(row)
+        return True
+
+    def _commit_remove(self, predicate: str, row: Row) -> bool:
+        if not self.state.remove(predicate, row):
+            return False
+        plus = self._plus.get(predicate)
+        if plus is not None and row in plus:
+            plus.discard(row)
+        else:
+            self._minus.setdefault(predicate, set()).add(row)
+        return True
+
+    def _commit_zset(self, predicate: str, delta: ZSet) -> None:
+        for row, weight in delta.items():
+            if weight > 0:
+                self._commit_add(predicate, row)
+            else:
+                self._commit_remove(predicate, row)
+
+    # -- linear components: one bilinearity sweep -----------------------------
+
+    def _trigger(self, predicate: str, negate: bool = False) -> Optional[ZSet]:
+        """The set-level delta of an already-maintained predicate, as a
+        Z-set — sign-flipped for a negated occurrence (``Δ(¬q) = −Δq``)."""
+        plus = self._plus.get(predicate)
+        minus = self._minus.get(predicate)
+        if not plus and not minus:
+            return None
+        zset = ZSet()
+        positive = -1 if negate else 1
+        for row in plus or ():
+            zset.add(row, positive)
+        for row in minus or ():
+            zset.add(row, -positive)
+        return zset or None
+
+    def _linear_delta(self, component: Component, seed: Dict[str, ZSet]) -> None:
+        """Maintain a non-recursive component in one weighted sweep.
+
+        Each rule's delta is the bilinearity expansion: every body
+        literal takes one turn as the differentiated input while
+        earlier literals read the new view and later ones the old view
+        — each surviving rule instance is counted exactly once, with
+        the product sign.  The head's IncrementalDistinct node turns
+        the weighted delta into the set-level commit.
+        """
+        (predicate,) = component.predicates
+        delta = ZSet()
+        seeded = seed.get(predicate)
+        if seeded is not None:
+            delta.update(seeded)
+        for rule, order in component.rules:
+            positions = [
+                step for step, (kind, _p) in enumerate(order)
+                if kind in ("match", "negtest")
+            ]
+            for index, step in enumerate(positions):
+                kind, payload = order[step]
+                trigger = self._trigger(
+                    payload.atom.predicate, negate=(kind == "negtest")
+                )
+                if trigger is None:
+                    continue
+                directives: Dict[int, Tuple] = {step: ("delta", trigger)}
+                for earlier in positions[:index]:
+                    directives[earlier] = NEW
+                for later in positions[index + 1:]:
+                    directives[later] = OLD
+                for head_row, weight in self._fire(rule, order, directives):
+                    delta.add(head_row, weight)
+        if delta:
+            self._commit_zset(
+                predicate, self.distinct_nodes[predicate].step(delta)
+            )
+
+    # -- recursive components: the nested fixpoint operator -------------------
+
+    def _fixpoint_delta(self, component: Component, seed: Dict[str, ZSet]) -> None:
+        """Maintain a recursive component as one nested-fixpoint step.
+
+        The incrementalization of the inner fixpoint runs in three
+        sub-streams, none of which materialises the nested trace:
+        retraction closure (the negative half of the delta, propagated
+        to fixpoint against the old view), support re-derivation (rows
+        whose retraction was an over-approximation rejoin), and
+        insertion closure (the positive half, semi-naive against the
+        new view).
+        """
+        seed_minus: FactDelta = {}
+        seed_plus: FactDelta = {}
+        for predicate in component.predicates:
+            zset = seed.get(predicate)
+            if not zset:
+                continue
+            negatives = set(zset.neg().rows())
+            positives = set(zset.pos().rows())
+            if negatives:
+                seed_minus[predicate] = negatives
+            if positives:
+                seed_plus[predicate] = positives
+        with self.metrics.phase("overdelete"):
+            retracted = self._retract_closure(component, seed_minus)
+            for predicate, rows in retracted.items():
+                for row in rows:
+                    self._commit_remove(predicate, row)
+        with self.metrics.phase("rederive"):
+            support_seeds = self._support_rederive(component, retracted)
+        with self.metrics.phase("insert_close"):
+            self._insert_closure(component, seed_plus, support_seeds)
+
+    def _retract_closure(
+        self, component: Component, seed_minus: FactDelta
+    ) -> FactDelta:
+        """Close the retraction delta: every row whose old derivation
+        touched a retracted fact.  The component's own facts are still
+        untouched in ``state`` (their old view); earlier components are
+        rewound via the net deltas committed so far."""
+        retracted: FactDelta = {}
+        delta: FactDelta = {}
+        for predicate in component.predicates:
+            for row in seed_minus.get(predicate, ()):
+                if row in self.state.facts.get(predicate, ()):
+                    retracted.setdefault(predicate, set()).add(row)
+                    delta.setdefault(predicate, set()).add(row)
+
+        def collect(rule: Rule, order, directives) -> None:
+            predicate = rule.head.predicate
+            for head_row, _weight in self._fire(rule, order, directives):
+                if head_row not in self.state.facts.get(predicate, ()):
+                    continue
+                if head_row in retracted.get(predicate, ()):
+                    continue
+                retracted.setdefault(predicate, set()).add(head_row)
+                next_delta.setdefault(predicate, set()).add(head_row)
+
+        # Round 0: derivations broken by *earlier-component* deltas — a
+        # positive literal that lost rows, or a negated atom that
+        # became true.  All other literals read the old view.
+        next_delta: FactDelta = {}
+        for rule, order in component.rules:
+            for step, (kind, payload) in enumerate(order):
+                if kind == "match":
+                    body_pred = payload.atom.predicate
+                    if body_pred in component.predicates:
+                        continue
+                    trigger = self._minus.get(body_pred)
+                    if trigger:
+                        collect(
+                            rule, order,
+                            self._all_old(order, {step: ("rows", trigger)}),
+                        )
+                elif kind == "negtest":
+                    trigger = self._plus.get(payload.atom.predicate)
+                    if trigger:
+                        collect(
+                            rule, order,
+                            self._all_old(order, {step: ("in", trigger)}),
+                        )
+        for predicate, rows in next_delta.items():
+            delta.setdefault(predicate, set()).update(rows)
+
+        for _round in range(self.max_rounds):
+            if not delta:
+                break
+            if self.budget is not None:
+                self.budget.note_iteration(phase="dbsp-retract")
+            next_delta = {}
+            for rule, order in component.rules:
+                for step, (kind, payload) in enumerate(order):
+                    if kind != "match":
+                        continue
+                    body_pred = payload.atom.predicate
+                    if body_pred not in component.predicates:
+                        continue
+                    rows = delta.get(body_pred)
+                    if not rows:
+                        continue
+                    collect(
+                        rule, order,
+                        self._all_old(order, {step: ("rows", rows)}),
+                    )
+            delta = next_delta
+        else:
+            raise BudgetExceeded(
+                f"retraction closure of {sorted(component.predicates)} did "
+                f"not converge within {self.max_rounds} rounds",
+                progress=self.budget.progress if self.budget is not None else None,
+            )
+        total = sum(len(rows) for rows in retracted.values())
+        if total:
+            self.metrics.bump("overdeleted_total", total)
+        return retracted
+
+    def _all_old(self, order, overrides) -> Dict[int, Tuple]:
+        directives = dict(overrides)
+        for step, (kind, _payload) in enumerate(order):
+            if kind in ("match", "negtest") and step not in directives:
+                directives[step] = OLD
+        return directives
+
+    def _support_rederive(
+        self, component: Component, retracted: FactDelta
+    ) -> FactDelta:
+        """Rows with alternative support rejoin: still a base fact, or
+        derivable from the post-retraction state (a per-row constrained
+        query, not a full join)."""
+        seeds: FactDelta = {}
+        rederived = 0
+        for predicate, rows in retracted.items():
+            for row in rows:
+                restored = self.edb.holds(predicate, *row)
+                if not restored:
+                    for rule, order in component.rules:
+                        if rule.head.predicate != predicate:
+                            continue
+                        if self._derivable(rule, order, row):
+                            restored = True
+                            break
+                if restored:
+                    self._commit_add(predicate, row)
+                    seeds.setdefault(predicate, set()).add(row)
+                    rederived += 1
+        if rederived:
+            self.metrics.bump("rederived_total", rederived)
+        return seeds
+
+    def _derivable(self, rule: Rule, order, row: Row) -> bool:
+        """Does the rule derive exactly ``row`` from the current state?"""
+        binding: Dict[Var, Value] = {}
+        for arg, value in zip(rule.head.args, row):
+            if isinstance(arg, Var):
+                if arg in binding and binding[arg] != value:
+                    return False
+                binding[arg] = value
+            elif isinstance(arg, Const):
+                if arg.value != value:
+                    return False
+            # FuncTerm head args: checked against the produced row below.
+        for head_row, _weight in self._fire(rule, order, {}, initial=binding):
+            if head_row == row:
+                return True
+        return False
+
+    def _insert_closure(
+        self,
+        component: Component,
+        seed_plus: FactDelta,
+        support_seeds: FactDelta,
+    ) -> None:
+        """Close the insertion delta semi-naively over the new view."""
+        delta: FactDelta = {}
+        for predicate, rows in support_seeds.items():
+            delta.setdefault(predicate, set()).update(rows)
+        for predicate in component.predicates:
+            for row in seed_plus.get(predicate, ()):
+                if self._commit_add(predicate, row):
+                    delta.setdefault(predicate, set()).add(row)
+
+        def produce(rule: Rule, order, directives, sink: FactDelta) -> None:
+            predicate = rule.head.predicate
+            for head_row, _weight in self._fire(rule, order, directives):
+                if self._commit_add(predicate, head_row):
+                    sink.setdefault(predicate, set()).add(head_row)
+
+        # Round 0 triggers from earlier components: a positive literal
+        # that gained rows, or a negated atom that became false.
+        for rule, order in component.rules:
+            for step, (kind, payload) in enumerate(order):
+                if kind == "match":
+                    body_pred = payload.atom.predicate
+                    if body_pred in component.predicates:
+                        continue
+                    trigger = self._plus.get(body_pred)
+                    if trigger:
+                        produce(rule, order, {step: ("rows", trigger)}, delta)
+                elif kind == "negtest":
+                    trigger = self._minus.get(payload.atom.predicate)
+                    if trigger:
+                        produce(rule, order, {step: ("in", trigger)}, delta)
+
+        for _round in range(self.max_rounds):
+            if not delta:
+                return
+            if self.budget is not None:
+                self.budget.note_iteration(phase="dbsp-insert-close")
+            next_delta: FactDelta = {}
+            for rule, order in component.rules:
+                for step, (kind, payload) in enumerate(order):
+                    if kind != "match":
+                        continue
+                    body_pred = payload.atom.predicate
+                    if body_pred not in component.predicates:
+                        continue
+                    rows = delta.get(body_pred)
+                    if not rows:
+                        continue
+                    produce(rule, order, {step: ("rows", rows)}, next_delta)
+            delta = next_delta
+        raise BudgetExceeded(
+            f"insertion closure of {sorted(component.predicates)} did not "
+            f"converge within {self.max_rounds} rounds",
+            progress=self.budget.progress if self.budget is not None else None,
+        )
+
+    # -- the weighted variant walker ------------------------------------------
+
+    def _old_holds(self, predicate: str, row: Row) -> bool:
+        if row in self._minus.get(predicate, ()):
+            return True
+        return (
+            row in self.state.facts.get(predicate, ())
+            and row not in self._plus.get(predicate, ())
+        )
+
+    def _match_rows(self, literal: Literal, binding, directive):
+        predicate = literal.atom.predicate
+        tag = directive[0]
+        if tag == "rows":
+            return directive[1]
+        base = self.state._candidates(
+            literal, binding, self.state.facts.get(predicate, set())
+        )
+        if tag == "new":
+            return base
+        if tag == "old":
+            plus = self._plus.get(predicate, ())
+            filtered = (
+                [row for row in base if row not in plus] if plus else list(base)
+            )
+            minus = self._minus.get(predicate)
+            if minus:
+                filtered.extend(minus)
+            return filtered
+        raise AssertionError(directive)
+
+    def _neg_passes(self, predicate: str, row: Row, directive) -> bool:
+        tag = directive[0]
+        if tag == "in":
+            return row in directive[1]
+        if tag == "new":
+            return row not in self.state.facts.get(predicate, ())
+        if tag == "old":
+            return not self._old_holds(predicate, row)
+        raise AssertionError(directive)
+
+    def _fire(
+        self,
+        rule: Rule,
+        order,
+        directives: Dict[int, Tuple],
+        initial: Optional[Dict[Var, Value]] = None,
+    ) -> List[Tuple[Row, int]]:
+        """All ``(head row, weight)`` pairs derivable under per-step
+        row-source directives.
+
+        Each leaf of the walk is one rule *instance*; its weight is the
+        product of the step weights, which is ±1: every step is a set
+        or set-level delta, and at most one step carries a delta.
+        """
+        self.metrics.bump("rules_fired")
+        produced: List[Tuple[Row, int]] = []
+        registry = self.registry
+        state = self.state
+
+        def emit(binding: Dict[Var, Value], weight: int) -> None:
+            head_row = tuple(
+                eval_term(arg, binding, registry) for arg in rule.head.args
+            )
+            if all(value is not None for value in head_row):
+                produced.append((head_row, weight))
+
+        def walk(step: int, binding: Dict[Var, Value], weight: int) -> None:
+            if step == len(order):
+                emit(binding, weight)
+                return
+            kind, payload = order[step]
+            if kind == "match":
+                literal: Literal = payload
+                directive = directives.get(step, NEW)
+                if directive[0] == "delta":
+                    for row, row_weight in directive[1].items():
+                        for extended in state._match(literal, binding, (row,)):
+                            walk(step + 1, extended, weight * row_weight)
+                    return
+                rows = self._match_rows(literal, binding, directive)
+                for extended in state._match(literal, binding, list(rows)):
+                    walk(step + 1, extended, weight)
+                return
+            if kind == "assign":
+                mode, comparison = payload
+                if mode == "assign-left":
+                    variable, expr = comparison.left, comparison.right
+                else:
+                    variable, expr = comparison.right, comparison.left
+                value = eval_term(expr, binding, registry)
+                if value is None:
+                    return
+                extended = dict(binding)
+                extended[variable] = value
+                walk(step + 1, extended, weight)
+                return
+            if kind == "test":
+                comparison = payload
+                left = eval_term(comparison.left, binding, registry)
+                right = eval_term(comparison.right, binding, registry)
+                if left is not None and right is not None and _compare(
+                    comparison.op, left, right
+                ):
+                    walk(step + 1, binding, weight)
+                return
+            if kind == "negtest":
+                literal = payload
+                row = tuple(
+                    eval_term(arg, binding, registry) for arg in literal.atom.args
+                )
+                if any(value is None for value in row):
+                    return
+                directive = directives.get(step, NEW)
+                if directive[0] == "delta":
+                    row_weight = directive[1].get(row)
+                    if row_weight:
+                        walk(step + 1, binding, weight * row_weight)
+                    return
+                if self._neg_passes(literal.atom.predicate, row, directive):
+                    walk(step + 1, binding, weight)
+                return
+            raise AssertionError(kind)
+
+        walk(0, dict(initial) if initial else {}, 1)
+        return produced

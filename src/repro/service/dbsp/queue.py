@@ -1,0 +1,103 @@
+"""The bounded update queue behind write coalescing.
+
+Writers submit their batch as a :class:`Ticket` and then race for the
+view lock.  Whoever wins becomes the **leader**: it drains every queued
+ticket (up to the coalescing limit), pushes the whole burst through one
+circuit pass and one snapshot publish, journals the batches, and
+completes the tickets.  The losers find their ticket already completed
+when they get the lock — group commit, in the classic WAL sense, for
+maintenance work.
+
+The queue is bounded: :meth:`UpdateQueue.submit` blocks while the queue
+is full, which backpressures writers instead of letting a slow view
+accumulate unbounded memory.  Progress is guaranteed without a
+dedicated drainer thread because every enqueued ticket has a live owner
+heading for the view lock — at worst each owner drains its own ticket.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+__all__ = ["Ticket", "UpdateQueue"]
+
+
+class Ticket:
+    """One submitted update batch and its eventual outcome."""
+
+    __slots__ = ("inserts", "deletes", "_event", "_result", "_error")
+
+    def __init__(self, inserts, deletes):
+        self.inserts = inserts
+        self.deletes = deletes
+        self._event = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def complete(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def outcome(self, timeout: Optional[float] = None):
+        """Block until the leader settles this ticket; return its
+        summary or re-raise the error its batch died with."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("update ticket was never drained")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class UpdateQueue:
+    """A bounded FIFO of pending update tickets for one view."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._items: Deque[Ticket] = deque()
+
+    def submit(self, inserts, deletes) -> Ticket:
+        """Enqueue a batch, blocking while the queue is full."""
+        ticket = Ticket(inserts, deletes)
+        with self._space:
+            while len(self._items) >= self.capacity:
+                self._space.wait()
+            self._items.append(ticket)
+        return ticket
+
+    def drain(self, limit: int) -> List[Ticket]:
+        """Pop up to ``limit`` tickets in FIFO order (leader only)."""
+        with self._space:
+            count = min(limit, len(self._items))
+            drained = [self._items.popleft() for _ in range(count)]
+            if drained:
+                self._space.notify_all()
+        return drained
+
+    def withdraw(self, ticket: Ticket) -> bool:
+        """Remove a still-queued ticket; False when a leader owns it."""
+        with self._space:
+            try:
+                self._items.remove(ticket)
+            except ValueError:
+                return False
+            self._space.notify_all()
+            return True
+
+    def depth(self) -> int:
+        """How many batches are queued right now (the gauge)."""
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,158 @@
+"""Z-sets: the weighted collections the delta-stream circuit computes on.
+
+A **Z-set** maps rows to integer weights and is the DBSP notion of both
+a relation (every weight is ``1``) and a *change* to a relation
+(insertions carry positive weight, retractions negative).  Z-sets form
+a commutative group under pointwise addition — the algebraic fact the
+whole maintenance core leans on: streams of changes can be added,
+negated, cancelled and re-ordered freely, and ``distinct`` recovers the
+set-level view at the end.
+
+The representation is **zero-free**: a row with weight ``0`` is absent,
+so ``ZSet`` equality is group equality and ``bool(z)`` is "is this the
+zero change".  The invariant is maintained by every mutator and tested
+by the algebra property suite (``tests/service/test_dbsp_algebra.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from ...relations.values import Value
+
+__all__ = ["ZSet"]
+
+Row = Tuple[Value, ...]
+
+
+class ZSet:
+    """A row → integer-weight mapping with group structure.
+
+    Mutation (:meth:`add`) is provided for the hot paths of the engine;
+    the operator forms (``+``, ``-``, unary ``-``) build fresh values
+    and are what the property suite exercises.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: Optional[Dict[Row, int]] = None):
+        self._weights: Dict[Row, int] = {}
+        if weights:
+            for row, weight in weights.items():
+                if weight:
+                    self._weights[row] = weight
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Row], weight: int = 1) -> "ZSet":
+        """The Z-set giving every listed row the same weight."""
+        zset = cls()
+        for row in rows:
+            zset.add(row, weight)
+        return zset
+
+    # -- mapping access -------------------------------------------------------
+
+    def get(self, row: Row, default: int = 0) -> int:
+        return self._weights.get(row, default)
+
+    def __getitem__(self, row: Row) -> int:
+        return self._weights.get(row, 0)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._weights
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def items(self):
+        return self._weights.items()
+
+    def rows(self):
+        return self._weights.keys()
+
+    # -- group structure ------------------------------------------------------
+
+    def add(self, row: Row, weight: int = 1) -> None:
+        """Add ``weight`` to one row, dropping it when the sum is 0."""
+        if not weight:
+            return
+        total = self._weights.get(row, 0) + weight
+        if total:
+            self._weights[row] = total
+        else:
+            del self._weights[row]
+
+    def update(self, other: "ZSet") -> None:
+        """In-place ``self += other``."""
+        for row, weight in other.items():
+            self.add(row, weight)
+
+    def __add__(self, other: "ZSet") -> "ZSet":
+        result = ZSet(dict(self._weights))
+        result.update(other)
+        return result
+
+    def __sub__(self, other: "ZSet") -> "ZSet":
+        result = ZSet(dict(self._weights))
+        for row, weight in other.items():
+            result.add(row, -weight)
+        return result
+
+    def __neg__(self) -> "ZSet":
+        return ZSet({row: -weight for row, weight in self._weights.items()})
+
+    def scale(self, factor: int) -> "ZSet":
+        """Pointwise multiplication by an integer."""
+        if not factor:
+            return ZSet()
+        return ZSet(
+            {row: weight * factor for row, weight in self._weights.items()}
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __hash__(self):  # pragma: no cover - mutable, not hashable
+        raise TypeError("ZSet is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{row!r}: {weight:+d}" for row, weight in sorted(self._weights.items())
+        )
+        return f"ZSet({{{inner}}})"
+
+    # -- set-level views ------------------------------------------------------
+
+    def distinct(self) -> "ZSet":
+        """The set this Z-set denotes: weight 1 where the weight is > 0.
+
+        ``distinct`` is idempotent and is the only non-linear operator
+        the circuit needs — everything else is a group homomorphism.
+        """
+        return ZSet(
+            {row: 1 for row, weight in self._weights.items() if weight > 0}
+        )
+
+    def pos(self) -> "ZSet":
+        """The positive part (insertions, when read as a change)."""
+        return ZSet(
+            {row: weight for row, weight in self._weights.items() if weight > 0}
+        )
+
+    def neg(self) -> "ZSet":
+        """The negative part (retractions), kept with negative weights."""
+        return ZSet(
+            {row: weight for row, weight in self._weights.items() if weight < 0}
+        )
+
+    def is_set(self) -> bool:
+        """True when every weight is exactly 1 (a plain relation)."""
+        return all(weight == 1 for weight in self._weights.values())

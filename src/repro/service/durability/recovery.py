@@ -87,6 +87,16 @@ def _fact_set(texts) -> Set[Tuple[str, tuple]]:
     return {parse_fact(text) for text in texts}
 
 
+def _fact_order(fact: Tuple[str, tuple]):
+    """A total order over facts that never compares row values
+    directly: rows hold arbitrary ``Value`` types (``Atom`` defines no
+    ``<``), so sorting raw tuples crashes on the first same-predicate
+    pair.  repr is canonical per value and deterministic across runs,
+    which is all replay determinism needs."""
+    predicate, row = fact
+    return (predicate, tuple(repr(value) for value in row))
+
+
 def _restore_view(service, name: str, info: Dict[str, object]) -> int:
     """Re-register one checkpointed view and reconcile its database."""
     service.register(
@@ -98,8 +108,8 @@ def _restore_view(service, name: str, info: Dict[str, object]) -> int:
     view = service.view(name)
     target = _fact_set(info.get("facts", ()))
     current = {(predicate, row) for predicate, row in view.database}
-    inserts = sorted(target - current)
-    deletes = sorted(current - target)
+    inserts = sorted(target - current, key=_fact_order)
+    deletes = sorted(current - target, key=_fact_order)
     if inserts or deletes:
         service.update(name, inserts=inserts, deletes=deletes)
     # Reconciling through update cannot re-declare a predicate that
@@ -137,8 +147,8 @@ def _apply_record(service, record: WalRecord) -> None:
     elif op == "update":
         service.update(
             name,
-            inserts=sorted(_fact_set(operation.get("inserts", ()))),
-            deletes=sorted(_fact_set(operation.get("deletes", ()))),
+            inserts=sorted(_fact_set(operation.get("inserts", ())), key=_fact_order),
+            deletes=sorted(_fact_set(operation.get("deletes", ())), key=_fact_order),
         )
     else:
         raise RecoveryError(f"unknown WAL operation {op!r} at lsn {record.lsn}")

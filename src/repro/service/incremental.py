@@ -1,4 +1,11 @@
-"""Delta-driven maintenance of stratified models.
+"""Counting/DRed maintenance of stratified models (the legacy engine).
+
+**Demoted to the** ``maintenance="legacy"`` **bench baseline**: the
+primary maintenance core is now the delta-stream circuit of
+:mod:`repro.service.dbsp` (weighted Z-set deltas, one circuit pass per
+update burst).  This engine is kept as the comparison baseline for
+bench P12 and as a second implementation the differential fuzz suites
+cross-check the circuit against.
 
 The from-scratch engine (:mod:`repro.datalog.seminaive`) already works
 delta-at-a-time; this module keeps the model **resident** and extends
@@ -273,6 +280,50 @@ class IncrementalEngine:
             "delta_minus": delta_minus,
             "plus": {p: frozenset(rows) for p, rows in plus.items() if rows},
             "minus": {p: frozenset(rows) for p, rows in minus.items() if rows},
+        }
+
+    def apply_stream(self, batches) -> Dict[str, object]:
+        """Absorb a burst of update batches with one merged summary.
+
+        The legacy engine has no burst-level circuit: each batch runs
+        its own counting/DRed pass, and the per-batch net deltas are
+        folded into one net summary (a row inserted by one batch and
+        deleted by a later one cancels).  This exists so the coalescing
+        update queue can drain into either engine; the delta-stream
+        engine (:class:`~repro.service.dbsp.DBSPEngine`) absorbs the
+        same burst in a single pass, which is what bench P12 measures.
+        """
+        total_plus: FactDelta = {}
+        total_minus: FactDelta = {}
+        totals = {"delta_plus": 0, "delta_minus": 0}
+        for inserts, deletes in batches:
+            summary = self.apply(inserts=inserts, deletes=deletes)
+            for predicate, rows in summary["minus"].items():
+                plus = total_plus.get(predicate, set())
+                for row in rows:
+                    if row in plus:
+                        plus.discard(row)
+                    else:
+                        total_minus.setdefault(predicate, set()).add(row)
+            for predicate, rows in summary["plus"].items():
+                minus = total_minus.get(predicate, set())
+                for row in rows:
+                    if row in minus:
+                        minus.discard(row)
+                    else:
+                        total_plus.setdefault(predicate, set()).add(row)
+        totals["delta_plus"] = sum(len(rows) for rows in total_plus.values())
+        totals["delta_minus"] = sum(len(rows) for rows in total_minus.values())
+        return {
+            "delta_plus": totals["delta_plus"],
+            "delta_minus": totals["delta_minus"],
+            "batches": len(batches),
+            "plus": {
+                p: frozenset(rows) for p, rows in total_plus.items() if rows
+            },
+            "minus": {
+                p: frozenset(rows) for p, rows in total_minus.items() if rows
+            },
         }
 
     def _body_predicates(self, component: Component) -> Set[str]:

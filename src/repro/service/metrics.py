@@ -46,6 +46,8 @@ _COUNTERS = (
     "overdeleted_total",
     "rederived_total",
     "incremental_batches",
+    "circuit_steps",
+    "delta_batches_coalesced",
     "recompute_batches",
     "recompute_fallbacks",
     "snapshot_swaps",

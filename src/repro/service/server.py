@@ -173,6 +173,8 @@ class QueryService:
         data_dir: Optional[str] = None,
         fsync: str = "batch",
         checkpoint_every: int = 256,
+        maintenance: str = "dbsp",
+        coalesce: Optional[int] = None,
     ):
         if lock_mode not in ("view", "global"):
             raise ValueError(f"unknown lock_mode {lock_mode!r}")
@@ -180,6 +182,17 @@ class QueryService:
             raise ValueError(f"unknown read_mode {read_mode!r}")
         if compactor not in ("off", "on-publish", "thread"):
             raise ValueError(f"unknown compactor {compactor!r}")
+        if maintenance not in ("dbsp", "legacy"):
+            raise ValueError(f"unknown maintenance {maintenance!r}")
+        if coalesce is None:
+            # The delta-stream engine absorbs a drained burst in one
+            # circuit pass, so group commit pays off by default; the
+            # legacy engine replays burst batches one by one, so it
+            # defaults to the historical per-batch path (the bench
+            # P12 baseline).
+            coalesce = 64 if maintenance == "dbsp" else 1
+        if coalesce < 1:
+            raise ValueError("coalesce must be >= 1")
         self.registry = ProgramRegistry()
         self.views: Dict[str, MaterializedView] = {}
         self.cache = LRUCache(cache_capacity)
@@ -189,6 +202,8 @@ class QueryService:
         self.deadline_ms = deadline_ms
         self.lock_mode = lock_mode
         self.read_mode = read_mode
+        self.maintenance = maintenance
+        self.coalesce = coalesce
         self.compactor_mode = compactor
         self.compact_depth = compact_depth
         self.compact_interval = compact_interval
@@ -375,6 +390,7 @@ class QueryService:
             registry=self.function_registry,
             metrics=ViewMetrics(sink=self.metrics),
             incremental=incremental,
+            maintenance=self.maintenance,
             max_rounds=self.max_rounds,
             max_atoms=self.max_atoms,
             budget_factory=self._budget_factory(),
@@ -733,32 +749,134 @@ class QueryService:
         self.metrics.bump("updates_total")
         inserts = [(predicate, tuple(row)) for predicate, row in inserts]
         deletes = [(predicate, tuple(row)) for predicate, row in deletes]
-        with self._locked_view(name) as (view, _generation):
-            summary = view.apply(inserts=inserts, deletes=deletes)
-            # Invalidate inside the hold so a concurrent query cannot
-            # re-cache pre-batch rows between apply and invalidation.
-            self.cache.invalidate(name)
-            # Journal after the apply succeeded (a failed batch never
-            # reaches the log), before the ack, inside the view hold
-            # (log order = apply order per view).  A crash in between
-            # loses only this never-acknowledged batch.
-            if self.durability is not None:
-                self._journal(
-                    {
-                        "op": "update",
-                        "view": name,
-                        "inserts": [
-                            _format_row(predicate, row)
-                            for predicate, row in inserts
-                        ],
-                        "deletes": [
-                            _format_row(predicate, row)
-                            for predicate, row in deletes
-                        ],
-                    }
+        if self.coalesce <= 1:
+            # Per-batch mode (the legacy default and the bench
+            # baseline): apply directly under the view hold, no queue.
+            with self._locked_view(name) as (view, _generation):
+                summary = view.apply(inserts=inserts, deletes=deletes)
+                # Invalidate inside the hold so a concurrent query
+                # cannot re-cache pre-batch rows between apply and
+                # invalidation.
+                self.cache.invalidate(name)
+                self._journal_update(name, inserts, deletes)
+            self._maybe_checkpoint()
+            return summary
+        # Group commit: submit the batch to the view's bounded queue,
+        # then race for the view lock.  The winner (leader) drains the
+        # queue into one circuit pass; the losers find their ticket
+        # already settled when they get the lock.  An ``ok`` ack still
+        # means the batch landed in a view that was verified current by
+        # whoever applied it.
+        while True:
+            view, lock, _generation = self._view_and_lock(name)
+            ticket = view.pending.submit(inserts, deletes)
+            try:
+                with lock.held():
+                    with self._registry_lock.read_locked():
+                        current = self.views.get(name) is view
+                    if current:
+                        # Leader duty: drain until our own ticket is
+                        # settled (the queue may hold more than one
+                        # coalescing window's worth).
+                        while not ticket.done:
+                            self._drain_updates(name, view)
+                    elif view.pending.withdraw(ticket):
+                        # The binding changed under us and nobody
+                        # processed the ticket: resubmit against the
+                        # replacement (KeyError when truly gone).
+                        continue
+                    # else: a leader under the still-current binding
+                    # owns the ticket; its outcome is authoritative.
+            except BaseException:
+                # Typically the service.lock fault point.  If the
+                # ticket is still queued the batch never ran — withdraw
+                # it and surface the failure; if a leader owns it, the
+                # leader's outcome is the truth about this batch.
+                if view.pending.withdraw(ticket):
+                    raise
+            summary = ticket.outcome()
+            self._maybe_checkpoint()
+            return summary
+
+    def _journal_update(
+        self,
+        name: str,
+        inserts: List[Tuple[str, Row]],
+        deletes: List[Tuple[str, Row]],
+    ) -> None:
+        """Journal one applied batch (inside the view hold): a failed
+        batch never reaches the log, the ack follows the append, and a
+        crash in between loses only a never-acknowledged batch."""
+        if self.durability is None:
+            return
+        self._journal(
+            {
+                "op": "update",
+                "view": name,
+                "inserts": [
+                    _format_row(predicate, row) for predicate, row in inserts
+                ],
+                "deletes": [
+                    _format_row(predicate, row) for predicate, row in deletes
+                ],
+            }
+        )
+
+    def _drain_updates(self, name: str, view: MaterializedView) -> None:
+        """Group-commit leader duty, under the verified view hold.
+
+        Drains up to ``coalesce`` queued batches and absorbs them in
+        one :meth:`MaterializedView.apply_stream` pass — one circuit
+        step, one snapshot publish.  A burst that fails as a unit is
+        retried batch-by-batch so a poisoned batch cannot fail innocent
+        neighbours (the view rolled the burst back before re-raising).
+        Each batch is journaled separately, in drain order, inside the
+        hold — replay order equals apply order — and every ticket is
+        settled with its summary or its error; this method itself
+        re-raises nothing ticket-attributable.
+        """
+        tickets = view.pending.drain(self.coalesce)
+        if not tickets:
+            return
+        if len(tickets) > 1:
+            batches = [(ticket.inserts, ticket.deletes) for ticket in tickets]
+            try:
+                summary = view.apply_stream(batches)
+            except BaseException:
+                # Burst-level failure (including cancellation): the
+                # view restored (or rebuilt) its pre-burst state; fall
+                # through to per-batch retry so every drained ticket is
+                # settled — an unsettled ticket would strand its owner.
+                pass
+            else:
+                summary = dict(summary)
+                summary["coalesced"] = len(tickets)
+                self.cache.invalidate(name)
+                try:
+                    for ticket in tickets:
+                        self._journal_update(name, ticket.inserts, ticket.deletes)
+                except BaseException as exc:
+                    # Applied but not (fully) journaled: nobody is
+                    # acked, recovery replays only the journaled
+                    # prefix — the acked ⇒ journaled invariant holds.
+                    for ticket in tickets:
+                        ticket.fail(exc)
+                    return
+                for ticket in tickets:
+                    ticket.complete(summary)
+                return
+        for ticket in tickets:
+            try:
+                summary = view.apply(
+                    inserts=ticket.inserts, deletes=ticket.deletes
                 )
-        self._maybe_checkpoint()
-        return summary
+                self.cache.invalidate(name)
+                self._journal_update(name, ticket.inserts, ticket.deletes)
+            except BaseException as exc:
+                self.cache.invalidate(name)
+                ticket.fail(exc)
+            else:
+                ticket.complete(summary)
 
     def insert(self, name: str, predicate: str, *args: Value) -> Dict[str, object]:
         """Insert one fact into a view's database."""
@@ -826,11 +944,19 @@ class QueryService:
                 name: stats.get("chain_depth", 0)
                 for name, stats in view_stats.items()
             },
+            # Pending update batches per view: how far writers are
+            # running ahead of the group-commit leader right now.
+            "update_queue_depth": {
+                name: stats.get("queue_depth", 0)
+                for name, stats in view_stats.items()
+            },
         }
         snapshot["views"] = view_stats
         snapshot["cache"] = self.cache.stats()
         snapshot["lock_mode"] = self.lock_mode
         snapshot["read_mode"] = self.read_mode
+        snapshot["maintenance"] = self.maintenance
+        snapshot["coalesce"] = self.coalesce
         snapshot["compactor"] = self.compactor_mode
         if self.durability is not None:
             snapshot["durability"] = self.durability.describe()

@@ -4,9 +4,14 @@ A :class:`MaterializedView` binds a prepared program to its own
 database and keeps the model resident between queries:
 
 * ``semantics="stratified"`` on a stratified program takes the
-  **incremental fast path** — a :class:`~repro.service.incremental.
-  IncrementalEngine` maintains the model under insert/delete batches
-  without recomputation;
+  **incremental fast path**: by default (``maintenance="dbsp"``) a
+  :class:`~repro.service.dbsp.DBSPEngine` maintains the model as the
+  integral of a delta stream — a burst of N update batches submitted
+  through :meth:`MaterializedView.apply_stream` is differentiated into
+  one net Z-set delta, absorbed in **one** circuit pass, and published
+  with **one** snapshot swap.  ``maintenance="legacy"`` keeps the
+  counting/DRed :class:`~repro.service.incremental.IncrementalEngine`
+  as the per-batch bench baseline;
 * every other combination (valid, well-founded, inflationary — or a
   view explicitly forced off the fast path) routes updates through a
   **correctness-preserving recompute fallback**: the database is
@@ -55,6 +60,7 @@ from ..robustness import (
     fault_point,
     retry_with_backoff,
 )
+from .dbsp import DBSPEngine, UpdateQueue
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
 from .locks import AtomicReference
 from .metrics import ViewMetrics
@@ -92,6 +98,7 @@ class MaterializedView:
         registry: Optional[FunctionRegistry] = None,
         metrics: Optional[ViewMetrics] = None,
         incremental: bool = True,
+        maintenance: str = "dbsp",
         max_rounds: int = 10_000,
         max_atoms: int = 1_000_000,
         budget_factory: Optional[Callable[[], EvaluationBudget]] = None,
@@ -99,10 +106,15 @@ class MaterializedView:
         compact_on_publish: bool = False,
         compact_depth: int = 4,
         compact_interval: int = 8,
+        queue_capacity: int = 256,
     ):
         if semantics not in SEMANTICS:
             raise ValueError(
                 f"unknown semantics {semantics!r}; pick from {SEMANTICS}"
+            )
+        if maintenance not in ("dbsp", "legacy"):
+            raise ValueError(
+                f"unknown maintenance {maintenance!r}; pick 'dbsp' or 'legacy'"
             )
         if semantics == "stratified" and not prepared.stratified:
             raise NotStratifiedError(
@@ -111,6 +123,7 @@ class MaterializedView:
             )
         self.prepared = prepared
         self.semantics = semantics
+        self.maintenance = maintenance
         self.registry = registry
         self.metrics = metrics if metrics is not None else ViewMetrics()
         self.max_rounds = max_rounds
@@ -139,14 +152,20 @@ class MaterializedView:
             if incremental and semantics == "stratified" and prepared.stratified
             else "recompute"
         )
-        self.engine: Optional[IncrementalEngine] = None
+        # The bounded group-commit queue: the server's update verb
+        # submits batches here and the view-lock leader drains them
+        # into one apply_stream pass (write pipelining for free on both
+        # the single-process and cluster worker tiers).
+        self.pending = UpdateQueue(queue_capacity)
+        self.engine = None
         self._result: Optional[QueryResult] = None
         if self.mode == "incremental":
+            engine_cls = DBSPEngine if maintenance == "dbsp" else IncrementalEngine
             with self.metrics.phase("initialize"):
                 # The initial materialization runs under a request
                 # budget too — a divergent program must hit its
                 # deadline at registration, not loop forever.
-                self.engine = IncrementalEngine(
+                self.engine = engine_cls(
                     prepared,
                     database=database,
                     registry=registry,
@@ -233,8 +252,16 @@ class MaterializedView:
             self._publish(snapshot.as_stale(self._generation + 1))
 
     def _invalidate_snapshot(self) -> None:
-        """Mark the snapshot unservable (model trails the database)."""
+        """Mark the snapshot unservable (model trails the database).
+
+        Also advances the generation: a racing lock-free reader may
+        re-insert a cache entry keyed to the last servable snapshot
+        *after* the server's invalidation sweep, and the locked query
+        path must never hit it once the model trails the database —
+        the bumped generation changes every subsequent cache key.
+        """
         snapshot, _servable = self._published.get()
+        self._generation += 1
         self._published.set((snapshot, False))
 
     def read_snapshot(self) -> Optional[ModelSnapshot]:
@@ -482,6 +509,143 @@ class MaterializedView:
             self._publish_delta(summary["plus"], summary["minus"])
         return {"mode": "incremental", **summary}
 
+    def apply_stream(
+        self,
+        batches: Iterable[Tuple[Iterable[Tuple[str, Row]], Iterable[Tuple[str, Row]]]],
+    ) -> Dict[str, object]:
+        """Apply a burst of update batches as **one** maintenance pass.
+
+        The delta-stream engine differentiates the burst into a single
+        net Z-set delta and absorbs it in one circuit pass with one
+        snapshot publish — N batches never cost N publish cycles.  A
+        single-element burst degenerates to :meth:`apply` (so the
+        per-batch failure discipline, fault points, and summary shape
+        are exactly the singleton ones), and a recompute-mode view
+        folds the burst into its database with one invalidation.
+
+        Atomicity matches :meth:`apply`, burst-wide: either the whole
+        burst lands, or the EDB is rolled back to the pre-burst state
+        and the model rebuilt (degrading as the final fallback).
+        """
+        batches = [
+            (
+                [(predicate, tuple(row)) for predicate, row in inserts],
+                [(predicate, tuple(row)) for predicate, row in deletes],
+            )
+            for inserts, deletes in batches
+        ]
+        for inserts, deletes in batches:
+            self._check_arities(inserts)
+            self._check_arities(deletes)
+        if not batches:
+            return {"mode": "noop", "batches": 0}
+        if len(batches) == 1:
+            inserts, deletes = batches[0]
+            summary = self.apply(inserts=inserts, deletes=deletes)
+            summary.setdefault("batches", 1)
+            return summary
+        if self.engine is not None:
+            return self._apply_incremental_stream(batches)
+        applied_inserts = applied_deletes = 0
+        for inserts, deletes in batches:
+            for predicate, row in deletes:
+                if self.database.holds(predicate, *row):
+                    self.database.discard(predicate, *row)
+                    applied_deletes += 1
+            for predicate, row in inserts:
+                if not self.database.holds(predicate, *row):
+                    self.database.add(predicate, *row)
+                    applied_inserts += 1
+            self.metrics.bump("update_batches")
+            self.metrics.bump("recompute_batches")
+        self._result = None
+        self._invalidate_snapshot()
+        self._mark_healthy()
+        self.metrics.bump("inserts_applied", applied_inserts)
+        self.metrics.bump("deletes_applied", applied_deletes)
+        return {
+            "mode": "recompute",
+            "batches": len(batches),
+            "inserts": applied_inserts,
+            "deletes": applied_deletes,
+        }
+
+    def _apply_incremental_stream(
+        self,
+        batches: List[Tuple[List[Tuple[str, Row]], List[Tuple[str, Row]]]],
+    ) -> Dict[str, object]:
+        engine = self.engine
+        assert engine is not None
+        if self.stale and not self._reinitialize():
+            raise ViewDegraded(
+                "view is degraded and could not recover before the update; "
+                "it keeps serving its last consistent model"
+            )
+        # Pre-burst presence per touched fact, recorded at first
+        # mention: replaying it restores the exact pre-burst EDB even
+        # when later batches in the burst touch the same fact again.
+        presence: Dict[Tuple[str, Row], bool] = {}
+        for inserts, deletes in batches:
+            for predicate, row in deletes:
+                key = (predicate, row)
+                if key not in presence:
+                    presence[key] = engine.edb.holds(predicate, *row)
+            for predicate, row in inserts:
+                key = (predicate, row)
+                if key not in presence:
+                    presence[key] = engine.edb.holds(predicate, *row)
+        engine.budget = self._budget()
+        try:
+            with self.metrics.phase("maintain"):
+                summary = engine.apply_stream(batches)
+        except IncrementalMaintenanceError:
+            # Correctness valve, burst-wide: the EDB holds the whole
+            # burst, only the derived bookkeeping broke — rebuild from
+            # the updated database and keep serving.
+            self.metrics.bump("recompute_fallbacks")
+            if not self._reinitialize():
+                flat_inserts = [pair for inserts, _ in batches for pair in inserts]
+                flat_deletes = [pair for _, deletes in batches for pair in deletes]
+                return self._degraded_summary(flat_inserts, flat_deletes)
+            return {"mode": "reinitialized", "batches": len(batches)}
+        except Cancelled:
+            # Unlike the singleton path, a cancelled burst rebuilds the
+            # model after the rollback: the burst may have maintained
+            # several components before the budget tripped, and the
+            # queue's per-batch retry must start from a consistent
+            # state.
+            self._rollback_presence(presence)
+            self._reinitialize()
+            raise
+        except ReproError as exc:
+            self._rollback_presence(presence)
+            self.metrics.bump("rollbacks")
+            if not self._reinitialize():
+                self._enter_degraded(exc)
+                raise ViewDegraded(
+                    f"update burst failed and recovery failed ({exc}); view "
+                    f"is degraded and serves its last consistent model",
+                ) from exc
+            raise
+        finally:
+            engine.budget = None
+        self._mark_healthy()
+        with self.metrics.phase("snapshot"):
+            self._publish_delta(summary["plus"], summary["minus"])
+        return {"mode": "incremental", **summary}
+
+    def _rollback_presence(
+        self, presence: Dict[Tuple[str, Row], bool]
+    ) -> None:
+        engine = self.engine
+        assert engine is not None
+        for (predicate, row), present in presence.items():
+            if present:
+                if not engine.edb.holds(predicate, *row):
+                    engine.edb.add(predicate, *row)
+            else:
+                engine.edb.discard(predicate, *row)
+
     def _rollback(
         self,
         undo_add: List[Tuple[str, Row]],
@@ -572,6 +736,10 @@ class MaterializedView:
             {
                 "mode": self.mode,
                 "semantics": self.semantics,
+                "maintenance": (
+                    self.maintenance if self.mode == "incremental" else None
+                ),
+                "queue_depth": self.pending.depth(),
                 "facts": self.database.fact_count(),
                 "stale": self.stale,
                 "ground_cache_hits": self.prepared.ground_cache_hits,

@@ -1,29 +1,42 @@
-"""Mid-flight differential fuzzing: every concurrently-read answer is
-checked against the model *at the generation it was read*.
+"""Mid-flight differential fuzzing with a legal-version-set oracle.
 
 The quiescent differential suite (``test_differential_reads``) checks
-answers between operations; this one checks answers **during** them.
-One writer thread drives a seeded schedule of insert/delete batches
-against a view and records, after each batch, the published generation
-together with a copy of the database that produced it.  Reader threads
-race the writer, grabbing the published :class:`ModelSnapshot`
-(wait-free, immutable) and recording ``(generation, answer)`` pairs.
+answers between operations; this one checks answers **during** them —
+and, since PR 8, during *group-committed* ones: several writer threads
+race the same view, the update queue's leader absorbs whole bursts into
+single publishes, so a reader can observe states no single writer ever
+submitted.  The classic "replay the writer's log" oracle breaks there;
+what replaces it is a **legal version set**:
 
-After the schedule drains, the oracle — a from-scratch
-:func:`repro.datalog.engine.run` over the recorded database copy —
-verifies every answer any reader observed against the model at exactly
-that generation.  A reader holding a stale snapshot is *correct* as
-long as its answer matches the generation it claims; what this suite
-would catch is a torn publish: a snapshot whose rows mix two
-generations, or a generation the writer never produced.
+* every batch writer ``w`` submits carries a unique, never-deleted
+  ``seq`` marker fact, so any published snapshot *names* exactly the
+  set of batches it includes;
+* writers own disjoint row slices (batches of different writers
+  commute), so a state is **legal** iff each writer's included batches
+  form a prefix of that writer's submit order — the FIFO queue can
+  coalesce, but it can never reorder or skip;
+* the oracle recomputes the model of that prefix vector from scratch
+  (:func:`repro.datalog.engine.run`) and every row a reader saw —
+  certainly-true and undefined, plus the markers themselves, all drawn
+  from one immutable snapshot — must match it exactly;
+* across ascending generations the prefix vector must be monotone
+  (coordinate-wise non-decreasing): the linearization check that
+  group commit only ever moves the published state *forward* along
+  the acked-batch order.
+
+Any torn publish (rows mixing two generations), stranded ticket
+(a batch acked but never published, or published out of order), or
+maintenance bug under coalescing shows up as a mismatch.  The whole
+harness runs under both maintenance engines (``dbsp`` and ``legacy``)
+with the group-commit queue active.
 """
 
 import random
 import threading
-import time
 
 import pytest
 
+from repro.datalog.database import Database
 from repro.datalog.engine import run
 from repro.datalog.parser import parse_program
 from repro.relations import Atom
@@ -32,64 +45,115 @@ from repro.service import QueryService
 TC = (
     "tc(X, Y) :- edge(X, Y).\n"
     "tc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+    "seen(I) :- seq(I).\n"
 )
-WIN = "win(X) :- move(X, Y), not win(Y).\n"
+WIN = (
+    "win(X) :- move(X, Y), not win(Y).\n"
+    "seen(I) :- seq(I).\n"
+)
 
-#: (config id, program, semantics, query predicate, update predicate)
+#: (config id, program, semantics, query predicate, update predicate,
+#:  maintenance mode) — both engines, with the group-commit queue on.
 CONFIGS = [
-    ("stratified-incremental", TC, "stratified", "tc", "edge"),
-    ("wellfounded", WIN, "wellfounded", "win", "move"),
+    ("stratified-dbsp", TC, "stratified", "tc", "edge", "dbsp"),
+    ("stratified-legacy", TC, "stratified", "tc", "edge", "legacy"),
+    ("wellfounded-dbsp", WIN, "wellfounded", "win", "move", "dbsp"),
+    ("wellfounded-legacy", WIN, "wellfounded", "win", "move", "legacy"),
 ]
 
-NODES = [Atom(f"n{i}") for i in range(5)]
-BATCHES = 30
+NODES = [Atom(f"n{i}") for i in range(6)]
+WRITERS = 3
+BATCHES_PER_WRITER = 10
 READERS = 3
-SEEDS = 8
+SEEDS = 5
 
 _PARSED = {TC: parse_program(TC), WIN: parse_program(WIN)}
 
+#: Deterministic base facts, registered before any writer starts (the
+#: prefix-vector (0, …, 0) state).
+_BASE_ROWS = [(NODES[0], NODES[1]), (NODES[1], NODES[0])]
 
-def _random_row(rng):
-    return (rng.choice(NODES), rng.choice(NODES))
+
+def _slice_nodes(writer):
+    """Writer ``writer``'s exclusive first-coordinate nodes."""
+    return [node for i, node in enumerate(NODES) if i % WRITERS == writer]
 
 
-def _writer_schedule(
-    service, view, name, predicate, query_predicate, rng, recorded
-):
-    """Apply seeded batches; record generation -> database copy."""
+def _make_schedules(rng, predicate):
+    """Per-writer batch lists: a unique ``seq`` marker plus 1–3
+    mutations whose rows stay inside the writer's own slice (so batches
+    of different writers commute and only submit order matters)."""
+    schedules = []
+    for writer in range(WRITERS):
+        owned = _slice_nodes(writer)
+        inserted = [
+            row for row in _BASE_ROWS if row[0] in owned
+        ]  # base rows this writer may legally delete
+        batches = []
+        for index in range(BATCHES_PER_WRITER):
+            marker = (Atom(f"w{writer}b{index}"),)
+            inserts = [("seq", marker)]
+            deletes = []
+            for _ in range(rng.randint(1, 3)):
+                if inserted and rng.random() < 0.35:
+                    deletes.append((predicate, rng.choice(inserted)))
+                else:
+                    row = (rng.choice(owned), rng.choice(NODES))
+                    inserts.append((predicate, row))
+                    inserted.append(row)
+            batches.append((inserts, deletes))
+        schedules.append(batches)
+    return schedules
 
-    def checkpoint():
-        # Recompute disciplines publish lazily on the next read, so
-        # force the publish before recording the generation.  Single
-        # writer: the published generation then corresponds exactly to
-        # the current database.
-        service.query_state(name, query_predicate)
-        recorded[view.snapshot_generation()] = (
-            service.view(name).database.copy()
+
+def _replay(schedules, prefix, predicate):
+    """The database after the base facts plus each writer's first
+    ``prefix[w]`` batches (writer order is immaterial — disjoint
+    slices — and within a writer the submit order is replayed)."""
+    database = Database()
+    database.declare("seq")
+    for row in _BASE_ROWS:
+        database.add(predicate, *row)
+    for writer, count in enumerate(prefix):
+        for inserts, deletes in schedules[writer][:count]:
+            # Deletes before inserts, matching the engines' batch order.
+            for pred, row in deletes:
+                if database.holds(pred, *row):
+                    database.remove(pred, *row)
+            for pred, row in inserts:
+                if not database.holds(pred, *row):
+                    database.add(pred, *row)
+    return database
+
+
+def _prefix_of(markers, config_id, seed):
+    """Decode a snapshot's marker rows into a prefix vector, asserting
+    prefix-closedness (the FIFO queue must never skip a batch)."""
+    included = [set() for _ in range(WRITERS)]
+    for (marker,) in markers:
+        text = marker.name  # "w<writer>b<index>"
+        writer, index = text[1:].split("b")
+        included[int(writer)].add(int(index))
+    prefix = []
+    for writer, indices in enumerate(included):
+        assert indices == set(range(len(indices))), (
+            f"writer {writer}'s included batches {sorted(indices)} are "
+            f"not a prefix under {config_id} (seed {seed}) — the queue "
+            f"skipped or reordered a batch"
         )
-
-    checkpoint()
-    for _ in range(BATCHES):
-        batch = [_random_row(rng) for _ in range(rng.randint(1, 3))]
-        if rng.random() < 0.35:
-            existing = list(service.view(name).database.rows(predicate))
-            if existing:
-                batch.append(rng.choice(existing))
-            service.update(
-                name, deletes=[(predicate, row) for row in batch]
-            )
-        else:
-            service.update(
-                name, inserts=[(predicate, row) for row in batch]
-            )
-        checkpoint()
-        time.sleep(0.001)
+        prefix.append(len(indices))
+    return tuple(prefix)
 
 
-def _reader_loop(view, query_predicate, stop, observations):
-    """Record (generation, true rows, undefined rows) triples."""
+def _reader_loop(service, name, view, query_predicate, stop, observations):
+    """Record (generation, true, undefined, markers) per new generation
+    — all four drawn from one immutable snapshot."""
     seen = set()
     while not stop.is_set():
+        # Recompute disciplines publish lazily on the next read; the
+        # query_state call forces the publish the wait-free snapshot
+        # read below then observes.
+        service.query_state(name, query_predicate)
         snapshot = view.read_snapshot()
         if snapshot is None:
             continue
@@ -100,6 +164,7 @@ def _reader_loop(view, query_predicate, stop, observations):
                     snapshot.generation,
                     snapshot.rows(query_predicate),
                     snapshot.undefined_rows(query_predicate),
+                    snapshot.rows("seq"),
                 )
             )
 
@@ -108,82 +173,126 @@ def _reader_loop(view, query_predicate, stop, observations):
     "config", CONFIGS, ids=[config[0] for config in CONFIGS]
 )
 @pytest.mark.parametrize("seed", range(SEEDS))
-def test_midflight_answers_match_generation_model(config, seed):
-    config_id, program, semantics, query_predicate, update_predicate = (
-        config
-    )
+def test_midflight_answers_form_a_monotone_legal_version_chain(config, seed):
+    config_id, program, semantics, query_predicate, update_predicate, (
+        maintenance
+    ) = config
     rng = random.Random(f"{config_id}-midflight-{seed}")
-    service = QueryService()
+    schedules = _make_schedules(rng, update_predicate)
+    service = QueryService(maintenance=maintenance, coalesce=8)
     try:
         name = "mid"
-        service.register(name, program, semantics=semantics)
-        service.update(
-            name,
-            inserts=[
-                (update_predicate, _random_row(rng)) for _ in range(3)
-            ],
-        )
+        base = Database()
+        base.declare("seq")
+        for row in _BASE_ROWS:
+            base.add(update_predicate, *row)
+        service.register(name, program, semantics=semantics, database=base)
         view = service.view(name)
 
-        recorded = {}
         observations = [[] for _ in range(READERS)]
+        failures = []
         stop = threading.Event()
         readers = [
             threading.Thread(
                 target=_reader_loop,
-                args=(view, query_predicate, stop, observations[i]),
+                args=(
+                    service, name, view, query_predicate, stop,
+                    observations[i],
+                ),
             )
             for i in range(READERS)
+        ]
+
+        def writer_loop(batches):
+            try:
+                for inserts, deletes in batches:
+                    service.update(name, inserts=inserts, deletes=deletes)
+            except BaseException as exc:  # surfaced after join
+                failures.append(exc)
+
+        writers = [
+            threading.Thread(target=writer_loop, args=(schedule,))
+            for schedule in schedules
         ]
         for thread in readers:
             thread.start()
         try:
-            _writer_schedule(
-                service,
-                view,
-                name,
-                update_predicate,
-                query_predicate,
-                rng,
-                recorded,
-            )
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join(timeout=120)
         finally:
             stop.set()
             for thread in readers:
                 thread.join(timeout=60)
-        assert not any(thread.is_alive() for thread in readers)
+        assert not failures, failures
+        assert not any(t.is_alive() for t in readers + writers)
 
-        # Oracle pass: every observed generation must be one the writer
-        # published, and the answer must match the from-scratch model
-        # of the database at that generation.
+        # The quiescent endpoint is itself an observation: every acked
+        # batch must be visible once the writers drain.
+        service.query_state(name, query_predicate)  # force lazy publish
+        final = view.read_snapshot()
+        merged = [obs for reader in observations for obs in reader] + [
+            (
+                final.generation,
+                final.rows(query_predicate),
+                final.undefined_rows(query_predicate),
+                final.rows("seq"),
+            )
+        ]
+
+        # (a) Same generation ⇒ same answer, whoever read it.
+        by_generation = {}
+        for generation, rows, undefined, markers in merged:
+            answer = (rows, undefined, markers)
+            assert by_generation.setdefault(generation, answer) == answer, (
+                f"two readers disagree on generation {generation} under "
+                f"{config_id} (seed {seed}) — a torn publish"
+            )
+
+        # (b) Per reader, generations never run backwards.
+        for recorded in observations:
+            generations = [generation for generation, *_ in recorded]
+            assert generations == sorted(generations)
+
+        # (c) Every observed state is a legal version, and the chain of
+        # prefix vectors is monotone in generation order.
         oracle_cache = {}
-        distinct = set()
-        for observed in observations:
-            for generation, rows, undefined in observed:
-                assert generation in recorded, (
-                    f"reader observed generation {generation} the "
-                    f"writer never published"
+        previous_prefix = (0,) * WRITERS
+        for generation in sorted(by_generation):
+            rows, undefined, markers = by_generation[generation]
+            prefix = _prefix_of(markers, config_id, seed)
+            assert all(
+                new >= old for new, old in zip(prefix, previous_prefix)
+            ), (
+                f"generation {generation} rolled writer progress back "
+                f"from {previous_prefix} to {prefix} under {config_id} "
+                f"(seed {seed})"
+            )
+            previous_prefix = prefix
+            if prefix not in oracle_cache:
+                oracle_cache[prefix] = run(
+                    _PARSED[program],
+                    _replay(schedules, prefix, update_predicate),
+                    semantics=semantics,
                 )
-                distinct.add(generation)
-                if generation not in oracle_cache:
-                    oracle_cache[generation] = run(
-                        _PARSED[program],
-                        recorded[generation],
-                        semantics=semantics,
-                    )
-                oracle = oracle_cache[generation]
-                assert rows == oracle.true_rows(query_predicate), (
-                    f"true-row mismatch at generation {generation} "
-                    f"under {config_id} (seed {seed})"
-                )
-                assert undefined == oracle.undefined_rows(
-                    query_predicate
-                ), (
-                    f"undefined-row mismatch at generation "
-                    f"{generation} under {config_id} (seed {seed})"
-                )
-        # The race actually happened: readers sampled more than the
-        # final quiescent state.
-        assert len(distinct) >= 2, "readers never caught a mid-flight state"
+            oracle = oracle_cache[prefix]
+            assert rows == oracle.true_rows(query_predicate), (
+                f"true-row mismatch at generation {generation} "
+                f"(prefix {prefix}) under {config_id} (seed {seed})"
+            )
+            assert undefined == oracle.undefined_rows(query_predicate), (
+                f"undefined-row mismatch at generation {generation} "
+                f"(prefix {prefix}) under {config_id} (seed {seed})"
+            )
+
+        # (d) The writers finished, so the final prefix is complete.
+        assert previous_prefix == (BATCHES_PER_WRITER,) * WRITERS
+
+        # (e) The race actually happened: readers sampled more than the
+        # endpoint states.
+        assert len(by_generation) >= 2, (
+            "readers never caught a mid-flight state"
+        )
     finally:
         service.close()

@@ -9,18 +9,19 @@ from-scratch evaluation of the view's program over its current
 database (:func:`repro.datalog.engine.run`, the same oracle the
 concurrency stress suite trusts).
 
-Five service configurations are fuzzed, covering every maintenance
+Six service configurations are fuzzed, covering every maintenance
 discipline a view can run under:
 
-* ``stratified`` on the incremental fast path (counting + DRed deltas,
-  snapshots maintained by ``apply_delta``),
+* ``stratified`` on the incremental fast path under **both** engines —
+  the delta-stream circuit (``maintenance="dbsp"``, the default) and
+  the counting/DRed baseline (``maintenance="legacy"``),
 * ``stratified`` forced onto the recompute path (snapshot republished
   from full models),
 * ``inflationary``, ``wellfounded``, and ``valid`` — the recompute
   disciplines, the last two with non-stratified programs in the mix so
   undefined rows actually occur.
 
-The acceptance bar: 200+ schedules, zero oracle mismatches.  Schedules
+The acceptance bar: 250+ schedules, zero oracle mismatches.  Schedules
 are deterministic per seed, so any failure is replayable from the test
 id alone.
 """
@@ -59,19 +60,20 @@ THREE_VALUED_POOL = STRATIFIED_POOL + [
     (WIN, ("win", "move"), ("move",)),
 ]
 
-#: The five fuzzed service configurations:
-#: (config id, semantics, incremental flag, program pool).
+#: The six fuzzed service configurations:
+#: (config id, semantics, incremental flag, maintenance, program pool).
 CONFIGS = [
-    ("stratified-incremental", "stratified", True, STRATIFIED_POOL),
-    ("stratified-recompute", "stratified", False, STRATIFIED_POOL),
-    ("inflationary", "inflationary", True, THREE_VALUED_POOL),
-    ("wellfounded", "wellfounded", True, THREE_VALUED_POOL),
-    ("valid", "valid", True, THREE_VALUED_POOL),
+    ("stratified-dbsp", "stratified", True, "dbsp", STRATIFIED_POOL),
+    ("stratified-legacy", "stratified", True, "legacy", STRATIFIED_POOL),
+    ("stratified-recompute", "stratified", False, "dbsp", STRATIFIED_POOL),
+    ("inflationary", "inflationary", True, "dbsp", THREE_VALUED_POOL),
+    ("wellfounded", "wellfounded", True, "dbsp", THREE_VALUED_POOL),
+    ("valid", "valid", True, "dbsp", THREE_VALUED_POOL),
 ]
 
 VIEWS = 4
 OPS_PER_SCHEDULE = 12
-SEEDS_PER_CONFIG = 42  # 5 configs x 42 seeds = 210 schedules
+SEEDS_PER_CONFIG = 42  # 6 configs x 42 seeds = 252 schedules
 NODES = [Atom(f"n{i}") for i in range(5)]
 
 _PARSED = {text: parse_program(text) for text, _, _ in THREE_VALUED_POOL}
@@ -138,7 +140,7 @@ def _register(service, rng, name, state, semantics, incremental, pool):
 )
 @pytest.mark.parametrize("seed", range(SEEDS_PER_CONFIG))
 def test_random_schedule_matches_oracle(config, seed):
-    config_id, semantics, incremental, pool = config
+    config_id, semantics, incremental, maintenance, pool = config
     # A string seed hashes deterministically (unlike built-in hash()),
     # so a failing test id replays the exact schedule.
     rng = random.Random(f"{config_id}-{seed}")
@@ -147,7 +149,7 @@ def test_random_schedule_matches_oracle(config, seed):
     compactor = ("on-publish", "off")[seed % 2]
     service = QueryService(
         cache_capacity=32, compactor=compactor, compact_depth=2,
-        compact_interval=3,
+        compact_interval=3, maintenance=maintenance,
     )
     state = {}
     names = [f"v{i}" for i in range(VIEWS)]
