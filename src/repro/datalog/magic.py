@@ -1,0 +1,428 @@
+"""Magic-sets / demand transform: goal-directed evaluation of safe rules.
+
+Full materialization answers a point query ("is ``tc(a, b)`` true?") by
+deriving *every* fact of the view.  The magic-sets transform rewrites a
+program for one *binding pattern* — an adornment string such as ``"bf"``
+marking which query arguments arrive bound — so that bottom-up
+evaluation of the rewritten program derives only the facts reachable
+from the demanded constants, while computing exactly the same answers
+for atoms matching the pattern.  The rewritten program is ordinary safe
+stratified datalog: the existing stratification, semi-naive and
+delta-stream machinery evaluate it unchanged.
+
+Sideways information passing (SIPS)
+-----------------------------------
+
+This implementation uses the **left-to-right** SIPS over the rule body
+as written: walking the body, a positive literal passes the bindings of
+its variable arguments rightward, and an ``=`` comparison that acts as
+an assignment (one unbound variable, other side fully bound) passes its
+variable.  An occurrence argument is *bound* when all its variables are
+bound at that point.  This matches the grounding order the engines
+already use for safe rules (Definition 4.1's construction reading) and
+keeps every generated rule safe — see :func:`restricted_vars`.
+
+Predicate naming
+----------------
+
+For an original predicate ``p`` and adornment ``a`` (over ``b``/``f``):
+
+* ``p@a``   — the adorned copy of ``p``, restricted to demanded atoms;
+* ``m@p@a`` — the magic predicate: tuples of bound-position values that
+  are *demanded*;
+* ``d@p@a`` — the demand-seed predicate for the query pattern only.  It
+  has no rules, so it stays a pure EDB predicate: runtime demand for new
+  constants is an ordinary incremental fact insert, and the maintenance
+  circuit derives the newly demanded cone.  ``m@p@a(X̄) :- d@p@a(X̄)``
+  copies seeds in.
+
+``@`` cannot occur in parsed predicate names, so the generated names
+never collide with user predicates.
+
+Negation and the unadorned cone
+-------------------------------
+
+A negated predicate must be evaluated over its *complete* extension —
+restricting it to demanded atoms would flip answers.  Any predicate
+occurring negated (and, transitively, everything its rules read, through
+both polarities) is therefore kept **unadorned**: its original rules are
+copied verbatim and it is never magic-restricted.  The same happens to a
+predicate demanded with an all-free adornment mid-rule.  Negative edges
+in the rewritten program then point only from the adorned layer into
+this self-contained unadorned layer, so a stratified input yields a
+stratified output.  When the *query* predicate itself lands in the
+unadorned cone the transform degenerates — :func:`magic_transform`
+returns a passthrough result (``demand_driven`` false) and callers fall
+back to filtering the fully materialized view.
+
+Base facts on IDB predicates
+----------------------------
+
+The serving tier accepts plain fact inserts on predicates that also have
+rules.  In the rewritten program the unadorned ``p`` of an adorned pair
+has no rules, so its rows are exactly those base facts; the pickup rule
+``p@a(X̄) :- m@p@a(bound X̄), p(X̄)`` folds them into the adorned answer
+on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import (
+    Comparison,
+    Const,
+    Literal,
+    PredAtom,
+    Program,
+    Rule,
+    Term,
+    Var,
+    term_vars,
+)
+from .safety import is_safe_rule
+
+__all__ = [
+    "MagicProgram",
+    "MagicTransformError",
+    "adorned_name",
+    "adornment_for",
+    "magic_name",
+    "magic_transform",
+    "seed_name",
+]
+
+
+class MagicTransformError(ValueError):
+    """The pattern cannot be compiled for demand-driven evaluation."""
+
+
+def adornment_for(args: Sequence[Optional[object]]) -> str:
+    """The adornment string of a bound pattern: ``None`` is free."""
+    return "".join("f" if value is None else "b" for value in args)
+
+
+def adorned_name(predicate: str, adornment: str) -> str:
+    """Name of the demand-restricted copy of ``predicate``."""
+    return f"{predicate}@{adornment}"
+
+
+def magic_name(predicate: str, adornment: str) -> str:
+    """Name of the magic (demanded-bindings) predicate."""
+    return f"m@{predicate}@{adornment}"
+
+
+def seed_name(predicate: str, adornment: str) -> str:
+    """Name of the pure-EDB demand-seed predicate of the query."""
+    return f"d@{predicate}@{adornment}"
+
+
+@dataclass(frozen=True)
+class MagicProgram:
+    """The result of :func:`magic_transform`.
+
+    When ``seed_predicate`` is ``None`` the transform declined (all-free
+    pattern, EDB query predicate, or the query predicate sits in the
+    unadorned negation cone): ``program`` is the original program and
+    ``answer_predicate`` the original predicate — callers should serve
+    the pattern by filtering the full view instead.
+    """
+
+    program: Program
+    predicate: str
+    adornment: str
+    answer_predicate: str
+    seed_predicate: Optional[str]
+    magic_predicate: Optional[str]
+    bound_positions: Tuple[int, ...]
+    #: Original-program predicates the rewritten program still reads
+    #: (EDB relations plus unadorned copies) — the only predicates whose
+    #: base updates are relevant to a demand view.
+    base_predicates: FrozenSet[str]
+
+    @property
+    def demand_driven(self) -> bool:
+        """True when evaluation is restricted by a demand seed."""
+        return self.seed_predicate is not None
+
+
+class _NeedCone(Exception):
+    """Internal restart signal: these predicates must stay unadorned."""
+
+    def __init__(self, predicates: Iterable[str]):
+        super().__init__()
+        self.predicates = tuple(predicates)
+
+
+def _cone(program: Program, roots: Iterable[str], idb: FrozenSet[str]) -> Set[str]:
+    """IDB predicates reachable from ``roots`` through rule bodies
+    (both polarities) — the self-contained layer evaluated unadorned."""
+    cone: Set[str] = set()
+    stack = [root for root in roots if root in idb]
+    while stack:
+        pred = stack.pop()
+        if pred in cone:
+            continue
+        cone.add(pred)
+        for rule_ in program.rules_for(pred):
+            for literal in rule_.positive_literals() + rule_.negative_literals():
+                body_pred = literal.atom.predicate
+                if body_pred in idb and body_pred not in cone:
+                    stack.append(body_pred)
+    return cone
+
+
+def _bound_vars(args: Sequence[Term]) -> Set[Var]:
+    """Variables a join against these argument positions binds: the
+    direct ``Var`` arguments (function-term arguments are *evaluated*
+    during grounding, so they consume bindings rather than produce them,
+    mirroring :func:`repro.datalog.safety.restricted_vars`)."""
+    return {arg for arg in args if isinstance(arg, Var)}
+
+
+def _transform_rule(
+    rule_: Rule,
+    adornment: str,
+    unadorned: Set[str],
+    idb: FrozenSet[str],
+    pending: List[Tuple[str, str]],
+    magic_rules: List[Rule],
+) -> Rule:
+    """One adorned rule for ``(rule_.head.predicate, adornment)``.
+
+    Appends the magic rules its body occurrences generate and the newly
+    demanded (predicate, adornment) pairs; raises :class:`_NeedCone`
+    when a body predicate must join the unadorned layer.
+    """
+    head = rule_.head
+    bound_head_args = tuple(
+        head.args[i] for i, ch in enumerate(adornment) if ch == "b"
+    )
+    guard = Literal(
+        PredAtom(magic_name(head.predicate, adornment), bound_head_args), True
+    )
+    bound: Set[Var] = _bound_vars(bound_head_args)
+    # The evaluable prefix: body items whose join/evaluation is already
+    # determined at this point of the left-to-right walk.  Magic rules
+    # copy it so demanded bindings are as tight as the SIPS allows.
+    prefix: List = [guard]
+    new_body: List = [guard]
+    for item in rule_.body:
+        if isinstance(item, Comparison):
+            new_body.append(item)
+            assigned = None
+            if item.op == "=":
+                for variable, expr in (
+                    (item.left, item.right),
+                    (item.right, item.left),
+                ):
+                    if (
+                        isinstance(variable, Var)
+                        and variable not in bound
+                        and term_vars(expr) <= bound
+                    ):
+                        assigned = variable
+                        break
+            if assigned is not None:
+                prefix.append(item)
+                bound.add(assigned)
+            elif item.vars() <= bound:
+                prefix.append(item)  # a pure test over bound variables
+            continue
+        literal = item
+        pred = literal.atom.predicate
+        if not literal.positive:
+            if pred in idb and pred not in unadorned:
+                raise _NeedCone((pred,))
+            new_body.append(literal)
+            continue
+        if pred in idb and pred not in unadorned:
+            occurrence = "".join(
+                "b" if term_vars(arg) <= bound else "f"
+                for arg in literal.atom.args
+            )
+            if "b" not in occurrence:
+                # An all-free demand would enumerate the predicate
+                # anyway; evaluate it unadorned instead.
+                raise _NeedCone((pred,))
+            magic_args = tuple(
+                literal.atom.args[i]
+                for i, ch in enumerate(occurrence)
+                if ch == "b"
+            )
+            magic_head = PredAtom(magic_name(pred, occurrence), magic_args)
+            # A recursive occurrence whose demanded bindings are exactly
+            # the head's produces the tautology ``m(X̄) :- m(X̄)``; skip.
+            if not (len(prefix) == 1 and prefix[0].atom == magic_head):
+                magic_rules.append(Rule(magic_head, tuple(prefix)))
+            pending.append((pred, occurrence))
+            adorned = Literal(
+                PredAtom(adorned_name(pred, occurrence), literal.atom.args),
+                True,
+            )
+            new_body.append(adorned)
+            prefix.append(adorned)
+        else:
+            new_body.append(literal)
+            prefix.append(literal)
+        bound |= _bound_vars(literal.atom.args)
+    return Rule(
+        PredAtom(adorned_name(head.predicate, adornment), head.args),
+        tuple(new_body),
+    )
+
+
+def _attempt(
+    program: Program,
+    predicate: str,
+    adornment: str,
+    unadorned: Set[str],
+    idb: FrozenSet[str],
+    arities: Dict[str, int],
+) -> Tuple[List[Rule], List[Rule], List[Tuple[str, str]]]:
+    """One full adornment walk with a fixed unadorned layer.
+
+    Returns (adorned rules + pickups, magic rules, adorned pairs);
+    raises :class:`_NeedCone` when the layer must grow.
+    """
+    pairs: List[Tuple[str, str]] = [(predicate, adornment)]
+    seen: Set[Tuple[str, str]] = {(predicate, adornment)}
+    adorned_rules: List[Rule] = []
+    magic_rules: List[Rule] = []
+    index = 0
+    while index < len(pairs):
+        pred, adn = pairs[index]
+        index += 1
+        pending: List[Tuple[str, str]] = []
+        for rule_ in program.rules_for(pred):
+            adorned_rules.append(
+                _transform_rule(rule_, adn, unadorned, idb, pending, magic_rules)
+            )
+        for pair in pending:
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        # Base facts inserted directly on the (IDB) predicate live on
+        # its now-ruleless unadorned name; pick them up on demand.
+        fresh = tuple(Var(f"__M{i}") for i in range(arities[pred]))
+        fresh_bound = tuple(
+            fresh[i] for i, ch in enumerate(adn) if ch == "b"
+        )
+        adorned_rules.append(
+            Rule(
+                PredAtom(adorned_name(pred, adn), fresh),
+                (
+                    Literal(PredAtom(magic_name(pred, adn), fresh_bound), True),
+                    Literal(PredAtom(pred, fresh), True),
+                ),
+            )
+        )
+    return adorned_rules, magic_rules, pairs
+
+
+def magic_transform(
+    program: Program, predicate: str, adornment: str
+) -> MagicProgram:
+    """Rewrite ``program`` for demand-driven evaluation of one pattern.
+
+    ``adornment`` is a string over ``b``/``f``, one character per
+    argument of ``predicate``.  Raises :class:`MagicTransformError` on a
+    malformed pattern (bad characters, arity mismatch, ``@`` in user
+    predicate names); returns a passthrough result (``demand_driven``
+    false) when demand restriction cannot help — all-free pattern, EDB
+    query predicate, or a query predicate forced into the unadorned
+    negation cone.
+    """
+    if any(ch not in "bf" for ch in adornment):
+        raise MagicTransformError(
+            f"adornment must be over 'b'/'f': {adornment!r}"
+        )
+    if any("@" in name for name in program.predicates()):
+        raise MagicTransformError(
+            "programs using '@' in predicate names cannot be magic-rewritten"
+        )
+    arities = program.arities()
+    if predicate in arities and arities[predicate] != len(adornment):
+        raise MagicTransformError(
+            f"{predicate} has arity {arities[predicate]}, "
+            f"adornment {adornment!r} has length {len(adornment)}"
+        )
+    bound_positions = tuple(
+        i for i, ch in enumerate(adornment) if ch == "b"
+    )
+    idb = program.idb_predicates()
+
+    def passthrough() -> MagicProgram:
+        return MagicProgram(
+            program=program,
+            predicate=predicate,
+            adornment=adornment,
+            answer_predicate=predicate,
+            seed_predicate=None,
+            magic_predicate=None,
+            bound_positions=bound_positions,
+            base_predicates=frozenset(program.predicates()),
+        )
+
+    if predicate not in idb or not bound_positions:
+        return passthrough()
+
+    unadorned: Set[str] = set()
+    while True:
+        if predicate in unadorned:
+            return passthrough()
+        try:
+            adorned_rules, magic_rules, pairs = _attempt(
+                program, predicate, adornment, unadorned, idb, arities
+            )
+            break
+        except _NeedCone as need:
+            grown = _cone(program, need.predicates, idb)
+            if grown <= unadorned:  # pragma: no cover - defensive
+                raise MagicTransformError(
+                    "magic transform failed to converge"
+                ) from None
+            unadorned |= grown
+
+    seed = seed_name(predicate, adornment)
+    magic = magic_name(predicate, adornment)
+    seed_vars = tuple(Var(f"__S{i}") for i in range(len(bound_positions)))
+    seed_rule = Rule(
+        PredAtom(magic, seed_vars),
+        (Literal(PredAtom(seed, seed_vars), True),),
+    )
+    cone_rules = [
+        rule_
+        for pred in sorted(unadorned)
+        for rule_ in program.rules_for(pred)
+    ]
+    rules = (
+        [seed_rule]
+        + list(dict.fromkeys(magic_rules))
+        + adorned_rules
+        + cone_rules
+    )
+    for rule_ in rules:
+        if not is_safe_rule(rule_):  # pragma: no cover - invariant
+            raise MagicTransformError(
+                f"magic transform produced an unsafe rule: {rule_!r}"
+            )
+    transformed = Program(
+        tuple(rules),
+        name=f"{program.name or 'program'}@{predicate}@{adornment}",
+    )
+    original = program.predicates()
+    base = frozenset(
+        name for name in transformed.predicates() if name in original
+    )
+    return MagicProgram(
+        program=transformed,
+        predicate=predicate,
+        adornment=adornment,
+        answer_predicate=adorned_name(predicate, adornment),
+        seed_predicate=seed,
+        magic_predicate=magic,
+        bound_positions=bound_positions,
+        base_predicates=base,
+    )

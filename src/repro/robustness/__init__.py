@@ -33,6 +33,7 @@ from .errors import (
     RecoveryError,
     ReproError,
     RequestTooLarge,
+    UpdateTimeout,
     ViewDegraded,
     WorkerUnavailable,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "RecoveryError",
     "ReproError",
     "RequestTooLarge",
+    "UpdateTimeout",
     "ViewDegraded",
     "WorkerUnavailable",
     "fault_point",

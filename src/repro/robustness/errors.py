@@ -43,6 +43,7 @@ __all__ = [
     "Cancelled",
     "NonTerminating",
     "ViewDegraded",
+    "UpdateTimeout",
     "RequestTooLarge",
     "ClusterError",
     "WorkerUnavailable",
@@ -113,6 +114,23 @@ class ViewDegraded(ReproError):
     """
 
     code = "view-degraded"
+
+
+class UpdateTimeout(ReproError, TimeoutError):
+    """A write waited out its deadline in the group-commit queue.
+
+    Raised when a submitted update batch could not even be *enqueued*
+    before the request deadline (the bounded queue stayed full), or was
+    enqueued but never drained in time — e.g. because the drain leader
+    died on an injected fault.  The batch is withdrawn before this is
+    raised, so a timed-out write is guaranteed not to apply later.
+
+    Also a :class:`TimeoutError` so pre-existing ``except TimeoutError``
+    guards around :meth:`~repro.service.dbsp.queue.Ticket.outcome`
+    continue to catch it.
+    """
+
+    code = "update-timeout"
 
 
 class RequestTooLarge(ReproError):

@@ -25,13 +25,22 @@ from .registry import (
     prepare_program,
     split_program_and_facts,
 )
-from .server import QueryService, parse_fact, serve_stream, serve_unix_socket
+from .demand import DemandEntry, DemandRegistry
+from .server import (
+    QueryService,
+    parse_bound_pattern,
+    parse_fact,
+    serve_stream,
+    serve_unix_socket,
+)
 from .views import MaterializedView
 
 __all__ = [
     "AtomicReference",
     "Component",
     "DBSPEngine",
+    "DemandEntry",
+    "DemandRegistry",
     "Histogram",
     "IncrementalEngine",
     "IncrementalMaintenanceError",
@@ -49,6 +58,7 @@ __all__ = [
     "UpdateQueue",
     "ViewMetrics",
     "ZSet",
+    "parse_bound_pattern",
     "parse_fact",
     "prepare_program",
     "render_prometheus",

@@ -13,15 +13,48 @@ is full, which backpressures writers instead of letting a slow view
 accumulate unbounded memory.  Progress is guaranteed without a
 dedicated drainer thread because every enqueued ticket has a live owner
 heading for the view lock — at worst each owner drains its own ticket.
+That guarantee fails when a leader *dies* (an injected fault, a bug)
+with the queue full: without a bound on the wait, every parked writer
+would hang forever.  Both waits are therefore deadline-aware —
+:meth:`UpdateQueue.submit` and :meth:`Ticket.outcome` raise the
+wire-coded :class:`~repro.robustness.errors.UpdateTimeout` once the
+request deadline passes, and the caller withdraws the ticket so a
+timed-out write can never apply later.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
+import time
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Tuple
 
+from ...robustness.errors import UpdateTimeout
+
 __all__ = ["Ticket", "UpdateQueue"]
+
+
+def _per_waiter_copy(error: BaseException) -> BaseException:
+    """A private clone of a settled ticket's error for one waiter.
+
+    A single exception *instance* re-raised from several loser threads
+    is mutated concurrently — each ``raise`` rewrites the shared
+    ``__traceback__``, cross-contaminating the diagnostics every thread
+    reports.  Each waiter gets a shallow copy (same args, same
+    ``progress`` payload), chained to the shared original via
+    ``__cause__`` so the leader's traceback stays reachable exactly
+    once.  Exceptions that refuse to copy fall back to the shared
+    instance — no worse than the old behavior.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:  # pragma: no cover - exotic uncopyable exception
+        return error
+    clone.__traceback__ = None
+    clone.__cause__ = error
+    clone.__suppress_context__ = True
+    return clone
 
 
 class Ticket:
@@ -50,11 +83,18 @@ class Ticket:
 
     def outcome(self, timeout: Optional[float] = None):
         """Block until the leader settles this ticket; return its
-        summary or re-raise the error its batch died with."""
+        summary or re-raise the error its batch died with.
+
+        Several losers may wait on one coalesced ticket, so the error
+        is re-raised as a per-waiter copy (see :func:`_per_waiter_copy`)
+        — concurrent raises must not fight over one ``__traceback__``.
+        """
         if not self._event.wait(timeout):
-            raise TimeoutError("update ticket was never drained")
+            raise UpdateTimeout(
+                "update ticket was not drained before the deadline"
+            )
         if self._error is not None:
-            raise self._error
+            raise _per_waiter_copy(self._error)
         return self._result
 
 
@@ -69,12 +109,30 @@ class UpdateQueue:
         self._space = threading.Condition(self._lock)
         self._items: Deque[Ticket] = deque()
 
-    def submit(self, inserts, deletes) -> Ticket:
-        """Enqueue a batch, blocking while the queue is full."""
+    def submit(
+        self, inserts, deletes, timeout: Optional[float] = None
+    ) -> Ticket:
+        """Enqueue a batch, blocking while the queue is full.
+
+        With a ``timeout`` (seconds) the wait for space is bounded:
+        when the queue is still full at the deadline — every owner of a
+        queued ticket is itself stuck, i.e. the drain leader died —
+        :class:`~repro.robustness.errors.UpdateTimeout` is raised and
+        nothing was enqueued.
+        """
         ticket = Ticket(inserts, deletes)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._space:
             while len(self._items) >= self.capacity:
-                self._space.wait()
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise UpdateTimeout(
+                            "update queue stayed full past the deadline "
+                            f"(capacity {self.capacity})"
+                        )
+                self._space.wait(remaining)
             self._items.append(ticket)
         return ticket
 

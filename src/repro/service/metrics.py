@@ -66,6 +66,11 @@ _SERVICE_COUNTERS = (
     "updates_total",
     "queries_total",
     "lock_acquisitions",
+    # The demand registry (magic-sets bound-pattern queries).
+    "demand_registrations",
+    "demand_hits",
+    "demand_evictions",
+    "demand_fallbacks",
     # The durability plane (zero and inert without --data-dir).
     "wal_appends",
     "wal_fsyncs",

@@ -54,6 +54,7 @@ servable from stdin/stdout or a unix socket::
     +<view> <fact>           e.g.  +tc edge(a, b).
     -<view> <fact>           e.g.  -tc edge(a, b).
     query <view> <predicate>
+    query <view> <pred>(a, _)   bound-pattern (demand-driven) query
     stats [<view>]
     metrics [--format=prometheus]
     views                    (alias: list)
@@ -85,25 +86,35 @@ from typing import (
     Tuple,
 )
 
+from ..datalog.ast import Const, Var
 from ..datalog.database import Database
 from ..datalog.engine import SEMANTICS
-from ..datalog.parser import parse_program
+from ..datalog.magic import adornment_for, magic_transform
+from ..datalog.parser import _Parser, _tokenize, parse_program
 from ..relations.universe import FunctionRegistry
 from ..relations.values import Value, format_value
 from ..robustness import (
     EvaluationBudget,
     ReproError,
     RequestTooLarge,
+    UpdateTimeout,
     fault_point,
 )
 from .cache import LRUCache
 from .compactor import SnapshotCompactor
+from .demand import DemandRegistry
 from .locks import AtomicReference, InstrumentedLock, ReadWriteLock
 from .metrics import ServiceMetrics, ViewMetrics
 from .registry import ProgramRegistry, prepare_program
 from .views import MaterializedView
 
-__all__ = ["QueryService", "serve_stream", "serve_unix_socket", "parse_fact"]
+__all__ = [
+    "QueryService",
+    "serve_stream",
+    "serve_unix_socket",
+    "parse_fact",
+    "parse_bound_pattern",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -156,6 +167,11 @@ class QueryService:
     :class:`~repro.service.compactor.SnapshotCompactor` daemon (stop it
     with :meth:`close`); ``"off"`` disables compaction below the hard
     publish-time cap (the bench baseline).
+
+    ``queue_capacity`` bounds each view's group-commit update queue;
+    ``demand_capacity`` bounds how many demanded binding patterns stay
+    resident in the demand registry (:meth:`query_pattern`) before the
+    least-recently-used is evicted.
     """
 
     def __init__(
@@ -175,6 +191,8 @@ class QueryService:
         checkpoint_every: int = 256,
         maintenance: str = "dbsp",
         coalesce: Optional[int] = None,
+        queue_capacity: int = 256,
+        demand_capacity: int = 64,
     ):
         if lock_mode not in ("view", "global"):
             raise ValueError(f"unknown lock_mode {lock_mode!r}")
@@ -204,6 +222,10 @@ class QueryService:
         self.read_mode = read_mode
         self.maintenance = maintenance
         self.coalesce = coalesce
+        self.queue_capacity = queue_capacity
+        # One ready-gated magic-rewritten view per demanded binding
+        # pattern, LRU-evicted (see docs/MAGIC.md).
+        self.demand = DemandRegistry(demand_capacity)
         self.compactor_mode = compactor
         self.compact_depth = compact_depth
         self.compact_interval = compact_interval
@@ -279,6 +301,9 @@ class QueryService:
         self._background_compactor = None
         if compactor is not None:
             compactor.stop()
+        demand = getattr(self, "demand", None)
+        if demand is not None:
+            demand.close()
         durability = getattr(self, "durability", None)
         if durability is not None:
             # Final checkpoint: a graceful shutdown leaves the data
@@ -397,6 +422,7 @@ class QueryService:
             compact_on_publish=self.compactor_mode == "on-publish",
             compact_depth=self.compact_depth,
             compact_interval=self.compact_interval,
+            queue_capacity=self.queue_capacity,
         )
         with self._registry_lock.write_locked():
             self.registry.store(name, prepared)
@@ -430,8 +456,11 @@ class QueryService:
                     }
                 )
         # The generation bump already makes old entries unreachable;
-        # dropping them here is memory hygiene, not correctness.
+        # dropping them here is memory hygiene, not correctness.  Same
+        # for the demand entries of a replaced registration: their keys
+        # carry the old generation, so they could never be hit again.
         self.cache.invalidate(name)
+        self.demand.drop_view(name)
         self.metrics.bump("registrations")
         self._maybe_checkpoint()
         info = prepared.describe()
@@ -473,6 +502,7 @@ class QueryService:
                     self._publish_name_table()
                 break
         self.cache.invalidate(name)
+        self.demand.drop_view(name)
         self.metrics.bump("unregistrations")
         self._maybe_checkpoint()
         return {
@@ -729,6 +759,228 @@ class QueryService:
             )
             return rows, undefined, view.stale
 
+    # -- bound-pattern (demand-driven) queries --------------------------------
+
+    def query_pattern(
+        self,
+        name: str,
+        predicate: str,
+        args: Iterable[Optional[Value]],
+    ) -> Tuple[FrozenSet[Row], FrozenSet[Row], bool]:
+        """Answer a bound pattern like ``tc(a, _)`` demand-driven.
+
+        ``args`` has one element per argument position: a value for a
+        bound position, ``None`` for a free one.  The first query for a
+        (view, predicate, adornment) pattern magic-rewrites the program
+        and materializes only the demanded cone as a **demand entry**
+        (see :mod:`repro.service.demand`); later queries for the same
+        pattern — including different constants — are incremental: a
+        new constant is one seed insert, a repeated one a snapshot read.
+        Base updates are streamed into every ready entry inside the
+        same view hold that applied them, so entries answer at the
+        base view's committed state.
+
+        Patterns the transform cannot restrict (all-free, EDB query
+        predicates, predicates in a negation cone) and programs outside
+        the demand envelope (non-stratified, inflationary semantics)
+        fall back to filtering the fully materialized answer, counted
+        by ``demand_fallbacks``.  Returns ``(true_rows,
+        undefined_rows, stale)`` like :meth:`query_state`.
+        """
+        args = tuple(args)
+        adornment = adornment_for(args)
+        if "b" not in adornment:
+            rows, undefined, stale = self.query_state(name, predicate)
+            return rows, undefined, stale
+        if self.read_mode == "snapshot":
+            try:
+                view, generation = self._name_table.get()[name]
+            except KeyError:
+                raise KeyError(
+                    f"no view registered under {name!r}"
+                ) from None
+        else:
+            view, _lock, generation = self._view_and_lock(name)
+        arity = view.prepared.arities.get(predicate)
+        if arity is not None and arity != len(args):
+            raise ValueError(
+                f"{predicate} has arity {arity}, pattern has {len(args)} "
+                "arguments"
+            )
+        key = (name, generation, predicate, adornment)
+        entry = self.demand.lookup(key)
+        created = False
+        if entry is None:
+            if not self._demand_supported(view, predicate):
+                return self._pattern_fallback(name, predicate, args)
+            entry, created, evicted = self.demand.get_or_create(key)
+            for _ in evicted:
+                self.metrics.bump("demand_evictions")
+        if created:
+            self.metrics.bump("demand_registrations")
+            try:
+                self._build_demand_entry(
+                    name, generation, predicate, adornment, entry
+                )
+            except BaseException as exc:
+                entry.fail(exc)
+                self.demand.discard(key, entry)
+                raise
+        demand_view = entry.wait_ready(self._request_timeout())
+        if demand_view is None:
+            # A memoized decision that demand restriction cannot help
+            # this pattern (e.g. the query predicate sits in the
+            # unadorned negation cone).
+            return self._pattern_fallback(name, predicate, args)
+        if not created:
+            self.metrics.bump("demand_hits")
+        self.metrics.bump("queries_total")
+        bound = tuple(value for value in args if value is not None)
+        self._ensure_seeded(entry, bound)
+        answer_predicate = entry.magic.answer_predicate
+        snapshot = demand_view.read_snapshot()
+        if snapshot is not None:
+            rows = snapshot.rows(answer_predicate)
+            stale = snapshot.stale
+        else:  # pragma: no cover - incremental views always publish
+            with entry.lock:
+                rows = demand_view.rows(answer_predicate)
+                stale = demand_view.stale
+        return _filter_pattern(rows, args), frozenset(), stale
+
+    def _request_timeout(self) -> Optional[float]:
+        """The per-request deadline in seconds (None = unbounded)."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms / 1000.0
+
+    def _demand_supported(self, view: MaterializedView, predicate: str) -> bool:
+        """Is this view inside the demand envelope for this predicate?
+
+        Demand entries evaluate under the stratified semantics, which
+        coincides with the well-founded and valid semantics on
+        stratified programs (all total with the same least model) but
+        not with the inflationary one; and the magic rewrite itself
+        requires a stratified input and an IDB query predicate.
+        """
+        return (
+            view.prepared.stratified
+            and view.semantics != "inflationary"
+            and predicate in view.prepared.arities
+        )
+
+    def _pattern_fallback(
+        self, name: str, predicate: str, args: Tuple[Optional[Value], ...]
+    ) -> Tuple[FrozenSet[Row], FrozenSet[Row], bool]:
+        """Serve a pattern by filtering the fully materialized answer."""
+        self.metrics.bump("demand_fallbacks")
+        rows, undefined, stale = self.query_state(name, predicate)
+        return (
+            _filter_pattern(rows, args),
+            _filter_pattern(undefined, args),
+            stale,
+        )
+
+    def _build_demand_entry(
+        self,
+        name: str,
+        generation: int,
+        predicate: str,
+        adornment: str,
+        entry,
+    ) -> None:
+        """Materialize a demand entry's view (the cold-pattern cost).
+
+        Runs under the **base view lock**: update propagation also runs
+        under that hold, so every base batch either lands in the
+        database copy this build starts from, or is propagated to the
+        entry after it is ready — no batch can fall between.  The
+        price is that the first query for a new pattern blocks writers
+        to the base view while the (demand-restricted) initial
+        materialization runs; bench P13 prices exactly this.
+        """
+        with self._locked_view(name) as (view, current):
+            if current != generation:
+                raise KeyError(
+                    f"view {name!r} was replaced while its demand entry "
+                    "was being built"
+                )
+            transform = magic_transform(
+                view.prepared.program, predicate, adornment
+            )
+            if not transform.demand_driven:
+                entry.complete(None, transform)
+                return
+            prepared = prepare_program(
+                f"{name}@{predicate}@{adornment}", transform.program
+            )
+            demand_view = MaterializedView(
+                prepared,
+                database=view.database,
+                semantics="stratified",
+                registry=self.function_registry,
+                metrics=ViewMetrics(sink=self.metrics),
+                maintenance="dbsp",
+                max_rounds=self.max_rounds,
+                max_atoms=self.max_atoms,
+                budget_factory=self._budget_factory(),
+                compact_on_publish=self.compactor_mode == "on-publish",
+                compact_depth=self.compact_depth,
+                compact_interval=self.compact_interval,
+                queue_capacity=self.queue_capacity,
+            )
+            entry.complete(demand_view, transform)
+
+    def _ensure_seeded(self, entry, bound: Row) -> None:
+        """Demand a constant tuple: one incremental seed insert, once."""
+        if bound in entry.seeded:
+            return
+        with entry.lock:
+            if bound in entry.seeded:
+                return
+            entry.view.apply(
+                inserts=[(entry.magic.seed_predicate, bound)]
+            )
+            entry.seeded.add(bound)
+
+    def _propagate_demand(
+        self,
+        name: str,
+        generation: int,
+        batches: List[Tuple[List[Tuple[str, Row]], List[Tuple[str, Row]]]],
+    ) -> None:
+        """Stream applied base batches into the ready demand entries.
+
+        Called inside the base view hold, right after the base apply
+        succeeded — together with :meth:`_build_demand_entry` running
+        under the same hold, this guarantees every entry sees every
+        base batch exactly once.  Entry locks are leaves (queries take
+        them without the base lock, never the other way around).  An
+        entry whose own apply fails is dropped — the next query for its
+        pattern rebuilds it from the then-current base database.
+        """
+        entries = self.demand.entries_for(name, generation)
+        for entry in entries:
+            base = entry.magic.base_predicates
+            relevant = []
+            for inserts, deletes in batches:
+                kept_in = [(p, row) for p, row in inserts if p in base]
+                kept_out = [(p, row) for p, row in deletes if p in base]
+                if kept_in or kept_out:
+                    relevant.append((kept_in, kept_out))
+            if not relevant:
+                continue
+            with entry.lock:
+                try:
+                    entry.view.apply_stream(relevant)
+                except Exception:
+                    logger.exception(
+                        "demand entry %r could not absorb a base batch; "
+                        "dropping it",
+                        entry.key,
+                    )
+                    self.demand.discard(entry.key, entry)
+
     # -- updates --------------------------------------------------------------
 
     def update(
@@ -752,12 +1004,13 @@ class QueryService:
         if self.coalesce <= 1:
             # Per-batch mode (the legacy default and the bench
             # baseline): apply directly under the view hold, no queue.
-            with self._locked_view(name) as (view, _generation):
+            with self._locked_view(name) as (view, generation):
                 summary = view.apply(inserts=inserts, deletes=deletes)
                 # Invalidate inside the hold so a concurrent query
                 # cannot re-cache pre-batch rows between apply and
                 # invalidation.
                 self.cache.invalidate(name)
+                self._propagate_demand(name, generation, [(inserts, deletes)])
                 self._journal_update(name, inserts, deletes)
             self._maybe_checkpoint()
             return summary
@@ -766,10 +1019,15 @@ class QueryService:
         # queue into one circuit pass; the losers find their ticket
         # already settled when they get the lock.  An ``ok`` ack still
         # means the batch landed in a view that was verified current by
-        # whoever applied it.
+        # whoever applied it.  Both queue waits — for space at submit,
+        # for the leader at outcome — are bounded by the request
+        # deadline: a leader that died on a fault leaves parked writers
+        # with a wire-coded ``update-timeout`` instead of a hang, and a
+        # timed-out ticket is withdrawn so it cannot apply later.
+        timeout = self._request_timeout()
         while True:
             view, lock, _generation = self._view_and_lock(name)
-            ticket = view.pending.submit(inserts, deletes)
+            ticket = view.pending.submit(inserts, deletes, timeout=timeout)
             try:
                 with lock.held():
                     with self._registry_lock.read_locked():
@@ -779,7 +1037,7 @@ class QueryService:
                         # settled (the queue may hold more than one
                         # coalescing window's worth).
                         while not ticket.done:
-                            self._drain_updates(name, view)
+                            self._drain_updates(name, view, _generation)
                     elif view.pending.withdraw(ticket):
                         # The binding changed under us and nobody
                         # processed the ticket: resubmit against the
@@ -794,7 +1052,18 @@ class QueryService:
                 # leader's outcome is the truth about this batch.
                 if view.pending.withdraw(ticket):
                     raise
-            summary = ticket.outcome()
+            try:
+                summary = ticket.outcome(timeout)
+            except UpdateTimeout:
+                if view.pending.withdraw(ticket):
+                    # Withdrawn while still queued: the batch never ran
+                    # and never will.
+                    raise
+                # A leader grabbed the ticket right at the deadline;
+                # its outcome is authoritative and imminent — give it
+                # one grace period before reporting the timeout (after
+                # which the batch's fate is genuinely unknown).
+                summary = ticket.outcome(timeout)
             self._maybe_checkpoint()
             return summary
 
@@ -822,7 +1091,9 @@ class QueryService:
             }
         )
 
-    def _drain_updates(self, name: str, view: MaterializedView) -> None:
+    def _drain_updates(
+        self, name: str, view: MaterializedView, generation: int
+    ) -> None:
         """Group-commit leader duty, under the verified view hold.
 
         Drains up to ``coalesce`` queued batches and absorbs them in
@@ -833,7 +1104,9 @@ class QueryService:
         Each batch is journaled separately, in drain order, inside the
         hold — replay order equals apply order — and every ticket is
         settled with its summary or its error; this method itself
-        re-raises nothing ticket-attributable.
+        re-raises nothing ticket-attributable.  Applied batches are
+        also streamed into the view's demand entries, inside the same
+        hold.
         """
         tickets = view.pending.drain(self.coalesce)
         if not tickets:
@@ -852,6 +1125,7 @@ class QueryService:
                 summary = dict(summary)
                 summary["coalesced"] = len(tickets)
                 self.cache.invalidate(name)
+                self._propagate_demand(name, generation, batches)
                 try:
                     for ticket in tickets:
                         self._journal_update(name, ticket.inserts, ticket.deletes)
@@ -871,6 +1145,9 @@ class QueryService:
                     inserts=ticket.inserts, deletes=ticket.deletes
                 )
                 self.cache.invalidate(name)
+                self._propagate_demand(
+                    name, generation, [(ticket.inserts, ticket.deletes)]
+                )
                 self._journal_update(name, ticket.inserts, ticket.deletes)
             except BaseException as exc:
                 self.cache.invalidate(name)
@@ -950,6 +1227,8 @@ class QueryService:
                 name: stats.get("queue_depth", 0)
                 for name, stats in view_stats.items()
             },
+            # Resident demanded binding patterns (capacity-bounded).
+            "demand_entries": self.demand.size(),
         }
         snapshot["views"] = view_stats
         snapshot["cache"] = self.cache.stats()
@@ -976,6 +1255,65 @@ def _format_row(predicate: str, row: Row) -> str:
     if not row:
         return predicate
     return f"{predicate}({', '.join(format_value(value) for value in row)})"
+
+
+def _filter_pattern(
+    rows: Iterable[Row], args: Tuple[Optional[Value], ...]
+) -> FrozenSet[Row]:
+    """The rows matching a bound pattern (``None`` = free position).
+
+    This is the inner loop of every bound-pattern read, so the bound
+    positions are hoisted out of the per-row test (and the common
+    single-bound-position case skips the ``all()`` machinery entirely).
+    """
+    arity = len(args)
+    checks = [(i, value) for i, value in enumerate(args) if value is not None]
+    if len(checks) == 1:
+        [(i, value)] = checks
+        return frozenset(
+            row for row in rows if len(row) == arity and row[i] == value
+        )
+    return frozenset(
+        row
+        for row in rows
+        if len(row) == arity
+        and all(row[i] == value for i, value in checks)
+    )
+
+
+def parse_bound_pattern(text: str) -> Tuple[str, Tuple[Optional[Value], ...]]:
+    """Parse a wire bound pattern like ``tc(a, _)``.
+
+    Returns ``(predicate, args)`` where each constant argument is its
+    value and each free position (``_`` or any variable name) is
+    ``None``.  Rejects function terms and repeated named variables —
+    a repeated variable would read like a join constraint the demand
+    path does not implement, so it errors instead of silently answering
+    the wrong question.
+    """
+    parser = _Parser(_tokenize(text))
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        raise ValueError(f"trailing input after pattern: {text!r}")
+    args: List[Optional[Value]] = []
+    named_free = set()
+    for term in atom.args:
+        if isinstance(term, Const):
+            args.append(term.value)
+        elif isinstance(term, Var):
+            if term.name != "_":
+                if term.name in named_free:
+                    raise ValueError(
+                        "repeated variables are not supported in bound "
+                        f"patterns: {text!r}"
+                    )
+                named_free.add(term.name)
+            args.append(None)
+        else:
+            raise ValueError(
+                f"bound patterns take constants and '_', got {term!r}"
+            )
+    return atom.predicate, tuple(args)
 
 
 def _handle_line(service: QueryService, line: str) -> List[str]:
@@ -1017,11 +1355,22 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
         info = service.unregister(view_name)
         return [f"ok {json.dumps(info, sort_keys=True)}"]
     if command == "query":
-        parts = rest.split()
+        parts = rest.split(None, 1)
         if len(parts) != 2:
-            return ["error usage: query <view> <predicate>"]
-        view_name, predicate = parts
-        rows, undefined, stale = service.query_state(view_name, predicate)
+            return ["error usage: query <view> <predicate>[(pattern)]"]
+        view_name, remainder = parts[0], parts[1].strip()
+        if "(" in remainder:
+            # Bound-pattern form: ``query <view> tc(a, _)`` — served
+            # demand-driven through the magic-sets registry.
+            predicate, pattern_args = parse_bound_pattern(remainder)
+            rows, undefined, stale = service.query_pattern(
+                view_name, predicate, pattern_args
+            )
+        else:
+            if remainder.split() != [remainder] or not remainder:
+                return ["error usage: query <view> <predicate>[(pattern)]"]
+            predicate = remainder
+            rows, undefined, stale = service.query_state(view_name, predicate)
         lines = sorted(f"row {_format_row(predicate, row)}" for row in rows)
         lines += sorted(
             f"undef {_format_row(predicate, row)}" for row in undefined

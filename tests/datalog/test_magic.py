@@ -1,0 +1,247 @@
+"""Unit tests for the magic-sets / demand transform.
+
+The differential suite (``tests/service/test_demand_differential.py``)
+checks demand answers against the materialized oracle through the whole
+serving stack; this file tests the transform itself — naming, safety
+and stratification of the output, the SIPS bound-set discipline, the
+unadorned negation cone, base-fact pickup, and the passthrough cases.
+"""
+
+import pytest
+
+from repro.corpus import chain, edges_to_database
+from repro.datalog import (
+    Database,
+    MagicTransformError,
+    adorned_name,
+    adornment_for,
+    magic_name,
+    magic_transform,
+    run,
+    seed_name,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.safety import is_safe_rule
+from repro.datalog.stratification import is_stratified
+from repro.relations import Atom
+
+a, b, c, d = Atom("a"), Atom("b"), Atom("c"), Atom("d")
+
+TC = parse_program(
+    "tc(X, Y) :- e(X, Y).\n"
+    "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+)
+
+
+def answers(magic, database, bound, semantics="stratified"):
+    """Evaluate a demand-driven transform from scratch: seed the bound
+    tuple, run, read the adorned answer predicate."""
+    assert magic.demand_driven
+    seeded = database.add(magic.seed_predicate, *bound)
+    result = run(magic.program, seeded, semantics=semantics)
+    return result.true_rows(magic.answer_predicate)
+
+
+def test_adornment_helpers():
+    assert adornment_for((a, None)) == "bf"
+    assert adornment_for((None, None)) == "ff"
+    assert adornment_for((a, b)) == "bb"
+    assert adorned_name("tc", "bf") == "tc@bf"
+    assert magic_name("tc", "bf") == "m@tc@bf"
+    assert seed_name("tc", "bf") == "d@tc@bf"
+
+
+def test_tc_bf_answers_match_filtered_oracle():
+    db = edges_to_database(chain(6))
+    magic = magic_transform(TC, "tc", "bf")
+    oracle = run(TC, db).true_rows("tc")
+    got = answers(magic, db, (Atom("n0"),))
+    # Sound: every adorned row is a real row; complete for the demanded
+    # constant (the adorned predicate may also hold rows for constants
+    # demanded transitively — callers filter by the bound values).
+    assert got <= oracle
+    assert {r for r in got if r[0] == Atom("n0")} == {
+        r for r in oracle if r[0] == Atom("n0")
+    }
+
+
+def test_tc_bf_is_goal_directed():
+    # Two disconnected components: demanding "a" must not derive any
+    # tuple mentioning the x/y component.
+    db = (
+        Database()
+        .add("e", a, b)
+        .add("e", b, c)
+        .add("e", Atom("x"), Atom("y"))
+    )
+    magic = magic_transform(TC, "tc", "bf")
+    got = answers(magic, db, (a,))
+    # The adorned answer may hold rows for transitively demanded
+    # constants (here tc@bf(b, c), demanded by the recursive rule), but
+    # never anything from the unreachable component.
+    assert {r for r in got if r[0] == a} == {(a, b), (a, c)}
+    flat = {value for row in got for value in row}
+    assert Atom("x") not in flat and Atom("y") not in flat
+
+
+def test_output_rules_are_safe_and_stratified():
+    program = parse_program(
+        "tc(X, Y) :- e(X, Y).\n"
+        "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+        "unreach(X, Y) :- node(X), node(Y), not tc(X, Y).\n"
+    )
+    magic = magic_transform(program, "unreach", "bf")
+    assert magic.demand_driven
+    for rule_ in magic.program.rules:
+        assert is_safe_rule(rule_)
+    assert is_stratified(magic.program)
+
+
+def test_negated_predicate_stays_unadorned():
+    program = parse_program(
+        "tc(X, Y) :- e(X, Y).\n"
+        "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+        "unreach(X, Y) :- node(X), node(Y), not tc(X, Y).\n"
+    )
+    magic = magic_transform(program, "unreach", "bf")
+    # tc is negated, so it must keep its original (unadorned) rules and
+    # never be magic-restricted.
+    predicates = magic.program.predicates()
+    assert "tc" in predicates
+    assert magic_name("tc", "bf") not in predicates
+    db = (
+        Database()
+        .add("node", a).add("node", b).add("node", c)
+        .add("e", a, b)
+    )
+    oracle = run(program, db).true_rows("unreach")
+    got = answers(magic, db, (a,))
+    assert got <= oracle
+    assert {r for r in got if r[0] == a} == {r for r in oracle if r[0] == a}
+
+
+def test_query_predicate_in_cone_degenerates_to_passthrough():
+    # p is negated by q and p is the query predicate: restricting p
+    # would flip q, so the transform must decline.
+    program = parse_program(
+        "p(X) :- e(X).\n"
+        "q(X) :- f(X), not p(X).\n"
+        "p(X) :- q(X).\n"
+    )
+    magic = magic_transform(program, "p", "b")
+    assert not magic.demand_driven
+    assert magic.program is program
+    assert magic.answer_predicate == "p"
+
+
+def test_all_free_pattern_is_passthrough():
+    magic = magic_transform(TC, "tc", "ff")
+    assert not magic.demand_driven
+    assert magic.bound_positions == ()
+
+
+def test_edb_query_predicate_is_passthrough():
+    magic = magic_transform(TC, "e", "bf")
+    assert not magic.demand_driven
+
+
+def test_base_facts_on_idb_predicate_are_picked_up():
+    # A fact inserted directly on the IDB predicate tc must appear in
+    # the demanded answers (the pickup rule folds ruleless unadorned tc
+    # into the adorned copy).
+    db = Database().add("e", a, b).add("tc", a, d)
+    magic = magic_transform(TC, "tc", "bf")
+    got = answers(magic, db, (a,))
+    assert (a, d) in got
+    assert (a, b) in got
+
+
+def test_no_tautological_magic_rules():
+    magic = magic_transform(TC, "tc", "bf")
+    for rule_ in magic.program.rules:
+        assert not (
+            len(rule_.body) == 1
+            and getattr(rule_.body[0], "atom", None) == rule_.head
+        )
+
+
+def test_second_argument_bound_left_linear():
+    magic = magic_transform(TC, "tc", "fb")
+    assert magic.demand_driven
+    db = Database().add("e", a, b).add("e", b, c).add("e", Atom("x"), Atom("y"))
+    oracle = run(TC, db).true_rows("tc")
+    got = answers(magic, db, (c,))
+    assert got <= oracle
+    assert {r for r in got if r[1] == c} == {r for r in oracle if r[1] == c}
+
+
+def test_fully_bound_membership_pattern():
+    magic = magic_transform(TC, "tc", "bb")
+    db = Database().add("e", a, b).add("e", b, c)
+    assert (a, c) in answers(magic, db, (a, c))
+    fresh = Database().add("e", a, b).add("e", b, c)
+    assert (a, d) not in answers(magic, fresh, (a, d))
+
+
+def test_nonlinear_same_generation():
+    sg = parse_program(
+        "sg(X, X) :- person(X).\n"
+        "sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n"
+    )
+    people = [Atom(f"p{i}") for i in range(6)]
+    db = Database()
+    for p in people:
+        db = db.add("person", p)
+    for child, parent in [(0, 4), (1, 4), (2, 5), (3, 5), (4, 5)]:
+        db = db.add("par", people[child], people[parent])
+    magic = magic_transform(sg, "sg", "bf")
+    oracle = run(sg, db).true_rows("sg")
+    got = answers(magic, db, (people[0],))
+    assert got <= oracle
+    assert {r for r in got if r[0] == people[0]} == {
+        r for r in oracle if r[0] == people[0]
+    }
+    # Goal-directed: strictly fewer derived rows than the full model.
+    assert len(got) < len(oracle)
+
+
+def test_comparison_assignment_binds_through():
+    program = parse_program(
+        "n(0).\n"
+        "n(Y) :- n(X), Y = succ(X), Y <= 5.\n"
+        "double(X, Y) :- n(X), Y = add(X, X).\n"
+    )
+    from repro.relations import standard_registry
+
+    registry = standard_registry()
+    magic = magic_transform(program, "double", "bf")
+    assert magic.demand_driven
+    seeded = Database().add(magic.seed_predicate, 3)
+    result = run(
+        magic.program, seeded, semantics="stratified", registry=registry
+    )
+    got = result.true_rows(magic.answer_predicate)
+    assert {r for r in got if r[0] == 3} == {(3, 6)}
+
+
+def test_base_predicates_cover_reads():
+    magic = magic_transform(TC, "tc", "bf")
+    assert "e" in magic.base_predicates
+    assert "tc" in magic.base_predicates  # the pickup rule reads it
+    assert magic.seed_predicate not in magic.base_predicates
+
+
+def test_error_on_bad_adornment_chars():
+    with pytest.raises(MagicTransformError):
+        magic_transform(TC, "tc", "bx")
+
+
+def test_error_on_arity_mismatch():
+    with pytest.raises(MagicTransformError):
+        magic_transform(TC, "tc", "b")
+
+
+def test_error_on_at_sign_in_predicate_names():
+    program = magic_transform(TC, "tc", "bf").program
+    with pytest.raises(MagicTransformError):
+        magic_transform(program, "tc@bf", "bf")

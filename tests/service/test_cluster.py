@@ -262,6 +262,20 @@ class TestClusterEndToEnd:
                 "shard-1",
             )
 
+    def test_bound_pattern_query_routes_to_home_shard(self, running_cluster):
+        _router, socket_path = running_cluster
+        with _client(socket_path) as client:
+            client.register("e2e_demand", TC)
+            client.insert("e2e_demand", "edge(a, b)")
+            client.insert("e2e_demand", "edge(b, c)")
+            rows, undefined = client.query_pattern("e2e_demand", "tc(a, _)")
+            assert sorted(rows) == ["tc(a, b)", "tc(a, c)"]
+            assert undefined == []
+            # New constant, same pattern: an incremental seed insert on
+            # the shard's demand entry.
+            rows, _ = client.query_pattern("e2e_demand", "tc(b, _)")
+            assert rows == ["tc(b, c)"]
+
     def test_views_spread_across_shards(self, running_cluster):
         router, socket_path = running_cluster
         with _client(socket_path) as client:
