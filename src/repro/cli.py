@@ -264,6 +264,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         "compactor": args.compactor,
         "maintenance": args.maintenance,
         "coalesce": args.coalesce,
+        "semiring": args.semiring,
         "max_concurrent": args.max_concurrent,
         "max_request_bytes": args.max_request_bytes,
     }
@@ -401,6 +402,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             compactor=args.compactor,
             maintenance=args.maintenance,
             coalesce=args.coalesce,
+            semiring=args.semiring,
             data_dir=args.data_dir,
             fsync=args.fsync,
             checkpoint_every=args.checkpoint_every,
@@ -583,6 +585,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "absorb up to N queued update batches per circuit pass "
             "(default: 64 under dbsp, 1 under legacy)"
+        ),
+    )
+    p_srv.add_argument(
+        "--semiring",
+        default="bool",
+        metavar="NAME",
+        help=(
+            "default annotation semiring for registered views: bool "
+            "(set semantics, default), naturals (bag/derivation "
+            "counting), tropical (min-plus costs), or why "
+            "(lineage witnesses served on explain lines); individual "
+            "registrations can override with --semiring=<name>"
         ),
     )
     p_srv.add_argument(

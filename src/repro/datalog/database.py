@@ -23,6 +23,13 @@ class Database:
 
     def __init__(self, facts: Optional[Mapping[str, Iterable[Tuple[Value, ...]]]] = None):
         self._facts: Dict[str, Set[Tuple[Value, ...]]] = {}
+        # Explicit semiring annotations, predicate → row → carrier
+        # value.  Only *explicitly supplied* annotations live here —
+        # facts without one take their semiring's ``from_edb`` default
+        # at evaluation time, so boolean databases never populate this
+        # and their fingerprints stay byte-identical to the
+        # pre-annotation format.
+        self._annotations: Dict[str, Dict[Tuple[Value, ...], object]] = {}
         # Cached content hash; None = dirty.  Every mutator clears it
         # *before* touching the fact sets so there is no window in which
         # a stale fingerprint could be observed for mutated content (a
@@ -35,8 +42,15 @@ class Database:
 
     # -- construction --------------------------------------------------------
 
-    def add(self, predicate: str, *args: Value) -> "Database":
-        """Add a ground fact ``predicate(args...)`` (mutating; returns self)."""
+    def add(self, predicate: str, *args: Value, annotation: object = None) -> "Database":
+        """Add a ground fact ``predicate(args...)`` (mutating; returns self).
+
+        ``annotation`` attaches an explicit semiring annotation to the
+        fact, *replacing* any previous one (absolute, not combined —
+        re-adding with the same annotation is idempotent, which WAL
+        replay relies on).  Without one, the fact keeps whatever
+        explicit annotation it already had, or none.
+        """
         for arg in args:
             if not is_value(arg):
                 raise TypeError(f"fact argument is not a value: {arg!r}")
@@ -47,6 +61,8 @@ class Database:
                 f"predicate {predicate} used with inconsistent arities"
             )
         rows.add(tuple(args))
+        if annotation is not None:
+            self._annotations.setdefault(predicate, {})[tuple(args)] = annotation
         return self
 
     def declare(self, predicate: str) -> "Database":
@@ -69,6 +85,7 @@ class Database:
             raise KeyError(f"fact not present: {predicate}{row!r}")
         self._fingerprint = None
         rows.discard(row)
+        self._drop_annotation(predicate, row)
         return self
 
     def discard(self, predicate: str, *args: Value) -> "Database":
@@ -81,7 +98,37 @@ class Database:
         if rows is not None and tuple(args) in rows:
             self._fingerprint = None
             rows.discard(tuple(args))
+            self._drop_annotation(predicate, tuple(args))
         return self
+
+    def _drop_annotation(self, predicate: str, row: Tuple[Value, ...]) -> None:
+        bucket = self._annotations.get(predicate)
+        if bucket is not None:
+            bucket.pop(row, None)
+            if not bucket:
+                del self._annotations[predicate]
+
+    # -- semiring annotations -------------------------------------------------
+
+    def set_annotation(self, predicate: str, row: Tuple[Value, ...], annotation: object) -> "Database":
+        """Attach (or replace) the explicit annotation of a present fact."""
+        if tuple(row) not in self._facts.get(predicate, ()):
+            raise KeyError(f"fact not present: {predicate}{tuple(row)!r}")
+        self._fingerprint = None
+        self._annotations.setdefault(predicate, {})[tuple(row)] = annotation
+        return self
+
+    def annotation(self, predicate: str, row: Tuple[Value, ...], default: object = None):
+        """The explicit annotation of a fact, or ``default``."""
+        return self._annotations.get(predicate, {}).get(tuple(row), default)
+
+    def annotations(self, predicate: str) -> Mapping[Tuple[Value, ...], object]:
+        """Explicitly annotated rows of a predicate (read-only view)."""
+        return dict(self._annotations.get(predicate, {}))
+
+    def has_annotations(self) -> bool:
+        """Does any fact carry an explicit annotation?"""
+        return any(self._annotations.values())
 
     @classmethod
     def from_relations(cls, *relations: Relation) -> "Database":
@@ -109,6 +156,9 @@ class Database:
         """An independent copy (shares the memoized fingerprint)."""
         clone = Database()
         clone._facts = {pred: set(rows) for pred, rows in self._facts.items()}
+        clone._annotations = {
+            pred: dict(anns) for pred, anns in self._annotations.items() if anns
+        }
         clone._fingerprint = self._fingerprint
         return clone
 
@@ -176,6 +226,28 @@ class Database:
                 hasher.update(repr(row).encode("utf-8"))
                 hasher.update(b"\x01")
             hasher.update(b"\x02")
+        if self.has_annotations():
+            # Annotated content gets an extra section.  Unannotated
+            # databases skip it entirely so their digests stay
+            # byte-identical to the pre-annotation format (the boolean
+            # fast path and every existing cache key are unchanged).
+            # ``repr`` of set-like carriers is per-process unstable, so
+            # annotations hash via their canonical sorted rendering.
+            from ..semiring import canonical_annotation
+
+            hasher.update(b"\x03annotations\x03")
+            for predicate in sorted(self._annotations):
+                bucket = self._annotations[predicate]
+                if not bucket:
+                    continue
+                hasher.update(predicate.encode("utf-8"))
+                hasher.update(b"\x00")
+                for row in sorted(bucket, key=lambda r: tuple(map(repr, r))):
+                    hasher.update(repr(row).encode("utf-8"))
+                    hasher.update(b"\x04")
+                    hasher.update(canonical_annotation(bucket[row]).encode("utf-8"))
+                    hasher.update(b"\x01")
+                hasher.update(b"\x02")
         self._fingerprint = hasher.hexdigest()
         return self._fingerprint
 

@@ -209,6 +209,7 @@ def seminaive_stratified(
     max_rounds: int = 100_000,
     strata: Optional[Mapping[str, int]] = None,
     budget: Optional[EvaluationBudget] = None,
+    semiring=None,
 ) -> Dict[str, FrozenSet[Tuple[Value, ...]]]:
     """Evaluate a stratified program directly (no grounding).
 
@@ -221,7 +222,29 @@ def seminaive_stratified(
 
     ``strata`` lets a caller that has already stratified the program
     (a registered prepared plan) skip re-deriving the schedule.
+
+    ``semiring`` (a non-boolean :class:`~repro.semiring.Semiring`)
+    delegates to the annotated fixpoint and returns its *support* —
+    identical to the boolean model for the shipped semirings, but
+    subject to their convergence conditions.  Callers that need the
+    annotations themselves use
+    :func:`~repro.datalog.annotated.annotated_model` directly.
     """
+    if semiring is not None and semiring.name != "bool":
+        from .annotated import annotated_model
+
+        maps = annotated_model(
+            program,
+            database,
+            semiring,
+            registry=registry,
+            strata=strata,
+            max_rounds=min(max_rounds, 10_000),
+            budget=budget,
+        )
+        return {
+            predicate: frozenset(rows) for predicate, rows in maps.items()
+        }
     if strata is None:
         strata = stratify(program)
     height = max(strata.values(), default=0)

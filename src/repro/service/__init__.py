@@ -25,9 +25,11 @@ from .registry import (
     prepare_program,
     split_program_and_facts,
 )
+from .annotated import AnnotatedEngine
 from .demand import DemandEntry, DemandRegistry
 from .server import (
     QueryService,
+    parse_annotated_fact,
     parse_bound_pattern,
     parse_fact,
     serve_stream,
@@ -36,6 +38,7 @@ from .server import (
 from .views import MaterializedView
 
 __all__ = [
+    "AnnotatedEngine",
     "AtomicReference",
     "Component",
     "DBSPEngine",
@@ -58,6 +61,7 @@ __all__ = [
     "UpdateQueue",
     "ViewMetrics",
     "ZSet",
+    "parse_annotated_fact",
     "parse_bound_pattern",
     "parse_fact",
     "prepare_program",

@@ -1,0 +1,428 @@
+"""Annotated-view maintenance: K-relation models behind the service.
+
+:class:`AnnotatedEngine` is the maintenance engine a view registered
+with a non-boolean ``--semiring`` runs on.  It keeps the full
+annotation map (predicate → row → carrier value) of the view's
+stratified program and maintains it under update batches two ways:
+
+* **weighted differential** — when the semiring *admits differences*
+  (its carrier embeds in a ring, ℤ for the naturals) **and** the
+  program is non-recursive and negation-free, update batches propagate
+  through the bilinearity expansion
+  ``Δ(L₁ ⋈ … ⋈ Lₖ) = Σᵢ new₍<ᵢ₎ ⋈ ΔLᵢ ⋈ old₍>ᵢ₎`` with the Z-set
+  weight type generalized to the semiring's carrier — the dbsp
+  circuit's integer weights are exactly the ``naturals`` instance.
+* **recompute-on-update** — everything else (idempotent semirings,
+  recursion, negation) re-runs the annotated fixpoint
+  (:func:`~repro.datalog.annotated.annotated_model`) against the
+  updated EDB.  Correct for any semiring, priced by bench P14.
+
+Both paths are atomic: state (EDB and annotation maps) is only
+committed after the whole batch has evaluated, so the view layer's
+generic rollback machinery finds nothing to undo on failure and
+explicit EDB annotations are never lost to a half-applied batch.
+
+The engine is API-compatible with
+:class:`~repro.service.dbsp.engine.DBSPEngine` where the view layer
+cares (``edb``, ``state.facts``, ``model()``, ``rows()``, ``apply()``,
+``apply_stream()``, ``initialize()``, ``budget``) and adds the
+annotation surface (:meth:`annotation_map`, :meth:`wire_annotations`)
+the snapshot/explain path serves from.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datalog.annotated import AnnotationMap, WeightedEvaluator, annotated_model, edb_annotations
+from ..datalog.ast import Literal
+from ..datalog.database import Database
+from ..datalog.stratification import NotStratifiedError
+from ..relations.universe import FunctionRegistry
+from ..relations.values import Value
+from ..robustness import EvaluationBudget, fault_point
+from ..semiring import Semiring
+from .incremental import IncrementalMaintenanceError
+from .metrics import ViewMetrics
+from .registry import PreparedProgram
+
+__all__ = ["AnnotatedEngine"]
+
+Row = Tuple[Value, ...]
+Batch = Tuple[Iterable[Tuple[str, Row]], Iterable[Tuple[str, Row]]]
+#: Explicit per-fact annotations riding along with a batch's inserts.
+Annotations = Mapping[Tuple[str, Row], object]
+
+
+def _has_negation(program) -> bool:
+    return any(
+        not literal.positive
+        for rule in program.rules
+        for literal in rule.body
+        if isinstance(literal, Literal)
+    )
+
+
+class AnnotatedEngine:
+    """A resident annotated model over a pluggable semiring."""
+
+    def __init__(
+        self,
+        prepared: PreparedProgram,
+        semiring: Semiring,
+        database: Optional[Database] = None,
+        registry: Optional[FunctionRegistry] = None,
+        metrics: Optional[ViewMetrics] = None,
+        max_rounds: int = 1_000,
+        budget: Optional[EvaluationBudget] = None,
+        differential: bool = True,
+    ):
+        if not prepared.stratified:
+            raise NotStratifiedError(
+                f"program {prepared.name!r} is not stratified; annotated "
+                "evaluation requires the stratified fast path"
+            )
+        self.prepared = prepared
+        self.semiring = semiring
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else ViewMetrics()
+        self.max_rounds = max_rounds
+        self.budget = budget
+        self.edb = (database or Database()).copy()
+        for predicate, row in prepared.seed_facts:
+            if not self.edb.holds(predicate, *row):
+                self.edb.add(predicate, *row)
+        # The weighted delta path needs ring differences in the carrier
+        # and the simple (non-recursive, negation-free) circuit shape;
+        # anything else recomputes the annotated fixpoint per batch.
+        self.differential = (
+            differential
+            and semiring.admits_differences
+            and not any(
+                component.recursive and component.has_rules()
+                for component in prepared.schedule
+            )
+            and not _has_negation(prepared.program)
+        )
+        self.evaluator = WeightedEvaluator(registry, semiring)
+        self.state = SimpleNamespace(facts={})
+        self.initialize()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """(Re)compute the annotated model from the EDB."""
+        fault_point("incremental.initialize")
+        maps = annotated_model(
+            self.prepared.program,
+            self.edb,
+            self.semiring,
+            registry=self.registry,
+            strata=self.prepared.strata,
+            max_rounds=self.max_rounds,
+            budget=self.budget,
+        )
+        self.evaluator = WeightedEvaluator(self.registry, self.semiring)
+        self.evaluator.maps = maps
+        self._sync_support()
+        self.metrics.bump("annotated_initializes")
+
+    def _sync_support(self) -> None:
+        self.state.facts = {
+            predicate: set(rows)
+            for predicate, rows in self.evaluator.maps.items()
+        }
+
+    # -- reads ----------------------------------------------------------------
+
+    def model(self) -> Dict[str, FrozenSet[Row]]:
+        """The resident support, predicate → rows (EDB and IDB alike)."""
+        return {
+            predicate: frozenset(rows)
+            for predicate, rows in self.evaluator.maps.items()
+        }
+
+    def rows(self, predicate: str) -> FrozenSet[Row]:
+        """Current (non-zero) rows of one predicate."""
+        return frozenset(self.evaluator.maps.get(predicate, ()))
+
+    def annotation_map(self, predicate: str) -> Dict[Row, object]:
+        """Row → carrier annotation of one predicate (a copy)."""
+        return dict(self.evaluator.maps.get(predicate, {}))
+
+    def wire_annotations(self) -> Dict[str, Dict[Row, str]]:
+        """The whole model's annotations in canonical wire text —
+        what snapshots carry and ``explain`` lines serve."""
+        semiring = self.semiring
+        return {
+            predicate: {
+                row: semiring.format(annotation)
+                for row, annotation in rows.items()
+            }
+            for predicate, rows in self.evaluator.maps.items()
+        }
+
+    def _effective(self, predicate: str, row: Row):
+        """The EDB annotation a present fact contributes (explicit or
+        the semiring's default); None when the fact is absent."""
+        if not self.edb.holds(predicate, *row):
+            return None
+        explicit = self.edb.annotation(predicate, row)
+        if explicit is not None:
+            return explicit
+        return self.semiring.from_edb(predicate, row)
+
+    # -- updates --------------------------------------------------------------
+
+    def apply(
+        self,
+        inserts: Iterable[Tuple[str, Row]] = (),
+        deletes: Iterable[Tuple[str, Row]] = (),
+        annotations: Optional[Annotations] = None,
+    ) -> Dict[str, object]:
+        """Maintain the annotated model under one update batch.
+
+        ``annotations`` attaches explicit carrier values to inserts,
+        keyed ``(predicate, row)``.  Annotations are *absolute*: an
+        insert with one replaces the fact's previous annotation, an
+        insert without one on a present fact is a no-op — both
+        idempotent, which WAL replay relies on.  Zero annotations are
+        rejected (zero denotes absence; use a delete).
+        """
+        return self.apply_stream([(inserts, deletes)], annotations=annotations)
+
+    def apply_stream(
+        self,
+        batches: Sequence[Batch],
+        annotations: Optional[Annotations] = None,
+    ) -> Dict[str, object]:
+        """Apply a burst of batches (in order, atomically overall)."""
+        fault_point("incremental.apply")
+        if self.budget is not None:
+            self.budget.check(phase="annotated-apply")
+        annotations = dict(annotations or {})
+        for key, value in annotations.items():
+            if self.semiring.is_zero(value):
+                raise ValueError(
+                    f"zero annotation on insert {key[0]}{tuple(key[1])!r} "
+                    "denotes absence; use a delete instead"
+                )
+        support_before = {
+            predicate: frozenset(rows)
+            for predicate, rows in self.evaluator.maps.items()
+        }
+        applied_inserts = applied_deletes = 0
+        for inserts, deletes in batches:
+            ins, dels = self._apply_one(list(inserts), list(deletes), annotations)
+            applied_inserts += ins
+            applied_deletes += dels
+        self._sync_support()
+        plus: Dict[str, Set[Row]] = {}
+        minus: Dict[str, Set[Row]] = {}
+        for predicate, rows in self.evaluator.maps.items():
+            before = support_before.get(predicate, frozenset())
+            added = set(rows) - before
+            if added:
+                plus[predicate] = added
+        for predicate, before in support_before.items():
+            gone = before - set(self.evaluator.maps.get(predicate, ()))
+            if gone:
+                minus[predicate] = gone
+        batch_count = len(batches)
+        self.metrics.bump("update_batches", batch_count)
+        self.metrics.bump("incremental_batches", batch_count)
+        self.metrics.bump("inserts_applied", applied_inserts)
+        self.metrics.bump("deletes_applied", applied_deletes)
+        delta_plus = sum(len(rows) for rows in plus.values())
+        delta_minus = sum(len(rows) for rows in minus.values())
+        self.metrics.bump("delta_plus_total", delta_plus)
+        self.metrics.bump("delta_minus_total", delta_minus)
+        return {
+            "delta_plus": delta_plus,
+            "delta_minus": delta_minus,
+            "batches": batch_count,
+            "plus": {p: frozenset(rows) for p, rows in plus.items()},
+            "minus": {p: frozenset(rows) for p, rows in minus.items()},
+        }
+
+    def _apply_one(
+        self,
+        inserts: List[Tuple[str, Row]],
+        deletes: List[Tuple[str, Row]],
+        annotations: Annotations,
+    ) -> Tuple[int, int]:
+        """One batch, atomically: evaluate first, commit after."""
+        # Net EDB effect of the batch, as (op, predicate, row, value,
+        # prior): deletes first, then inserts (the wire order).
+        # ``prior`` records the effective annotation the op displaces
+        # ("del"/"ann"), so the differential path never re-reads the
+        # pre-batch database for a row an earlier op in the same batch
+        # already changed.
+        staged: List[Tuple[str, str, Row, object, object]] = []
+        applied_inserts = applied_deletes = 0
+        # In-batch row state — a duplicate mention of one row must
+        # stage its *net sequential* effect, not a second copy of the
+        # same delta: key -> (present, explicit annotation or None).
+        state: Dict[Tuple[str, Row], Tuple[bool, object]] = {}
+
+        def current(predicate: str, row: Row) -> Tuple[bool, object]:
+            key = (predicate, row)
+            if key in state:
+                return state[key]
+            return (
+                self.edb.holds(predicate, *row),
+                self.edb.annotation(predicate, row),
+            )
+
+        for predicate, row in deletes:
+            row = tuple(row)
+            present, explicit = current(predicate, row)
+            if present:
+                prior = (
+                    explicit
+                    if explicit is not None
+                    else self.semiring.from_edb(predicate, row)
+                )
+                staged.append(("del", predicate, row, None, prior))
+                state[(predicate, row)] = (False, None)
+                applied_deletes += 1
+        for predicate, row in inserts:
+            row = tuple(row)
+            annotation = annotations.get((predicate, row))
+            present, explicit = current(predicate, row)
+            if present:
+                effective = (
+                    explicit
+                    if explicit is not None
+                    else self.semiring.from_edb(predicate, row)
+                )
+                if annotation is not None and annotation != effective:
+                    staged.append(("ann", predicate, row, annotation, effective))
+                    state[(predicate, row)] = (True, annotation)
+                    applied_inserts += 1
+            else:
+                staged.append(("add", predicate, row, annotation, None))
+                state[(predicate, row)] = (True, annotation)
+                applied_inserts += 1
+        if not staged:
+            return 0, 0
+        if self.differential:
+            self._commit_differential(staged)
+            self.metrics.bump("annotated_delta_batches")
+        else:
+            self._commit_recompute(staged)
+            self.metrics.bump("annotated_recomputes")
+        return applied_inserts, applied_deletes
+
+    def _commit_edb(self, staged) -> None:
+        for op, predicate, row, value, _prior in staged:
+            if op == "del":
+                self.edb.discard(predicate, *row)
+            elif op == "add":
+                self.edb.add(predicate, *row, annotation=value)
+            else:  # "ann"
+                self.edb.set_annotation(predicate, row, value)
+
+    def _commit_recompute(self, staged) -> None:
+        """Evaluate against a scratch EDB; commit both on success."""
+        scratch = self.edb.copy()
+        saved, self.edb = self.edb, scratch
+        try:
+            self._commit_edb(staged)
+            maps = annotated_model(
+                self.prepared.program,
+                self.edb,
+                self.semiring,
+                registry=self.registry,
+                strata=self.prepared.strata,
+                max_rounds=self.max_rounds,
+                budget=self.budget,
+            )
+        except BaseException:
+            self.edb = saved
+            raise
+        # Success: replay the staged ops on the *original* database
+        # object (the view aliases it as ``view.database``) and swap
+        # the maps in.
+        self.edb = saved
+        self._commit_edb(staged)
+        self.evaluator.maps = maps
+
+    # -- the weighted differential path --------------------------------------
+
+    def _commit_differential(self, staged) -> None:
+        """Propagate a batch as carrier-weighted deltas (Z-sets whose
+        weight type is the semiring's difference ring — ℤ for the
+        naturals).  Non-recursive, negation-free programs only; the
+        eligibility check in ``__init__`` guarantees that shape."""
+        maps = self.evaluator.maps
+        # Staged per-predicate deltas over the difference ring.
+        delta: Dict[str, Dict[Row, object]] = {}
+        new_maps: Dict[str, Dict[Row, object]] = {}
+
+        def bump(predicate: str, row: Row, weight) -> None:
+            bucket = delta.setdefault(predicate, {})
+            bucket[row] = bucket.get(row, 0) + weight
+            if bucket[row] == 0:
+                del bucket[row]
+            staged_map = new_maps.setdefault(
+                predicate, dict(maps.get(predicate, {}))
+            )
+            updated = staged_map.get(row, 0) + weight
+            if updated == 0:
+                staged_map.pop(row, None)
+            elif updated < 0:
+                raise IncrementalMaintenanceError(
+                    f"negative annotation for {predicate}{row!r} under "
+                    f"semiring {self.semiring.name!r} — differential "
+                    "bookkeeping lost sync"
+                )
+            else:
+                staged_map[row] = updated
+
+        for op, predicate, row, value, prior in staged:
+            if op == "del":
+                bump(predicate, row, -prior)
+            elif op == "add":
+                annotation = (
+                    value
+                    if value is not None
+                    else self.semiring.from_edb(predicate, row)
+                )
+                bump(predicate, row, annotation)
+            else:  # "ann" — replace: delta is the difference
+                bump(predicate, row, value - prior)
+
+        def new_view(predicate: str) -> Mapping[Row, object]:
+            staged_map = new_maps.get(predicate)
+            return staged_map if staged_map is not None else maps.get(predicate, {})
+
+        for component in self.prepared.schedule:
+            if not component.has_rules():
+                continue
+            for rule, order in component.rules:
+                match_literals = [
+                    payload for kind, payload in order if kind == "match"
+                ]
+                for position, literal in enumerate(match_literals):
+                    body_delta = delta.get(literal.atom.predicate)
+                    if not body_delta:
+                        continue
+
+                    def source(index: int, lit: Literal, _pos=position, _d=body_delta):
+                        if index < _pos:
+                            return new_view(lit.atom.predicate)
+                        if index == _pos:
+                            return _d
+                        return maps.get(lit.atom.predicate, {})
+
+                    for head_row, weight in self.evaluator.fire(
+                        rule, order, source, self.budget
+                    ):
+                        if weight != 0:
+                            bump(rule.head.predicate, head_row, weight)
+        # Commit: EDB mutations plus the staged maps.
+        self._commit_edb(staged)
+        for predicate, staged_map in new_maps.items():
+            maps[predicate] = staged_map

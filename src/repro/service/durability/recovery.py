@@ -87,6 +87,26 @@ def _fact_set(texts) -> Set[Tuple[str, tuple]]:
     return {parse_fact(text) for text in texts}
 
 
+def _annotated_fact_set(texts):
+    """Parse ``fact[ @ annotation]`` texts into ``(facts, annotations)``.
+
+    ``annotations`` keeps the wire text verbatim (keyed by fact); the
+    service's update path parses it with the target view's semiring.
+    Checkpoint and WAL records from boolean views never carry the
+    suffix, so this degrades to :func:`_fact_set` with an empty map.
+    """
+    from ..server import parse_annotated_fact
+
+    facts: Set[Tuple[str, tuple]] = set()
+    annotations: Dict[Tuple[str, tuple], str] = {}
+    for text in texts:
+        predicate, row, annotation = parse_annotated_fact(text)
+        facts.add((predicate, row))
+        if annotation is not None:
+            annotations[(predicate, row)] = annotation
+    return facts, annotations
+
+
 def _fact_order(fact: Tuple[str, tuple]):
     """A total order over facts that never compares row values
     directly: rows hold arbitrary ``Value`` types (``Atom`` defines no
@@ -104,14 +124,30 @@ def _restore_view(service, name: str, info: Dict[str, object]) -> int:
         info["source"],
         semantics=info.get("semantics", "stratified"),
         incremental=bool(info.get("incremental", True)),
+        # Explicit, not the service default: an operator who changes
+        # ``--semiring`` must not silently re-interpret old state.
+        semiring=info.get("semiring", "bool"),
     )
     view = service.view(name)
-    target = _fact_set(info.get("facts", ()))
+    target, target_annotations = _annotated_fact_set(info.get("facts", ()))
     current = {(predicate, row) for predicate, row in view.database}
-    inserts = sorted(target - current, key=_fact_order)
+    inserts = set(target - current)
     deletes = sorted(current - target, key=_fact_order)
+    if target_annotations:
+        # A fresh registration carries no explicit annotations, so
+        # every explicitly annotated checkpoint fact is re-inserted
+        # with its annotation — insert-with-annotation is absolute
+        # (replace), so this converges even for facts the seed pass
+        # already created.
+        inserts |= set(target_annotations)
+    inserts = sorted(inserts, key=_fact_order)
     if inserts or deletes:
-        service.update(name, inserts=inserts, deletes=deletes)
+        service.update(
+            name,
+            inserts=inserts,
+            deletes=deletes,
+            annotations=target_annotations or None,
+        )
     # Reconciling through update cannot re-declare a predicate that
     # ended the pre-crash epoch declared-but-empty (an insert-then-
     # delete history), and the database fingerprint covers declared
@@ -141,14 +177,19 @@ def _apply_record(service, record: WalRecord) -> None:
             operation["source"],
             semantics=operation.get("semantics", "stratified"),
             incremental=bool(operation.get("incremental", True)),
+            # Old (pre-semiring) records carry no key and replay as
+            # boolean regardless of the service's current default.
+            semiring=operation.get("semiring", "bool"),
         )
     elif op == "unregister":
         service.unregister(name)
     elif op == "update":
+        inserts, annotations = _annotated_fact_set(operation.get("inserts", ()))
         service.update(
             name,
-            inserts=sorted(_fact_set(operation.get("inserts", ())), key=_fact_order),
+            inserts=sorted(inserts, key=_fact_order),
             deletes=sorted(_fact_set(operation.get("deletes", ())), key=_fact_order),
+            annotations=annotations or None,
         )
     else:
         raise RecoveryError(f"unknown WAL operation {op!r} at lsn {record.lsn}")

@@ -82,6 +82,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Tuple,
 )
@@ -100,6 +101,7 @@ from ..robustness import (
     UpdateTimeout,
     fault_point,
 )
+from ..semiring import Semiring, get_semiring
 from .cache import LRUCache
 from .compactor import SnapshotCompactor
 from .demand import DemandRegistry
@@ -113,6 +115,7 @@ __all__ = [
     "serve_stream",
     "serve_unix_socket",
     "parse_fact",
+    "parse_annotated_fact",
     "parse_bound_pattern",
 ]
 
@@ -135,6 +138,27 @@ def parse_fact(text: str) -> Tuple[str, Row]:
         raise ValueError(f"expected a single ground fact, got {text!r}")
     head = program.rules[0].head
     return head.predicate, tuple(arg.value for arg in head.args)
+
+
+def parse_annotated_fact(text: str) -> Tuple[str, Row, Optional[str]]:
+    """Parse a fact with an optional ``@ <annotation>`` suffix.
+
+    ``edge(a, b) @ 3`` → ``("edge", (a, b), "3")``; a plain fact
+    returns annotation ``None``.  The annotation text is opaque here —
+    the update path decodes it against the target view's semiring.
+    Only an ``@`` *after* the argument list is a separator, so values
+    containing ``@`` never confuse the split.
+    """
+    text = text.strip()
+    close = text.rfind(")")
+    marker = text.find("@", close + 1 if close >= 0 else 0)
+    if marker == -1:
+        predicate, row = parse_fact(text)
+        return predicate, row, None
+    fact_text = text[:marker].strip()
+    annotation = text[marker + 1 :].strip()
+    predicate, row = parse_fact(fact_text)
+    return predicate, row, annotation or None
 
 
 class QueryService:
@@ -193,6 +217,7 @@ class QueryService:
         coalesce: Optional[int] = None,
         queue_capacity: int = 256,
         demand_capacity: int = 64,
+        semiring: str = "bool",
     ):
         if lock_mode not in ("view", "global"):
             raise ValueError(f"unknown lock_mode {lock_mode!r}")
@@ -223,6 +248,11 @@ class QueryService:
         self.maintenance = maintenance
         self.coalesce = coalesce
         self.queue_capacity = queue_capacity
+        # Service-level default annotation algebra for registrations
+        # that do not pick their own (the ``--semiring`` serve flag).
+        # Validated eagerly so a typo fails at construction.
+        get_semiring(semiring)
+        self.default_semiring = semiring
         # One ready-gated magic-rewritten view per demanded binding
         # pattern, LRU-evicted (see docs/MAGIC.md).
         self.demand = DemandRegistry(demand_capacity)
@@ -240,6 +270,14 @@ class QueryService:
         # never mutated, so a resolver holding an old table keeps a
         # complete, consistent view of the world it was published in.
         self._name_table: AtomicReference = AtomicReference({})
+        # COW-churn accounting, mirroring the demand registry's
+        # counters: every register/unregister rebuilds the whole name
+        # table exactly once, so ``name_table_republishes`` counts
+        # churn events and ``name_table_copied_cells`` the cells those
+        # rebuilds copied — N churn events over V views copy O(N · V)
+        # cells, never O(N²); the bound is a tested invariant.
+        self.name_table_republishes = 0
+        self.name_table_copied_cells = 0
         # Per-registration generation tokens (guarded by the registry
         # write lock).  Cache keys embed the generation, so entries put
         # on behalf of a replaced registration are unreachable from the
@@ -353,17 +391,42 @@ class QueryService:
                     if source is None:  # pre-durability registration
                         continue
                     database = view.database
-                    views_state[name] = {
-                        "source": source,
-                        "semantics": view.semantics,
-                        "incremental": view.mode == "incremental",
-                        "facts": [
+                    if view.semiring == "bool":
+                        facts = [
                             _format_row(predicate, row)
                             for predicate, row in database
-                        ],
+                        ]
+                        incremental = view.mode == "incremental"
+                    else:
+                        # Explicitly annotated facts are captured as
+                        # ``fact @ text`` (the wire shape); defaulted
+                        # facts stay bare and re-derive their from_edb
+                        # annotation on replay.  ``mode`` is always
+                        # "incremental" for annotated views, so the
+                        # requested flag is captured instead.
+                        semiring = view.semiring_obj
+                        facts = []
+                        for predicate, row in database:
+                            text = _format_row(predicate, row)
+                            explicit = database.annotation(predicate, row)
+                            if explicit is not None:
+                                text = f"{text} @ {semiring.format(explicit)}"
+                            facts.append(text)
+                        incremental = view.incremental
+                    entry = {
+                        "source": source,
+                        "semantics": view.semantics,
+                        "incremental": incremental,
+                        "facts": facts,
                         "declared": sorted(database.predicates()),
                         "fingerprint": database.fingerprint(),
                     }
+                    # Present only for annotated views: boolean
+                    # checkpoints stay byte-identical to the
+                    # pre-semiring format.
+                    if view.semiring != "bool":
+                        entry["semiring"] = view.semiring
+                    views_state[name] = entry
             except KeyError:
                 continue  # unregistered between listing and locking
         return {
@@ -387,8 +450,15 @@ class QueryService:
         semantics: str = "stratified",
         database: Optional[Database] = None,
         incremental: bool = True,
+        semiring: Optional[str] = None,
     ) -> Dict[str, object]:
         """Register (or replace) a program and materialize its view.
+
+        ``semiring`` picks the view's annotation algebra (defaulting to
+        the service-level ``--semiring``, itself ``"bool"`` unless
+        overridden).  Boolean views take exactly the pre-annotation
+        code paths; any other semiring materializes through the
+        annotated engine and serves per-row annotations.
 
         The expensive part — compiling the plan and materializing the
         initial model — runs **outside** every lock; only the final
@@ -407,6 +477,9 @@ class QueryService:
                 "a durable service (data_dir set) registers programs "
                 "from source text, not pre-parsed ASTs"
             )
+        if semiring is None:
+            semiring = self.default_semiring
+        get_semiring(semiring)
         prepared = prepare_program(name, source)
         view = MaterializedView(
             prepared,
@@ -423,6 +496,7 @@ class QueryService:
             compact_depth=self.compact_depth,
             compact_interval=self.compact_interval,
             queue_capacity=self.queue_capacity,
+            semiring=semiring,
         )
         with self._registry_lock.write_locked():
             self.registry.store(name, prepared)
@@ -446,15 +520,19 @@ class QueryService:
             # every other registration and the updates that follow it.
             # (In durable mode ``source`` is guaranteed text, see above.)
             if isinstance(source, str):
-                self._journal(
-                    {
-                        "op": "register",
-                        "view": name,
-                        "source": source,
-                        "semantics": semantics,
-                        "incremental": incremental,
-                    }
-                )
+                operation = {
+                    "op": "register",
+                    "view": name,
+                    "source": source,
+                    "semantics": semantics,
+                    "incremental": incremental,
+                }
+                # Journaled only when non-boolean, so boolean-mode WAL
+                # records stay byte-identical to the pre-semiring
+                # format (and old logs replay as boolean).
+                if semiring != "bool":
+                    operation["semiring"] = semiring
+                self._journal(operation)
         # The generation bump already makes old entries unreachable;
         # dropping them here is memory hygiene, not correctness.  Same
         # for the demand entries of a replaced registration: their keys
@@ -466,6 +544,8 @@ class QueryService:
         info = prepared.describe()
         info["semantics"] = semantics
         info["mode"] = view.mode
+        if semiring != "bool":
+            info["semiring"] = semiring
         return info
 
     def unregister(self, name: str) -> Dict[str, object]:
@@ -519,12 +599,13 @@ class QueryService:
         published table is a complete, immutable image of some state
         the registry actually passed through.
         """
-        self._name_table.set(
-            {
-                name: (view, self._generations[name])
-                for name, view in self.views.items()
-            }
-        )
+        table = {
+            name: (view, self._generations[name])
+            for name, view in self.views.items()
+        }
+        self._name_table.set(table)
+        self.name_table_republishes += 1
+        self.name_table_copied_cells += len(table)
 
     def name_table(self) -> Dict[str, Tuple[MaterializedView, int]]:
         """The published name table (lock-free; treat as immutable).
@@ -759,6 +840,41 @@ class QueryService:
             )
             return rows, undefined, view.stale
 
+    def query_annotated(
+        self, name: str, predicate: str
+    ) -> Tuple[
+        FrozenSet[Row],
+        FrozenSet[Row],
+        bool,
+        Optional[Mapping[Row, str]],
+    ]:
+        """:meth:`query_state` plus the per-row annotation texts.
+
+        The fourth element maps each true row to its semiring
+        annotation in wire text, or is ``None`` for boolean views (the
+        protocol emits no ``explain`` lines then).  All four come from
+        the same snapshot (or the same view hold), so rows and
+        annotations describe one model version.
+        """
+        self.metrics.bump("queries_total")
+        view, generation, snapshot = self._resolve_snapshot(name)
+        if snapshot is not None:
+            rows = self._serve_true(view, name, generation, snapshot, predicate)
+            undefined = self._serve_undefined(
+                view, name, generation, snapshot, predicate
+            )
+            return rows, undefined, snapshot.stale, snapshot.annotations_for(
+                predicate
+            )
+        with self._locked_view(name) as (view, generation):
+            rows = self._query_locked(view, name, generation, predicate)
+            undefined = self._undefined_locked(
+                view, name, generation, predicate
+            )
+            return rows, undefined, view.stale, view.annotation_texts(
+                predicate
+            )
+
     # -- bound-pattern (demand-driven) queries --------------------------------
 
     def query_pattern(
@@ -862,10 +978,14 @@ class QueryService:
         stratified programs (all total with the same least model) but
         not with the inflationary one; and the magic rewrite itself
         requires a stratified input and an IDB query predicate.
+        Annotated views fall outside the envelope too: the magic
+        rewrite is support-level and would drop annotations, so their
+        patterns answer by filtering the full annotated model.
         """
         return (
             view.prepared.stratified
             and view.semantics != "inflationary"
+            and view.semiring == "bool"
             and predicate in view.prepared.arities
         )
 
@@ -988,8 +1108,16 @@ class QueryService:
         name: str,
         inserts: Iterable[Tuple[str, Row]] = (),
         deletes: Iterable[Tuple[str, Row]] = (),
+        annotations: Optional[Mapping[Tuple[str, Row], object]] = None,
     ) -> Dict[str, object]:
         """Apply an update batch to a view; invalidates its cache scope.
+
+        ``annotations`` (annotated views only) maps ``(predicate, row)``
+        of inserted facts to a semiring annotation — wire text (parsed
+        with the view's semiring) or an already-parsed carrier value.
+        Annotations are **absolute**: an insert with one replaces the
+        fact's current annotation outright, which is what makes WAL
+        replay idempotent.
 
         The view is verified current after its lock is acquired, and
         :meth:`unregister` cannot pop a view whose lock is held — so an
@@ -1001,17 +1129,46 @@ class QueryService:
         self.metrics.bump("updates_total")
         inserts = [(predicate, tuple(row)) for predicate, row in inserts]
         deletes = [(predicate, tuple(row)) for predicate, row in deletes]
-        if self.coalesce <= 1:
+        if annotations:
+            annotations = {
+                (predicate, tuple(row)): value
+                for (predicate, row), value in annotations.items()
+            }
+        else:
+            annotations = None
+        direct = self.coalesce <= 1 or annotations is not None
+        if not direct:
+            # Group-commit tickets carry bare fact batches, and an
+            # annotated view publishes a full snapshot per batch
+            # anyway — so annotated views always take the direct
+            # per-batch path, even when coalescing is on.
+            view, _lock, _generation = self._view_and_lock(name)
+            direct = view.semiring != "bool"
+        if direct:
             # Per-batch mode (the legacy default and the bench
             # baseline): apply directly under the view hold, no queue.
             with self._locked_view(name) as (view, generation):
-                summary = view.apply(inserts=inserts, deletes=deletes)
+                parsed = self._parse_annotations(view, annotations)
+                summary = view.apply(
+                    inserts=inserts, deletes=deletes, annotations=parsed
+                )
                 # Invalidate inside the hold so a concurrent query
                 # cannot re-cache pre-batch rows between apply and
                 # invalidation.
                 self.cache.invalidate(name)
                 self._propagate_demand(name, generation, [(inserts, deletes)])
-                self._journal_update(name, inserts, deletes)
+                # Journal the *canonical* wire text of each annotation
+                # (format after parse), so replay parses exactly what a
+                # live client could have sent.
+                texts = (
+                    {
+                        key: view.semiring_obj.format(value)
+                        for key, value in parsed.items()
+                    }
+                    if parsed
+                    else None
+                )
+                self._journal_update(name, inserts, deletes, texts)
             self._maybe_checkpoint()
             return summary
         # Group commit: submit the batch to the view's bounded queue,
@@ -1067,23 +1224,64 @@ class QueryService:
             self._maybe_checkpoint()
             return summary
 
+    def _parse_annotations(
+        self,
+        view: MaterializedView,
+        annotations: Optional[Mapping[Tuple[str, Row], object]],
+    ) -> Optional[Dict[Tuple[str, Row], object]]:
+        """Resolve an update's annotation payload against its view.
+
+        Wire-text strings are parsed with the view's semiring; values
+        of any other type are assumed to already be carrier values
+        (programmatic callers).  Boolean views reject annotations —
+        there is no algebra to interpret them in.
+        """
+        if annotations is None:
+            return None
+        if view.semiring == "bool":
+            raise ValueError(
+                "annotations require an annotated view; register with "
+                "--semiring=<name> first"
+            )
+        semiring = view.semiring_obj
+        return {
+            key: semiring.parse(value) if isinstance(value, str) else value
+            for key, value in annotations.items()
+        }
+
     def _journal_update(
         self,
         name: str,
         inserts: List[Tuple[str, Row]],
         deletes: List[Tuple[str, Row]],
+        annotations: Optional[Mapping[Tuple[str, Row], str]] = None,
     ) -> None:
         """Journal one applied batch (inside the view hold): a failed
         batch never reaches the log, the ack follows the append, and a
-        crash in between loses only a never-acknowledged batch."""
+        crash in between loses only a never-acknowledged batch.
+
+        Annotated inserts are journaled as ``fact @ text`` — the same
+        shape the wire protocol accepts, so recovery replays them
+        through the ordinary annotated-fact parser.  Un-annotated
+        batches keep the exact pre-semiring record format.
+        """
         if self.durability is None:
             return
+
+        def insert_text(predicate: str, row: Row) -> str:
+            text = _format_row(predicate, row)
+            if annotations:
+                value = annotations.get((predicate, row))
+                if value is not None:
+                    return f"{text} @ {value}"
+            return text
+
         self._journal(
             {
                 "op": "update",
                 "view": name,
                 "inserts": [
-                    _format_row(predicate, row) for predicate, row in inserts
+                    insert_text(predicate, row) for predicate, row in inserts
                 ],
                 "deletes": [
                     _format_row(predicate, row) for predicate, row in deletes
@@ -1229,6 +1427,11 @@ class QueryService:
             },
             # Resident demanded binding patterns (capacity-bounded).
             "demand_entries": self.demand.size(),
+            # Copy-on-write name-table churn: publishes and total cells
+            # copied across them.  The O(churn · views) republish cost
+            # is an invariant the name-table unit tests pin down.
+            "name_table_republishes": self.name_table_republishes,
+            "name_table_copied_cells": self.name_table_copied_cells,
         }
         snapshot["views"] = view_stats
         snapshot["cache"] = self.cache.stats()
@@ -1320,33 +1523,57 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
     if line.startswith("+") or line.startswith("-"):
         parts = line[1:].split(None, 1)
         if len(parts) != 2:
-            return [f"error usage: {line[0]}<view> <fact>"]
+            return [f"error usage: {line[0]}<view> <fact>[ @ <annotation>]"]
         view_name, fact_text = parts
-        predicate, row = parse_fact(fact_text)
+        predicate, row, annotation = parse_annotated_fact(fact_text)
         if line.startswith("+"):
-            summary = service.insert(view_name, predicate, *row)
+            if annotation is not None:
+                summary = service.update(
+                    view_name,
+                    inserts=[(predicate, row)],
+                    annotations={(predicate, row): annotation},
+                )
+            else:
+                summary = service.insert(view_name, predicate, *row)
         else:
+            if annotation is not None:
+                return ["error annotations apply to inserts only"]
             summary = service.delete(view_name, predicate, *row)
         reply = {k: v for k, v in summary.items() if isinstance(v, (str, int))}
         return [f"ok {json.dumps(reply, sort_keys=True)}"]
 
     command, _, rest = line.partition(" ")
     if command == "register":
+        usage = (
+            "error usage: register <view> <semantics> "
+            "[--semiring=<name>] <program>"
+        )
         parts = rest.split(None, 2)
         if len(parts) < 3:
-            return ["error usage: register <view> <semantics> <program>"]
+            return [usage]
         view_name, semantics, source = parts
         if semantics not in SEMANTICS:
             return [
                 f"error unknown semantics {semantics!r}; pick from {SEMANTICS}"
             ]
+        semiring = None
+        if source.lstrip().startswith("--semiring="):
+            pieces = source.split(None, 1)
+            if len(pieces) != 2:
+                return [usage]
+            semiring = pieces[0][len("--semiring=") :]
+            source = pieces[1]
+            if not semiring:
+                return [usage]
         path = Path(source.strip())
         try:
             is_file = path.is_file()
         except OSError:
             is_file = False
         text = path.read_text() if is_file else source
-        info = service.register(view_name, text, semantics=semantics)
+        info = service.register(
+            view_name, text, semantics=semantics, semiring=semiring
+        )
         return [f"ok {json.dumps(info, sort_keys=True)}"]
     if command == "unregister":
         view_name = rest.strip()
@@ -1359,6 +1586,7 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
         if len(parts) != 2:
             return ["error usage: query <view> <predicate>[(pattern)]"]
         view_name, remainder = parts[0], parts[1].strip()
+        annotations = None
         if "(" in remainder:
             # Bound-pattern form: ``query <view> tc(a, _)`` — served
             # demand-driven through the magic-sets registry.
@@ -1370,11 +1598,22 @@ def _handle_line(service: QueryService, line: str) -> List[str]:
             if remainder.split() != [remainder] or not remainder:
                 return ["error usage: query <view> <predicate>[(pattern)]"]
             predicate = remainder
-            rows, undefined, stale = service.query_state(view_name, predicate)
+            rows, undefined, stale, annotations = service.query_annotated(
+                view_name, predicate
+            )
         lines = sorted(f"row {_format_row(predicate, row)}" for row in rows)
         lines += sorted(
             f"undef {_format_row(predicate, row)}" for row in undefined
         )
+        if annotations:
+            # Annotated views explain every true row: its semiring
+            # annotation in wire text (for why-provenance, the lineage
+            # witnesses).  Boolean views emit no explain lines, keeping
+            # their replies byte-identical to the pre-semiring wire.
+            lines += sorted(
+                f"explain {_format_row(predicate, row)} @ {text}"
+                for row, text in annotations.items()
+            )
         # A degraded view answers from its last consistent model; the
         # client sees the staleness on the wire, not silently.
         suffix = " stale" if stale else ""

@@ -118,6 +118,7 @@ class ModelSnapshot:
         "published_at",
         "_true",
         "_undefined",
+        "_annotations",
         "_fingerprint",
     )
 
@@ -127,9 +128,15 @@ class ModelSnapshot:
         undefined: Dict[str, FrozenSet[Row]],
         generation: int,
         stale: bool,
+        annotations: Optional[Dict[str, Dict[Row, str]]] = None,
     ):
         self._true = true_cells
         self._undefined = undefined
+        # Per-row semiring annotations in wire text, predicate → row →
+        # text.  None for boolean views (the fast path carries nothing
+        # extra); annotated views always publish full snapshots, so the
+        # table is immutable alongside the cells.
+        self._annotations = annotations
         self.generation = generation
         self.stale = stale
         self.published_at = time.monotonic()
@@ -144,6 +151,7 @@ class ModelSnapshot:
         undefined_rows: Optional[Mapping[str, Iterable[Row]]] = None,
         generation: int = 1,
         stale: bool = False,
+        annotations: Optional[Mapping[str, Mapping[Row, str]]] = None,
     ) -> "ModelSnapshot":
         """Snapshot a complete model (initialization / recompute)."""
         cells = {
@@ -155,7 +163,15 @@ class ModelSnapshot:
             for predicate, rows in (undefined_rows or {}).items()
             if rows
         }
-        return cls(cells, undefined, generation, stale)
+        frozen_annotations = (
+            {
+                predicate: dict(rows)
+                for predicate, rows in annotations.items()
+            }
+            if annotations is not None
+            else None
+        )
+        return cls(cells, undefined, generation, stale, frozen_annotations)
 
     def apply_delta(
         self,
@@ -226,7 +242,9 @@ class ModelSnapshot:
         robustness contract (serve the last consistent model) without
         ever having paid a precautionary full copy on the happy path.
         """
-        return ModelSnapshot(self._true, self._undefined, generation, True)
+        return ModelSnapshot(
+            self._true, self._undefined, generation, True, self._annotations
+        )
 
     # -- reads ----------------------------------------------------------------
 
@@ -238,6 +256,13 @@ class ModelSnapshot:
     def undefined_rows(self, predicate: str) -> FrozenSet[Row]:
         """Undefined-status rows of one predicate."""
         return self._undefined.get(predicate, _EMPTY)
+
+    def annotations_for(self, predicate: str) -> Optional[Mapping[Row, str]]:
+        """Wire-text semiring annotations of one predicate's true rows,
+        or None when this snapshot carries none (boolean views)."""
+        if self._annotations is None:
+            return None
+        return self._annotations.get(predicate, {})
 
     def predicates(self) -> FrozenSet[str]:
         """Every predicate this snapshot holds rows (of any status) for."""
@@ -272,6 +297,21 @@ class ModelSnapshot:
                     )
                     for row in rows:
                         hasher.update(repr(row).encode("utf-8"))
+                        hasher.update(b"\x01")
+                    hasher.update(b"\x02")
+            if self._annotations is not None:
+                # Annotated snapshots hash their annotation table too
+                # (wire text, so deterministic); boolean snapshots skip
+                # the section and keep the pre-annotation digests.
+                hasher.update(b"annotations\x03")
+                for predicate in sorted(self._annotations):
+                    hasher.update(predicate.encode("utf-8"))
+                    hasher.update(b"\x00")
+                    table = self._annotations[predicate]
+                    for row in sorted(table, key=lambda r: tuple(map(repr, r))):
+                        hasher.update(repr(row).encode("utf-8"))
+                        hasher.update(b"\x04")
+                        hasher.update(table[row].encode("utf-8"))
                         hasher.update(b"\x01")
                     hasher.update(b"\x02")
             self._fingerprint = hasher.hexdigest()

@@ -60,6 +60,8 @@ from ..robustness import (
     fault_point,
     retry_with_backoff,
 )
+from ..semiring import get_semiring
+from .annotated import AnnotatedEngine
 from .dbsp import DBSPEngine, UpdateQueue
 from .incremental import IncrementalEngine, IncrementalMaintenanceError
 from .locks import AtomicReference
@@ -107,6 +109,7 @@ class MaterializedView:
         compact_depth: int = 4,
         compact_interval: int = 8,
         queue_capacity: int = 256,
+        semiring: str = "bool",
     ):
         if semantics not in SEMANTICS:
             raise ValueError(
@@ -120,6 +123,19 @@ class MaterializedView:
             raise NotStratifiedError(
                 f"program {prepared.name!r} is not stratified; register it "
                 "under the valid or wellfounded semantics instead"
+            )
+        # The annotation algebra.  ``"bool"`` is the zero-overhead fast
+        # path: exactly the pre-annotation engines and publish paths,
+        # byte-identical answers.  Anything else materializes through
+        # :class:`~repro.service.annotated.AnnotatedEngine` and serves
+        # per-row annotations from its snapshots.
+        self.semiring = semiring
+        self.semiring_obj = get_semiring(semiring)
+        if semiring != "bool" and semantics != "stratified":
+            raise ValueError(
+                f"semiring {semiring!r} requires the stratified semantics "
+                f"(got {semantics!r}); only boolean views serve the "
+                "3-valued semantics"
             )
         self.prepared = prepared
         self.semantics = semantics
@@ -147,9 +163,18 @@ class MaterializedView:
         # next read must take the locked path and re-evaluate).
         self._published: AtomicReference = AtomicReference((None, False))
         self._generation = 0
+        # An annotated view is always engine-backed (its snapshots need
+        # the annotation maps); ``incremental=False`` there only forces
+        # the engine's recompute-on-update discipline.  The requested
+        # flag is kept verbatim so checkpoints can re-register the view
+        # with the same discipline (``mode`` alone conflates the two
+        # annotated sub-modes).
+        self.incremental = bool(incremental)
         self.mode = (
             "incremental"
-            if incremental and semantics == "stratified" and prepared.stratified
+            if (incremental or semiring != "bool")
+            and semantics == "stratified"
+            and prepared.stratified
             else "recompute"
         )
         # The bounded group-commit queue: the server's update verb
@@ -160,21 +185,34 @@ class MaterializedView:
         self.engine = None
         self._result: Optional[QueryResult] = None
         if self.mode == "incremental":
-            engine_cls = DBSPEngine if maintenance == "dbsp" else IncrementalEngine
             with self.metrics.phase("initialize"):
                 # The initial materialization runs under a request
                 # budget too — a divergent program must hit its
                 # deadline at registration, not loop forever.
-                self.engine = engine_cls(
-                    prepared,
-                    database=database,
-                    registry=registry,
-                    metrics=self.metrics,
-                    budget=self._budget(),
-                )
+                if self.semiring != "bool":
+                    self.engine = AnnotatedEngine(
+                        prepared,
+                        self.semiring_obj,
+                        database=database,
+                        registry=registry,
+                        metrics=self.metrics,
+                        budget=self._budget(),
+                        differential=incremental,
+                    )
+                else:
+                    engine_cls = (
+                        DBSPEngine if maintenance == "dbsp" else IncrementalEngine
+                    )
+                    self.engine = engine_cls(
+                        prepared,
+                        database=database,
+                        registry=registry,
+                        metrics=self.metrics,
+                        budget=self._budget(),
+                    )
             self.engine.budget = None
             self.database = self.engine.edb
-            self._publish_full(self.engine.model())
+            self._publish_full(self.engine.model(), annotations=self._annotations())
         else:
             self.database = (database or Database()).copy()
             for predicate, row in prepared.seed_facts:
@@ -224,14 +262,25 @@ class MaterializedView:
         snapshot, _servable = self._published.get()
         return snapshot.max_chain_depth() if snapshot is not None else 0
 
+    def _annotations(self) -> Optional[Dict[str, Dict[Row, str]]]:
+        """The engine's wire-text annotation maps (None on the boolean
+        fast path — boolean snapshots never carry annotations)."""
+        if self.semiring == "bool" or self.engine is None:
+            return None
+        return self.engine.wire_annotations()
+
     def _publish_full(
         self,
         true_rows: Dict[str, FrozenSet[Row]],
         undefined_rows: Optional[Dict[str, FrozenSet[Row]]] = None,
+        annotations: Optional[Dict[str, Dict[Row, str]]] = None,
     ) -> None:
         self._publish(
             ModelSnapshot.full(
-                true_rows, undefined_rows, generation=self._generation + 1
+                true_rows,
+                undefined_rows,
+                generation=self._generation + 1,
+                annotations=annotations,
             )
         )
 
@@ -320,6 +369,21 @@ class MaterializedView:
         except ViewDegraded:
             return self._served_snapshot().undefined_rows(predicate)
 
+    def annotation_texts(self, predicate: str) -> Optional[Dict[Row, str]]:
+        """Wire-text semiring annotations of one predicate's rows
+        (None for boolean views — they carry no annotations).  Degraded
+        views answer from the stale snapshot like :meth:`rows`."""
+        if self.semiring == "bool" or self.engine is None:
+            return None
+        if self.stale:
+            served = self._served_snapshot().annotations_for(predicate)
+            return dict(served) if served is not None else {}
+        semiring = self.semiring_obj
+        return {
+            row: semiring.format(annotation)
+            for row, annotation in self.engine.annotation_map(predicate).items()
+        }
+
     def predicates(self) -> FrozenSet[str]:
         """Every predicate the view can answer about."""
         return (
@@ -403,6 +467,7 @@ class MaterializedView:
         self,
         inserts: Iterable[Tuple[str, Row]] = (),
         deletes: Iterable[Tuple[str, Row]] = (),
+        annotations: Optional[Dict[Tuple[str, Row], object]] = None,
     ) -> Dict[str, object]:
         """Apply an update batch, maintaining the resident model.
 
@@ -410,13 +475,26 @@ class MaterializedView:
         model reflects it), or the EDB is rolled back and the resident
         model rebuilt — with the view degrading to stale service of the
         last consistent model as the final fallback.
+
+        ``annotations`` attaches explicit semiring carrier values to
+        inserts, keyed ``(predicate, row)`` — annotated views only.
         """
         inserts = [(predicate, tuple(row)) for predicate, row in inserts]
         deletes = [(predicate, tuple(row)) for predicate, row in deletes]
         self._check_arities(inserts)
         self._check_arities(deletes)
+        if annotations:
+            if self.semiring == "bool":
+                raise ValueError(
+                    "explicit fact annotations require a view registered "
+                    "with a non-boolean --semiring"
+                )
+            annotations = {
+                (predicate, tuple(row)): value
+                for (predicate, row), value in annotations.items()
+            }
         if self.engine is not None:
-            return self._apply_incremental(inserts, deletes)
+            return self._apply_incremental(inserts, deletes, annotations)
         applied_deletes = applied_inserts = 0
         for predicate, row in deletes:
             if self.database.holds(predicate, *row):
@@ -449,6 +527,7 @@ class MaterializedView:
         self,
         inserts: List[Tuple[str, Row]],
         deletes: List[Tuple[str, Row]],
+        annotations: Optional[Dict[Tuple[str, Row], object]] = None,
     ) -> Dict[str, object]:
         engine = self.engine
         assert engine is not None
@@ -475,7 +554,14 @@ class MaterializedView:
         engine.budget = self._budget()
         try:
             with self.metrics.phase("maintain"):
-                summary = engine.apply(inserts=inserts, deletes=deletes)
+                if self.semiring != "bool":
+                    summary = engine.apply(
+                        inserts=inserts,
+                        deletes=deletes,
+                        annotations=annotations,
+                    )
+                else:
+                    summary = engine.apply(inserts=inserts, deletes=deletes)
         except IncrementalMaintenanceError:
             # Correctness valve: the EDB update itself is fine, only the
             # derived bookkeeping broke — rebuild from the (already
@@ -504,9 +590,14 @@ class MaterializedView:
         self._mark_healthy()
         # Incremental snapshot maintenance: apply the engine's net
         # plus/minus delta to the previous snapshot — O(|delta|), not a
-        # full model copy.
+        # full model copy.  Annotated views publish full instead: the
+        # batch may change annotations on rows whose support did not
+        # move, which a support-level delta cannot express.
         with self.metrics.phase("snapshot"):
-            self._publish_delta(summary["plus"], summary["minus"])
+            if self.semiring != "bool":
+                self._publish_full(engine.model(), annotations=self._annotations())
+            else:
+                self._publish_delta(summary["plus"], summary["minus"])
         return {"mode": "incremental", **summary}
 
     def apply_stream(
@@ -631,7 +722,10 @@ class MaterializedView:
             engine.budget = None
         self._mark_healthy()
         with self.metrics.phase("snapshot"):
-            self._publish_delta(summary["plus"], summary["minus"])
+            if self.semiring != "bool":
+                self._publish_full(engine.model(), annotations=self._annotations())
+            else:
+                self._publish_delta(summary["plus"], summary["minus"])
         return {"mode": "incremental", **summary}
 
     def _rollback_presence(
@@ -679,7 +773,7 @@ class MaterializedView:
             self._enter_degraded(exc)
             return False
         self._mark_healthy()
-        self._publish_full(engine.model())
+        self._publish_full(engine.model(), annotations=self._annotations())
         return True
 
     def _degraded_summary(
@@ -736,8 +830,13 @@ class MaterializedView:
             {
                 "mode": self.mode,
                 "semantics": self.semantics,
+                "semiring": self.semiring,
                 "maintenance": (
-                    self.maintenance if self.mode == "incremental" else None
+                    "annotated"
+                    if self.semiring != "bool"
+                    else self.maintenance
+                    if self.mode == "incremental"
+                    else None
                 ),
                 "queue_depth": self.pending.depth(),
                 "facts": self.database.fact_count(),

@@ -1,0 +1,179 @@
+"""Unit tests for the semiring-annotated evaluator (K-relations).
+
+Complement to the property suite (``tests/property/test_semiring_laws``):
+fixed, readable scenarios per shipped semiring — tropical shortest
+paths, naturals derivation counting and its documented divergence on
+cyclic derivation spaces, why-provenance witnesses, and the boolean
+negation gate.
+"""
+
+import math
+
+import pytest
+
+from repro.datalog import run
+from repro.datalog.annotated import (
+    WeightedEvaluator,
+    annotated_model,
+    edb_annotations,
+)
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.relations import Atom
+from repro.robustness import BudgetExceeded
+from repro.semiring import SEMIRINGS, get_semiring
+
+TC = parse_program(
+    "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)."
+)
+HOP = parse_program("hop(X, Z) :- edge(X, Y), edge(Y, Z).")
+
+A, B, C, D = Atom("a"), Atom("b"), Atom("c"), Atom("d")
+
+
+def _chain(*pairs, annotations=None):
+    database = Database()
+    database.declare("edge")
+    annotations = annotations or {}
+    for pair in pairs:
+        database.add("edge", *pair, annotation=annotations.get(pair))
+    return database
+
+
+@pytest.mark.parametrize("name", sorted(SEMIRINGS))
+def test_support_matches_boolean_engine(name):
+    """The non-zero rows of the annotated model coincide with the
+    boolean least model, whatever the semiring (no zero-divisors)."""
+    database = _chain((A, B), (B, C), (C, A))  # a cycle, worst case
+    semiring = get_semiring(name)
+    if name == "naturals":
+        # Bag semantics diverges on cyclic derivation spaces; compare
+        # on the acyclic program instead.
+        model = annotated_model(HOP, database, semiring)
+        oracle = run(HOP, _chain((A, B), (B, C), (C, A)))
+        assert set(model["hop"]) == oracle.true_rows("hop")
+        return
+    model = annotated_model(TC, database, semiring)
+    oracle = run(TC, _chain((A, B), (B, C), (C, A)))
+    assert set(model["tc"]) == oracle.true_rows("tc")
+
+
+def test_tropical_computes_shortest_paths():
+    database = _chain(
+        (A, B), (B, C), (A, C),
+        annotations={(A, B): 1, (B, C): 1, (A, C): 5},
+    )
+    model = annotated_model(TC, database, get_semiring("tropical"))
+    # Direct a→c costs 5 but the two-hop route costs 2: min wins.
+    assert model["tc"][(A, C)] == 2
+    assert model["tc"][(A, B)] == 1
+    # Tropical from_edb defaults to the semiring one (cost 0): an
+    # unweighted edge is free.
+    free = annotated_model(TC, _chain((A, B), (B, C)), get_semiring("tropical"))
+    assert free["tc"][(A, C)] == 0
+
+
+def test_tropical_cycle_converges_bellman_ford():
+    database = _chain(
+        (A, B), (B, A), annotations={(A, B): 2, (B, A): 3}
+    )
+    model = annotated_model(TC, database, get_semiring("tropical"))
+    # Going around the cycle only adds weight; the fixpoint keeps the
+    # cheapest (simple-path) costs.
+    assert model["tc"][(A, A)] == 5
+    assert model["tc"][(A, B)] == 2
+
+
+def test_naturals_counts_derivations():
+    # Two distinct derivations of hop(a, c): via b and via d.
+    database = _chain((A, B), (B, C), (A, D), (D, C))
+    model = annotated_model(HOP, database, get_semiring("naturals"))
+    assert model["hop"][(A, C)] == 2
+    # Explicit multiplicities multiply through the rule body.
+    weighted = _chain(
+        (A, B), (B, C), annotations={(A, B): 3, (B, C): 2}
+    )
+    model = annotated_model(HOP, weighted, get_semiring("naturals"))
+    assert model["hop"][(A, C)] == 6
+
+
+def test_naturals_diverges_on_cyclic_derivations():
+    """A cycle gives every tc row infinitely many derivations: no
+    finite bag annotation exists, and the round cap must surface that
+    as BudgetExceeded rather than looping."""
+    database = _chain((A, B), (B, A))
+    with pytest.raises(BudgetExceeded):
+        annotated_model(
+            TC, database, get_semiring("naturals"), max_rounds=50
+        )
+
+
+def test_why_provenance_collects_witnesses():
+    database = _chain((A, B), (B, C), (A, C))
+    model = annotated_model(TC, database, get_semiring("why"))
+    witnesses = model["tc"][(A, C)]
+    # Two minimal witnesses: the direct edge, and the two-hop route.
+    assert frozenset({"edge(a, c)"}) in witnesses
+    assert frozenset({"edge(a, b)", "edge(b, c)"}) in witnesses
+    # Base facts witness themselves.
+    assert model["edge"][(A, B)] == frozenset({frozenset({"edge(a, b)"})})
+
+
+def test_negation_is_a_boolean_gate():
+    """Negative literals gate derivations without contributing weight:
+    only positive support is tracked (standard why-provenance rule)."""
+    program = parse_program(
+        """
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- tc(X, Y), edge(Y, Z).
+        sink(X) :- node(X), not out(X).
+        out(X) :- edge(X, Y).
+        """
+    )
+    database = _chain((A, B), (B, C), annotations={(A, B): 4, (B, C): 4})
+    database.declare("node")
+    for node in (A, B, C):
+        database.add("node", node)
+    model = annotated_model(program, database, get_semiring("tropical"))
+    # c has no outgoing edge: sink(c) holds, at the weight of its
+    # positive support (node(c), unannotated → one = 0) only.
+    assert model["sink"] == {(C,): 0}
+    # The boolean oracle agrees on the support.
+    oracle = run(program, _chain((A, B), (B, C)).add("node", A)
+                 .add("node", B).add("node", C))
+    assert set(model["sink"]) == oracle.true_rows("sink")
+
+
+def test_edb_annotations_drop_zero_rows():
+    semiring = get_semiring("naturals")
+    database = _chain((A, B), (B, C), annotations={(A, B): 0})
+    maps = edb_annotations(database, semiring)
+    assert (A, B) not in maps["edge"]  # multiplicity 0 == absent
+    assert maps["edge"][(B, C)] == 1
+
+
+def test_weighted_evaluator_reads_pluggable_sources():
+    """The RowSource hook: substituting a per-position map (the delta
+    discipline's contract) changes which rows a match literal sees."""
+    semiring = get_semiring("naturals")
+    evaluator = WeightedEvaluator(None, semiring)
+    rule = HOP.rules[0]
+    from repro.datalog.grounding import compiled_binding_order
+
+    order = compiled_binding_order(rule)
+    full = {(A, B): 1, (B, C): 1}
+    delta = {(B, C): 1}
+
+    def source(index, literal):
+        return delta if index == 0 else full
+
+    produced = evaluator.fire(rule, order, source)
+    # Position 0 restricted to the delta row: only b→c→? joins fire,
+    # and none complete (no edge out of c), so nothing is produced.
+    assert produced == []
+
+    def source_second(index, literal):
+        return delta if index == 1 else full
+
+    produced = evaluator.fire(rule, order, source_second)
+    assert produced == [((A, C), 1)]

@@ -19,6 +19,8 @@ import threading
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.datalog.database import Database
 from repro.datalog.engine import run
 from repro.datalog.parser import parse_program

@@ -127,6 +127,22 @@ def test_differential_inflationary_falls_back():
         service.close()
 
 
+def test_differential_annotated_views_fall_back():
+    # Annotated views sit outside the demand envelope — the magic
+    # rewrite is support-level and would drop annotations — so every
+    # bound pattern must answer by filtering the full annotated model,
+    # never by building a demand entry.
+    service = QueryService(semiring="tropical")
+    try:
+        service.register("demo", PROGRAM)
+        run_differential(service, seed=61, steps=4)
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["demand_registrations"] == 0
+        assert counters["demand_fallbacks"] > 0
+    finally:
+        service.close()
+
+
 def test_differential_group_commit_write_path():
     # coalesce > 1 routes every edit through the ticket queue and the
     # leader's drain loop — the propagation path the burst applies use.

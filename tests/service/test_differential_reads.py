@@ -26,6 +26,7 @@ are deterministic per seed, so any failure is replayable from the test
 id alone.
 """
 
+import os
 import random
 
 import pytest
@@ -71,9 +72,16 @@ CONFIGS = [
     ("valid", "valid", True, "dbsp", THREE_VALUED_POOL),
 ]
 
+pytestmark = pytest.mark.slow
+
+#: The repo-wide seeded-suite scaling convention (pyproject markers):
+#: REPRO_BENCH_SCALE=smoke shrinks the seed budget for quick local runs.
+_SMOKE = os.environ.get("REPRO_BENCH_SCALE") == "smoke"
+
 VIEWS = 4
 OPS_PER_SCHEDULE = 12
-SEEDS_PER_CONFIG = 42  # 6 configs x 42 seeds = 252 schedules
+#: 6 configs x 42 seeds = 252 schedules (x 7 at smoke).
+SEEDS_PER_CONFIG = 7 if _SMOKE else 42
 NODES = [Atom(f"n{i}") for i in range(5)]
 
 _PARSED = {text: parse_program(text) for text, _, _ in THREE_VALUED_POOL}
@@ -192,3 +200,170 @@ def test_random_schedule_matches_oracle(config, seed):
     # oracle on every predicate.
     for name in names:
         _check_view(service, name, state, semantics)
+
+
+# ---------------------------------------------------------------------------
+# The semiring axis: annotated views against the annotated oracle
+# ---------------------------------------------------------------------------
+#
+# Same schedule shape as above, but each view is registered under an
+# annotation semiring and every check compares both the *support* and
+# the *annotation wire text* of every answer against a from-scratch
+# :func:`repro.datalog.annotated_model` over the view's current
+# database.  ``bool`` runs under both maintenance engines as the
+# byte-identical baseline (its ``query_annotated`` must serve no
+# annotations at all); ``naturals`` runs both annotated disciplines
+# (weighted differential deltas and recompute-on-update); ``tropical``
+# and ``why`` are recursive-safe (idempotent) and exercise the
+# recompute discipline with recursion and negation in the mix.
+
+from repro.datalog import annotated_model  # noqa: E402
+from repro.semiring import get_semiring  # noqa: E402
+
+#: Non-recursive, so every naturals annotation is derivation-finite on
+#: any data — cyclic edges included.  (Recursive programs over cyclic
+#: data diverge under ℕ, by design; see docs/SEMIRINGS.md.)
+HOP = "hop(X, Z) :- edge(X, Y), edge(Y, Z).\n"
+
+ACYCLIC_SAFE_POOL = [
+    (HOP, ("hop", "edge"), ("edge",)),
+]
+IDEMPOTENT_POOL = [
+    (TC, ("tc", "edge"), ("edge",)),
+    (PAIRS, ("pair", "only_a"), ("a", "b")),
+]
+
+#: (config id, semiring, incremental flag, maintenance, pool,
+#:  annotation texts drawn on inserts — () sends bare facts).
+SEMIRING_CONFIGS = [
+    ("bool-dbsp", "bool", True, "dbsp", STRATIFIED_POOL, ()),
+    ("bool-legacy", "bool", True, "legacy", STRATIFIED_POOL, ()),
+    ("naturals-differential", "naturals", True, "dbsp",
+     ACYCLIC_SAFE_POOL, ("1", "2", "3")),
+    ("naturals-recompute", "naturals", False, "dbsp",
+     ACYCLIC_SAFE_POOL, ("1", "2", "3")),
+    ("tropical", "tropical", True, "dbsp",
+     IDEMPOTENT_POOL, ("0", "1", "2", "5")),
+    ("why", "why", True, "dbsp", IDEMPOTENT_POOL, ()),
+]
+
+#: 6 configs x 12 seeds = 72 annotated schedules (x 4 at smoke).
+SEMIRING_SEEDS = 4 if _SMOKE else 12
+
+_PARSED.update(
+    {text: parse_program(text) for text, _, _ in ACYCLIC_SAFE_POOL}
+)
+
+
+def _check_annotated_view(service, name, state, semiring_name):
+    """Support *and* annotation text of every answer vs the oracle."""
+    program_text, query_predicates, _ = state[name]
+    semiring = get_semiring(semiring_name)
+    database = service.view(name).database
+    oracle = annotated_model(_PARSED[program_text], database, semiring)
+    for predicate in query_predicates:
+        rows, undefined, stale, annotations = service.query_annotated(
+            name, predicate
+        )
+        assert not stale
+        assert not undefined
+        expected = oracle.get(predicate, {})
+        assert rows == frozenset(expected), (
+            f"support mismatch on {name}/{predicate} under "
+            f"{semiring_name}: service={sorted(map(repr, rows))} "
+            f"oracle={sorted(map(repr, expected))}"
+        )
+        if semiring_name == "bool":
+            # The baseline: boolean views never construct annotation
+            # tables, so the wire serves none.
+            assert annotations is None
+        else:
+            expected_texts = {
+                row: semiring.format(weight)
+                for row, weight in expected.items()
+            }
+            assert dict(annotations) == expected_texts, (
+                f"annotation mismatch on {name}/{predicate} under "
+                f"{semiring_name}: service={dict(annotations)!r} "
+                f"oracle={expected_texts!r}"
+            )
+
+
+def _register_annotated(
+    service, rng, name, state, semiring_name, incremental, pool
+):
+    program_text, query_predicates, update_predicates = rng.choice(pool)
+    service.register(
+        name,
+        program_text,
+        semantics="stratified",
+        database=_seed_database(rng, update_predicates),
+        incremental=incremental,
+        semiring=semiring_name,
+    )
+    state[name] = (program_text, query_predicates, update_predicates)
+
+
+@pytest.mark.parametrize(
+    "config", SEMIRING_CONFIGS, ids=[config[0] for config in SEMIRING_CONFIGS]
+)
+@pytest.mark.parametrize("seed", range(SEMIRING_SEEDS))
+def test_random_semiring_schedule_matches_oracle(config, seed):
+    config_id, semiring_name, incremental, maintenance, pool, texts = config
+    rng = random.Random(f"{config_id}-{seed}")
+    service = QueryService(
+        cache_capacity=32,
+        compactor=("on-publish", "off")[seed % 2],
+        compact_depth=2,
+        compact_interval=3,
+        maintenance=maintenance,
+    )
+    state = {}
+    names = [f"v{i}" for i in range(VIEWS)]
+    for name in names:
+        _register_annotated(
+            service, rng, name, state, semiring_name, incremental, pool
+        )
+
+    for _ in range(OPS_PER_SCHEDULE):
+        name = rng.choice(names)
+        op = rng.random()
+        if op < 0.35:  # insert burst, annotated where the algebra allows
+            _, _, update_predicates = state[name]
+            inserts = []
+            annotations = {}
+            for predicate in (
+                rng.choice(update_predicates),
+            ) * rng.randint(1, 3):
+                row = _random_row(rng, predicate)
+                inserts.append((predicate, row))
+                if texts and rng.random() < 0.7:
+                    # Wire-text annotations exercise the parse path;
+                    # re-annotating a live fact is an absolute replace.
+                    annotations[(predicate, row)] = rng.choice(texts)
+            service.update(
+                name, inserts=inserts, annotations=annotations or None
+            )
+        elif op < 0.55:  # delete existing or phantom facts
+            _, _, update_predicates = state[name]
+            predicate = rng.choice(update_predicates)
+            existing = list(service.view(name).database.rows(predicate))
+            deletes = [(predicate, _random_row(rng, predicate))]
+            if existing:
+                deletes.append((predicate, rng.choice(existing)))
+            service.update(name, deletes=deletes)
+        elif op < 0.85:  # the differential check itself
+            _check_annotated_view(service, name, state, semiring_name)
+        elif op < 0.95:  # replace the registration in place
+            _register_annotated(
+                service, rng, name, state, semiring_name, incremental, pool
+            )
+        else:  # full unregister + re-register cycle
+            service.unregister(name)
+            _register_annotated(
+                service, rng, name, state, semiring_name, incremental, pool
+            )
+
+    # Quiescent sweep.
+    for name in names:
+        _check_annotated_view(service, name, state, semiring_name)

@@ -38,6 +38,8 @@ import time
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.robustness import (
     FaultInjector,
     FaultRule,

@@ -1,0 +1,267 @@
+"""Service-level tests for semiring-annotated views.
+
+The acceptance path for PR 10's tentpole: a provenance-annotated query
+answer round-trips the line protocol (``explain`` lines) and survives
+WAL recovery byte-for-byte; plus the smaller contracts — annotation
+replace/delete semantics, boolean views rejecting annotations, the
+``--semiring`` validation, and atomic rejection of naturals updates
+whose derivation space diverges.
+"""
+
+import pytest
+
+from repro.relations import Atom
+from repro.robustness import BudgetExceeded
+from repro.service import QueryService, serve_stream
+from repro.service.dbsp import DBSPEngine
+
+TC = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+"""
+
+a, b, c = Atom("a"), Atom("b"), Atom("c")
+
+
+def run_protocol(service, script):
+    replies = []
+    serve_stream(service, script.splitlines(), replies.append)
+    return replies
+
+
+class TestRegistration:
+    def test_info_reports_semiring_only_when_annotated(self):
+        service = QueryService()
+        plain = service.register("plain", TC)
+        assert "semiring" not in plain
+        annotated = service.register("ann", TC, semiring="tropical")
+        assert annotated["semiring"] == "tropical"
+        service.close()
+
+    def test_unknown_semiring_rejected_at_register(self):
+        service = QueryService()
+        with pytest.raises(ValueError, match="unknown semiring"):
+            service.register("v", TC, semiring="nope")
+        assert "v" not in service.name_table()
+        service.close()
+
+    def test_service_default_semiring_applies_to_views(self):
+        service = QueryService(semiring="naturals")
+        info = service.register("v", TC)
+        assert info["semiring"] == "naturals"
+        assert service.view("v").semiring == "naturals"
+        service.close()
+
+    def test_boolean_views_keep_the_fast_path(self):
+        """semiring='bool' must take exactly the pre-annotation code
+        path: a DBSP circuit underneath, no annotated engine."""
+        service = QueryService()
+        service.register("v", TC, semiring="bool")
+        view = service.view("v")
+        assert view.semiring == "bool"
+        assert isinstance(view.engine, DBSPEngine)
+        service.close()
+
+
+class TestAnnotationSemantics:
+    def _service(self, semiring="tropical"):
+        service = QueryService(semiring=semiring)
+        service.register("v", TC)
+        return service
+
+    def test_annotations_are_absolute_replacements(self):
+        service = self._service()
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "3"})
+        _, _, _, texts = service.query_annotated("v", "edge")
+        assert texts == {(a, b): "3"}
+        # Re-inserting with a new annotation replaces, never combines.
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "1"})
+        _, _, _, texts = service.query_annotated("v", "edge")
+        assert texts == {(a, b): "1"}
+        service.close()
+
+    def test_delete_then_reinsert_starts_fresh(self):
+        service = self._service()
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "3"})
+        service.update("v", deletes=[("edge", (a, b))])
+        assert service.query("v", "edge") == frozenset()
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "4"})
+        _, _, _, texts = service.query_annotated("v", "edge")
+        assert texts == {(a, b): "4"}
+        service.close()
+
+    def test_derived_annotations_follow_the_algebra(self):
+        service = self._service()
+        service.update(
+            "v",
+            inserts=[("edge", (a, b)), ("edge", (b, c)), ("edge", (a, c))],
+            annotations={
+                ("edge", (a, b)): "1",
+                ("edge", (b, c)): "1",
+                ("edge", (a, c)): "5",
+            },
+        )
+        _, _, _, texts = service.query_annotated("v", "tc")
+        assert texts[(a, c)] == "2"  # min(5, 1 + 1)
+        service.close()
+
+    def test_boolean_view_rejects_annotations(self):
+        service = QueryService()
+        service.register("v", TC)
+        with pytest.raises(ValueError, match="register with --semiring"):
+            service.update("v", inserts=[("edge", (a, b))],
+                           annotations={("edge", (a, b)): "3"})
+        service.close()
+
+    def test_query_annotated_on_boolean_view_has_no_texts(self):
+        service = QueryService()
+        service.register("v", TC)
+        service.insert("v", "edge", a, b)
+        rows, _, _, texts = service.query_annotated("v", "tc")
+        assert rows == {(a, b)}
+        assert texts is None
+        service.close()
+
+    def test_diverging_naturals_update_is_rejected_atomically(self):
+        """A cycle has no finite bag annotation: the update raises and
+        the view keeps serving its last good state."""
+        service = QueryService(semiring="naturals")
+        service.register("v", TC)
+        service.insert("v", "edge", a, b)
+        with pytest.raises(BudgetExceeded):
+            service.insert("v", "edge", b, a)
+        assert service.query("v", "tc") == {(a, b)}
+        _, _, stale, texts = service.query_annotated("v", "tc")
+        assert not stale and texts == {(a, b): "1"}
+        service.close()
+
+
+class TestLineProtocol:
+    def test_annotated_insert_and_explain_round_trip(self):
+        service = QueryService()
+        script = (
+            "register v stratified --semiring=tropical "
+            "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).\n"
+            "+v edge(a, b) @ 1\n"
+            "+v edge(b, c) @ 1\n"
+            "+v edge(a, c) @ 5\n"
+            "query v tc\n"
+        )
+        replies = run_protocol(service, script)
+        flat = "\n".join(replies)
+        assert "explain tc(a, c) @ 2" in flat
+        assert flat.rstrip().splitlines()[-1] == "ok 3 rows"
+        # explain lines come after the row lines, before the ok line.
+        lines = flat.rstrip().splitlines()
+        first_explain = next(
+            i for i, line in enumerate(lines) if line.startswith("explain")
+        )
+        assert all(
+            line.startswith("explain") or line == "ok 3 rows"
+            for line in lines[first_explain:]
+        )
+        service.close()
+
+    def test_annotation_on_delete_is_an_error(self):
+        service = QueryService()
+        service.register("v", TC, semiring="tropical")
+        (reply,) = run_protocol(service, "-v edge(a, b) @ 3\n")
+        assert reply.startswith("error")
+        assert "inserts only" in reply
+        service.close()
+
+    def test_annotation_on_boolean_view_is_an_error(self):
+        service = QueryService()
+        service.register("v", TC)
+        (reply,) = run_protocol(service, "+v edge(a, b) @ 3\n")
+        assert reply.startswith("error")
+        service.close()
+
+
+class TestDurability:
+    PROGRAM = TC
+
+    def _crash(self, service):
+        # kill -9 simulation: drop the durability plane with no final
+        # checkpoint; the WAL already holds every acked operation.
+        service.durability.close(final_checkpoint=False)
+        service.durability = None
+        service.close()
+
+    def _seed(self, service):
+        service.register("v", self.PROGRAM, semiring="why")
+        service.insert("v", "edge", a, b)
+        service.insert("v", "edge", b, c)
+        service.insert("v", "edge", a, c)
+
+    def test_provenance_reply_survives_wal_recovery(self, tmp_path):
+        """The PR's acceptance test: the annotated protocol reply is
+        byte-identical before and after a crash recovered purely from
+        the WAL."""
+        service = QueryService(
+            data_dir=str(tmp_path), fsync="off", checkpoint_every=10_000
+        )
+        self._seed(service)
+        before = run_protocol(service, "query v tc\n")
+        assert any("explain" in reply for reply in before)
+        fingerprint = service.view("v").read_snapshot().fingerprint
+        self._crash(service)
+
+        recovered = QueryService(data_dir=str(tmp_path), fsync="off")
+        try:
+            after = run_protocol(recovered, "query v tc\n")
+            assert after == before
+            assert (
+                recovered.view("v").read_snapshot().fingerprint
+                == fingerprint
+            )
+        finally:
+            recovered.close()
+
+    def test_annotations_survive_checkpoint_restore(self, tmp_path):
+        service = QueryService(
+            data_dir=str(tmp_path), fsync="off", checkpoint_every=1
+        )
+        self._seed(service)
+        before = run_protocol(service, "query v tc\n")
+        service.close()  # clean shutdown: final checkpoint, cold WAL
+
+        recovered = QueryService(data_dir=str(tmp_path), fsync="off")
+        try:
+            assert run_protocol(recovered, "query v tc\n") == before
+        finally:
+            recovered.close()
+
+    def test_annotation_replace_and_delete_replay_converges(self, tmp_path):
+        """WAL replay of replace → delete → re-insert lands on the
+        same fingerprint the live service had (absolute annotations
+        make replay idempotent)."""
+        service = QueryService(
+            data_dir=str(tmp_path), fsync="off", checkpoint_every=10_000,
+            semiring="tropical",
+        )
+        service.register("v", self.PROGRAM)
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "3"})
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "1"})
+        service.update("v", deletes=[("edge", (a, b))])
+        service.update("v", inserts=[("edge", (a, b))],
+                       annotations={("edge", (a, b)): "4"})
+        fingerprint = service.view("v").read_snapshot().fingerprint
+        self._crash(service)
+
+        recovered = QueryService(data_dir=str(tmp_path), fsync="off")
+        try:
+            _, _, _, texts = recovered.query_annotated("v", "edge")
+            assert texts == {(a, b): "4"}
+            assert (
+                recovered.view("v").read_snapshot().fingerprint
+                == fingerprint
+            )
+        finally:
+            recovered.close()

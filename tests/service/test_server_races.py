@@ -525,3 +525,58 @@ class TestRollupMonotoneUnderChurn:
             for counter, value in stats["counters"].items():
                 recomputed[counter] = recomputed.get(counter, 0) + value
         assert snapshot["rollup"] == recomputed
+
+
+class TestNameTableChurnCounters:
+    """The COW republish cost is O(churn · views), and the counters
+    that make that bound observable are themselves exact: every
+    register/unregister republishes the table exactly once, copying
+    exactly the post-mutation table size in cells."""
+
+    def test_each_mutation_republishes_exactly_once(self):
+        service = QueryService()
+        assert service.name_table_republishes == 0
+        assert service.name_table_copied_cells == 0
+
+        expected_cells = 0
+        for index in range(4):
+            service.register(f"v{index}", PROGRAM, database=_database("a"))
+            expected_cells += index + 1  # post-register table size
+        assert service.name_table_republishes == 4
+        assert service.name_table_copied_cells == expected_cells
+
+        service.unregister("v0")
+        expected_cells += 3  # post-unregister table size
+        assert service.name_table_republishes == 5
+        assert service.name_table_copied_cells == expected_cells
+
+        # Replacement of an existing name is one churn event too.
+        service.register("v1", PROGRAM, database=_database("b"))
+        expected_cells += 3
+        assert service.name_table_republishes == 6
+        assert service.name_table_copied_cells == expected_cells
+
+        gauges = service.metrics_snapshot()["gauges"]
+        assert gauges["name_table_republishes"] == 6
+        assert gauges["name_table_copied_cells"] == expected_cells
+
+    def test_copied_cells_linear_in_churn_not_quadratic(self):
+        """N re-registrations against V resident views copy exactly
+        N·V cells — the bound that distinguishes one-republish-per-
+        operation from accidental republish-per-view O(N²) blowup."""
+        resident = 5
+        service = QueryService()
+        for index in range(resident):
+            service.register(
+                f"v{index}", PROGRAM, database=_database("a")
+            )
+        base_republishes = service.name_table_republishes
+        base_cells = service.name_table_copied_cells
+
+        churn = 20
+        for _ in range(churn):
+            service.register("v0", PROGRAM, database=_database("b"))
+
+        assert service.name_table_republishes - base_republishes == churn
+        copied = service.name_table_copied_cells - base_cells
+        assert copied == churn * resident
